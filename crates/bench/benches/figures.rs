@@ -1,0 +1,113 @@
+//! Criterion benchmarks: one micro-scale representative run per paper
+//! figure, so `cargo bench` exercises every experiment path and tracks the
+//! engine's own performance over time. (The statistically meaningful
+//! paper-scale numbers come from the `repro` binary — these benches measure
+//! the *harness*, keeping each iteration in the tens of milliseconds.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memres_cluster::tiny;
+use memres_core::prelude::*;
+use memres_des::time::SimDuration;
+use memres_des::units::MB;
+use memres_workloads::{Grep, GroupBy, LogisticRegression};
+
+fn run_one(cfg: EngineConfig, rdd: &Rdd, action: Action) -> f64 {
+    let mut d = Driver::new(tiny(4), cfg);
+    d.run_for_metrics(rdd, action).job_time()
+}
+
+fn base() -> EngineConfig {
+    EngineConfig::default()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Fig 5a/5b: input from HDFS vs Lustre.
+    let grep = Grep::new(256.0 * MB);
+    g.bench_function("fig5a_grep_hdfs", |b| {
+        b.iter(|| run_one(base(), &grep.build(), grep.action()))
+    });
+    g.bench_function("fig5a_grep_lustre", |b| {
+        b.iter(|| {
+            run_one(
+                EngineConfig { input: InputSource::Lustre, ..base() },
+                &grep.build(),
+                grep.action(),
+            )
+        })
+    });
+    let lr = LogisticRegression::new(64.0 * MB);
+    g.bench_function("fig5b_lr_iteration", |b| {
+        b.iter(|| {
+            let (points, iter, action) = lr.build();
+            run_one(base(), &iter(&points), action)
+        })
+    });
+
+    // Fig 7 / Fig 8: shuffle-store strategies.
+    let gb = GroupBy::new(512.0 * MB).with_reducers(8);
+    for (name, shuffle) in [
+        ("fig7_store_ramdisk", ShuffleStore::Local(StoreDevice::RamDisk)),
+        ("fig7_store_lustre_local", ShuffleStore::LustreLocal),
+        ("fig7_store_lustre_shared", ShuffleStore::LustreShared),
+        ("fig8_store_ssd", ShuffleStore::Local(StoreDevice::Ssd)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| run_one(EngineConfig { shuffle, ..base() }, &gb.build(), gb.action()))
+        });
+    }
+
+    // Fig 9/10: delay scheduling and locality.
+    g.bench_function("fig9_grep_delay_sched", |b| {
+        b.iter(|| {
+            run_one(
+                base().with_delay_scheduling(SimDuration::from_secs(3)),
+                &grep.build(),
+                grep.action(),
+            )
+        })
+    });
+
+    // Fig 12: heterogeneous speeds + FIFO greedy.
+    g.bench_function("fig12_skewed_groupby", |b| {
+        b.iter(|| {
+            run_one(EngineConfig { speed_sigma: 0.4, ..base() }, &gb.build(), gb.action())
+        })
+    });
+
+    // Fig 13/14 + baseline: the optimizations.
+    g.bench_function("fig13_elb", |b| {
+        b.iter(|| {
+            run_one(
+                EngineConfig { speed_sigma: 0.4, ..base() }.with_elb(),
+                &gb.build(),
+                gb.action(),
+            )
+        })
+    });
+    g.bench_function("fig14_cad_ssd", |b| {
+        b.iter(|| {
+            run_one(
+                EngineConfig { shuffle: ShuffleStore::Local(StoreDevice::Ssd), ..base() }
+                    .with_cad(),
+                &gb.build(),
+                gb.action(),
+            )
+        })
+    });
+    g.bench_function("late_speculation", |b| {
+        b.iter(|| {
+            run_one(
+                EngineConfig { speed_sigma: 0.4, ..base() }.with_speculation(),
+                &gb.build(),
+                gb.action(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbenchmarks of the substrate hot paths: event calendar, processor
+//! sharing, max-min fair allocation, SSD fluid model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memres_des::{EventQueue, PsResource, SimTime};
+use memres_net::FlowNet;
+use memres_storage::{Device, Op, Ssd, SsdConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime(i * 7919 % 10_000), i);
+            }
+            while q.pop().is_some() {}
+        })
+    });
+}
+
+fn bench_ps(c: &mut Criterion) {
+    c.bench_function("ps_resource_1k_jobs", |b| {
+        b.iter(|| {
+            let mut ps = PsResource::new(1e9);
+            for i in 0..1000u32 {
+                ps.add(SimTime::ZERO, 1e6 + i as f64, i);
+            }
+            let mut n = 0;
+            while let Some(t) = ps.next_completion() {
+                n += ps.poll(t).len();
+            }
+            assert_eq!(n, 1000);
+        })
+    });
+}
+
+fn bench_flownet(c: &mut Criterion) {
+    c.bench_function("flownet_200_flows_waterfill", |b| {
+        b.iter(|| {
+            let mut net: FlowNet<u32> = FlowNet::new();
+            let links: Vec<_> = (0..50).map(|_| net.add_link(1e9)).collect();
+            for i in 0..200u32 {
+                let path = vec![links[(i as usize) % 50], links[(i as usize + 7) % 50]];
+                let f = net.open_flow(SimTime::ZERO, path, true);
+                net.push_chunk(SimTime::ZERO, f, 1e6, i);
+            }
+            let mut n = 0;
+            while let Some(t) = net.next_event() {
+                n += net.poll(t).len();
+            }
+            assert_eq!(n, 200);
+        })
+    });
+}
+
+fn bench_ssd(c: &mut Criterion) {
+    c.bench_function("ssd_sustained_writes", |b| {
+        b.iter(|| {
+            let mut ssd = Ssd::new(SsdConfig::test_small());
+            for i in 0..100u64 {
+                ssd.submit(SimTime(i * 1_000_000), Op::Write, 40.0, i);
+            }
+            while let Some(t) = ssd.next_event() {
+                if ssd.poll(t).is_empty() && ssd.queue_depth() == 0 {
+                    break;
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_ps, bench_flownet, bench_ssd);
+criterion_main!(benches);

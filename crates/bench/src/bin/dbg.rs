@@ -1,0 +1,28 @@
+use memres_bench::experiments::Setup;
+use memres_core::prelude::*;
+use memres_workloads::GroupBy;
+
+fn main() {
+    let setup = Setup::smoke();
+    let spec = setup.cluster();
+    let gb = GroupBy::new(setup.bytes(1500.0));
+    let base = EngineConfig {
+        input: InputSource::Lustre,
+        shuffle: ShuffleStore::Local(StoreDevice::Ssd),
+        scheduler: SchedulerKind::Fifo,
+        seed: 1,
+        ..EngineConfig::default()
+    };
+    for (name, cfg) in [("plain", base.clone()), ("cad", base.clone().with_cad())] {
+        let mut d = Driver::new(spec.clone(), cfg);
+        let m = d.run_for_metrics(&gb.build(), gb.action());
+        let durs = m.task_durations(Phase::Storing);
+        let n = durs.len();
+        let mean = durs.iter().sum::<f64>() / n as f64;
+        println!("{name}: storing={:.2}s tasks={} mean={:.2} first16={:.2} last16={:.2} interval_final={:?}",
+            m.phase_time(Phase::Storing), n, mean,
+            durs[..16].iter().sum::<f64>()/16.0,
+            durs[n-16..].iter().sum::<f64>()/16.0,
+            d.world().cad_interval_secs());
+    }
+}

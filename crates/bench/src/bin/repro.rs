@@ -1,0 +1,104 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!   repro [--smoke] [--scale X] [--json DIR] `<target>`...
+//!   targets: table1 plans fig5a fig5b fig7a fig7b fig8a fig8b fig8c fig8d
+//!            fig9a fig9b fig10 fig12a fig12b fig13a fig13b fig14 all
+
+use memres_bench::experiments as ex;
+use memres_bench::Table;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut setup = ex::Setup::paper();
+    let mut json_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => setup = ex::Setup::smoke(),
+            "--scale" => {
+                i += 1;
+                setup.scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--seed" => {
+                i += 1;
+                setup.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args[i].clone());
+            }
+            other => targets.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        eprintln!(
+            "usage: repro [--smoke] [--scale X] [--seed N] [--json DIR] <target>...\n\
+             targets: table1 plans fig5a fig5b fig7a fig7b fig8a fig8b fig8c fig8d \
+             fig9a fig9b fig10 fig12a fig12b fig13a fig13b fig14 ablations baselines all"
+        );
+        std::process::exit(2);
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "table1", "plans", "fig5a", "fig5b", "fig7a", "fig7b", "fig8a", "fig8b", "fig8c",
+            "fig8d", "fig9a", "fig9b", "fig10", "fig12a", "fig12b", "fig13a", "fig13b", "fig14", "ablations", "baselines",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let emit = |t: &Table, json_dir: &Option<String>| {
+        println!("{}", t.render());
+        if let Some(dir) = json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{}.json", t.id);
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            let _ = writeln!(f, "{}", serde_json::to_string_pretty(&t.to_json()).unwrap());
+            eprintln!("wrote {path}");
+        }
+    };
+
+    for target in &targets {
+        let start = std::time::Instant::now();
+        match target.as_str() {
+            "table1" => emit(&ex::table1(), &json_dir),
+            "plans" => println!("{}", ex::plans(setup)),
+            "fig5a" => emit(&ex::fig5a(setup), &json_dir),
+            "fig5b" => emit(&ex::fig5b(setup), &json_dir),
+            "fig7a" => emit(&ex::fig7a(setup), &json_dir),
+            "fig7b" => emit(&ex::fig7b(setup), &json_dir),
+            "fig8a" => emit(&ex::fig8a(setup), &json_dir),
+            "fig8b" => emit(&ex::fig8b(setup), &json_dir),
+            "fig8c" => emit(&ex::fig8c(setup), &json_dir),
+            "fig8d" => emit(&ex::fig8d(setup), &json_dir),
+            "fig9a" => emit(&ex::fig9a(setup), &json_dir),
+            "fig9b" => emit(&ex::fig9b(setup), &json_dir),
+            "fig10" => emit(&ex::fig10(setup), &json_dir),
+            "fig12a" => emit(&ex::fig12a(setup), &json_dir),
+            "fig12b" => emit(&ex::fig12b(setup), &json_dir),
+            "fig13a" => emit(&ex::fig13a(setup), &json_dir),
+            "fig13b" => emit(&ex::fig13b(setup), &json_dir),
+            "baselines" => emit(&ex::baseline_speculation(setup), &json_dir),
+            "ablations" => {
+                emit(&ex::ablation_elb_threshold(setup), &json_dir);
+                emit(&ex::ablation_cad_step(setup), &json_dir);
+                emit(&ex::ablation_delay_wait(setup), &json_dir);
+            }
+            "fig14" | "fig14a" | "fig14b" => {
+                let (a, b) = ex::fig14(setup);
+                emit(&a, &json_dir);
+                emit(&b, &json_dir);
+            }
+            other => {
+                eprintln!("unknown target {other}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{target} took {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,169 @@
+//! Block manager: memory-resident RDD partitions.
+//!
+//! §II-C: "Spark leverages the distributed memory from all slave nodes to
+//! store most intermediate data during job execution and the final execution
+//! results at job completion ... Such memory-resident feature benefits many
+//! applications such as machine learning or iterative algorithms that
+//! require extensive reuse of results among multiple MapReduce jobs."
+//!
+//! A cache point materialized by one job is consumed by later jobs: the DAG
+//! builder truncates lineage at materialized caches, and the scheduler gives
+//! cached partitions a placement preference for their home node.
+
+use crate::rdd::RddId;
+use crate::value::Record;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Clone)]
+pub struct CachedPart {
+    pub node: u32,
+    pub bytes: f64,
+    pub records: u64,
+    pub data: Option<Arc<Vec<Record>>>,
+}
+
+#[derive(Default)]
+pub struct BlockMgr {
+    entries: HashMap<RddId, Vec<Option<CachedPart>>>,
+    /// Bytes cached per node (framework-memory accounting).
+    node_used: HashMap<u32, f64>,
+}
+
+impl BlockMgr {
+    /// Declare an RDD's partition count (so `materialized` can tell a
+    /// fully-cached RDD from a partially-cached one).
+    pub fn declare(&mut self, rdd: RddId, partitions: u32) {
+        let parts = self.entries.entry(rdd).or_default();
+        if parts.len() < partitions as usize {
+            parts.resize(partitions as usize, None);
+        }
+    }
+
+    pub fn insert(
+        &mut self,
+        rdd: RddId,
+        part: u32,
+        node: u32,
+        bytes: f64,
+        records: u64,
+        data: Option<Arc<Vec<Record>>>,
+    ) {
+        let parts = self.entries.entry(rdd).or_default();
+        if parts.len() <= part as usize {
+            parts.resize(part as usize + 1, None);
+        }
+        if let Some(Some(old)) = parts.get(part as usize) {
+            *self.node_used.entry(old.node).or_insert(0.0) -= old.bytes;
+        }
+        parts[part as usize] = Some(CachedPart { node, bytes, records, data });
+        *self.node_used.entry(node).or_insert(0.0) += bytes;
+    }
+
+    /// RDDs whose every partition is materialized (usable for lineage
+    /// truncation).
+    pub fn materialized(&self) -> std::collections::HashSet<RddId> {
+        self.entries
+            .iter()
+            .filter(|(_, parts)| !parts.is_empty() && parts.iter().all(Option::is_some))
+            .map(|(&rdd, _)| rdd)
+            .collect()
+    }
+
+    pub fn partition_count(&self, rdd: RddId) -> usize {
+        self.entries.get(&rdd).map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// (bytes, records, data, home node) of a cached partition.
+    pub fn partition(&self, rdd: RddId, part: u32) -> (f64, u64, Option<Arc<Vec<Record>>>, u32) {
+        let p = self
+            .entries
+            .get(&rdd)
+            .and_then(|parts| parts.get(part as usize))
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("partition {part} of cached {rdd:?} not materialized"));
+        (p.bytes, p.records, p.data.clone(), p.node)
+    }
+
+    pub fn location(&self, rdd: RddId, part: u32) -> Option<u32> {
+        self.entries
+            .get(&rdd)
+            .and_then(|parts| parts.get(part as usize))
+            .and_then(Option::as_ref)
+            .map(|p| p.node)
+    }
+
+    /// Whether the cached RDD holds real (materialized-records) data.
+    pub fn is_real(&self, rdd: RddId) -> bool {
+        self.entries
+            .get(&rdd)
+            .map(|parts| parts.iter().flatten().all(|p| p.data.is_some()))
+            .unwrap_or(false)
+    }
+
+    pub fn bytes_on(&self, node: u32) -> f64 {
+        self.node_used.get(&node).copied().unwrap_or(0.0)
+    }
+
+    pub fn evict(&mut self, rdd: RddId) {
+        if let Some(parts) = self.entries.remove(&rdd) {
+            for p in parts.into_iter().flatten() {
+                *self.node_used.entry(p.node).or_insert(0.0) -= p.bytes;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn insert_and_materialized() {
+        let mut bm = BlockMgr::default();
+        let rdd = RddId(7);
+        bm.declare(rdd, 2);
+        bm.insert(rdd, 0, 3, 100.0, 10, None);
+        assert!(!bm.materialized().contains(&rdd), "partition 1 missing");
+        assert_eq!(bm.partition_count(rdd), 2);
+        bm.insert(rdd, 1, 4, 50.0, 5, None);
+        assert!(bm.materialized().contains(&rdd));
+        assert_eq!(bm.location(rdd, 1), Some(4));
+        let (b, r, d, n) = bm.partition(rdd, 0);
+        assert_eq!((b, r, n), (100.0, 10, 3));
+        assert!(d.is_none());
+    }
+
+    #[test]
+    fn accounting_and_eviction() {
+        let mut bm = BlockMgr::default();
+        bm.insert(RddId(1), 0, 0, 100.0, 1, None);
+        bm.insert(RddId(1), 1, 0, 50.0, 1, None);
+        assert_eq!(bm.bytes_on(0), 150.0);
+        // Re-insert replaces and re-accounts.
+        bm.insert(RddId(1), 0, 1, 80.0, 1, None);
+        assert_eq!(bm.bytes_on(0), 50.0);
+        assert_eq!(bm.bytes_on(1), 80.0);
+        bm.evict(RddId(1));
+        assert_eq!(bm.bytes_on(0), 0.0);
+        assert_eq!(bm.partition_count(RddId(1)), 0);
+    }
+
+    #[test]
+    fn real_data_flag() {
+        let mut bm = BlockMgr::default();
+        let data = Arc::new(vec![(Value::I64(1), Value::I64(2))]);
+        bm.insert(RddId(2), 0, 0, 10.0, 1, Some(data));
+        assert!(bm.is_real(RddId(2)));
+        bm.insert(RddId(2), 1, 0, 10.0, 1, None);
+        assert!(!bm.is_real(RddId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not materialized")]
+    fn missing_partition_panics() {
+        let bm = BlockMgr::default();
+        bm.partition(RddId(9), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Engine configuration.
+//!
+//! [`SparkConfig`] mirrors Table I of the paper (the tuned Spark 0.7
+//! parameters on Hyperion); [`EngineConfig`] adds the experiment knobs the
+//! paper varies between sections: input source, shuffle-store strategy,
+//! scheduling policy, and the ELB/CAD optimizations.
+
+use memres_des::time::SimDuration;
+use memres_des::units::{GB, MB};
+use serde::Serialize;
+
+/// Table I — key Spark configuration parameters.
+#[derive(Clone, Debug, Serialize)]
+pub struct SparkConfig {
+    /// `spark.reducer.maxMbInFlight` — also the FetchRequest size; §VI-A
+    /// shrinks this from 1 GB to 128 KB to manufacture a network bottleneck.
+    pub reducer_max_bytes_in_flight: f64,
+    /// `spark.rdd.compress` (paper: false).
+    pub rdd_compress: bool,
+    /// `spark.shuffle.compress` (paper: true).
+    pub shuffle_compress: bool,
+    /// `spark.buffer.size` (paper: 8 MB).
+    pub buffer_size: f64,
+    /// `spark.default.parallelism` — reduce-side task count; "application
+    /// dependent" in the paper, so `None` means: pick from the workload.
+    pub default_parallelism: Option<u32>,
+    /// Compression ratio applied to shuffled bytes when `shuffle_compress`
+    /// (1.0 = incompressible; the paper quotes intermediate sizes post-
+    /// pipeline, so figures use 1.0).
+    pub shuffle_compress_ratio: f64,
+    /// Fixed per-task launch overhead (scheduling, serialization, JVM
+    /// dispatch). This is what makes 32 MB splits slower than 128 MB ones on
+    /// the Lustre configuration (Fig 5a: +15.9% from split-size alone).
+    pub task_overhead: SimDuration,
+    /// Fixed per-request network/RPC overhead expressed as equivalent bytes;
+    /// combined with `reducer_max_bytes_in_flight` it narrows effective
+    /// shuffle bandwidth for small FetchRequests.
+    pub per_request_overhead_bytes: f64,
+}
+
+impl Default for SparkConfig {
+    fn default() -> Self {
+        SparkConfig {
+            reducer_max_bytes_in_flight: 1.0 * GB,
+            rdd_compress: false,
+            shuffle_compress: true,
+            buffer_size: 8.0 * MB,
+            default_parallelism: None,
+            shuffle_compress_ratio: 1.0,
+            task_overhead: SimDuration::from_millis(8),
+            per_request_overhead_bytes: 256.0 * 1024.0,
+        }
+    }
+}
+
+/// Where stage-one tasks read their input from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum InputSource {
+    /// Data-centric: HDFS DataNodes on per-node RAMDisk (Fig 2b).
+    HdfsRamDisk,
+    /// Compute-centric: the shared Lustre backend (Fig 2a).
+    Lustre,
+}
+
+/// Which device backs the per-node shuffle store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum StoreDevice {
+    RamDisk,
+    Ssd,
+}
+
+/// Where intermediate (shuffle) data is stored and how fetchers get it —
+/// the §IV-B design space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ShuffleStore {
+    /// Data-centric: local per-node store; fetchers ask the *server* node,
+    /// which reads locally and ships bytes over the fabric.
+    Local(StoreDevice),
+    /// Intermediate data in Lustre; fetchers still ask the writing server,
+    /// which reads its own Lustre directory (usually cached) and ships the
+    /// bytes — "repetitive data movement" but no lock conflicts.
+    LustreLocal,
+    /// Intermediate data in Lustre; fetchers read Lustre *directly*, forcing
+    /// DLM write-lock revocations and dirty-page flushes (the §IV-B trap).
+    LustreShared,
+}
+
+/// Base task-placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub enum SchedulerKind {
+    /// Launch pending tasks on any free slot immediately (compute-centric
+    /// behaviour: "tasks can be immediately launched ... since there is no
+    /// locality constraint").
+    Fifo,
+    /// Delay scheduling [Zaharia EuroSys'10]: hold a task up to `wait` for a
+    /// slot on a node holding its data before accepting any node.
+    Delay { wait: SimDuration },
+}
+
+/// Enhanced Load Balancer (§VI-A).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ElbConfig {
+    /// Stop assigning tasks to a node whose intermediate data exceeds the
+    /// cluster average by this factor (paper: 25% ⇒ 1.25).
+    pub threshold: f64,
+}
+
+impl Default for ElbConfig {
+    fn default() -> Self {
+        ElbConfig { threshold: 1.25 }
+    }
+}
+
+/// Congestion-Aware task Dispatching (§VI-B).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CadConfig {
+    /// Increment added to the dispatch interval on a detected jump
+    /// (paper: 50 ms).
+    pub step: SimDuration,
+    /// Average-execution-time jump factor that triggers throttling
+    /// (paper: 2×).
+    pub jump_factor: f64,
+    /// Completed-task window used for the running average.
+    pub window: usize,
+}
+
+impl Default for CadConfig {
+    fn default() -> Self {
+        CadConfig { step: SimDuration::from_millis(50), jump_factor: 2.0, window: 32 }
+    }
+}
+
+/// LATE-style speculative execution [Zaharia OSDI'08] — implemented as the
+/// comparison baseline the paper's related work cites: it duplicates slow
+/// *tasks*, which cannot fix the *intermediate data* imbalance ELB targets
+/// ("none of them considers the imbalanced intermediate data distribution",
+/// §VIII).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SpeculationConfig {
+    /// A running task is a straggler when its elapsed time exceeds
+    /// `multiplier` × the median completed-task duration of its phase.
+    pub multiplier: f64,
+    /// Minimum completed tasks before speculation activates.
+    pub min_completed: usize,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig { multiplier: 1.5, min_completed: 8 }
+    }
+}
+
+/// Everything a simulated run needs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    pub spark: SparkConfig,
+    pub input: InputSource,
+    pub shuffle: ShuffleStore,
+    pub scheduler: SchedulerKind,
+    pub elb: Option<ElbConfig>,
+    pub cad: Option<CadConfig>,
+    /// LATE-style speculative execution baseline.
+    pub speculation: Option<SpeculationConfig>,
+    /// HDFS replication for input datasets. The paper's data-centric
+    /// configuration backs HDFS with 32 GB RAMDisks, so replication is kept
+    /// at 1 for capacity (they observe a 1.2 TB ceiling); raise it to study
+    /// replica-aware locality scheduling.
+    pub input_replication: u32,
+    /// Per-task compute-time jitter amplitude (uniform ±jitter): models
+    /// record-size variation, JIT and GC noise. Deterministic per task.
+    pub task_jitter: f64,
+    /// Node speed-variation model (None = homogeneous).
+    pub speed_sigma: f64,
+    pub speed_resample: SimDuration,
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            spark: SparkConfig::default(),
+            input: InputSource::HdfsRamDisk,
+            shuffle: ShuffleStore::Local(StoreDevice::RamDisk),
+            scheduler: SchedulerKind::Fifo,
+            elb: None,
+            cad: None,
+            speculation: None,
+            input_replication: 1,
+            task_jitter: 0.15,
+            speed_sigma: 0.25,
+            speed_resample: SimDuration::from_secs(30),
+            seed: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    pub fn homogeneous(mut self) -> Self {
+        self.speed_sigma = 0.0;
+        self
+    }
+
+    pub fn with_delay_scheduling(mut self, wait: SimDuration) -> Self {
+        self.scheduler = SchedulerKind::Delay { wait };
+        self
+    }
+
+    pub fn with_elb(mut self) -> Self {
+        self.elb = Some(ElbConfig::default());
+        self
+    }
+
+    pub fn with_cad(mut self) -> Self {
+        self.cad = Some(CadConfig::default());
+        self
+    }
+
+    pub fn with_speculation(mut self) -> Self {
+        self.speculation = Some(SpeculationConfig::default());
+        self
+    }
+
+    /// Render Table I the way the paper prints it.
+    pub fn table1(&self) -> Vec<(&'static str, String)> {
+        vec![
+            (
+                "spark.reducer.maxMbInFlight",
+                format!("{:.0}MB", self.spark.reducer_max_bytes_in_flight / MB),
+            ),
+            ("spark.rdd.compress", self.spark.rdd_compress.to_string()),
+            ("spark.shuffle.compress", self.spark.shuffle_compress.to_string()),
+            ("spark.buffer.size", format!("{:.0}MB", self.spark.buffer_size / MB)),
+            (
+                "spark.default.parallelism",
+                self.spark
+                    .default_parallelism
+                    .map_or("application dependent".to_string(), |p| p.to_string()),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let cfg = EngineConfig::default();
+        let t = cfg.table1();
+        assert_eq!(t[0].1, "1024MB");
+        assert_eq!(t[1].1, "false");
+        assert_eq!(t[2].1, "true");
+        assert_eq!(t[3].1, "8MB");
+        assert_eq!(t[4].1, "application dependent");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = EngineConfig::default()
+            .homogeneous()
+            .with_elb()
+            .with_cad()
+            .with_delay_scheduling(SimDuration::from_secs(3));
+        assert_eq!(cfg.speed_sigma, 0.0);
+        assert!(cfg.elb.is_some());
+        assert!(cfg.cad.is_some());
+        assert!(matches!(cfg.scheduler, SchedulerKind::Delay { .. }));
+        assert!((cfg.elb.unwrap().threshold - 1.25).abs() < 1e-12);
+        assert_eq!(cfg.cad.unwrap().step, SimDuration::from_millis(50));
+    }
+}

@@ -1,0 +1,256 @@
+//! DAG scheduler: lineage → stages.
+//!
+//! As in Spark 0.7 (§II-C), an action triggers construction of an execution
+//! plan: pipelined (narrow) transformations are grouped into stages, and "an
+//! implicit stage is embedded into the DAG for every shuffle operation".
+//! Stages launch serially. The engine additionally models the paper's
+//! three-phase pipeline per shuffle (Fig 4a): the upstream stage's
+//! *computation* tasks, the pinned *storing* ShuffleMapTasks that flush
+//! in-memory output to the shuffle store, and the downstream *shuffling*
+//! fetch tasks.
+//!
+//! Cache handling: a `cache()` marker inside a stage records a cache point;
+//! when a later job's lineage passes through an already-materialized cache,
+//! the plan is truncated to start from the cached partitions — that is the
+//! memory-resident reuse LR exploits across iterations.
+
+use crate::rdd::{Action, Dataset, NarrowStep, Rdd, RddId, RddOp, ShuffleAgg};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Shuffle parameters feeding a downstream stage.
+#[derive(Clone)]
+pub struct ShuffleInSpec {
+    pub agg: ShuffleAgg,
+    pub fetch_rate: f64,
+    pub out_factor: f64,
+}
+
+/// Where a stage's tasks get their input.
+#[derive(Clone)]
+pub enum StageInput {
+    /// Leaf dataset, laid out on the configured input storage.
+    Dataset { rdd: RddId, dataset: Arc<Dataset> },
+    /// Partitions materialized by a previous job's cache point.
+    Cached { rdd: RddId },
+    /// Shuffled output of the previous stage in this plan.
+    Shuffle(ShuffleInSpec),
+}
+
+/// One stage: input, a pipelined chain of narrow steps, optional cache
+/// points, and whether the output feeds a shuffle.
+pub struct StagePlan {
+    pub input: StageInput,
+    pub steps: Vec<Arc<NarrowStep>>,
+    /// `(after_step_index, rdd)` — snapshot the pipeline state after that
+    /// many steps and register it with the block managers under `rdd`.
+    pub cache_points: Vec<(usize, RddId)>,
+    /// `Some(requested_reducers)` when this stage ends at a shuffle write.
+    pub shuffle_out: Option<Option<u32>>,
+}
+
+impl StagePlan {
+    fn new(input: StageInput) -> Self {
+        StagePlan { input, steps: Vec::new(), cache_points: Vec::new(), shuffle_out: None }
+    }
+
+    pub fn has_shuffle_output(&self) -> bool {
+        self.shuffle_out.is_some()
+    }
+}
+
+pub struct JobPlan {
+    pub stages: Vec<StagePlan>,
+    pub action: Action,
+}
+
+/// Build a [`JobPlan`] for `action` on `rdd`. `materialized` is the set of
+/// cache points the block managers already hold.
+pub fn build_plan(rdd: &Rdd, action: Action, materialized: &HashSet<RddId>) -> JobPlan {
+    // Root-to-leaf chain (the engine supports linear lineages; branching
+    // DAGs — joins/unions — are out of the reproduction's scope).
+    let mut chain: Vec<Rdd> = Vec::new();
+    let mut cur = rdd.clone();
+    loop {
+        chain.push(cur.clone());
+        let parent = match &cur.0.op {
+            RddOp::Source(_) => None,
+            RddOp::Narrow { parent, .. } => Some(parent.clone()),
+            RddOp::Shuffle { parent, .. } => Some(parent.clone()),
+            RddOp::Cache { parent } => Some(parent.clone()),
+        };
+        match parent {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    chain.reverse();
+
+    let mut stages: Vec<StagePlan> = Vec::new();
+    let mut current: Option<StagePlan> = None;
+    for node in &chain {
+        match &node.0.op {
+            RddOp::Source(ds) => {
+                assert!(current.is_none(), "source must be the lineage root");
+                current = Some(StagePlan::new(StageInput::Dataset {
+                    rdd: node.id(),
+                    dataset: ds.clone(),
+                }));
+            }
+            RddOp::Narrow { step, .. } => {
+                current
+                    .as_mut()
+                    .expect("narrow op without upstream stage")
+                    .steps
+                    .push(step.clone());
+            }
+            RddOp::Shuffle { agg, reducers, fetch_rate, out_factor, .. } => {
+                let mut up = current.take().expect("shuffle without upstream stage");
+                up.shuffle_out = Some(*reducers);
+                stages.push(up);
+                current = Some(StagePlan::new(StageInput::Shuffle(ShuffleInSpec {
+                    agg: agg.clone(),
+                    fetch_rate: *fetch_rate,
+                    out_factor: *out_factor,
+                })));
+            }
+            RddOp::Cache { .. } => {
+                if materialized.contains(&node.id()) {
+                    // Truncate: restart the plan from the cached partitions.
+                    stages.clear();
+                    current = Some(StagePlan::new(StageInput::Cached { rdd: node.id() }));
+                } else {
+                    let cur = current.as_mut().expect("cache without upstream stage");
+                    cur.cache_points.push((cur.steps.len(), node.id()));
+                }
+            }
+        }
+    }
+    stages.push(current.expect("empty lineage"));
+    JobPlan { stages, action }
+}
+
+/// Render the execution plan the way the paper's Fig 4 draws them.
+pub fn render_plan(plan: &JobPlan) -> String {
+    let mut out = String::new();
+    for (i, stage) in plan.stages.iter().enumerate() {
+        out.push_str(&format!("Stage {} [", i + 1));
+        let input = match &stage.input {
+            StageInput::Dataset { dataset, .. } => {
+                format!("read {} partitions", dataset.partitions.len())
+            }
+            StageInput::Cached { rdd } => format!("cached RDD #{}", rdd.0),
+            StageInput::Shuffle(s) => format!("fetch+{}", s.agg.name()),
+        };
+        out.push_str(&input);
+        for step in &stage.steps {
+            out.push_str(&format!(" -> {}", step.name));
+        }
+        for (idx, rdd) in &stage.cache_points {
+            out.push_str(&format!(" (cache#{} after {} steps)", rdd.0, idx));
+        }
+        if stage.has_shuffle_output() {
+            out.push_str(" -> ShuffleMapTasks (store)");
+        }
+        out.push_str("]\n");
+    }
+    out.push_str(&format!("Action: {}\n", plan.action.name()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdd::SizeModel;
+
+    fn src() -> Rdd {
+        Rdd::source(Dataset::synthetic(1000.0, 100.0, 10.0))
+    }
+
+    #[test]
+    fn map_only_job_is_single_stage() {
+        let rdd = src().map("m", SizeModel::scan(), |r| r);
+        let plan = build_plan(&rdd, Action::Count, &HashSet::new());
+        assert_eq!(plan.stages.len(), 1);
+        assert_eq!(plan.stages[0].steps.len(), 1);
+        assert!(!plan.stages[0].has_shuffle_output());
+    }
+
+    #[test]
+    fn shuffle_splits_stages_like_fig4a() {
+        // GroupBy (Fig 4a): compute -> store -> fetch/group.
+        let rdd = src()
+            .map("genKV", SizeModel::scan(), |r| r)
+            .group_by_key(Some(8), 1e9);
+        let plan = build_plan(&rdd, Action::Count, &HashSet::new());
+        assert_eq!(plan.stages.len(), 2);
+        assert!(plan.stages[0].has_shuffle_output());
+        assert_eq!(plan.stages[0].shuffle_out, Some(Some(8)));
+        assert!(matches!(plan.stages[1].input, StageInput::Shuffle(_)));
+        assert!(!plan.stages[1].has_shuffle_output());
+    }
+
+    #[test]
+    fn narrow_ops_pipeline_into_one_stage() {
+        // Fig 3: "filter and flatMap are grouped into a same stage while the
+        // groupByKey is in an independent stage".
+        let rdd = src()
+            .filter("filter", SizeModel::scan(), |_| true)
+            .flat_map("flatMap", SizeModel::scan(), |r| vec![r])
+            .group_by_key(None, 1e9)
+            .map("map", SizeModel::scan(), |r| r);
+        let plan = build_plan(&rdd, Action::Collect, &HashSet::new());
+        assert_eq!(plan.stages.len(), 2);
+        assert_eq!(plan.stages[0].steps.len(), 2);
+        assert_eq!(plan.stages[1].steps.len(), 1);
+    }
+
+    #[test]
+    fn unmaterialized_cache_records_a_cache_point() {
+        let rdd = src().map("parse", SizeModel::scan(), |r| r).cache();
+        let plan = build_plan(&rdd, Action::Count, &HashSet::new());
+        assert_eq!(plan.stages.len(), 1);
+        assert_eq!(plan.stages[0].cache_points.len(), 1);
+        assert_eq!(plan.stages[0].cache_points[0].0, 1);
+    }
+
+    #[test]
+    fn materialized_cache_truncates_lineage() {
+        let cached = src().map("parse", SizeModel::scan(), |r| r).cache();
+        let rdd = cached.map("gradient", SizeModel::scan(), |r| r);
+        let mut mat = HashSet::new();
+        mat.insert(cached.id());
+        let plan = build_plan(&rdd, Action::Reduce(Arc::new(|a, _| a)), &mat);
+        assert_eq!(plan.stages.len(), 1);
+        assert!(matches!(plan.stages[0].input, StageInput::Cached { .. }));
+        // Only the post-cache step remains.
+        assert_eq!(plan.stages[0].steps.len(), 1);
+        assert_eq!(plan.stages[0].steps[0].name, "gradient");
+    }
+
+    #[test]
+    fn render_mentions_stages_and_action() {
+        let rdd = src()
+            .flat_map("flatMap", SizeModel::scan(), |r| vec![r])
+            .group_by_key(None, 1e9);
+        let plan = build_plan(&rdd, Action::Count, &HashSet::new());
+        let s = render_plan(&plan);
+        assert!(s.contains("Stage 1"));
+        assert!(s.contains("Stage 2"));
+        assert!(s.contains("ShuffleMapTasks"));
+        assert!(s.contains("Action: count"));
+    }
+
+    #[test]
+    fn two_shuffles_make_three_stages() {
+        let rdd = src()
+            .group_by_key(Some(4), 1e9)
+            .map("m", SizeModel::scan(), |r| r)
+            .group_by_key(Some(2), 1e9);
+        let plan = build_plan(&rdd, Action::Count, &HashSet::new());
+        assert_eq!(plan.stages.len(), 3);
+        assert!(plan.stages[0].has_shuffle_output());
+        assert!(plan.stages[1].has_shuffle_output());
+        assert!(!plan.stages[2].has_shuffle_output());
+    }
+}

@@ -1,0 +1,177 @@
+//! Metric export: CSV and JSON writers for task-level and job-level data,
+//! so downstream analysis (plotting the figures, regression dashboards)
+//! works from files rather than from Rust structs.
+
+use crate::metrics::{JobMetrics, Phase};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Render all task records as CSV (header + one row per task).
+pub fn tasks_csv(metrics: &JobMetrics) -> String {
+    let mut out = String::from(
+        "job,stage,phase,index,node,queued_at,launched_at,finished_at,duration,\
+         input_bytes,output_bytes,locality\n",
+    );
+    for t in &metrics.tasks {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.0},{:.0},{:?}",
+            t.job,
+            t.stage,
+            phase_name(t.phase),
+            t.index,
+            t.node,
+            t.queued_at,
+            t.launched_at,
+            t.finished_at,
+            t.duration(),
+            t.input_bytes,
+            t.output_bytes,
+            t.locality,
+        );
+    }
+    out
+}
+
+/// Per-phase roll-up as CSV: phase, wall time, task count, min/mean/max.
+pub fn phases_csv(metrics: &JobMetrics) -> String {
+    let mut out = String::from("phase,wall_time,tasks,min,mean,max\n");
+    for phase in [Phase::Compute, Phase::Storing, Phase::Shuffling] {
+        let (min, mean, max) = metrics.duration_spread(phase);
+        let _ = writeln!(
+            out,
+            "{},{:.6},{},{:.6},{:.6},{:.6}",
+            phase_name(phase),
+            metrics.phase_time(phase),
+            metrics.tasks_in(phase).count(),
+            min,
+            mean,
+            max,
+        );
+    }
+    out
+}
+
+/// Full job metrics as pretty JSON (serde).
+pub fn job_json(metrics: &JobMetrics) -> String {
+    serde_json::to_string_pretty(metrics).expect("JobMetrics serializes")
+}
+
+/// Write tasks.csv, phases.csv and job.json under `dir`.
+pub fn write_all(metrics: &JobMetrics, dir: impl AsRef<Path>) -> io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("tasks.csv"), tasks_csv(metrics))?;
+    std::fs::write(dir.join("phases.csv"), phases_csv(metrics))?;
+    std::fs::write(dir.join("job.json"), job_json(metrics))?;
+    Ok(())
+}
+
+fn phase_name(p: Phase) -> &'static str {
+    match p {
+        Phase::Compute => "compute",
+        Phase::Storing => "storing",
+        Phase::Shuffling => "shuffling",
+    }
+}
+
+/// Parse a tasks CSV back into durations per phase (round-trip helper for
+/// external tooling tests).
+pub fn durations_from_csv(csv: &str, phase: &str) -> Vec<f64> {
+    csv.lines()
+        .skip(1)
+        .filter_map(|line| {
+            let cols: Vec<&str> = line.split(',').collect();
+            (cols.len() >= 12 && cols[2] == phase)
+                .then(|| cols[8].parse::<f64>().ok())
+                .flatten()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{TaskLocality, TaskMetric};
+
+    fn sample() -> JobMetrics {
+        JobMetrics {
+            job: 1,
+            started_at: 0.0,
+            finished_at: 10.0,
+            tasks: vec![
+                TaskMetric {
+                    job: 1,
+                    stage: 0,
+                    phase: Phase::Compute,
+                    index: 0,
+                    node: 2,
+                    queued_at: 0.0,
+                    launched_at: 0.5,
+                    finished_at: 2.5,
+                    input_bytes: 1000.0,
+                    output_bytes: 900.0,
+                    locality: TaskLocality::NodeLocal,
+                },
+                TaskMetric {
+                    job: 1,
+                    stage: 1,
+                    phase: Phase::Storing,
+                    index: 0,
+                    node: 2,
+                    queued_at: 2.5,
+                    launched_at: 2.5,
+                    finished_at: 4.0,
+                    input_bytes: 900.0,
+                    output_bytes: 900.0,
+                    locality: TaskLocality::NodeLocal,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = tasks_csv(&sample());
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("job,stage,phase"));
+        assert!(csv.contains("compute"));
+        assert!(csv.contains("storing"));
+    }
+
+    #[test]
+    fn csv_round_trips_durations() {
+        let csv = tasks_csv(&sample());
+        let durs = durations_from_csv(&csv, "compute");
+        assert_eq!(durs.len(), 1);
+        assert!((durs[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_csv_rolls_up() {
+        let csv = phases_csv(&sample());
+        assert_eq!(csv.lines().count(), 4); // header + 3 phases
+        let storing = csv.lines().find(|l| l.starts_with("storing")).unwrap();
+        assert!(storing.contains(",1,"), "one storing task: {storing}");
+    }
+
+    #[test]
+    fn json_serializes() {
+        let j = job_json(&sample());
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["tasks"].as_array().unwrap().len(), 2);
+        assert_eq!(v["job"], 1);
+    }
+
+    #[test]
+    fn write_all_creates_files() {
+        let dir = std::env::temp_dir().join("memres-export-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_all(&sample(), &dir).unwrap();
+        for f in ["tasks.csv", "phases.csv", "job.json"] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,251 @@
+//! Metrics: per-task records and per-phase rollups.
+//!
+//! Every figure in the paper's evaluation is a view over these records:
+//! job execution times (Figs 5, 7a, 8a, 9, 13a, 14a), phase dissections
+//! (Figs 7b, 8b, 13, 14b), task-time spreads (Figs 8c, 8d, 10), and
+//! per-node distributions (Fig 12).
+
+use memres_cluster::NodeId;
+use memres_des::stats::Cdf;
+use memres_des::time::SimTime;
+use serde::Serialize;
+
+/// Which phase of the MapReduce pipeline a task belongs to (§IV/Fig 4a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum Phase {
+    /// Stage computation tasks (map/filter/flatMap pipelines).
+    Compute,
+    /// ShuffleMapTasks flushing in-memory output to the shuffle store.
+    Storing,
+    /// Fetch tasks moving intermediate data and aggregating it.
+    Shuffling,
+}
+
+/// How local a task's input was (mirrors `memres-hdfs::Locality`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum TaskLocality {
+    NodeLocal,
+    RackLocal,
+    Remote,
+    /// No placement preference existed (generators, Lustre input, fetches).
+    Any,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct TaskMetric {
+    pub job: u32,
+    pub stage: u32,
+    pub phase: Phase,
+    pub index: u32,
+    pub node: u32,
+    pub queued_at: f64,
+    pub launched_at: f64,
+    pub finished_at: f64,
+    pub input_bytes: f64,
+    pub output_bytes: f64,
+    pub locality: TaskLocality,
+}
+
+impl TaskMetric {
+    pub fn duration(&self) -> f64 {
+        self.finished_at - self.launched_at
+    }
+}
+
+/// Completed-job metrics.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct JobMetrics {
+    pub job: u32,
+    pub started_at: f64,
+    pub finished_at: f64,
+    pub tasks: Vec<TaskMetric>,
+}
+
+impl JobMetrics {
+    pub fn job_time(&self) -> f64 {
+        self.finished_at - self.started_at
+    }
+
+    pub fn tasks_in(&self, phase: Phase) -> impl Iterator<Item = &TaskMetric> {
+        self.tasks.iter().filter(move |t| t.phase == phase)
+    }
+
+    /// Wall-clock span of a phase: first launch to last finish, summed over
+    /// stages is unnecessary because phases of different stages don't
+    /// overlap under serialized stage launch.
+    pub fn phase_time(&self, phase: Phase) -> f64 {
+        let mut start = f64::INFINITY;
+        let mut end = f64::NEG_INFINITY;
+        for t in self.tasks_in(phase) {
+            start = start.min(t.launched_at);
+            end = end.max(t.finished_at);
+        }
+        if end > start {
+            end - start
+        } else {
+            0.0
+        }
+    }
+
+    pub fn task_durations(&self, phase: Phase) -> Vec<f64> {
+        self.tasks_in(phase).map(|t| t.duration()).collect()
+    }
+
+    /// (min, mean, max) task duration of a phase — Fig 8c / Fig 10 series.
+    pub fn duration_spread(&self, phase: Phase) -> (f64, f64, f64) {
+        let d = self.task_durations(phase);
+        if d.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let min = d.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = d.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = d.iter().sum::<f64>() / d.len() as f64;
+        (min, mean, max)
+    }
+
+    /// Tasks per node for a phase (Fig 12a).
+    pub fn tasks_per_node(&self, phase: Phase, workers: u32) -> Vec<u32> {
+        let mut v = vec![0u32; workers as usize];
+        for t in self.tasks_in(phase) {
+            v[t.node as usize] += 1;
+        }
+        v
+    }
+
+    /// Intermediate bytes deposited per node by compute tasks (Fig 12b).
+    pub fn intermediate_per_node(&self, workers: u32) -> Vec<f64> {
+        let mut v = vec![0.0; workers as usize];
+        for t in self.tasks_in(Phase::Compute) {
+            v[t.node as usize] += t.output_bytes;
+        }
+        v
+    }
+
+    pub fn node_cdf(&self, values: &[f64]) -> Cdf {
+        Cdf::from_values(values)
+    }
+
+    /// Fraction of compute tasks that ran node-local.
+    pub fn locality_fraction(&self) -> f64 {
+        let total = self.tasks_in(Phase::Compute).count();
+        if total == 0 {
+            return 0.0;
+        }
+        let local = self
+            .tasks_in(Phase::Compute)
+            .filter(|t| t.locality == TaskLocality::NodeLocal)
+            .count();
+        local as f64 / total as f64
+    }
+}
+
+/// Collects task records during a run.
+#[derive(Default)]
+pub struct MetricsSink {
+    pub current: JobMetrics,
+}
+
+impl MetricsSink {
+    pub fn begin_job(&mut self, job: u32, now: SimTime) {
+        self.current = JobMetrics {
+            job,
+            started_at: now.as_secs_f64(),
+            finished_at: now.as_secs_f64(),
+            tasks: Vec::new(),
+        };
+    }
+
+    pub fn record(&mut self, m: TaskMetric) {
+        self.current.tasks.push(m);
+    }
+
+    pub fn finish_job(&mut self, now: SimTime) -> JobMetrics {
+        self.current.finished_at = now.as_secs_f64();
+        std::mem::take(&mut self.current)
+    }
+}
+
+pub fn node_u32(n: NodeId) -> u32 {
+    n.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(phase: Phase, node: u32, launch: f64, finish: f64, out: f64) -> TaskMetric {
+        TaskMetric {
+            job: 0,
+            stage: 0,
+            phase,
+            index: 0,
+            node,
+            queued_at: launch,
+            launched_at: launch,
+            finished_at: finish,
+            input_bytes: 0.0,
+            output_bytes: out,
+            locality: TaskLocality::Any,
+        }
+    }
+
+    #[test]
+    fn phase_time_spans_first_launch_to_last_finish() {
+        let jm = JobMetrics {
+            job: 0,
+            started_at: 0.0,
+            finished_at: 10.0,
+            tasks: vec![
+                mk(Phase::Compute, 0, 1.0, 3.0, 10.0),
+                mk(Phase::Compute, 1, 2.0, 6.0, 20.0),
+                mk(Phase::Storing, 0, 6.0, 9.0, 0.0),
+            ],
+        };
+        assert!((jm.phase_time(Phase::Compute) - 5.0).abs() < 1e-12);
+        assert!((jm.phase_time(Phase::Storing) - 3.0).abs() < 1e-12);
+        assert_eq!(jm.phase_time(Phase::Shuffling), 0.0);
+        assert!((jm.job_time() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spreads_and_distributions() {
+        let jm = JobMetrics {
+            job: 0,
+            started_at: 0.0,
+            finished_at: 1.0,
+            tasks: vec![
+                mk(Phase::Compute, 0, 0.0, 1.0, 5.0),
+                mk(Phase::Compute, 0, 0.0, 2.0, 5.0),
+                mk(Phase::Compute, 1, 0.0, 4.0, 30.0),
+            ],
+        };
+        let (min, mean, max) = jm.duration_spread(Phase::Compute);
+        assert_eq!((min, max), (1.0, 4.0));
+        assert!((mean - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jm.tasks_per_node(Phase::Compute, 2), vec![2, 1]);
+        assert_eq!(jm.intermediate_per_node(2), vec![10.0, 30.0]);
+    }
+
+    #[test]
+    fn locality_fraction_counts_compute_only() {
+        let mut a = mk(Phase::Compute, 0, 0.0, 1.0, 0.0);
+        a.locality = TaskLocality::NodeLocal;
+        let b = mk(Phase::Compute, 0, 0.0, 1.0, 0.0);
+        let mut c = mk(Phase::Shuffling, 0, 0.0, 1.0, 0.0);
+        c.locality = TaskLocality::NodeLocal;
+        let jm = JobMetrics { job: 0, started_at: 0.0, finished_at: 1.0, tasks: vec![a, b, c] };
+        assert!((jm.locality_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sink_lifecycle() {
+        let mut sink = MetricsSink::default();
+        sink.begin_job(3, SimTime::from_secs_f64(1.0));
+        sink.record(mk(Phase::Compute, 0, 1.0, 2.0, 0.0));
+        let jm = sink.finish_job(SimTime::from_secs_f64(5.0));
+        assert_eq!(jm.job, 3);
+        assert_eq!(jm.tasks.len(), 1);
+        assert!((jm.job_time() - 4.0).abs() < 1e-12);
+        assert!(sink.current.tasks.is_empty());
+    }
+}

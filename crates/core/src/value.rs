@@ -1,0 +1,222 @@
+//! Dynamic record model.
+//!
+//! The engine executes *real* user-defined functions over real records at
+//! laptop scale while the surrounding cluster is simulated. To keep UDFs
+//! serializable across the simulated task boundary without generic
+//! type-plumbing, records are dynamically typed: a [`Record`] is a
+//! `(key, value)` pair of [`Value`]s. Typed convenience constructors and
+//! accessors keep application code readable.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically typed datum.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    F64(f64),
+    Str(Arc<str>),
+    /// Dense numeric vector (Logistic Regression feature vectors).
+    VecF64(Arc<Vec<f64>>),
+    /// Heterogeneous list (groupByKey output groups).
+    List(Arc<Vec<Value>>),
+}
+
+/// A key/value record flowing through the engine.
+pub type Record = (Value, Value);
+
+impl Value {
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Arc::from(s.into().into_boxed_str()))
+    }
+
+    pub fn vec(v: Vec<f64>) -> Value {
+        Value::VecF64(Arc::new(v))
+    }
+
+    pub fn list(v: Vec<Value>) -> Value {
+        Value::List(Arc::new(v))
+    }
+
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I64(x) => *x,
+            Value::Bool(b) => *b as i64,
+            other => panic!("expected I64, got {other:?}"),
+        }
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F64(x) => *x,
+            Value::I64(x) => *x as f64,
+            other => panic!("expected F64, got {other:?}"),
+        }
+    }
+
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("expected Str, got {other:?}"),
+        }
+    }
+
+    pub fn as_vec(&self) -> &[f64] {
+        match self {
+            Value::VecF64(v) => v,
+            other => panic!("expected VecF64, got {other:?}"),
+        }
+    }
+
+    pub fn as_list(&self) -> &[Value] {
+        match self {
+            Value::List(v) => v,
+            other => panic!("expected List, got {other:?}"),
+        }
+    }
+
+    /// In-memory footprint estimate, used to charge simulated I/O for real
+    /// records.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::I64(_) => 8,
+            Value::F64(_) => 8,
+            Value::Str(s) => 16 + s.len() as u64,
+            Value::VecF64(v) => 16 + 8 * v.len() as u64,
+            Value::List(v) => 16 + v.iter().map(Value::approx_bytes).sum::<u64>(),
+        }
+    }
+
+    /// Stable content hash (FNV-1a over a canonical encoding) — used for
+    /// shuffle partitioning so runs are deterministic across platforms.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
+    fn hash_into(&self, h: &mut Fnv) {
+        match self {
+            Value::Null => h.write(&[0]),
+            Value::Bool(b) => h.write(&[1, *b as u8]),
+            Value::I64(x) => {
+                h.write(&[2]);
+                h.write(&x.to_le_bytes());
+            }
+            Value::F64(x) => {
+                h.write(&[3]);
+                h.write(&x.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                h.write(&[4]);
+                h.write(s.as_bytes());
+            }
+            Value::VecF64(v) => {
+                h.write(&[5]);
+                for x in v.iter() {
+                    h.write(&x.to_bits().to_le_bytes());
+                }
+            }
+            Value::List(v) => {
+                h.write(&[6]);
+                for x in v.iter() {
+                    x.hash_into(h);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(x) => write!(f, "{x}"),
+            Value::F64(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::VecF64(v) => write!(f, "vec[{}]", v.len()),
+            Value::List(v) => write!(f, "list[{}]", v.len()),
+        }
+    }
+}
+
+/// FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Estimated size of a record, for synthetic I/O charging of real data.
+pub fn record_bytes(r: &Record) -> u64 {
+    r.0.approx_bytes() + r.1.approx_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        assert_eq!(Value::I64(7).as_i64(), 7);
+        assert_eq!(Value::F64(2.5).as_f64(), 2.5);
+        assert_eq!(Value::I64(3).as_f64(), 3.0);
+        assert_eq!(Value::str("hi").as_str(), "hi");
+        assert_eq!(Value::vec(vec![1.0, 2.0]).as_vec(), &[1.0, 2.0]);
+        assert_eq!(Value::list(vec![Value::Null]).as_list().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected I64")]
+    fn wrong_accessor_panics() {
+        Value::str("x").as_i64();
+    }
+
+    #[test]
+    fn bytes_estimates_scale() {
+        assert_eq!(Value::I64(0).approx_bytes(), 8);
+        assert_eq!(Value::str("abcd").approx_bytes(), 20);
+        assert_eq!(Value::vec(vec![0.0; 10]).approx_bytes(), 96);
+        let r: Record = (Value::str("k"), Value::I64(1));
+        assert_eq!(record_bytes(&r), 17 + 8);
+    }
+
+    #[test]
+    fn stable_hash_is_stable_and_discriminates() {
+        let a = Value::str("hello").stable_hash();
+        let b = Value::str("hello").stable_hash();
+        let c = Value::str("hellp").stable_hash();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(Value::I64(1).stable_hash(), Value::F64(1.0).stable_hash());
+        // Known-answer so the encoding never silently changes.
+        assert_eq!(Value::Null.stable_hash(), {
+            let mut h = Fnv::new();
+            h.write(&[0]);
+            h.finish()
+        });
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::I64(3).to_string(), "3");
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+        assert_eq!(Value::vec(vec![1.0]).to_string(), "vec[1]");
+    }
+}

@@ -1,0 +1,1907 @@
+//! The simulated world: cluster + substrates + engine state, as one
+//! discrete-event [`Model`].
+//!
+//! Execution model (paper Fig 4a):
+//! * A job is a serial chain of stages (see [`crate::dag`]).
+//! * A stage reading a dataset/cache runs **computation tasks** placed by the
+//!   scheduling policy (FIFO / delay scheduling, optionally wrapped by ELB).
+//!   Input I/O is *pipelined* with computation: task time ≈ max(io, compute)
+//!   — the §V-A observation that "Spark pipelines computation with data
+//!   input, further diminishing any benefit of data locality".
+//! * If the stage feeds a shuffle, **ShuffleMapTasks (storing phase)** flush
+//!   each producing task's in-memory output to the shuffle store, pinned to
+//!   the node that produced it. CAD throttles their dispatch.
+//! * The next stage's **fetch tasks (shuffling phase)** move intermediate
+//!   data according to the configured [`ShuffleStore`] strategy, then
+//!   aggregate and run their own narrow chain.
+//!
+//! All byte movement is charged to the substrate models: the flow-level
+//! fabric, per-node `LocalFs` mounts (RAMDisk and SSD), the Lustre model
+//! with its DLM, and the HDFS block map.
+
+use crate::blockmgr::BlockMgr;
+use crate::config::{EngineConfig, InputSource, SchedulerKind, ShuffleStore, StoreDevice};
+use crate::dag::{JobPlan, ShuffleInSpec, StageInput, StagePlan};
+use crate::metrics::{MetricsSink, Phase, TaskLocality, TaskMetric};
+use crate::rdd::{Action, Dataset, RddId, ShuffleAgg};
+use crate::value::{record_bytes, Record, Value};
+use memres_cluster::{ClusterSpec, NodeId, SpeedModel, SpeedSampler};
+use memres_des::sim::{Gen, Model, Outbox};
+use memres_des::time::{SimDuration, SimTime};
+use memres_hdfs::{BlockId, Hdfs, HdfsConfig, HdfsFile, Locality};
+use memres_lustre::{Lustre, LustreConfig, LustreFile};
+use memres_net::{inflate_for_requests, Endpoint, Fabric, FlowId, FlowNet, LinkId};
+use memres_storage::{CacheConfig, FileId, LocalFs, RamDisk, Ssd, SsdConfig};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// File-id name spaces on the per-node filesystems / Lustre.
+const HDFS_BLOCK_BASE: u64 = 1 << 40;
+const SHUFFLE_FILE_BASE: u64 = 1 << 41;
+const LUSTRE_INPUT_BASE: u64 = 1 << 42;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskKind {
+    Compute { part: u32 },
+    Store { producer: u32 },
+    Fetch { reducer: u32 },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Pending,
+    Running,
+    Done,
+}
+
+struct Task {
+    stage: u32,
+    kind: TaskKind,
+    state: TState,
+    node: u32,
+    queued_at: SimTime,
+    launched_at: SimTime,
+    compute_dur: SimDuration,
+    /// Pipelined tasks finish at max(io_done, launch+compute); non-pipelined
+    /// (fetch) tasks start computing only after all their data lands.
+    pipelined: bool,
+    pending_io: u32,
+    finish_scheduled: bool,
+    input_bytes: f64,
+    output_bytes: f64,
+    records_est: u64,
+    records_out: Option<Vec<Record>>,
+    locality: TaskLocality,
+    /// Preferred nodes (HDFS replicas / cache location). Empty = any.
+    prefs: Vec<u32>,
+    /// Pinned tasks run only on `prefs[0]` (storing phase).
+    pinned: bool,
+    /// Speculative-execution twin (LATE baseline): the other copy's id.
+    twin: Option<u32>,
+    /// True for the duplicate copy of a speculated task.
+    is_speculative: bool,
+}
+
+/// Network transfer tags.
+#[derive(Clone, Copy, Debug)]
+pub enum NetTag {
+    /// Transfer that counts toward a task's outstanding I/O.
+    TaskIo { task: u32 },
+    /// Lustre-shared revocation flush chunk.
+    Flush,
+}
+
+/// Events of the simulated world.
+#[derive(Debug)]
+pub enum Ev {
+    NetWake(Gen),
+    FsWake { node: u32, ssd: bool, gen: Gen },
+    LustreWake(Gen),
+    TaskFinish { task: u32 },
+    Dispatch,
+    DispatchNode { node: u32 },
+    SpeedResample,
+}
+
+/// Intermediate-data state between a producing stage and its fetch stage.
+struct ShuffleState {
+    reducers: u32,
+    spec: ShuffleInSpec,
+    /// [node][reducer] → intermediate bytes deposited.
+    node_bucket_bytes: Vec<Vec<f64>>,
+    /// Materialized buckets (real-data jobs): node → reducer → records.
+    node_real: Option<Vec<Vec<Vec<Record>>>>,
+    /// Per-node aggregated store file ids.
+    local_files: Vec<Option<FileId>>,
+    lustre_files: Vec<Option<LustreFile>>,
+    /// Cached fraction per source node file at fetch start (Lustre-local).
+    cached_frac: Vec<f64>,
+    /// Lustre-shared: outstanding revocation flushes gating all fetches.
+    flush_pending: usize,
+    flush_done: bool,
+    /// Fetch tasks whose MDS op finished while flushes were outstanding.
+    waiting_for_flush: Vec<u32>,
+    /// (src,dst,kind 0=store/cached,1=oss-path) → persistent fetch flow.
+    fetch_flows: HashMap<(u32, u32, u8), FlowId>,
+}
+
+impl ShuffleState {
+    fn new(reducers: u32, spec: ShuffleInSpec, workers: usize, real: bool) -> Self {
+        ShuffleState {
+            reducers,
+            spec,
+            node_bucket_bytes: vec![vec![0.0; reducers as usize]; workers],
+            node_real: real.then(|| vec![vec![Vec::new(); reducers as usize]; workers]),
+            local_files: vec![None; workers],
+            lustre_files: vec![None; workers],
+            cached_frac: vec![0.0; workers],
+            flush_pending: 0,
+            flush_done: false,
+            waiting_for_flush: Vec::new(),
+            fetch_flows: HashMap::new(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RunPhase {
+    Stage(usize),
+    Storing(usize),
+}
+
+struct JobRun {
+    plan: Arc<JobPlan>,
+    phase: RunPhase,
+    remaining: usize,
+    /// Tasks of the currently running stage (the storing phase flushes their
+    /// outputs).
+    stage_tasks: Vec<u32>,
+    /// Shuffle feeding the current fetch stage.
+    shuffle_in: Option<ShuffleState>,
+    /// Shuffle being produced by the current stage.
+    shuffle_out: Option<ShuffleState>,
+    final_tasks: Vec<u32>,
+}
+
+struct PlacedPart {
+    bytes: f64,
+    records: u64,
+    data: Option<Arc<Vec<Record>>>,
+    hdfs_block: Option<BlockId>,
+    lustre: Option<LustreFile>,
+}
+
+/// Completed-job result.
+#[derive(Debug)]
+pub struct JobOutput {
+    pub count: u64,
+    pub records: Option<Vec<Record>>,
+    pub reduced: Option<Value>,
+}
+
+pub struct SimWorld {
+    pub spec: ClusterSpec,
+    pub cfg: EngineConfig,
+    pub net: FlowNet<NetTag>,
+    pub fabric: Fabric,
+    store_read_links: Vec<LinkId>,
+    /// Per-node RAMDisk mount (HDFS blocks + RAMDisk shuffle store).
+    ram_fs: Vec<LocalFs>,
+    /// Per-node SSD mount (SSD shuffle store).
+    ssd_fs: Vec<LocalFs>,
+    pub lustre: Lustre,
+    pub hdfs: Hdfs,
+    speeds: SpeedSampler,
+    pub metrics: MetricsSink,
+
+    tasks: Vec<Task>,
+    job: Option<JobRun>,
+    job_seq: u32,
+    pub job_done: bool,
+    last_output: Option<JobOutput>,
+
+    // Scheduling state.
+    free_slots: Vec<u32>,
+    prefs_q: Vec<VecDeque<u32>>,
+    no_pref_q: VecDeque<u32>,
+    waiting_q: VecDeque<u32>,
+    rotate: u32,
+    /// Delay scheduling state: instant of the last locality-preferred task
+    /// launch. Spark's delay scheduler only degrades to remote launches
+    /// after `wait` elapses with no local progress.
+    last_local_launch: SimTime,
+    /// Per-node intermediate bytes deposited in the current job (ELB signal).
+    intermediate: Vec<f64>,
+    /// Completed compute-task durations of the current stage (speculation
+    /// baseline's straggler threshold).
+    stage_durs: Vec<f64>,
+    // CAD state.
+    cad_interval: SimDuration,
+    cad_allowed: Vec<SimTime>,
+    /// Dedup guard: the DispatchNode wake already scheduled per node.
+    cad_wake_at: Vec<SimTime>,
+    cad_ref_avg: Option<f64>,
+    cad_window: VecDeque<f64>,
+    /// Dataset placements by source RDD id.
+    placed: HashMap<RddId, Vec<PlacedPart>>,
+    hdfs_files: HashMap<RddId, HdfsFile>,
+    pub blockmgr: BlockMgr,
+    next_shuffle_file: u64,
+}
+
+impl SimWorld {
+    pub fn new(spec: ClusterSpec, cfg: EngineConfig) -> Self {
+        spec.validate().expect("invalid cluster spec");
+        let mut net = FlowNet::new();
+        let fabric = Fabric::build(&mut net, &spec);
+        let workers = spec.workers as usize;
+        // Effective HDFS DataNode read throughput per node (tmpfs bandwidth
+        // discounted by protocol/checksum/deserialization costs).
+        let ram_read = 3.0e9;
+        let store_read_links = (0..workers).map(|_| net.add_link(ram_read)).collect();
+        let ram_fs = (0..workers)
+            .map(|_| {
+                LocalFs::new(
+                    Box::new(RamDisk::new(ram_read, 4.0e9)),
+                    // RAMDisk capacity plus headroom for preloaded inputs.
+                    spec.ramdisk_capacity + 256.0e9,
+                    None,
+                )
+            })
+            .collect();
+        let ssd_fs = (0..workers)
+            .map(|_| {
+                LocalFs::new(
+                    Box::new(Ssd::new(SsdConfig::hyperion())),
+                    spec.ssd_capacity,
+                    // ~6 GB of page cache effectively absorbs shuffle writes:
+                    // this is the paper's Fig 8a crossover (100 nodes x 6 GB
+                    // = 600 GB of aggregate intermediate data ride the cache).
+                    Some(CacheConfig {
+                        capacity: 6.0 * 1024.0 * 1024.0 * 1024.0,
+                        ..CacheConfig::hyperion()
+                    }),
+                )
+            })
+            .collect();
+        let lustre = Lustre::new(LustreConfig {
+            mds_ops_per_sec: spec.mds_ops_per_sec,
+            oss_count: spec.lustre_oss_count,
+            ..LustreConfig::hyperion()
+        });
+        let hdfs = Hdfs::new(
+            HdfsConfig { replication: cfg.input_replication.max(1), ..HdfsConfig::default() },
+            spec.clone(),
+            spec.ramdisk_capacity + 256.0e9,
+            cfg.seed,
+        );
+        let speed_model = if cfg.speed_sigma > 0.0 {
+            SpeedModel::Fluctuating {
+                sigma: cfg.speed_sigma,
+                period_secs: cfg.speed_resample.as_secs_f64(),
+            }
+        } else {
+            SpeedModel::Homogeneous
+        };
+        let speeds = SpeedSampler::new(speed_model, spec.workers, cfg.seed);
+        SimWorld {
+            free_slots: vec![spec.cores_per_node; workers],
+            prefs_q: (0..workers).map(|_| VecDeque::new()).collect(),
+            no_pref_q: VecDeque::new(),
+            waiting_q: VecDeque::new(),
+            rotate: 0,
+            last_local_launch: SimTime::ZERO,
+            stage_durs: Vec::new(),
+            intermediate: vec![0.0; workers],
+            cad_interval: SimDuration::ZERO,
+            cad_allowed: vec![SimTime::ZERO; workers],
+            cad_wake_at: vec![SimTime::ZERO; workers],
+            cad_ref_avg: None,
+            cad_window: VecDeque::new(),
+            placed: HashMap::new(),
+            hdfs_files: HashMap::new(),
+            blockmgr: BlockMgr::default(),
+            next_shuffle_file: SHUFFLE_FILE_BASE,
+            spec,
+            cfg,
+            net,
+            fabric,
+            store_read_links,
+            ram_fs,
+            ssd_fs,
+            lustre,
+            hdfs,
+            speeds,
+            metrics: MetricsSink::default(),
+            tasks: Vec::new(),
+            job: None,
+            job_seq: 0,
+            job_done: false,
+            last_output: None,
+        }
+    }
+
+    pub fn take_output(&mut self) -> Option<JobOutput> {
+        self.last_output.take()
+    }
+
+    /// Final CAD dispatch interval (diagnostics).
+    pub fn cad_interval_secs(&self) -> f64 {
+        self.cad_interval.as_secs_f64()
+    }
+
+    fn speed(&self, node: u32) -> f64 {
+        self.speeds.factor(NodeId(node))
+    }
+
+    /// Deterministic per-task compute jitter in [1-j, 1+j].
+    fn jitter(&self, task: u32) -> f64 {
+        let j = self.cfg.task_jitter;
+        if j <= 0.0 {
+            return 1.0;
+        }
+        let h = (task as u64 ^ self.cfg.seed)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0x165_667b1)
+            .wrapping_mul(0xd6e8_feb8_6659_fd93);
+        let u = ((h >> 11) as f64) / ((1u64 << 53) as f64); // [0,1)
+        1.0 - j + 2.0 * j * u
+    }
+
+    fn job(&self) -> &JobRun {
+        self.job.as_ref().expect("no active job")
+    }
+
+    fn job_mut(&mut self) -> &mut JobRun {
+        self.job.as_mut().expect("no active job")
+    }
+
+    fn plan(&self) -> Arc<JobPlan> {
+        self.job().plan.clone()
+    }
+
+    // ---------------- wake plumbing ----------------
+
+    fn arm_net(&self, out: &mut Outbox<Ev>) {
+        if let Some(t) = self.net.next_event() {
+            out.at(t, Ev::NetWake(self.net.gen()));
+        }
+    }
+
+    fn arm_fs(&self, node: u32, ssd: bool, out: &mut Outbox<Ev>) {
+        let fs = if ssd { &self.ssd_fs[node as usize] } else { &self.ram_fs[node as usize] };
+        if let Some(t) = fs.next_event() {
+            out.at(t, Ev::FsWake { node, ssd, gen: fs.gen() });
+        }
+    }
+
+    fn arm_lustre(&self, out: &mut Outbox<Ev>) {
+        if let Some(t) = self.lustre.next_event() {
+            out.at(t, Ev::LustreWake(self.lustre.gen()));
+        }
+    }
+
+    // ---------------- job lifecycle ----------------
+
+    /// Begin executing a plan. Drive the simulation until `job_done`.
+    pub fn submit_job(&mut self, now: SimTime, plan: JobPlan, out: &mut Outbox<Ev>) {
+        assert!(self.job.is_none(), "one job at a time (stages serialize)");
+        self.job_seq += 1;
+        self.job_done = false;
+        self.metrics.begin_job(self.job_seq, now);
+        self.intermediate.iter_mut().for_each(|x| *x = 0.0);
+        self.cad_interval = SimDuration::ZERO;
+        self.cad_allowed.iter_mut().for_each(|t| *t = SimTime::ZERO);
+        self.cad_ref_avg = None;
+        self.cad_window.clear();
+        self.job = Some(JobRun {
+            plan: Arc::new(plan),
+            phase: RunPhase::Stage(0),
+            remaining: 0,
+            stage_tasks: Vec::new(),
+            shuffle_in: None,
+            shuffle_out: None,
+            final_tasks: Vec::new(),
+        });
+        self.start_stage(now, 0, out);
+    }
+
+    fn ensure_placed(&mut self, rdd: RddId, dataset: &Arc<Dataset>) {
+        if self.placed.contains_key(&rdd) {
+            return;
+        }
+        if dataset.generated {
+            // In-memory generated input: no storage backing at all.
+            let parts = dataset
+                .partitions
+                .iter()
+                .map(|p| PlacedPart {
+                    bytes: p.bytes,
+                    records: p.records,
+                    data: p.data.clone().map(Arc::new),
+                    hdfs_block: None,
+                    lustre: None,
+                })
+                .collect();
+            self.placed.insert(rdd, parts);
+            return;
+        }
+        let workers = self.spec.workers;
+        let mut parts = Vec::with_capacity(dataset.partitions.len());
+        let hdfs_file = match self.cfg.input {
+            InputSource::HdfsRamDisk => {
+                let f = self.hdfs.new_file();
+                self.hdfs_files.insert(rdd, f);
+                Some(f)
+            }
+            InputSource::Lustre => None,
+        };
+        for (i, p) in dataset.partitions.iter().enumerate() {
+            let mut placed = PlacedPart {
+                bytes: p.bytes,
+                records: p.records,
+                data: p.data.clone().map(Arc::new),
+                hdfs_block: None,
+                lustre: None,
+            };
+            match self.cfg.input {
+                InputSource::HdfsRamDisk => {
+                    // Pseudo-random block placement (what an ingested corpus
+                    // looks like): node block counts become Poisson-spread,
+                    // which is what strict locality scheduling then amplifies.
+                    let mut z = (i as u64 ^ self.cfg.seed.rotate_left(32))
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^= z >> 31;
+                    let primary = NodeId((z % workers as u64) as u32);
+                    let mut locs = vec![primary];
+                    if self.hdfs.config().replication >= 2 && workers > 1 {
+                        let mut r = primary.0;
+                        while r == primary.0 {
+                            z = (z ^ (z >> 29)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+                            r = (z % workers as u64) as u32;
+                        }
+                        locs.push(NodeId(r));
+                    }
+                    locs.dedup();
+                    let b = self.hdfs.place_block_at(
+                        hdfs_file.expect("hdfs file"),
+                        p.bytes,
+                        locs.clone(),
+                    );
+                    for n in locs {
+                        self.ram_fs[n.index()].preload(FileId(HDFS_BLOCK_BASE + b.0), p.bytes);
+                    }
+                    placed.hdfs_block = Some(b);
+                }
+                InputSource::Lustre => {
+                    let lf = LustreFile(LUSTRE_INPUT_BASE + ((rdd.0 as u64) << 24) + i as u64);
+                    self.lustre.create_external(lf, p.bytes);
+                    placed.lustre = Some(lf);
+                }
+            }
+            parts.push(placed);
+        }
+        self.placed.insert(rdd, parts);
+    }
+
+    fn start_stage(&mut self, now: SimTime, idx: usize, out: &mut Outbox<Ev>) {
+        let plan = self.plan();
+        let stage = &plan.stages[idx];
+        let is_last = idx + 1 == plan.stages.len();
+
+        // Move the produced shuffle (if any) into consuming position.
+        {
+            let job = self.job_mut();
+            if matches!(stage.input, StageInput::Shuffle(_)) {
+                job.shuffle_in = job.shuffle_out.take();
+                assert!(job.shuffle_in.is_some(), "fetch stage without produced shuffle");
+            }
+        }
+
+        // Resolve partition count + place datasets.
+        let nparts = match &stage.input {
+            StageInput::Dataset { rdd, dataset } => {
+                self.ensure_placed(*rdd, dataset);
+                self.placed[rdd].len()
+            }
+            StageInput::Cached { rdd } => self.blockmgr.partition_count(*rdd),
+            StageInput::Shuffle(_) => self.job().shuffle_in.as_ref().unwrap().reducers as usize,
+        };
+        assert!(nparts > 0, "stage with zero partitions");
+
+        // Create the produced-shuffle state if this stage writes one.
+        if let Some(requested) = stage.shuffle_out {
+            // Spark guidance: default reduce-side parallelism ~ total cores.
+            let reducers = requested
+                .or(self.cfg.spark.default_parallelism)
+                .unwrap_or((nparts as u32).min(self.spec.total_slots()))
+                .max(1);
+            let spec = match &plan.stages[idx + 1].input {
+                StageInput::Shuffle(s) => s.clone(),
+                _ => unreachable!("stage after a shuffle output must consume it"),
+            };
+            let real = match &stage.input {
+                StageInput::Dataset { rdd, .. } => {
+                    self.placed[rdd].iter().all(|p| p.data.is_some())
+                }
+                StageInput::Cached { rdd } => self.blockmgr.is_real(*rdd),
+                StageInput::Shuffle(_) => {
+                    self.job().shuffle_in.as_ref().unwrap().node_real.is_some()
+                }
+            };
+            let workers = self.spec.workers as usize;
+            self.job_mut().shuffle_out = Some(ShuffleState::new(reducers, spec, workers, real));
+        }
+
+        // Declare cache points so partially-cached RDDs are not reused.
+        for (_, rdd) in &stage.cache_points {
+            self.blockmgr.declare(*rdd, nparts as u32);
+        }
+
+        // Create the stage's tasks.
+        let is_fetch = matches!(stage.input, StageInput::Shuffle(_));
+        let mut created: Vec<u32> = Vec::new();
+        for i in 0..nparts {
+            let id = self.tasks.len() as u32;
+            let (kind, prefs, pipelined) = if is_fetch {
+                (TaskKind::Fetch { reducer: i as u32 }, Vec::new(), false)
+            } else {
+                (
+                    TaskKind::Compute { part: i as u32 },
+                    self.compute_prefs(stage, idx, i as u32),
+                    true,
+                )
+            };
+            self.tasks.push(Task {
+                stage: idx as u32,
+                kind,
+                state: TState::Pending,
+                node: u32::MAX,
+                queued_at: now,
+                launched_at: now,
+                compute_dur: SimDuration::ZERO,
+                pipelined,
+                pending_io: 0,
+                finish_scheduled: false,
+                input_bytes: 0.0,
+                output_bytes: 0.0,
+                records_est: 0,
+                records_out: None,
+                locality: TaskLocality::Any,
+                prefs,
+                pinned: false,
+                twin: None,
+                is_speculative: false,
+            });
+            created.push(id);
+        }
+        {
+            let job = self.job_mut();
+            job.phase = RunPhase::Stage(idx);
+            job.remaining = created.len();
+            job.stage_tasks = created.clone();
+            if is_last {
+                job.final_tasks = created.clone();
+            }
+        }
+        self.last_local_launch = now;
+        self.stage_durs.clear();
+        self.enqueue_pending(&created);
+        self.rotate = self.rotate.wrapping_add(1);
+        out.immediately(Ev::Dispatch);
+    }
+
+    /// Preferred nodes for a compute task: HDFS replicas or the cache home.
+    fn compute_prefs(&self, stage: &StagePlan, _idx: usize, part: u32) -> Vec<u32> {
+        match &stage.input {
+            StageInput::Dataset { rdd, .. } => {
+                let placed = &self.placed[rdd][part as usize];
+                match placed.hdfs_block {
+                    Some(b) => self.hdfs.locations(b).iter().map(|n| n.0).collect(),
+                    // Lustre input: uniformly distant — no preference (§V-A).
+                    None => Vec::new(),
+                }
+            }
+            StageInput::Cached { rdd } => {
+                self.blockmgr.location(*rdd, part).map(|n| vec![n]).unwrap_or_default()
+            }
+            StageInput::Shuffle(_) => Vec::new(),
+        }
+    }
+
+    fn enqueue_pending(&mut self, ids: &[u32]) {
+        for &id in ids {
+            let t = &self.tasks[id as usize];
+            if t.pinned {
+                self.prefs_q[t.prefs[0] as usize].push_back(id);
+                continue;
+            }
+            if t.prefs.is_empty() {
+                self.no_pref_q.push_back(id);
+            } else {
+                for &n in &t.prefs {
+                    self.prefs_q[n as usize].push_back(id);
+                }
+                self.waiting_q.push_back(id);
+            }
+        }
+    }
+
+    // ---------------- dispatch ----------------
+
+    /// ELB (§VI-A): while a stage is depositing intermediate data, stop
+    /// assigning tasks to nodes holding more than `threshold ×` the cluster
+    /// average.
+    fn elb_declines(&self, node: u32) -> bool {
+        let Some(elb) = self.cfg.elb else { return false };
+        let depositing = match self.job.as_ref().map(|j| j.phase) {
+            Some(RunPhase::Stage(idx)) => {
+                self.job().plan.stages[idx].has_shuffle_output()
+            }
+            _ => false,
+        };
+        if !depositing {
+            return false;
+        }
+        let total: f64 = self.intermediate.iter().sum();
+        if total <= 0.0 {
+            return false;
+        }
+        let avg = total / self.spec.workers as f64;
+        self.intermediate[node as usize] > avg * elb.threshold
+    }
+
+    /// Pick the next task for a free slot on `node`; `Err(retry)` when delay
+    /// scheduling is holding tasks for locality. With `allow_steal = false`
+    /// only locality-preferred (or preference-free) tasks are returned, so a
+    /// dispatch round assigns local work before anything is stolen.
+    fn pick(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        allow_steal: bool,
+    ) -> Result<Option<u32>, Option<SimTime>> {
+        while let Some(&cand) = self.prefs_q[node as usize].front() {
+            self.prefs_q[node as usize].pop_front();
+            if self.tasks[cand as usize].state == TState::Pending {
+                self.last_local_launch = now;
+                return Ok(Some(cand));
+            }
+        }
+        while let Some(&cand) = self.no_pref_q.front() {
+            self.no_pref_q.pop_front();
+            if self.tasks[cand as usize].state == TState::Pending {
+                return Ok(Some(cand));
+            }
+        }
+        if !allow_steal {
+            return Ok(None);
+        }
+        loop {
+            let Some(&cand) = self.waiting_q.front() else { return Ok(None) };
+            if self.tasks[cand as usize].state != TState::Pending {
+                self.waiting_q.pop_front();
+                continue;
+            }
+            match self.cfg.scheduler {
+                SchedulerKind::Fifo => {
+                    self.waiting_q.pop_front();
+                    return Ok(Some(cand));
+                }
+                SchedulerKind::Delay { wait } => {
+                    // Spark semantics: go remote only after `wait` with no
+                    // locality-preferred launch anywhere in the stage.
+                    let expires = self.last_local_launch + wait;
+                    if now >= expires {
+                        self.waiting_q.pop_front();
+                        return Ok(Some(cand));
+                    }
+                    return Err(Some(expires));
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
+        if self.job.is_none() {
+            return;
+        }
+        let workers = self.spec.workers;
+        let storing = matches!(self.job().phase, RunPhase::Storing(_));
+        let cad_on = storing && self.cfg.cad.is_some();
+        let mut earliest_retry: Option<SimTime> = None;
+        // Two-phase rounds: first every node claims its locality-preferred
+        // (or preference-free) tasks, one slot per pass; only then may the
+        // FIFO path steal tasks that prefer other nodes.
+        for allow_steal in [false, true] {
+            let mut blocked = vec![false; workers as usize];
+            loop {
+                let mut launched_any = false;
+                for k in 0..workers {
+                    let node = (k + self.rotate) % workers;
+                    if blocked[node as usize] || self.free_slots[node as usize] == 0 {
+                        continue;
+                    }
+                    if self.elb_declines(node) {
+                        blocked[node as usize] = true;
+                        continue;
+                    }
+                    if cad_on && self.cad_gates(node) {
+                        let allowed = self.cad_allowed[node as usize];
+                        if now < allowed {
+                            if self.cad_wake_at[node as usize] != allowed {
+                                self.cad_wake_at[node as usize] = allowed;
+                                out.at(allowed, Ev::DispatchNode { node });
+                            }
+                            blocked[node as usize] = true;
+                            continue;
+                        }
+                    }
+                    match self.pick(now, node, allow_steal) {
+                        Ok(Some(task)) => {
+                            self.launch(now, task, node, out);
+                            launched_any = true;
+                            if cad_on && self.cad_interval > SimDuration::ZERO {
+                                let allowed = now + self.cad_interval;
+                                self.cad_allowed[node as usize] = allowed;
+                                if self.cad_wake_at[node as usize] != allowed {
+                                    self.cad_wake_at[node as usize] = allowed;
+                                    out.at(allowed, Ev::DispatchNode { node });
+                                }
+                                blocked[node as usize] = true; // one per interval
+                            }
+                        }
+                        Ok(None) => {
+                            if allow_steal && self.maybe_speculate(now, node, out) {
+                                launched_any = true;
+                            } else {
+                                blocked[node as usize] = true;
+                            }
+                        }
+                        Err(retry) => {
+                            if let Some(r) = retry {
+                                earliest_retry =
+                                    Some(earliest_retry.map_or(r, |e: SimTime| e.min(r)));
+                            }
+                            blocked[node as usize] = true;
+                        }
+                    }
+                }
+                if !launched_any {
+                    break;
+                }
+            }
+        }
+        if let Some(r) = earliest_retry {
+            out.at(r, Ev::Dispatch);
+        }
+    }
+
+    /// CAD only gates nodes whose store device actually shows congestion
+    /// (a deep write queue); throttling healthy nodes would idle them.
+    fn cad_gates(&self, node: u32) -> bool {
+        match self.cfg.shuffle {
+            ShuffleStore::Local(StoreDevice::Ssd) => {
+                self.ssd_fs[node as usize].device_queue_depth() >= 4
+            }
+            ShuffleStore::Local(StoreDevice::RamDisk) => {
+                self.ram_fs[node as usize].device_queue_depth() >= 4
+            }
+            _ => true,
+        }
+    }
+
+    /// LATE-style speculation (baseline, §VIII related work): when a slot
+    /// idles and a running compute task has exceeded `multiplier` × the
+    /// median completed duration, launch a duplicate here; first copy wins.
+    fn maybe_speculate(&mut self, now: SimTime, node: u32, out: &mut Outbox<Ev>) -> bool {
+        let Some(spec) = self.cfg.speculation else { return false };
+        let Some(job) = self.job.as_ref() else { return false };
+        if !matches!(job.phase, RunPhase::Stage(_)) {
+            return false;
+        }
+        if self.stage_durs.len() < spec.min_completed {
+            return false;
+        }
+        let median = memres_des::stats::median(&self.stage_durs);
+        let threshold = median * spec.multiplier;
+        // Longest-elapsed running, unduplicated compute task not on `node`.
+        let mut best: Option<(f64, u32)> = None;
+        for &tid in &job.stage_tasks {
+            let t = &self.tasks[tid as usize];
+            if t.state != TState::Running
+                || t.twin.is_some()
+                || t.node == node
+                || !matches!(t.kind, TaskKind::Compute { .. })
+            {
+                continue;
+            }
+            let elapsed = now.since(t.launched_at).as_secs_f64();
+            if elapsed > threshold && best.is_none_or(|(e, _)| elapsed > e) {
+                best = Some((elapsed, tid));
+            }
+        }
+        let Some((_, straggler)) = best else { return false };
+        let dup = self.tasks.len() as u32;
+        let orig = &self.tasks[straggler as usize];
+        let kind = orig.kind;
+        let stage = orig.stage;
+        self.tasks.push(Task {
+            stage,
+            kind,
+            state: TState::Pending,
+            node: u32::MAX,
+            queued_at: now,
+            launched_at: now,
+            compute_dur: SimDuration::ZERO,
+            pipelined: true,
+            pending_io: 0,
+            finish_scheduled: false,
+            input_bytes: 0.0,
+            output_bytes: 0.0,
+            records_est: 0,
+            records_out: None,
+            locality: TaskLocality::Any,
+            prefs: Vec::new(),
+            pinned: false,
+            twin: Some(straggler),
+            is_speculative: true,
+        });
+        self.tasks[straggler as usize].twin = Some(dup);
+        self.launch(now, dup, node, out);
+        true
+    }
+
+    // ---------------- task launch ----------------
+
+    fn launch(&mut self, now: SimTime, task: u32, node: u32, out: &mut Outbox<Ev>) {
+        debug_assert_eq!(self.tasks[task as usize].state, TState::Pending);
+        self.free_slots[node as usize] -= 1;
+        {
+            let t = &mut self.tasks[task as usize];
+            t.state = TState::Running;
+            t.node = node;
+            t.launched_at = now;
+        }
+        match self.tasks[task as usize].kind {
+            TaskKind::Compute { part } => self.launch_compute(now, task, node, part, out),
+            TaskKind::Store { producer } => self.launch_store(now, task, node, producer, out),
+            TaskKind::Fetch { reducer } => self.launch_fetch(now, task, node, reducer, out),
+        }
+    }
+
+    fn launch_compute(&mut self, now: SimTime, task: u32, node: u32, part: u32, out: &mut Outbox<Ev>) {
+        let plan = self.plan();
+        let stage_idx = self.tasks[task as usize].stage as usize;
+        let stage = &plan.stages[stage_idx];
+
+        // Resolve input: bytes, records, data, the I/O to issue, locality.
+        let (in_bytes, in_records, data, io_plan, locality) = match &stage.input {
+            StageInput::Dataset { rdd, .. } => {
+                let placed = &self.placed[rdd][part as usize];
+                let bytes = placed.bytes;
+                let records = placed.records;
+                let data = placed.data.clone();
+                match (placed.hdfs_block, placed.lustre) {
+                    (Some(b), _) => {
+                        let (src, loc) = self.hdfs.preferred_source(NodeId(node), b);
+                        let locality = match loc {
+                            Locality::NodeLocal => TaskLocality::NodeLocal,
+                            Locality::RackLocal => TaskLocality::RackLocal,
+                            Locality::Remote => TaskLocality::Remote,
+                        };
+                        (bytes, records, data, IoPlan::HdfsRead { block: b, src }, locality)
+                    }
+                    (_, Some(lf)) => {
+                        (bytes, records, data, IoPlan::LustreRead { file: lf }, TaskLocality::Any)
+                    }
+                    // Generated in memory: no input I/O.
+                    _ => (bytes, records, data, IoPlan::None, TaskLocality::Any),
+                }
+            }
+            StageInput::Cached { rdd } => {
+                let (bytes, records, data, home) = self.blockmgr.partition(*rdd, part);
+                let (io, locality) = if home == node {
+                    (IoPlan::None, TaskLocality::NodeLocal)
+                } else {
+                    (IoPlan::NetOnly { src: home, bytes }, TaskLocality::Remote)
+                };
+                (bytes, records, data, io, locality)
+            }
+            StageInput::Shuffle(_) => unreachable!("fetch tasks use launch_fetch"),
+        };
+
+        let speed = self.speed(node);
+        let (dur, out_bytes, out_records, out_data, snaps) =
+            run_narrow_chain(stage, in_bytes, in_records, data.as_deref(), speed);
+        let dur = dur.mul_f64(self.jitter(task)) + self.cfg.spark.task_overhead;
+        {
+            let t = &mut self.tasks[task as usize];
+            t.compute_dur = dur;
+            t.input_bytes = in_bytes;
+            t.output_bytes = out_bytes;
+            t.records_est = out_records;
+            t.records_out = out_data;
+            t.locality = locality;
+        }
+        for (rdd, bytes, records, snapshot) in snaps {
+            self.blockmgr.insert(rdd, part, node, bytes, records, snapshot);
+        }
+
+        match io_plan {
+            IoPlan::None => {}
+            IoPlan::HdfsRead { block, src } => {
+                let file = FileId(HDFS_BLOCK_BASE + block.0);
+                if src.0 == node {
+                    self.tasks[task as usize].pending_io += 1;
+                    self.ram_fs[node as usize].read(now, file, in_bytes, task as u64);
+                    self.arm_fs(node, false, out);
+                } else {
+                    self.tasks[task as usize].pending_io += 1;
+                    let path =
+                        self.fabric.path(Endpoint::Node(src), Endpoint::Node(NodeId(node)));
+                    let f = self.net.open_flow(now, path, true);
+                    self.net.push_chunk(now, f, in_bytes, NetTag::TaskIo { task });
+                    self.arm_net(out);
+                }
+            }
+            IoPlan::LustreRead { file } => {
+                let rplan = self.lustre.read(NodeId(node), file, in_bytes);
+                self.tasks[task as usize].pending_io += 1;
+                self.lustre.submit_mds(now, rplan.mds_ops, task as u64);
+                self.arm_lustre(out);
+                if rplan.oss_bytes > 0.0 {
+                    self.tasks[task as usize].pending_io += 1;
+                    let path =
+                        self.fabric.path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
+                    let f = self.net.open_flow(now, path, true);
+                    let wire = rplan.oss_bytes + self.lustre.config().read_overhead_bytes;
+                    self.net.push_chunk(now, f, wire, NetTag::TaskIo { task });
+                    self.arm_net(out);
+                }
+            }
+            IoPlan::NetOnly { src, bytes } => {
+                self.tasks[task as usize].pending_io += 1;
+                let path = self
+                    .fabric
+                    .path(Endpoint::Node(NodeId(src)), Endpoint::Node(NodeId(node)));
+                let f = self.net.open_flow(now, path, true);
+                self.net.push_chunk(now, f, bytes, NetTag::TaskIo { task });
+                self.arm_net(out);
+            }
+        }
+
+        self.maybe_schedule_finish(now, task, out);
+    }
+
+    fn launch_store(&mut self, now: SimTime, task: u32, node: u32, producer: u32, out: &mut Outbox<Ev>) {
+        let bytes = self.tasks[producer as usize].output_bytes;
+        let speed = self.speed(node);
+        // Partition + Java-serialization cost of the flush (Spark 0.7 era).
+        let cpu = SimDuration::from_secs_f64(bytes / (300.0e6 * speed))
+            .mul_f64(self.jitter(task))
+            + self.cfg.spark.task_overhead;
+        {
+            let t = &mut self.tasks[task as usize];
+            t.compute_dur = cpu;
+            t.input_bytes = bytes;
+            t.output_bytes = bytes;
+        }
+        match self.cfg.shuffle {
+            ShuffleStore::Local(dev) => {
+                let file = self.node_store_file(node);
+                if bytes > 0.0 {
+                    let ssd = dev == StoreDevice::Ssd;
+                    let fs = if ssd {
+                        &mut self.ssd_fs[node as usize]
+                    } else {
+                        &mut self.ram_fs[node as usize]
+                    };
+                    assert!(
+                        fs.free() >= bytes,
+                        "shuffle store on node {node} out of space — the paper's \
+                         RAMDisk-backed store tops out at ~1.2 TB aggregate"
+                    );
+                    self.tasks[task as usize].pending_io += 1;
+                    fs.write(now, file, bytes, task as u64);
+                    self.arm_fs(node, ssd, out);
+                }
+            }
+            ShuffleStore::LustreLocal | ShuffleStore::LustreShared => {
+                let file = self.node_lustre_file(node);
+                let wplan = self.lustre.append(NodeId(node), file, bytes);
+                self.tasks[task as usize].pending_io += 1;
+                self.lustre.submit_mds(now, wplan.mds_ops, task as u64);
+                self.arm_lustre(out);
+                if wplan.oss_bytes > 0.0 {
+                    self.tasks[task as usize].pending_io += 1;
+                    let path =
+                        self.fabric.path(Endpoint::Node(NodeId(node)), Endpoint::Lustre);
+                    let f = self.net.open_flow(now, path, true);
+                    let wire = wplan.oss_bytes / self.lustre.config().write_efficiency;
+                    self.net.push_chunk(now, f, wire, NetTag::TaskIo { task });
+                    self.arm_net(out);
+                }
+            }
+        }
+        self.maybe_schedule_finish(now, task, out);
+    }
+
+    fn node_store_file(&mut self, node: u32) -> FileId {
+        let next = &mut self.next_shuffle_file;
+        let sh = self
+            .job
+            .as_mut()
+            .unwrap()
+            .shuffle_out
+            .as_mut()
+            .expect("store without produced shuffle");
+        *sh.local_files[node as usize].get_or_insert_with(|| {
+            let f = FileId(*next);
+            *next += 1;
+            f
+        })
+    }
+
+    fn node_lustre_file(&mut self, node: u32) -> LustreFile {
+        let next = &mut self.next_shuffle_file;
+        let sh = self
+            .job
+            .as_mut()
+            .unwrap()
+            .shuffle_out
+            .as_mut()
+            .expect("store without produced shuffle");
+        *sh.lustre_files[node as usize].get_or_insert_with(|| {
+            let f = LustreFile(*next);
+            *next += 1;
+            f
+        })
+    }
+
+    fn launch_fetch(&mut self, now: SimTime, task: u32, node: u32, reducer: u32, out: &mut Outbox<Ev>) {
+        let workers = self.spec.workers;
+        let req = self.cfg.spark.reducer_max_bytes_in_flight;
+        let oh = self.cfg.spark.per_request_overhead_bytes;
+        let compress = if self.cfg.spark.shuffle_compress {
+            self.cfg.spark.shuffle_compress_ratio
+        } else {
+            1.0
+        };
+        let plan = self.plan();
+        let stage_idx = self.tasks[task as usize].stage as usize;
+        let stage = &plan.stages[stage_idx];
+
+        // Bucket sizes and shuffle spec.
+        let (per_source, total, agg_rate, out_factor) = {
+            let sh = self.job().shuffle_in.as_ref().expect("fetch without shuffle");
+            let per: Vec<f64> = (0..workers as usize)
+                .map(|i| sh.node_bucket_bytes[i][reducer as usize])
+                .collect();
+            let total: f64 = per.iter().sum();
+            (per, total, sh.spec.fetch_rate, sh.spec.out_factor)
+        };
+
+        let speed = self.speed(node);
+        let mut dur = SimDuration::from_secs_f64(total / (agg_rate * speed));
+        let (chain_dur, out_bytes, out_records, _, _) = run_narrow_chain(
+            stage,
+            total * out_factor,
+            ((total / 64.0).max(1.0)) as u64,
+            None,
+            speed,
+        );
+        dur += chain_dur;
+        let dur = dur.mul_f64(self.jitter(task)) + self.cfg.spark.task_overhead;
+        {
+            let t = &mut self.tasks[task as usize];
+            t.compute_dur = dur;
+            t.input_bytes = total;
+            t.output_bytes = out_bytes;
+            t.records_est = out_records;
+        }
+
+        match self.cfg.shuffle {
+            ShuffleStore::Local(_) | ShuffleStore::LustreLocal => {
+                self.net.start_batch();
+                for (i, &b) in per_source.iter().enumerate() {
+                    if b <= 0.0 {
+                        continue;
+                    }
+                    let wire = inflate_for_requests(b * compress, req, oh);
+                    match self.cfg.shuffle {
+                        ShuffleStore::Local(_) => {
+                            self.tasks[task as usize].pending_io += 1;
+                            let f = self.fetch_flow(now, i as u32, node, 0);
+                            self.net.push_chunk(now, f, wire, NetTag::TaskIo { task });
+                        }
+                        ShuffleStore::LustreLocal => {
+                            let frac = self.job().shuffle_in.as_ref().unwrap().cached_frac[i];
+                            let cached = wire * frac;
+                            let oss = wire - cached;
+                            if cached > 0.0 {
+                                self.tasks[task as usize].pending_io += 1;
+                                let f = self.fetch_flow(now, i as u32, node, 0);
+                                self.net.push_chunk(now, f, cached, NetTag::TaskIo { task });
+                            }
+                            if oss > 0.0 {
+                                self.tasks[task as usize].pending_io += 1;
+                                let f = self.fetch_flow(now, i as u32, node, 1);
+                                self.net.push_chunk(now, f, oss, NetTag::TaskIo { task });
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                self.net.end_batch();
+                self.arm_net(out);
+            }
+            ShuffleStore::LustreShared => {
+                // Metadata storm: per-file lock ops at the MDS, plus the
+                // revocation bookkeeping share; then an OSS read gated on the
+                // mass flush (see `lustre_shared_transfer`).
+                let ops = workers as f64 * self.lustre.config().ops_lock
+                    + self.lustre.config().ops_revoke;
+                self.tasks[task as usize].pending_io += 2; // mds + data
+                self.lustre.submit_mds(now, ops, task as u64);
+                self.arm_lustre(out);
+            }
+        }
+        self.maybe_schedule_finish(now, task, out);
+    }
+
+    fn fetch_flow(&mut self, now: SimTime, src: u32, dst: u32, kind: u8) -> FlowId {
+        let key = (src, dst, kind);
+        if let Some(&f) = self.job().shuffle_in.as_ref().unwrap().fetch_flows.get(&key) {
+            return f;
+        }
+        let mut path = match (self.cfg.shuffle, kind) {
+            // Store-served: the source's store read bandwidth + the fabric.
+            (ShuffleStore::Local(_), _) => {
+                let mut p = vec![self.store_read_links[src as usize]];
+                p.extend(
+                    self.fabric
+                        .path(Endpoint::Node(NodeId(src)), Endpoint::Node(NodeId(dst))),
+                );
+                p
+            }
+            // Lustre-local, cached at the server: server page-cache read +
+            // fabric (same per-node serving capability as a local store).
+            (ShuffleStore::LustreLocal, 0) => {
+                let mut p = vec![self.store_read_links[src as usize]];
+                p.extend(
+                    self.fabric
+                        .path(Endpoint::Node(NodeId(src)), Endpoint::Node(NodeId(dst))),
+                );
+                p
+            }
+            // Lustre-local, not cached: OSS → server → destination
+            // ("repetitive data movement"): the Lustre pipe, the server NIC,
+            // and the destination NIC all constrain the transfer.
+            (ShuffleStore::LustreLocal, _) => {
+                let mut p = vec![self.fabric.lustre_pipe()];
+                p.extend(
+                    self.fabric
+                        .path(Endpoint::Node(NodeId(src)), Endpoint::Node(NodeId(dst))),
+                );
+                p
+            }
+            _ => unreachable!("fetch_flow not used for LustreShared"),
+        };
+        path.dedup();
+        if path.is_empty() {
+            // Loopback: still bounded by the local store's read bandwidth.
+            path = vec![self.store_read_links[src as usize]];
+        }
+        let f = self.net.open_flow(now, path, false);
+        self.job_mut()
+            .shuffle_in
+            .as_mut()
+            .unwrap()
+            .fetch_flows
+            .insert(key, f);
+        f
+    }
+
+    // ---------------- completion plumbing ----------------
+
+    fn task_io_done(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
+        let t = &mut self.tasks[task as usize];
+        debug_assert!(t.pending_io > 0, "io done for task without pending io");
+        t.pending_io -= 1;
+        if t.pending_io == 0 {
+            self.maybe_schedule_finish(now, task, out);
+        }
+    }
+
+    fn maybe_schedule_finish(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
+        let t = &mut self.tasks[task as usize];
+        if t.state != TState::Running || t.finish_scheduled || t.pending_io > 0 {
+            return;
+        }
+        let finish = if t.pipelined {
+            (t.launched_at + t.compute_dur).max(now)
+        } else {
+            now + t.compute_dur
+        };
+        t.finish_scheduled = true;
+        out.at(finish, Ev::TaskFinish { task });
+    }
+
+    fn on_task_finish(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
+        // Speculation: if this task's twin already finished, this copy lost —
+        // just release the slot (the real Spark would have killed it).
+        let lost = {
+            let t = &self.tasks[task as usize];
+            t.twin
+                .map(|tw| self.tasks[tw as usize].state == TState::Done)
+                .unwrap_or(false)
+        };
+        let (node, stage, kind) = {
+            let t = &mut self.tasks[task as usize];
+            debug_assert_eq!(t.state, TState::Running);
+            t.state = TState::Done;
+            (t.node, t.stage, t.kind)
+        };
+        self.free_slots[node as usize] += 1;
+        if lost {
+            out.immediately(Ev::Dispatch);
+            return;
+        }
+        // If a speculative copy won, it replaces the original everywhere the
+        // job refers to it (storing pins, final-task outputs).
+        if self.tasks[task as usize].is_speculative {
+            let orig = self.tasks[task as usize].twin.expect("duplicate without twin");
+            let job = self.job_mut();
+            for slot in job.stage_tasks.iter_mut().chain(job.final_tasks.iter_mut()) {
+                if *slot == orig {
+                    *slot = task;
+                }
+            }
+        }
+        if matches!(kind, TaskKind::Compute { .. }) {
+            let d = now.since(self.tasks[task as usize].launched_at).as_secs_f64();
+            self.stage_durs.push(d);
+        }
+
+        let phase = match kind {
+            TaskKind::Compute { .. } => Phase::Compute,
+            TaskKind::Store { .. } => Phase::Storing,
+            TaskKind::Fetch { .. } => Phase::Shuffling,
+        };
+        {
+            let t = &self.tasks[task as usize];
+            let index = match kind {
+                TaskKind::Compute { part } => part,
+                TaskKind::Store { producer } => producer,
+                TaskKind::Fetch { reducer } => reducer,
+            };
+            self.metrics.record(TaskMetric {
+                job: self.job_seq,
+                stage,
+                phase,
+                index,
+                node,
+                queued_at: t.queued_at.as_secs_f64(),
+                launched_at: t.launched_at.as_secs_f64(),
+                finished_at: now.as_secs_f64(),
+                input_bytes: t.input_bytes,
+                output_bytes: t.output_bytes,
+                locality: t.locality,
+            });
+        }
+
+        match kind {
+            TaskKind::Compute { .. } => self.producer_finished(task, node),
+            TaskKind::Store { .. } => self.store_finished(now, task),
+            TaskKind::Fetch { reducer } => {
+                self.fetch_aggregate(task, reducer);
+                self.producer_finished(task, node);
+            }
+        }
+
+        let job = self.job_mut();
+        job.remaining -= 1;
+        if job.remaining == 0 {
+            self.advance_phase(now, out);
+        } else {
+            out.immediately(Ev::Dispatch);
+        }
+    }
+
+    /// A task that may deposit intermediate data for a produced shuffle.
+    fn producer_finished(&mut self, task: u32, node: u32) {
+        let out_bytes = self.tasks[task as usize].output_bytes;
+        let stage_idx = self.tasks[task as usize].stage as usize;
+        let has_shuffle = self.job().plan.stages[stage_idx].has_shuffle_output();
+        if !has_shuffle {
+            return;
+        }
+        self.intermediate[node as usize] += out_bytes;
+        let records = self.tasks[task as usize].records_out.take();
+        let sh = self.job_mut().shuffle_out.as_mut().expect("producer without shuffle");
+        let r = sh.reducers as usize;
+        match (records, &mut sh.node_real) {
+            (Some(recs), Some(real)) => {
+                for rec in recs {
+                    let bucket = (rec.0.stable_hash() % r as u64) as usize;
+                    sh.node_bucket_bytes[node as usize][bucket] += record_bytes(&rec) as f64;
+                    real[node as usize][bucket].push(rec);
+                }
+            }
+            _ => {
+                for b in 0..r {
+                    sh.node_bucket_bytes[node as usize][b] += out_bytes / r as f64;
+                }
+            }
+        }
+    }
+
+    /// CAD feedback (§VI-B): watch the running average of completed
+    /// ShuffleMapTask times against the *healthy baseline* (the first full
+    /// window). While the average sits `jump_factor`× above the baseline,
+    /// every further completion adds `step` to the dispatch interval —
+    /// integral-controller behaviour that keeps throttling until the device
+    /// recovers; when the average falls back toward the baseline the
+    /// interval unwinds at the same rate.
+    fn store_finished(&mut self, now: SimTime, task: u32) {
+        let Some(cad) = self.cfg.cad else { return };
+        let dur = now.since(self.tasks[task as usize].launched_at).as_secs_f64();
+        self.cad_window.push_back(dur);
+        if self.cad_window.len() > cad.window {
+            self.cad_window.pop_front();
+        }
+        if self.cad_window.len() < cad.window / 2 {
+            return;
+        }
+        let avg = self.cad_window.iter().sum::<f64>() / self.cad_window.len() as f64;
+        match self.cad_ref_avg {
+            None => self.cad_ref_avg = Some(avg),
+            Some(baseline) => {
+                if avg > baseline * cad.jump_factor {
+                    self.cad_interval += cad.step;
+                    // Anti-windup: one healthy task-time of spacing already
+                    // drops the write queue to a handful; wider gaps would
+                    // idle the device instead of easing GC.
+                    let cap = SimDuration::from_secs_f64(baseline);
+                    self.cad_interval = self.cad_interval.min(cap);
+                } else {
+                    self.cad_interval = self.cad_interval - cad.step;
+                }
+            }
+        }
+    }
+
+    /// Real-data aggregation of a fetched bucket.
+    fn fetch_aggregate(&mut self, task: u32, reducer: u32) {
+        let plan = self.plan();
+        let stage_idx = self.tasks[task as usize].stage as usize;
+        let gathered = {
+            let job = self.job_mut();
+            let Some(real) = job.shuffle_in.as_mut().and_then(|sh| sh.node_real.as_mut())
+            else {
+                return;
+            };
+            let mut gathered: Vec<Record> = Vec::new();
+            for node_buckets in real.iter_mut() {
+                gathered.append(&mut node_buckets[reducer as usize]);
+            }
+            gathered
+        };
+        let agg = self.job().shuffle_in.as_ref().unwrap().spec.agg.clone();
+        let mut recs = apply_agg(&agg, gathered);
+        for step in &plan.stages[stage_idx].steps {
+            recs = step.apply(recs);
+        }
+        let t = &mut self.tasks[task as usize];
+        t.records_est = recs.len() as u64;
+        t.output_bytes = recs.iter().map(record_bytes).sum::<u64>() as f64;
+        t.records_out = Some(recs);
+    }
+
+    fn advance_phase(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
+        let phase = self.job().phase;
+        match phase {
+            RunPhase::Stage(idx) => {
+                let has_shuffle = self.job().plan.stages[idx].has_shuffle_output();
+                if has_shuffle {
+                    self.start_storing(now, idx, out);
+                } else {
+                    self.finish_job(now);
+                }
+            }
+            RunPhase::Storing(idx) => {
+                self.prepare_fetch_serving(now, out);
+                self.start_stage(now, idx + 1, out);
+            }
+        }
+    }
+
+    fn start_storing(&mut self, now: SimTime, stage_idx: usize, out: &mut Outbox<Ev>) {
+        let producers = self.job().stage_tasks.clone();
+        let mut created = Vec::new();
+        for &p in &producers {
+            let node = self.tasks[p as usize].node;
+            let id = self.tasks.len() as u32;
+            self.tasks.push(Task {
+                stage: stage_idx as u32,
+                kind: TaskKind::Store { producer: p },
+                state: TState::Pending,
+                node: u32::MAX,
+                queued_at: now,
+                launched_at: now,
+                compute_dur: SimDuration::ZERO,
+                pipelined: true,
+                pending_io: 0,
+                finish_scheduled: false,
+                input_bytes: 0.0,
+                output_bytes: 0.0,
+                records_est: 0,
+                records_out: None,
+                locality: TaskLocality::NodeLocal,
+                prefs: vec![node],
+                pinned: true,
+                twin: None,
+                is_speculative: false,
+            });
+            created.push(id);
+        }
+        let job = self.job_mut();
+        job.phase = RunPhase::Storing(stage_idx);
+        job.remaining = created.len();
+        self.enqueue_pending(&created);
+        out.immediately(Ev::Dispatch);
+    }
+
+    /// Freeze serving-side state before the fetch stage starts: store
+    /// read-link capacities (LocalStore), cached fractions (Lustre-local),
+    /// and the mass revocation flush (Lustre-shared).
+    fn prepare_fetch_serving(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
+        let workers = self.spec.workers as usize;
+        match self.cfg.shuffle {
+            ShuffleStore::Local(dev) => {
+                self.net.start_batch();
+                for n in 0..workers {
+                    let fs = if dev == StoreDevice::Ssd { &self.ssd_fs[n] } else { &self.ram_fs[n] };
+                    let bw = effective_read_bw(fs, dev);
+                    self.net.set_link_capacity(now, self.store_read_links[n], bw.max(1.0));
+                }
+                self.net.end_batch();
+                self.arm_net(out);
+            }
+            ShuffleStore::LustreLocal => {
+                let files: Vec<Option<LustreFile>> =
+                    self.job().shuffle_out.as_ref().unwrap().lustre_files.clone();
+                for (n, f) in files.iter().enumerate() {
+                    let frac = f.map(|lf| self.lustre.cached_fraction(lf)).unwrap_or(0.0);
+                    self.job_mut().shuffle_out.as_mut().unwrap().cached_frac[n] = frac;
+                }
+            }
+            ShuffleStore::LustreShared => {
+                // "Forcing all the intermediate data to be flushed to the
+                // OSSes around the same time" — revoke every node file now.
+                let files: Vec<(u32, LustreFile)> = self
+                    .job()
+                    .shuffle_out
+                    .as_ref()
+                    .unwrap()
+                    .lustre_files
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(n, f)| f.map(|lf| (n as u32, lf)))
+                    .collect();
+                let mut pending = 0;
+                for (n, lf) in files {
+                    let dirty = self.lustre.revoke(lf);
+                    if dirty > 0.0 {
+                        pending += 1;
+                        let path =
+                            self.fabric.path(Endpoint::Node(NodeId(n)), Endpoint::Lustre);
+                        let f = self.net.open_flow(now, path, true);
+                        let wire = dirty / self.lustre.config().write_efficiency;
+                        self.net.push_chunk(now, f, wire, NetTag::Flush);
+                    }
+                }
+                let sh = self.job_mut().shuffle_out.as_mut().unwrap();
+                sh.flush_pending = pending;
+                sh.flush_done = pending == 0;
+                self.arm_net(out);
+            }
+        }
+    }
+
+    /// A Lustre-shared fetch task is transfer-eligible (its MDS ops are done
+    /// AND the mass flush finished): read from the OSSes.
+    fn lustre_shared_transfer(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
+        let node = self.tasks[task as usize].node;
+        let total = self.tasks[task as usize].input_bytes;
+        let compress = if self.cfg.spark.shuffle_compress {
+            self.cfg.spark.shuffle_compress_ratio
+        } else {
+            1.0
+        };
+        let wire = inflate_for_requests(
+            total * compress,
+            self.cfg.spark.reducer_max_bytes_in_flight,
+            self.cfg.spark.per_request_overhead_bytes,
+        );
+        // The revocation round trip delays the read start.
+        let start = now + self.lustre.config().revoke_latency;
+        let path = self.fabric.path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
+        let f = self.net.open_flow(start, path, true);
+        self.net.push_chunk(start, f, wire, NetTag::TaskIo { task });
+        self.arm_net(out);
+    }
+
+    fn on_flush_progress(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
+        let Some(job) = self.job.as_mut() else { return };
+        let Some(sh) = job.shuffle_in.as_mut().or(job.shuffle_out.as_mut()) else { return };
+        if sh.flush_pending > 0 {
+            sh.flush_pending -= 1;
+        }
+        if sh.flush_pending == 0 && !sh.flush_done {
+            sh.flush_done = true;
+            let waiting = std::mem::take(&mut sh.waiting_for_flush);
+            for task in waiting {
+                self.lustre_shared_transfer(now, task, out);
+            }
+        }
+        let _ = now;
+    }
+
+    fn finish_job(&mut self, now: SimTime) {
+        let job = self.job.take().expect("no job to finish");
+        let mut count = 0u64;
+        let mut records: Vec<Record> = Vec::new();
+        let mut have_real = true;
+        for &t in &job.final_tasks {
+            let task = &self.tasks[t as usize];
+            count += task.records_est;
+            match &task.records_out {
+                Some(r) => records.extend(r.iter().cloned()),
+                None => have_real = false,
+            }
+        }
+        let output = match &job.plan.action {
+            Action::Count => JobOutput {
+                count: if have_real { records.len() as u64 } else { count },
+                records: None,
+                reduced: None,
+            },
+            Action::Collect => JobOutput {
+                count: if have_real { records.len() as u64 } else { count },
+                records: have_real.then_some(records),
+                reduced: None,
+            },
+            Action::Reduce(f) => {
+                let reduced = have_real.then(|| {
+                    records
+                        .into_iter()
+                        .map(|(_, v)| v)
+                        .reduce(|a, b| f(a, b))
+                        .unwrap_or(Value::Null)
+                });
+                JobOutput { count, records: None, reduced }
+            }
+        };
+        self.last_output = Some(output);
+        self.job_done = true;
+        self.tasks.clear();
+        self.prefs_q.iter_mut().for_each(|q| q.clear());
+        self.no_pref_q.clear();
+        self.waiting_q.clear();
+        let _ = now;
+    }
+}
+
+enum IoPlan {
+    None,
+    HdfsRead { block: BlockId, src: NodeId },
+    LustreRead { file: LustreFile },
+    NetOnly { src: u32, bytes: f64 },
+}
+
+/// Effective serving-read bandwidth of a shuffle store, mixing page-cache
+/// hits with device reads (harmonic mean), GC-aware for SSDs.
+fn effective_read_bw(fs: &LocalFs, dev: StoreDevice) -> f64 {
+    let dev_bw = fs.device().current_read_bandwidth();
+    if dev == StoreDevice::RamDisk {
+        return dev_bw;
+    }
+    let stored = fs.used().max(1.0);
+    const CACHE: f64 = 6.0 * 1024.0 * 1024.0 * 1024.0;
+    let cache_frac = (CACHE / stored).clamp(0.0, 1.0);
+    let mem_bw = 3.0e9;
+    1.0 / (cache_frac / mem_bw + (1.0 - cache_frac) / dev_bw)
+}
+
+/// Apply a stage's narrow chain. Returns (compute seconds, output bytes,
+/// output records, real output, cache snapshots).
+#[allow(clippy::type_complexity)]
+fn run_narrow_chain(
+    stage: &StagePlan,
+    in_bytes: f64,
+    in_records: u64,
+    data: Option<&Vec<Record>>,
+    speed: f64,
+) -> (
+    SimDuration,
+    f64,
+    u64,
+    Option<Vec<Record>>,
+    Vec<(RddId, f64, u64, Option<Arc<Vec<Record>>>)>,
+) {
+    let mut secs = 0.0;
+    let mut bytes = in_bytes;
+    let mut records = in_records;
+    let mut real: Option<Vec<Record>> = data.cloned();
+    let mut snaps = Vec::new();
+    for (cp_idx, rdd) in &stage.cache_points {
+        if *cp_idx == 0 {
+            snaps.push((*rdd, bytes, records, real.clone().map(Arc::new)));
+        }
+    }
+    for (i, step) in stage.steps.iter().enumerate() {
+        secs += bytes / (step.size.compute_rate * speed);
+        match real.take() {
+            Some(recs) => {
+                let out = step.apply(recs);
+                bytes = out.iter().map(record_bytes).sum::<u64>() as f64;
+                records = out.len() as u64;
+                real = Some(out);
+            }
+            None => {
+                bytes *= step.size.bytes_factor;
+                records = ((records as f64) * step.size.records_factor).round() as u64;
+            }
+        }
+        for (cp_idx, rdd) in &stage.cache_points {
+            if *cp_idx == i + 1 {
+                snaps.push((*rdd, bytes, records, real.clone().map(Arc::new)));
+            }
+        }
+    }
+    (SimDuration::from_secs_f64(secs), bytes, records, real, snaps)
+}
+
+fn apply_agg(agg: &ShuffleAgg, records: Vec<Record>) -> Vec<Record> {
+    use std::collections::BTreeMap;
+    // Deterministic output ordering via the stable key hash.
+    let mut groups: BTreeMap<u64, (Value, Vec<Value>)> = BTreeMap::new();
+    for (k, v) in records {
+        groups.entry(k.stable_hash()).or_insert_with(|| (k.clone(), Vec::new())).1.push(v);
+    }
+    match agg {
+        ShuffleAgg::GroupByKey => {
+            groups.into_values().map(|(k, vs)| (k, Value::list(vs))).collect()
+        }
+        ShuffleAgg::ReduceByKey(f) => groups
+            .into_values()
+            .map(|(k, vs)| {
+                let folded = vs.into_iter().reduce(|a, b| f(a, b)).expect("nonempty group");
+                (k, folded)
+            })
+            .collect(),
+    }
+}
+
+impl Model for SimWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, out: &mut Outbox<Ev>) {
+        match event {
+            Ev::NetWake(gen) => {
+                if !gen.is_current(self.net.gen()) {
+                    return;
+                }
+                let delivered = self.net.poll(now);
+                let mut flushed = 0u32;
+                for d in delivered {
+                    match d.tag {
+                        NetTag::TaskIo { task } => self.task_io_done(now, task, out),
+                        NetTag::Flush => flushed += 1,
+                    }
+                }
+                for _ in 0..flushed {
+                    self.on_flush_progress(now, out);
+                }
+                self.arm_net(out);
+            }
+            Ev::FsWake { node, ssd, gen } => {
+                let fs = if ssd { &self.ssd_fs[node as usize] } else { &self.ram_fs[node as usize] };
+                if !gen.is_current(fs.gen()) {
+                    return;
+                }
+                let fs = if ssd {
+                    &mut self.ssd_fs[node as usize]
+                } else {
+                    &mut self.ram_fs[node as usize]
+                };
+                let done = fs.poll(now);
+                for d in done {
+                    self.task_io_done(now, d.tag as u32, out);
+                }
+                self.arm_fs(node, ssd, out);
+                // Keep the store-serving link in sync with SSD GC state.
+                if ssd {
+                    if let ShuffleStore::Local(StoreDevice::Ssd) = self.cfg.shuffle {
+                        let bw = effective_read_bw(&self.ssd_fs[node as usize], StoreDevice::Ssd);
+                        let link = self.store_read_links[node as usize];
+                        let cur = self.net.link_capacity(link);
+                        if (bw - cur).abs() / cur > 0.05 {
+                            self.net.set_link_capacity(now, link, bw.max(1.0));
+                            self.arm_net(out);
+                        }
+                    }
+                }
+            }
+            Ev::LustreWake(gen) => {
+                if !gen.is_current(self.lustre.gen()) {
+                    return;
+                }
+                let done = self.lustre.poll(now);
+                for tag in done {
+                    let task = tag as u32;
+                    let is_shared_fetch = matches!(self.cfg.shuffle, ShuffleStore::LustreShared)
+                        && matches!(self.tasks[task as usize].kind, TaskKind::Fetch { .. });
+                    self.task_io_done(now, task, out);
+                    if is_shared_fetch {
+                        let ready = self
+                            .job
+                            .as_ref()
+                            .and_then(|j| j.shuffle_in.as_ref())
+                            .map(|sh| sh.flush_done)
+                            .unwrap_or(true);
+                        if ready {
+                            self.lustre_shared_transfer(now, task, out);
+                        } else {
+                            self.job_mut()
+                                .shuffle_in
+                                .as_mut()
+                                .unwrap()
+                                .waiting_for_flush
+                                .push(task);
+                        }
+                    }
+                }
+                self.arm_lustre(out);
+            }
+            Ev::TaskFinish { task } => self.on_task_finish(now, task, out),
+            Ev::Dispatch | Ev::DispatchNode { .. } => self.dispatch(now, out),
+            Ev::SpeedResample => {
+                self.speeds.resample();
+                if let Some(p) = self.speeds.resample_period() {
+                    out.after(SimDuration::from_secs_f64(p), Ev::SpeedResample);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use memres_cluster::tiny;
+
+    fn world() -> SimWorld {
+        SimWorld::new(tiny(4), EngineConfig::default())
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let w = world();
+        let j = w.cfg.task_jitter;
+        assert!(j > 0.0);
+        for task in 0..500u32 {
+            let a = w.jitter(task);
+            let b = w.jitter(task);
+            assert_eq!(a, b, "jitter must be a pure function of (task, seed)");
+            assert!((1.0 - j..=1.0 + j).contains(&a), "out of range: {a}");
+        }
+        // Different tasks get different jitter (not a constant).
+        assert_ne!(w.jitter(1), w.jitter(2));
+    }
+
+    #[test]
+    fn jitter_disabled_when_zero() {
+        let mut w = world();
+        w.cfg.task_jitter = 0.0;
+        assert_eq!(w.jitter(42), 1.0);
+    }
+
+    #[test]
+    fn effective_read_bw_blends_cache_and_device() {
+        use memres_storage::{CacheConfig, LocalFs, RamDisk};
+        // RAMDisk store: always the device rate.
+        let fs = LocalFs::new(Box::new(RamDisk::new(5e9, 4e9)), 1e12, None);
+        assert_eq!(effective_read_bw(&fs, StoreDevice::RamDisk), 5e9);
+        // SSD store with little data: cache-dominated (≈ mem speed).
+        let mut ssd_fs = LocalFs::new(
+            Box::new(Ssd::new(SsdConfig::hyperion())),
+            1e12,
+            Some(CacheConfig::hyperion()),
+        );
+        ssd_fs.preload(FileId(1), 1e9); // 1 GB stored, fully cacheable
+        let hot = effective_read_bw(&ssd_fs, StoreDevice::Ssd);
+        assert!(hot > 2.0e9, "mostly cached: {hot}");
+        // With far more data than cache: near device read speed.
+        ssd_fs.preload(FileId(2), 500e9);
+        let cold = effective_read_bw(&ssd_fs, StoreDevice::Ssd);
+        assert!(cold < 700e6, "mostly device: {cold}");
+        assert!(cold >= 500e6, "never below device rate: {cold}");
+    }
+
+    #[test]
+    fn elb_declines_only_over_threshold_nodes() {
+        let mut w = SimWorld::new(tiny(4), EngineConfig::default().with_elb());
+        // No job/intermediate yet: never declines.
+        assert!(!w.elb_declines(0));
+        // Fake a depositing stage with skewed intermediate data.
+        let plan = crate::dag::build_plan(
+            &crate::rdd::Rdd::source(crate::rdd::Dataset::generated(1e6, 1e5, 10.0))
+                .group_by_key(Some(2), 1e9),
+            crate::rdd::Action::Count,
+            &Default::default(),
+        );
+        let mut out = memres_des::Outbox::standalone(SimTime::ZERO);
+        w.submit_job(SimTime::ZERO, plan, &mut out);
+        w.intermediate = vec![100.0, 10.0, 10.0, 10.0];
+        assert!(w.elb_declines(0), "node 0 holds >1.25x the average");
+        assert!(!w.elb_declines(1));
+    }
+
+    #[test]
+    fn apply_agg_groups_and_reduces() {
+        use crate::rdd::ShuffleAgg;
+        let recs = vec![
+            (Value::I64(1), Value::I64(10)),
+            (Value::I64(2), Value::I64(20)),
+            (Value::I64(1), Value::I64(30)),
+        ];
+        let grouped = apply_agg(&ShuffleAgg::GroupByKey, recs.clone());
+        assert_eq!(grouped.len(), 2);
+        let total: usize = grouped.iter().map(|(_, v)| v.as_list().len()).sum();
+        assert_eq!(total, 3);
+        let reduced = apply_agg(
+            &ShuffleAgg::ReduceByKey(Arc::new(|a, b| Value::I64(a.as_i64() + b.as_i64()))),
+            recs,
+        );
+        let m: std::collections::HashMap<i64, i64> =
+            reduced.into_iter().map(|(k, v)| (k.as_i64(), v.as_i64())).collect();
+        assert_eq!(m[&1], 40);
+        assert_eq!(m[&2], 20);
+    }
+
+    #[test]
+    fn run_narrow_chain_synthetic_factors() {
+        use crate::rdd::{NarrowKind, NarrowStep, SizeModel};
+        let stage = crate::dag::StagePlan {
+            input: crate::dag::StageInput::Cached { rdd: crate::rdd::RddId(0) },
+            steps: vec![
+                Arc::new(NarrowStep {
+                    name: "half".into(),
+                    kind: NarrowKind::Map(Arc::new(|r| r)),
+                    size: SizeModel::new(0.5, 1.0, 100.0),
+                }),
+                Arc::new(NarrowStep {
+                    name: "double".into(),
+                    kind: NarrowKind::Map(Arc::new(|r| r)),
+                    size: SizeModel::new(2.0, 1.0, 100.0),
+                }),
+            ],
+            cache_points: vec![],
+            shuffle_out: None,
+        };
+        let (dur, bytes, records, real, snaps) =
+            run_narrow_chain(&stage, 1000.0, 10, None, 1.0);
+        assert!((bytes - 1000.0).abs() < 1e-9, "0.5 then 2.0 round-trips");
+        assert_eq!(records, 10);
+        assert!(real.is_none());
+        assert!(snaps.is_empty());
+        // time = 1000/100 + 500/100 = 15s at speed 1.
+        assert!((dur.as_secs_f64() - 15.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,267 @@
+//! End-to-end engine tests: real UDF execution, shuffle correctness across
+//! storage strategies, caching, scheduling policies, and determinism.
+
+use memres_cluster::tiny;
+use memres_core::prelude::*;
+use memres_core::world::JobOutput;
+use memres_des::time::SimDuration;
+use std::collections::HashMap;
+
+fn wordcount_data() -> Vec<Record> {
+    let words = ["the", "quick", "brown", "fox", "the", "lazy", "dog", "the"];
+    words
+        .iter()
+        .map(|w| (Value::Null, Value::str(*w)))
+        .collect()
+}
+
+fn driver(cfg: EngineConfig) -> Driver {
+    Driver::new(tiny(4), cfg)
+}
+
+#[test]
+fn wordcount_produces_exact_counts() {
+    let mut d = driver(EngineConfig::default().homogeneous());
+    let rdd = Rdd::source(Dataset::from_records(wordcount_data(), 3))
+        .map("kv", SizeModel::scan(), |(_, v)| (v, Value::I64(1)))
+        .reduce_by_key(Some(2), 1e9, 1.0, |a, b| Value::I64(a.as_i64() + b.as_i64()));
+    let (out, metrics) = d.run(&rdd, Action::Collect);
+    let counts: HashMap<String, i64> = out
+        .records
+        .expect("real data collects")
+        .into_iter()
+        .map(|(k, v)| (k.as_str().to_string(), v.as_i64()))
+        .collect();
+    assert_eq!(counts["the"], 3);
+    assert_eq!(counts["quick"], 1);
+    assert_eq!(counts.len(), 6);
+    assert!(metrics.job_time() > 0.0);
+    // Compute, storing and shuffling phases all happened.
+    assert!(metrics.phase_time(Phase::Compute) > 0.0);
+    assert!(metrics.phase_time(Phase::Storing) > 0.0);
+    assert!(metrics.phase_time(Phase::Shuffling) > 0.0);
+}
+
+#[test]
+fn group_by_key_collects_all_values() {
+    let recs: Vec<Record> = (0..20).map(|i| (Value::I64(i % 4), Value::I64(i))).collect();
+    let mut d = driver(EngineConfig::default().homogeneous());
+    let rdd = Rdd::source(Dataset::from_records(recs, 4)).group_by_key(Some(3), 1e9);
+    let (out, _) = d.run(&rdd, Action::Collect);
+    let groups = out.records.unwrap();
+    assert_eq!(groups.len(), 4);
+    let total: usize = groups.iter().map(|(_, v)| v.as_list().len()).sum();
+    assert_eq!(total, 20);
+}
+
+#[test]
+fn filter_and_flatmap_compose() {
+    let recs: Vec<Record> = (0..10).map(|i| (Value::Null, Value::I64(i))).collect();
+    let mut d = driver(EngineConfig::default().homogeneous());
+    let rdd = Rdd::source(Dataset::from_records(recs, 2))
+        .filter("evens", SizeModel::scan(), |r| r.1.as_i64() % 2 == 0)
+        .flat_map("dup", SizeModel::scan(), |r| vec![r.clone(), r]);
+    let (out, _) = d.run(&rdd, Action::Count);
+    assert_eq!(out.count, 10); // 5 evens duplicated
+}
+
+#[test]
+fn synthetic_job_runs_with_size_models() {
+    let mut d = driver(EngineConfig::default().homogeneous());
+    let rdd = Rdd::source(Dataset::synthetic(64.0 * 1024.0 * 1024.0, 8.0 * 1024.0 * 1024.0, 100.0))
+        .map("scan", SizeModel::new(0.5, 1.0, 1e9), |r| r)
+        .group_by_key(Some(4), 1e9);
+    let (out, metrics) = d.run(&rdd, Action::Count);
+    assert!(out.count > 0);
+    assert!(metrics.job_time() > 0.0);
+    let shuffled: f64 = metrics
+        .tasks_in(Phase::Shuffling)
+        .map(|t| t.input_bytes)
+        .sum();
+    // Half the input (map factor 0.5) moves through the shuffle.
+    assert!((shuffled - 32.0 * 1024.0 * 1024.0).abs() / shuffled < 0.01);
+}
+
+#[test]
+fn cached_rdd_is_reused_by_second_job() {
+    let mut d = driver(EngineConfig::default().homogeneous());
+    let recs: Vec<Record> = (0..100).map(|i| (Value::Null, Value::I64(i))).collect();
+    let cached = Rdd::source(Dataset::from_records(recs, 4))
+        .map("parse", SizeModel::new(1.0, 1.0, 1e3), |r| r)
+        .cache();
+    let job1 = cached.map("sum", SizeModel::scan(), |r| r);
+    let (_, m1) = d.run(&job1, Action::Count);
+    // Second job over the cache: lineage truncated, no dataset read.
+    let plan = d.explain(&job1, Action::Count);
+    assert!(plan.contains("cached"), "plan should start from cache:\n{plan}");
+    let (out2, m2) = d.run(&job1, Action::Count);
+    assert_eq!(out2.count, 100);
+    assert!(
+        m2.job_time() < m1.job_time(),
+        "cached iteration {} should beat cold {}",
+        m2.job_time(),
+        m1.job_time()
+    );
+    // All tasks node-local on the cache homes.
+    assert!(m2.locality_fraction() > 0.99);
+}
+
+#[test]
+fn reduce_action_folds_values() {
+    let recs: Vec<Record> = (1..=10).map(|i| (Value::Null, Value::F64(i as f64))).collect();
+    let mut d = driver(EngineConfig::default().homogeneous());
+    let rdd = Rdd::source(Dataset::from_records(recs, 2));
+    let (out, _) = d.run(
+        &rdd,
+        Action::Reduce(std::sync::Arc::new(|a, b| Value::F64(a.as_f64() + b.as_f64()))),
+    );
+    assert_eq!(out.reduced.unwrap().as_f64(), 55.0);
+}
+
+fn groupby_synthetic(total_mb: f64) -> Rdd {
+    Rdd::source(Dataset::synthetic(total_mb * 1048576.0, 8.0 * 1048576.0, 100.0))
+        .map("genKV", SizeModel::new(1.0, 1.0, 800e6), |r| r)
+        .group_by_key(Some(8), 1e9)
+}
+
+#[test]
+fn lustre_shared_shuffles_slower_than_lustre_local() {
+    let base = EngineConfig { input: InputSource::Lustre, ..EngineConfig::default() }.homogeneous();
+    let mut d_local = driver(EngineConfig { shuffle: ShuffleStore::LustreLocal, ..base.clone() });
+    let m_local = d_local.run_for_metrics(&groupby_synthetic(512.0), Action::Count);
+    let mut d_shared = driver(EngineConfig { shuffle: ShuffleStore::LustreShared, ..base });
+    let m_shared = d_shared.run_for_metrics(&groupby_synthetic(512.0), Action::Count);
+    let sh_local = m_local.phase_time(Phase::Shuffling);
+    let sh_shared = m_shared.phase_time(Phase::Shuffling);
+    assert!(
+        sh_shared > sh_local * 1.5,
+        "DLM should slow the shared shuffle: local={sh_local:.2}s shared={sh_shared:.2}s"
+    );
+    // Storing phases comparable (paper Fig 7b).
+    let st_local = m_local.phase_time(Phase::Storing);
+    let st_shared = m_shared.phase_time(Phase::Storing);
+    assert!(
+        (st_shared - st_local).abs() / st_local.max(1e-9) < 0.5,
+        "storing phases should be comparable: local={st_local:.2}s shared={st_shared:.2}s"
+    );
+}
+
+#[test]
+fn delay_scheduling_hurts_short_tasks_under_skew() {
+    // §V-A / Fig 9: with heterogeneous node speeds, holding tasks for
+    // locality idles fast nodes, stretching the computation phase.
+    let cfg = EngineConfig { speed_sigma: 0.6, ..EngineConfig::default() };
+    let job = || {
+        Rdd::source(Dataset::synthetic(512.0 * 1048576.0, 4.0 * 1048576.0, 100.0))
+            .filter("grep", SizeModel::new(0.001, 0.001, 1.5e9), |_| true)
+            .group_by_key(Some(4), 1e9)
+    };
+    let mut fifo = Driver::new(tiny(16), cfg.clone());
+    let m_fifo = fifo.run_for_metrics(&job(), Action::Count);
+    let mut delay =
+        Driver::new(tiny(16), cfg.with_delay_scheduling(SimDuration::from_secs(3)));
+    let m_delay = delay.run_for_metrics(&job(), Action::Count);
+    let (f, d) = (
+        m_fifo.phase_time(Phase::Compute),
+        m_delay.phase_time(Phase::Compute),
+    );
+    assert!(d > f * 1.1, "delay compute phase {d:.4}s should exceed fifo {f:.4}s by >10%");
+    // And delay achieves (near-)perfect locality while fifo does not.
+    assert!(m_delay.locality_fraction() > m_fifo.locality_fraction());
+}
+
+#[test]
+fn elb_balances_intermediate_data_under_skew() {
+    let job = || groupby_synthetic(1024.0);
+    let cfg = EngineConfig { speed_sigma: 0.5, ..EngineConfig::default() };
+    let mut plain = driver(cfg.clone());
+    let m_plain = plain.run_for_metrics(&job(), Action::Count);
+    let mut elb = driver(cfg.with_elb());
+    let m_elb = elb.run_for_metrics(&job(), Action::Count);
+    let spread = |m: &JobMetrics| {
+        let per = m.intermediate_per_node(4);
+        let max = per.iter().cloned().fold(0.0, f64::max);
+        let avg = per.iter().sum::<f64>() / per.len() as f64;
+        max / avg
+    };
+    assert!(
+        spread(&m_elb) <= spread(&m_plain) + 1e-9,
+        "ELB should not worsen imbalance: plain={:.3} elb={:.3}",
+        spread(&m_plain),
+        spread(&m_elb)
+    );
+}
+
+#[test]
+fn determinism_same_seed_same_times() {
+    let run = || {
+        let mut d = driver(EngineConfig::default());
+        d.run_for_metrics(&groupby_synthetic(128.0), Action::Count).job_time()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must reproduce bit-identical times");
+}
+
+#[test]
+fn table1_prints() {
+    let cfg = EngineConfig::default();
+    let rows = cfg.table1();
+    assert_eq!(rows.len(), 5);
+}
+
+#[test]
+fn explain_renders_groupby_plan() {
+    let d = driver(EngineConfig::default().homogeneous());
+    let plan = d.explain(&groupby_synthetic(64.0), Action::Count);
+    assert!(plan.contains("Stage 1"));
+    assert!(plan.contains("Stage 2"));
+    assert!(plan.contains("groupByKey"));
+}
+
+#[test]
+fn job_output_shapes() {
+    let mut d = driver(EngineConfig::default().homogeneous());
+    let rdd = Rdd::source(Dataset::synthetic(1048576.0, 1048576.0, 100.0));
+    let (out, _) = d.run(&rdd, Action::Count);
+    let JobOutput { count, records, reduced } = out;
+    assert!(count > 0);
+    assert!(records.is_none(), "synthetic data cannot be collected");
+    assert!(reduced.is_none());
+}
+
+#[test]
+fn speculation_preserves_results_and_tames_stragglers() {
+    // A strongly skewed cluster: one class of very slow nodes.
+    let cfg = EngineConfig { speed_sigma: 0.6, seed: 4, ..EngineConfig::default() };
+    let job = || {
+        Rdd::source(Dataset::generated(512.0 * 1048576.0, 8.0 * 1048576.0, 100.0))
+            .map("gen", SizeModel::new(1.0, 1.0, 100e6), |r| r)
+            .group_by_key(Some(8), 1e9)
+    };
+    let mut plain = Driver::new(tiny(8), cfg.clone());
+    let m_plain = plain.run_for_metrics(&job(), Action::Count);
+    let mut spec = Driver::new(tiny(8), cfg.with_speculation());
+    let m_spec = spec.run_for_metrics(&job(), Action::Count);
+    // Same work accomplished (identical shuffle volume).
+    let vol = |m: &JobMetrics| -> f64 { m.tasks_in(Phase::Shuffling).map(|t| t.input_bytes).sum() };
+    assert!((vol(&m_plain) - vol(&m_spec)).abs() / vol(&m_plain) < 1e-6);
+    // Speculation should not hurt the compute phase.
+    assert!(
+        m_spec.phase_time(Phase::Compute) <= m_plain.phase_time(Phase::Compute) * 1.05,
+        "speculation {} vs plain {}",
+        m_spec.phase_time(Phase::Compute),
+        m_plain.phase_time(Phase::Compute)
+    );
+}
+
+#[test]
+fn export_round_trip() {
+    let mut d = driver(EngineConfig::default().homogeneous());
+    let m = d.run_for_metrics(&groupby_synthetic(64.0), Action::Count);
+    let csv = memres_core::export::tasks_csv(&m);
+    let durs = memres_core::export::durations_from_csv(&csv, "storing");
+    assert_eq!(durs.len(), m.tasks_in(Phase::Storing).count());
+    let json = memres_core::export::job_json(&m);
+    assert!(json.contains("\"tasks\""));
+}

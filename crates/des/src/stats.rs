@@ -1,0 +1,227 @@
+//! Small statistics toolkit used by the metrics layer and the figure harness:
+//! streaming moments, percentiles, and empirical CDFs.
+
+/// Streaming count/mean/variance/min/max (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.mean }
+    }
+
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.min }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.max }
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+/// Percentile by linear interpolation on a sorted copy. `q` in [0, 1].
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 0.5)
+}
+
+/// Empirical CDF: sorted (value, cumulative fraction) points suitable for
+/// printing figure series like the paper's Fig 12.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        let n = v.len() as f64;
+        let points = v
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (x, (i + 1) as f64 / n))
+            .collect();
+        Cdf { points }
+    }
+
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Fraction of samples <= x.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        match self.points.binary_search_by(|p| p.0.partial_cmp(&x).unwrap()) {
+            Ok(mut i) => {
+                // step to the last equal value
+                while i + 1 < self.points.len() && self.points[i + 1].0 <= x {
+                    i += 1;
+                }
+                self.points[i].1
+            }
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Smallest value v with CDF(v) >= q.
+    pub fn value_at(&self, q: f64) -> f64 {
+        for &(x, f) in &self.points {
+            if f >= q {
+                return x;
+            }
+        }
+        self.points.last().map(|p| p.0).unwrap_or(0.0)
+    }
+
+    /// Downsample to at most `n` points for compact printing.
+    pub fn sampled(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.points.len() <= n || n < 2 {
+            return self.points.clone();
+        }
+        let step = (self.points.len() - 1) as f64 / (n - 1) as f64;
+        (0..n)
+            .map(|i| self.points[(i as f64 * step).round() as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((median(&v) - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 1.0 / 3.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_fraction_and_quantile() {
+        let c = Cdf::from_values(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.fraction_at(5.0), 0.0);
+        assert_eq!(c.fraction_at(20.0), 0.5);
+        assert_eq!(c.fraction_at(100.0), 1.0);
+        assert_eq!(c.value_at(0.25), 10.0);
+        assert_eq!(c.value_at(1.0), 40.0);
+    }
+
+    #[test]
+    fn cdf_handles_duplicates() {
+        let c = Cdf::from_values(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(c.fraction_at(1.0), 0.75);
+    }
+
+    #[test]
+    fn cdf_sampled_keeps_ends() {
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let c = Cdf::from_values(&vals);
+        let s = c.sampled(11);
+        assert_eq!(s.len(), 11);
+        assert_eq!(s[0].0, 0.0);
+        assert_eq!(s[10].0, 999.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn online_mean_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let mut s = OnlineStats::new();
+            for &x in &xs { s.push(x); }
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((s.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+        }
+
+        #[test]
+        fn cdf_is_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let c = Cdf::from_values(&xs);
+            for w in c.points().windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+            prop_assert!((c.points().last().unwrap().1 - 1.0).abs() < 1e-12);
+        }
+    }
+}

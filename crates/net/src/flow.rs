@@ -1,0 +1,548 @@
+//! Max–min fair flow network.
+//!
+//! A [`FlowNet`] is a set of capacitated links and a set of flows, each flow
+//! traversing a fixed list of links. Whenever the active-flow set or a link
+//! capacity changes, rates are recomputed by progressive filling (water-
+//! filling): repeatedly saturate the link with the smallest fair share and
+//! freeze its flows at that rate. This is the standard fluid approximation
+//! used by flow-level network simulators and reproduces both NIC contention
+//! and shared-backbone (e.g. Lustre aggregate) bottlenecks.
+//!
+//! Flows carry FIFO *chunks*: independently tagged byte ranges whose
+//! completions are reported individually. The shuffle layer aggregates the
+//! per-(source,destination) traffic of many reduce tasks into one flow and
+//! uses chunk tags to learn when each task's piece has been delivered,
+//! keeping the event count linear in tasks rather than tasks × nodes.
+
+use memres_des::sim::Gen;
+use memres_des::time::{SimTime, NANOS_PER_SEC};
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+struct Chunk<T> {
+    remaining: f64,
+    tag: T,
+}
+
+struct Flow<T> {
+    links: Vec<LinkId>,
+    queue: VecDeque<Chunk<T>>,
+    rate: f64,
+    /// Remove the flow automatically when its queue drains.
+    auto_close: bool,
+}
+
+struct Link {
+    capacity: f64,
+}
+
+/// A chunk delivery notification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Delivered<T> {
+    pub flow: FlowId,
+    pub tag: T,
+}
+
+pub struct FlowNet<T> {
+    links: Vec<Link>,
+    flows: BTreeMap<u64, Flow<T>>,
+    next_flow: u64,
+    last: SimTime,
+    gen: Gen,
+    delivered: Vec<Delivered<T>>,
+    /// Count of rate recomputations (exposed for perf assertions in tests).
+    pub recomputes: u64,
+    /// Batch mode: defer recomputation until `end_batch`.
+    in_batch: bool,
+    batch_dirty: bool,
+}
+
+impl<T> Default for FlowNet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FlowNet<T> {
+    pub fn new() -> Self {
+        FlowNet {
+            links: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow: 0,
+            last: SimTime::ZERO,
+            gen: Gen::default(),
+            delivered: Vec::new(),
+            recomputes: 0,
+            in_batch: false,
+            batch_dirty: false,
+        }
+    }
+
+    /// Defer rate recomputation across a burst of flow operations (e.g. a
+    /// fetch task opening chunks to a hundred sources). Must be paired with
+    /// [`FlowNet::end_batch`].
+    pub fn start_batch(&mut self) {
+        self.in_batch = true;
+    }
+
+    pub fn end_batch(&mut self) {
+        self.in_batch = false;
+        if self.batch_dirty {
+            self.batch_dirty = false;
+            self.do_recompute();
+            self.gen.bump();
+        }
+    }
+
+    pub fn gen(&self) -> Gen {
+        self.gen
+    }
+
+    pub fn add_link(&mut self, capacity: f64) -> LinkId {
+        assert!(capacity > 0.0 && capacity.is_finite());
+        self.links.push(Link { capacity });
+        LinkId(self.links.len() as u32 - 1)
+    }
+
+    pub fn link_capacity(&self, link: LinkId) -> f64 {
+        self.links[link.0 as usize].capacity
+    }
+
+    pub fn set_link_capacity(&mut self, now: SimTime, link: LinkId, capacity: f64) {
+        assert!(capacity > 0.0 && capacity.is_finite());
+        self.advance(now);
+        if (self.links[link.0 as usize].capacity - capacity).abs() > f64::EPSILON {
+            self.links[link.0 as usize].capacity = capacity;
+            self.recompute();
+            self.gen.bump();
+        }
+    }
+
+    /// Open a flow along `links`. With `auto_close`, the flow disappears once
+    /// its last chunk is delivered; otherwise it idles awaiting more chunks.
+    pub fn open_flow(&mut self, now: SimTime, links: Vec<LinkId>, auto_close: bool) -> FlowId {
+        for l in &links {
+            assert!((l.0 as usize) < self.links.len(), "unknown link {l:?}");
+        }
+        self.advance(now);
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(
+            id.0,
+            Flow { links, queue: VecDeque::new(), rate: 0.0, auto_close },
+        );
+        // An empty flow does not consume bandwidth; no recompute needed yet.
+        id
+    }
+
+    /// Enqueue `bytes` on a flow; the `tag` comes back via [`FlowNet::poll`] when the
+    /// chunk has been fully delivered.
+    pub fn push_chunk(&mut self, now: SimTime, flow: FlowId, bytes: f64, tag: T) {
+        assert!(bytes >= 0.0 && bytes.is_finite());
+        self.advance(now);
+        let f = self.flows.get_mut(&flow.0).expect("push_chunk on unknown flow");
+        if bytes == 0.0 {
+            self.delivered.push(Delivered { flow, tag });
+            self.gen.bump();
+            return;
+        }
+        let was_idle = f.queue.is_empty();
+        f.queue.push_back(Chunk { remaining: bytes, tag });
+        if was_idle {
+            self.recompute();
+        }
+        self.gen.bump();
+    }
+
+    /// Drop a flow and any undelivered chunks (returns their tags).
+    pub fn close_flow(&mut self, now: SimTime, flow: FlowId) -> Vec<T> {
+        self.advance(now);
+        let Some(f) = self.flows.remove(&flow.0) else {
+            return Vec::new();
+        };
+        if !f.queue.is_empty() {
+            self.recompute();
+        }
+        self.gen.bump();
+        f.queue.into_iter().map(|c| c.tag).collect()
+    }
+
+    pub fn active_flows(&self) -> usize {
+        self.flows.values().filter(|f| !f.queue.is_empty()).count()
+    }
+
+    /// Advance fluid state to `now`, harvesting chunk completions along the
+    /// way. Rates are constant between recomputes, so in-interval chunk
+    /// completions are exact.
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last, "FlowNet clock went backwards");
+        let dt = now.since(self.last).as_secs_f64();
+        self.last = now;
+        if dt <= 0.0 {
+            return;
+        }
+        let mut any_emptied = false;
+        let mut closed: Vec<u64> = Vec::new();
+        for (&id, f) in self.flows.iter_mut() {
+            if f.queue.is_empty() || f.rate <= 0.0 {
+                continue;
+            }
+            let mut budget = f.rate * dt;
+            while budget > 0.0 {
+                let Some(head) = f.queue.front_mut() else { break };
+                // Tolerance: a chunk whose remainder is within rounding noise
+                // of the budget counts as delivered.
+                if head.remaining <= budget + 1e-6 {
+                    budget -= head.remaining;
+                    let c = f.queue.pop_front().unwrap();
+                    self.delivered.push(Delivered { flow: FlowId(id), tag: c.tag });
+                } else {
+                    head.remaining -= budget;
+                    budget = 0.0;
+                }
+            }
+            if f.queue.is_empty() {
+                any_emptied = true;
+                if f.auto_close {
+                    closed.push(id);
+                }
+            }
+        }
+        for id in closed {
+            self.flows.remove(&id);
+        }
+        if any_emptied {
+            self.recompute();
+        }
+    }
+
+    fn recompute(&mut self) {
+        if self.in_batch {
+            self.batch_dirty = true;
+            return;
+        }
+        self.do_recompute();
+    }
+
+    /// Progressive-filling (max–min fair) rate allocation.
+    fn do_recompute(&mut self) {
+        self.recomputes += 1;
+        let nl = self.links.len();
+        let mut remaining: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
+        let mut unfrozen_on: Vec<u32> = vec![0; nl];
+        // Active flows only.
+        let active: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| !f.queue.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        for &id in &active {
+            for l in &self.flows[&id].links {
+                unfrozen_on[l.0 as usize] += 1;
+            }
+        }
+        // Sentinel: unfrozen active flows carry a negative rate until the
+        // water-filling pass freezes them.
+        for &id in &active {
+            self.flows.get_mut(&id).unwrap().rate = -1.0;
+        }
+        // Each iteration saturates at least one link, so <= nl iterations.
+        loop {
+            // Find the bottleneck link: the smallest per-flow fair share.
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..nl {
+                if unfrozen_on[i] == 0 {
+                    continue;
+                }
+                let share = remaining[i].max(0.0) / unfrozen_on[i] as f64;
+                if best.is_none_or(|(_, s)| share < s) {
+                    best = Some((i, share));
+                }
+            }
+            let Some((bottleneck, share)) = best else { break };
+            // Freeze every unfrozen flow crossing the bottleneck at `share`.
+            for &id in &active {
+                let f = &self.flows[&id];
+                if f.rate >= 0.0 {
+                    continue;
+                }
+                if !f.links.iter().any(|l| l.0 as usize == bottleneck) {
+                    continue;
+                }
+                let links: Vec<LinkId> = f.links.clone();
+                self.flows.get_mut(&id).unwrap().rate = share;
+                for l in links {
+                    let li = l.0 as usize;
+                    remaining[li] -= share;
+                    unfrozen_on[li] -= 1;
+                }
+            }
+        }
+        // Flows crossing no saturated link in a net with spare capacity can't
+        // happen: every flow crosses >=1 link, and progressive filling always
+        // terminates by freezing all flows. Idle flows get rate 0.
+        for (_, f) in self.flows.iter_mut() {
+            if f.queue.is_empty() {
+                f.rate = 0.0;
+            }
+        }
+    }
+
+    /// Instant of the next chunk completion, or `None` when idle.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let mut best: Option<f64> = None;
+        for f in self.flows.values() {
+            if f.rate <= 0.0 {
+                continue;
+            }
+            if let Some(head) = f.queue.front() {
+                let dt = head.remaining / f.rate;
+                if best.is_none_or(|b| dt < b) {
+                    best = Some(dt);
+                }
+            }
+        }
+        best.map(|dt| {
+            let ns = dt * NANOS_PER_SEC as f64;
+            if ns >= (u64::MAX - self.last.0) as f64 {
+                SimTime::FAR_FUTURE
+            } else {
+                SimTime(self.last.0 + ns.ceil() as u64)
+            }
+        })
+    }
+
+    /// Advance to `now` and take the deliveries that are due.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Delivered<T>> {
+        self.advance(now);
+        if !self.delivered.is_empty() {
+            self.gen.bump();
+        }
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Current rate of a flow in bytes/sec (0 while idle). Test hook.
+    pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
+        self.flows.get(&flow.0).map(|f| f.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memres_des::time::SimDuration;
+
+    fn drain(net: &mut FlowNet<u32>) -> Vec<(SimTime, u32)> {
+        let mut out = Vec::new();
+        while let Some(t) = net.next_event() {
+            for d in net.poll(t) {
+                out.push((t, d.tag));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_flow_single_link() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(100.0);
+        let f = net.open_flow(SimTime::ZERO, vec![l], true);
+        net.push_chunk(SimTime::ZERO, f, 50.0, 1u32);
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].0.as_secs_f64() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(100.0);
+        let f1 = net.open_flow(SimTime::ZERO, vec![l], true);
+        let f2 = net.open_flow(SimTime::ZERO, vec![l], true);
+        net.push_chunk(SimTime::ZERO, f1, 50.0, 1u32);
+        net.push_chunk(SimTime::ZERO, f2, 50.0, 2u32);
+        assert!((net.flow_rate(f1).unwrap() - 50.0).abs() < 1e-9);
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 2);
+        for (t, _) in done {
+            assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bottleneck_elsewhere_frees_capacity() {
+        // f1: A(100) only. f2: A + B(10). Max-min: f2 limited to 10 by B,
+        // f1 then gets 90 on A.
+        let mut net = FlowNet::new();
+        let a = net.add_link(100.0);
+        let b = net.add_link(10.0);
+        let f1 = net.open_flow(SimTime::ZERO, vec![a], true);
+        let f2 = net.open_flow(SimTime::ZERO, vec![a, b], true);
+        net.push_chunk(SimTime::ZERO, f1, 90.0, 1u32);
+        net.push_chunk(SimTime::ZERO, f2, 10.0, 2u32);
+        assert!((net.flow_rate(f2).unwrap() - 10.0).abs() < 1e-9);
+        assert!((net.flow_rate(f1).unwrap() - 90.0).abs() < 1e-9);
+        let done = drain(&mut net);
+        // Both complete at t=1.0.
+        for (t, _) in done {
+            assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn departures_speed_up_survivors() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(100.0);
+        let f1 = net.open_flow(SimTime::ZERO, vec![l], true);
+        let f2 = net.open_flow(SimTime::ZERO, vec![l], true);
+        net.push_chunk(SimTime::ZERO, f1, 25.0, 1u32); // done at t=0.5 at rate 50
+        net.push_chunk(SimTime::ZERO, f2, 75.0, 2u32); // 25 by 0.5, then 50 @ 100/s -> t=1.0
+        let done = drain(&mut net);
+        assert_eq!(done[0].1, 1);
+        assert!((done[0].0.as_secs_f64() - 0.5).abs() < 1e-6);
+        assert_eq!(done[1].1, 2);
+        assert!((done[1].0.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chunks_deliver_fifo_with_individual_tags() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let f = net.open_flow(SimTime::ZERO, vec![l], false);
+        net.push_chunk(SimTime::ZERO, f, 10.0, 1u32);
+        net.push_chunk(SimTime::ZERO, f, 10.0, 2u32);
+        net.push_chunk(SimTime::ZERO, f, 10.0, 3u32);
+        let done = drain(&mut net);
+        assert_eq!(done.iter().map(|d| d.1).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!((done[2].0.as_secs_f64() - 3.0).abs() < 1e-6);
+        // Flow persists (not auto-close), idle at rate 0.
+        assert_eq!(net.flow_rate(f), Some(0.0));
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn idle_flow_consumes_no_bandwidth() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(100.0);
+        let _idle = net.open_flow(SimTime::ZERO, vec![l], false);
+        let f = net.open_flow(SimTime::ZERO, vec![l], true);
+        net.push_chunk(SimTime::ZERO, f, 100.0, 1u32);
+        assert!((net.flow_rate(f).unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_change_mid_flight() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(100.0);
+        let f = net.open_flow(SimTime::ZERO, vec![l], true);
+        net.push_chunk(SimTime::ZERO, f, 100.0, 1u32);
+        net.set_link_capacity(SimTime::from_secs_f64(0.5), l, 25.0);
+        let done = drain(&mut net);
+        // 50 left at t=0.5, rate 25 -> +2.0s.
+        assert!((done[0].0.as_secs_f64() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn close_flow_returns_pending_tags() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let f = net.open_flow(SimTime::ZERO, vec![l], false);
+        net.push_chunk(SimTime::ZERO, f, 100.0, 1u32);
+        net.push_chunk(SimTime::ZERO, f, 100.0, 2u32);
+        let pending = net.close_flow(SimTime::from_secs_f64(0.1), f);
+        assert_eq!(pending, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_byte_chunk_completes_immediately() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let f = net.open_flow(SimTime::ZERO, vec![l], false);
+        net.push_chunk(SimTime::ZERO, f, 0.0, 9u32);
+        let got = net.poll(SimTime::ZERO);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].tag, 9);
+    }
+
+    #[test]
+    fn late_arrival_shares_from_then_on() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(100.0);
+        let f1 = net.open_flow(SimTime::ZERO, vec![l], true);
+        net.push_chunk(SimTime::ZERO, f1, 100.0, 1u32);
+        let f2 = net.open_flow(SimTime::from_secs_f64(0.5), vec![l], true);
+        net.push_chunk(SimTime::from_secs_f64(0.5), f2, 50.0, 2u32);
+        let done = drain(&mut net);
+        // Both have 50 at t=0.5 sharing 100 -> both done at 1.5.
+        assert_eq!(done.len(), 2);
+        for (t, _) in done {
+            assert!((t.as_secs_f64() - 1.5).abs() < 1e-6);
+        }
+        let _ = SimDuration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// No link is ever oversubscribed, and every flow with queued bytes
+        /// gets a strictly positive rate (work conservation at the flow level).
+        #[test]
+        fn rates_feasible_and_positive(
+            caps in proptest::collection::vec(1.0f64..100.0, 1..6),
+            flows in proptest::collection::vec(
+                (proptest::collection::vec(any::<proptest::sample::Index>(), 1..4), 1.0f64..50.0),
+                1..20,
+            ),
+        ) {
+            let mut net: FlowNet<u32> = FlowNet::new();
+            let links: Vec<LinkId> = caps.iter().map(|&c| net.add_link(c)).collect();
+            let mut ids = Vec::new();
+            for (i, (link_sel, bytes)) in flows.iter().enumerate() {
+                let mut path: Vec<LinkId> =
+                    link_sel.iter().map(|ix| links[ix.index(links.len())]).collect();
+                path.sort();
+                path.dedup();
+                let f = net.open_flow(SimTime::ZERO, path, true);
+                net.push_chunk(SimTime::ZERO, f, *bytes, i as u32);
+                ids.push(f);
+            }
+            // Feasibility: sum of rates on each link <= capacity (+eps).
+            let mut used = vec![0.0f64; caps.len()];
+            for (&fid, _) in ids.iter().zip(flows.iter()) {
+                let rate = net.flow_rate(fid).unwrap();
+                prop_assert!(rate > 0.0, "active flow starved");
+                // Recover the path by re-deriving: rates are per flow; we
+                // can't read paths back, so recompute usage via flows input.
+            }
+            for ((link_sel, _), &fid) in flows.iter().zip(ids.iter()) {
+                let rate = net.flow_rate(fid).unwrap();
+                let mut path: Vec<usize> =
+                    link_sel.iter().map(|ix| ix.index(caps.len())).collect();
+                path.sort();
+                path.dedup();
+                for li in path {
+                    used[li] += rate;
+                }
+            }
+            for (u, c) in used.iter().zip(caps.iter()) {
+                prop_assert!(*u <= c * (1.0 + 1e-9) + 1e-9, "link oversubscribed: {u} > {c}");
+            }
+            // All chunks eventually deliver.
+            let mut count = 0;
+            while let Some(t) = net.next_event() {
+                count += net.poll(t).len();
+            }
+            prop_assert_eq!(count, flows.len());
+        }
+    }
+}

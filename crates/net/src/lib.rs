@@ -1,0 +1,14 @@
+//! # memres-net — flow-level network model
+//!
+//! A max–min fair, fluid ("flow-level") network simulator: links with fixed
+//! capacities, flows that traverse link paths, progressive-filling rate
+//! allocation, and FIFO chunked delivery so one flow can report many
+//! independently tagged completions. [`Fabric`] lays the cluster of
+//! `memres-cluster` out onto links (per-node NICs, rack uplinks, core, and
+//! the Lustre aggregate pipe).
+
+pub mod fabric;
+pub mod flow;
+
+pub use fabric::{inflate_for_requests, Endpoint, Fabric};
+pub use flow::{Delivered, FlowId, FlowNet, LinkId};

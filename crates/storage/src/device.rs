@@ -1,0 +1,264 @@
+//! Block-device models.
+//!
+//! All devices expose the same polled interface: submit tagged read/write
+//! requests, ask for the next internal event time, poll completions. Service
+//! is processor-shared per direction — the fluid analogue of many concurrent
+//! I/O streams splitting device bandwidth.
+
+use memres_des::ps::PsResource;
+use memres_des::sim::Gen;
+use memres_des::time::SimTime;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    Read,
+    Write,
+}
+
+/// A finished device request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoDone {
+    pub op: Op,
+    pub tag: u64,
+}
+
+/// Polled block-device interface (object-safe; tags are opaque u64s).
+pub trait Device {
+    /// Submit a request of `bytes`. Completion arrives via [`Device::poll`].
+    fn submit(&mut self, now: SimTime, op: Op, bytes: f64, tag: u64);
+    /// Advance internal state to `now` and take due completions.
+    fn poll(&mut self, now: SimTime) -> Vec<IoDone>;
+    /// Next instant at which internal state changes (completion or model
+    /// tick), or `None` when fully idle.
+    fn next_event(&self) -> Option<SimTime>;
+    /// Generation for the stale-wake idiom.
+    fn gen(&self) -> Gen;
+    /// Queue depth (in-flight requests), used by congestion observers.
+    fn queue_depth(&self) -> usize;
+    /// Peak sequential write bandwidth (for sizing decisions).
+    fn write_bandwidth(&self) -> f64;
+    /// Peak sequential read bandwidth.
+    fn read_bandwidth(&self) -> f64;
+    /// Read bandwidth given current internal state (e.g. SSD GC); defaults
+    /// to the peak value.
+    fn current_read_bandwidth(&self) -> f64 {
+        self.read_bandwidth()
+    }
+}
+
+/// Two independent PS channels (read + write) with fixed capacities — the
+/// shape shared by RAMDisk and HDD (and the SSD's steady "clean" mode).
+pub(crate) struct DualChannel {
+    pub read: PsResource<u64>,
+    pub write: PsResource<u64>,
+    gen: Gen,
+}
+
+impl DualChannel {
+    pub fn new(read_bw: f64, write_bw: f64) -> Self {
+        DualChannel {
+            read: PsResource::new(read_bw),
+            write: PsResource::new(write_bw),
+            gen: Gen::default(),
+        }
+    }
+
+    pub fn submit(&mut self, now: SimTime, op: Op, bytes: f64, tag: u64) {
+        match op {
+            Op::Read => self.read.add(now, bytes, tag),
+            Op::Write => self.write.add(now, bytes, tag),
+        };
+        self.gen.bump();
+    }
+
+    pub fn poll(&mut self, now: SimTime) -> Vec<IoDone> {
+        let mut out: Vec<IoDone> = self
+            .read
+            .poll(now)
+            .into_iter()
+            .map(|(_, tag)| IoDone { op: Op::Read, tag })
+            .collect();
+        out.extend(
+            self.write
+                .poll(now)
+                .into_iter()
+                .map(|(_, tag)| IoDone { op: Op::Write, tag }),
+        );
+        if !out.is_empty() {
+            self.gen.bump();
+        }
+        out
+    }
+
+    pub fn next_event(&self) -> Option<SimTime> {
+        match (self.read.next_completion(), self.write.next_completion()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    pub fn gen(&self) -> Gen {
+        self.gen
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.read.load() + self.write.load()
+    }
+}
+
+/// RAMDisk: tmpfs-style storage at memory bandwidth. The paper reserves
+/// 32 GB/node for it and backs both HDFS DataNodes and shuffle stores with it
+/// in the data-centric configuration.
+pub struct RamDisk {
+    ch: DualChannel,
+    read_bw: f64,
+    write_bw: f64,
+}
+
+impl RamDisk {
+    pub fn new(read_bw: f64, write_bw: f64) -> Self {
+        RamDisk { ch: DualChannel::new(read_bw, write_bw), read_bw, write_bw }
+    }
+
+    /// Calibrated default: a slice of one socket's memory bandwidth that the
+    /// OS gives tmpfs under concurrent access.
+    pub fn hyperion() -> Self {
+        RamDisk::new(6.0e9, 4.0e9)
+    }
+}
+
+impl Device for RamDisk {
+    fn submit(&mut self, now: SimTime, op: Op, bytes: f64, tag: u64) {
+        self.ch.submit(now, op, bytes, tag);
+    }
+    fn poll(&mut self, now: SimTime) -> Vec<IoDone> {
+        self.ch.poll(now)
+    }
+    fn next_event(&self) -> Option<SimTime> {
+        self.ch.next_event()
+    }
+    fn gen(&self) -> Gen {
+        self.ch.gen()
+    }
+    fn queue_depth(&self) -> usize {
+        self.ch.queue_depth()
+    }
+    fn write_bandwidth(&self) -> f64 {
+        self.write_bw
+    }
+    fn read_bandwidth(&self) -> f64 {
+        self.read_bw
+    }
+}
+
+/// Spinning disk: single spindle, so reads and writes share ONE channel.
+/// Not used by the paper's testbed (Hyperion nodes have no local HDD) but
+/// provided for completeness of the hierarchical-storage story.
+pub struct Hdd {
+    ps: PsResource<(Op, u64)>,
+    gen: Gen,
+    bw: f64,
+}
+
+impl Hdd {
+    pub fn new(bandwidth: f64) -> Self {
+        Hdd { ps: PsResource::new(bandwidth), gen: Gen::default(), bw: bandwidth }
+    }
+}
+
+impl Device for Hdd {
+    fn submit(&mut self, now: SimTime, op: Op, bytes: f64, tag: u64) {
+        self.ps.add(now, bytes, (op, tag));
+        self.gen.bump();
+    }
+    fn poll(&mut self, now: SimTime) -> Vec<IoDone> {
+        let done: Vec<IoDone> = self
+            .ps
+            .poll(now)
+            .into_iter()
+            .map(|(_, (op, tag))| IoDone { op, tag })
+            .collect();
+        if !done.is_empty() {
+            self.gen.bump();
+        }
+        done
+    }
+    fn next_event(&self) -> Option<SimTime> {
+        self.ps.next_completion()
+    }
+    fn gen(&self) -> Gen {
+        self.gen
+    }
+    fn queue_depth(&self) -> usize {
+        self.ps.load()
+    }
+    fn write_bandwidth(&self) -> f64 {
+        self.bw
+    }
+    fn read_bandwidth(&self) -> f64 {
+        self.bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(d: &mut dyn Device) -> Vec<(SimTime, IoDone)> {
+        let mut out = Vec::new();
+        while let Some(t) = d.next_event() {
+            for io in d.poll(t) {
+                out.push((t, io));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ramdisk_reads_and_writes_are_independent() {
+        let mut d = RamDisk::new(100.0, 50.0);
+        d.submit(SimTime::ZERO, Op::Read, 100.0, 1);
+        d.submit(SimTime::ZERO, Op::Write, 50.0, 2);
+        let done = drain(&mut d);
+        // Both finish at t=1.0: separate channels, no interference.
+        assert_eq!(done.len(), 2);
+        for (t, _) in &done {
+            assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hdd_reads_and_writes_interfere() {
+        let mut d = Hdd::new(100.0);
+        d.submit(SimTime::ZERO, Op::Read, 100.0, 1);
+        d.submit(SimTime::ZERO, Op::Write, 100.0, 2);
+        let done = drain(&mut d);
+        // Shared spindle: both take 2 s.
+        for (t, _) in &done {
+            assert!((t.as_secs_f64() - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn queue_depth_tracks_in_flight() {
+        let mut d = RamDisk::new(10.0, 10.0);
+        assert_eq!(d.queue_depth(), 0);
+        d.submit(SimTime::ZERO, Op::Write, 100.0, 1);
+        d.submit(SimTime::ZERO, Op::Read, 100.0, 2);
+        assert_eq!(d.queue_depth(), 2);
+        drain(&mut d);
+        assert_eq!(d.queue_depth(), 0);
+    }
+
+    #[test]
+    fn gen_bumps_on_submit_and_completion() {
+        let mut d = RamDisk::new(10.0, 10.0);
+        let g0 = d.gen();
+        d.submit(SimTime::ZERO, Op::Write, 10.0, 1);
+        let g1 = d.gen();
+        assert_ne!(g0, g1);
+        let t = d.next_event().unwrap();
+        d.poll(t);
+        assert_ne!(d.gen(), g1);
+    }
+}

@@ -1,0 +1,537 @@
+//! Local filesystem: a page cache in front of a block device.
+//!
+//! This is the ext4-on-SSD / tmpfs mount that DataNodes and shuffle stores
+//! sit on. The write-back page cache is what makes the paper's Fig 8a
+//! plateau: up to ~600 GB of aggregate intermediate data, "using SSD ...
+//! achieves comparable performance as RAMDisk due to the caching effects
+//! from the file system"; past the cache capacity, writes hit the device.
+//!
+//! Model summary:
+//! * Writes that fit in free cache complete at memory speed and are flushed
+//!   to the device in the background (one in-flight flush chunk at a time).
+//! * Writes that do not fit go write-through, at device speed, competing
+//!   with the flusher and any reads.
+//! * Reads are served at memory speed for the resident fraction of a file
+//!   and at device speed for the rest; files are evicted clean-first, LRU.
+
+use crate::device::{Device, IoDone, Op};
+use memres_des::ps::PsResource;
+use memres_des::sim::Gen;
+use memres_des::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Completed filesystem operation (user-visible).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsDone {
+    pub tag: u64,
+    pub op: Op,
+}
+
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Page-cache capacity in bytes (Hyperion: tens of GB of the 64 GB DRAM).
+    pub capacity: f64,
+    /// Memory copy bandwidth for cache hits.
+    pub mem_bw: f64,
+    /// Flush chunk granularity.
+    pub flush_chunk: f64,
+}
+
+impl CacheConfig {
+    pub fn hyperion() -> Self {
+        const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+        CacheConfig { capacity: 20.0 * GB, mem_bw: 3.0 * GB, flush_chunk: 64.0 * 1024.0 * 1024.0 }
+    }
+}
+
+#[derive(Default)]
+struct CachedFile {
+    resident: f64,
+    dirty: f64,
+}
+
+struct PageCache {
+    cfg: CacheConfig,
+    files: HashMap<FileId, CachedFile>,
+    lru: VecDeque<FileId>,
+    resident_total: f64,
+    dirty_total: f64,
+    /// FIFO of dirty segments awaiting flush.
+    flush_queue: VecDeque<(FileId, f64)>,
+    /// In-flight flush: (file, bytes) under the internal device tag.
+    flush_inflight: Option<(FileId, f64)>,
+}
+
+impl PageCache {
+    fn new(cfg: CacheConfig) -> Self {
+        PageCache {
+            cfg,
+            files: HashMap::new(),
+            lru: VecDeque::new(),
+            resident_total: 0.0,
+            dirty_total: 0.0,
+            flush_queue: VecDeque::new(),
+            flush_inflight: None,
+        }
+    }
+
+    fn touch(&mut self, file: FileId) {
+        if let Some(pos) = self.lru.iter().position(|&f| f == file) {
+            self.lru.remove(pos);
+        }
+        self.lru.push_back(file);
+    }
+
+    /// Evict clean bytes (LRU) until `needed` bytes are free, best-effort.
+    fn evict_for(&mut self, needed: f64) {
+        let mut i = 0;
+        while self.cfg.capacity - self.resident_total < needed && i < self.lru.len() {
+            let file = self.lru[i];
+            let f = self.files.get_mut(&file).expect("lru entry without file");
+            let clean = (f.resident - f.dirty).max(0.0);
+            let take = clean.min(needed - (self.cfg.capacity - self.resident_total));
+            if take > 0.0 {
+                f.resident -= take;
+                self.resident_total -= take;
+            }
+            if f.resident <= 1e-6 && f.dirty <= 1e-6 {
+                self.files.remove(&file);
+                self.lru.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn free(&self) -> f64 {
+        self.cfg.capacity - self.resident_total
+    }
+
+    fn resident_of(&self, file: FileId) -> f64 {
+        self.files.get(&file).map_or(0.0, |f| f.resident)
+    }
+
+    fn absorb_write(&mut self, file: FileId, bytes: f64) {
+        let f = self.files.entry(file).or_default();
+        f.resident += bytes;
+        f.dirty += bytes;
+        self.resident_total += bytes;
+        self.dirty_total += bytes;
+        self.flush_queue.push_back((file, bytes));
+        self.touch(file);
+    }
+
+    fn drop_file(&mut self, file: FileId) {
+        if let Some(f) = self.files.remove(&file) {
+            self.resident_total -= f.resident;
+            self.dirty_total -= f.dirty;
+            if let Some(pos) = self.lru.iter().position(|&x| x == file) {
+                self.lru.remove(pos);
+            }
+        }
+        self.flush_queue.retain(|&(fid, _)| fid != file);
+        // An in-flight flush for the file is left to finish harmlessly.
+    }
+}
+
+enum SubOp {
+    /// Whole user write that went write-through on the device.
+    UserWrite { tag: u64 },
+    /// Device part of a user read; may be joined with a mem part.
+    UserReadPart { tag: u64 },
+    /// Background flush chunk.
+    Flush,
+}
+
+/// A local filesystem mount on one node.
+pub struct LocalFs {
+    device: Box<dyn Device>,
+    cache: Option<PageCache>,
+    /// Memory-speed channel for cache hits/absorbed writes.
+    mem: PsResource<(u64, Op)>,
+    capacity: f64,
+    used: f64,
+    files: HashMap<FileId, f64>,
+    /// Device-tag -> suboperation bookkeeping.
+    subs: HashMap<u64, SubOp>,
+    next_sub: u64,
+    /// user read tag -> outstanding part count.
+    read_join: HashMap<u64, u8>,
+    done: Vec<FsDone>,
+    gen: Gen,
+}
+
+impl LocalFs {
+    pub fn new(device: Box<dyn Device>, capacity: f64, cache: Option<CacheConfig>) -> Self {
+        let mem_bw = cache.as_ref().map(|c| c.mem_bw).unwrap_or(1.0);
+        LocalFs {
+            device,
+            cache: cache.map(PageCache::new),
+            mem: PsResource::new(mem_bw),
+            capacity,
+            used: 0.0,
+            files: HashMap::new(),
+            subs: HashMap::new(),
+            next_sub: 0,
+            read_join: HashMap::new(),
+            done: Vec::new(),
+            gen: Gen::default(),
+        }
+    }
+
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    pub fn free(&self) -> f64 {
+        self.capacity - self.used
+    }
+
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    pub fn file_size(&self, file: FileId) -> Option<f64> {
+        self.files.get(&file).copied()
+    }
+
+    pub fn device(&self) -> &dyn Device {
+        self.device.as_ref()
+    }
+
+    /// In-flight request count at the device (congestion signal for CAD).
+    pub fn device_queue_depth(&self) -> usize {
+        self.device.queue_depth()
+    }
+
+    fn sub_tag(&mut self, op: SubOp) -> u64 {
+        let t = self.next_sub;
+        self.next_sub += 1;
+        self.subs.insert(t, op);
+        t
+    }
+
+    /// Append `bytes` to `file`. Completion arrives via [`LocalFs::poll`].
+    ///
+    /// Capacity is enforced: writes beyond capacity panic, because callers
+    /// (HDFS placement, shuffle store) are expected to check `free()` first —
+    /// matching the paper's observation that RAMDisk-backed HDFS simply
+    /// cannot host more than ~1.2 TB of intermediate data.
+    pub fn write(&mut self, now: SimTime, file: FileId, bytes: f64, tag: u64) {
+        assert!(bytes >= 0.0);
+        assert!(
+            self.used + bytes <= self.capacity * (1.0 + 1e-9),
+            "LocalFs over capacity: used={} + {} > {}",
+            self.used,
+            bytes,
+            self.capacity
+        );
+        self.used += bytes;
+        *self.files.entry(file).or_insert(0.0) += bytes;
+        self.gen.bump();
+        match &mut self.cache {
+            Some(cache) => {
+                cache.evict_for(bytes);
+                if cache.free() >= bytes {
+                    cache.absorb_write(file, bytes);
+                    self.mem.add(now, bytes, (tag, Op::Write));
+                    self.kick_flusher(now);
+                } else {
+                    // Write-through under cache pressure.
+                    let st = self.sub_tag(SubOp::UserWrite { tag });
+                    self.device.submit(now, Op::Write, bytes, st);
+                }
+            }
+            None => {
+                let st = self.sub_tag(SubOp::UserWrite { tag });
+                self.device.submit(now, Op::Write, bytes, st);
+            }
+        }
+    }
+
+    /// Read `bytes` of `file` (must exist with at least that many bytes).
+    pub fn read(&mut self, now: SimTime, file: FileId, bytes: f64, tag: u64) {
+        assert!(bytes >= 0.0);
+        let size = self.files.get(&file).copied().unwrap_or(0.0);
+        assert!(
+            bytes <= size * (1.0 + 1e-9) + 1.0,
+            "read past EOF: {bytes} of {size} in {file:?}"
+        );
+        self.gen.bump();
+        let hit = match &mut self.cache {
+            Some(cache) => {
+                let h = cache.resident_of(file).min(bytes);
+                cache.touch(file);
+                h
+            }
+            None => 0.0,
+        };
+        let miss = bytes - hit;
+        let mut parts = 0u8;
+        if hit > 0.0 || miss == 0.0 {
+            self.mem.add(now, hit, (tag, Op::Read));
+            parts += 1;
+        }
+        if miss > 0.0 {
+            let st = self.sub_tag(SubOp::UserReadPart { tag });
+            self.device.submit(now, Op::Read, miss, st);
+            parts += 1;
+        }
+        self.read_join.insert(tag, parts);
+    }
+
+    /// Register a pre-existing file instantly (no simulated I/O): used to
+    /// lay out input datasets before a run. Not cache-resident.
+    pub fn preload(&mut self, file: FileId, bytes: f64) {
+        assert!(bytes >= 0.0);
+        assert!(
+            self.used + bytes <= self.capacity * (1.0 + 1e-9),
+            "preload over capacity"
+        );
+        self.used += bytes;
+        *self.files.entry(file).or_insert(0.0) += bytes;
+    }
+
+    /// Remove a file, freeing space and cache residency instantly.
+    pub fn delete(&mut self, file: FileId) {
+        if let Some(size) = self.files.remove(&file) {
+            self.used -= size;
+            if let Some(cache) = &mut self.cache {
+                cache.drop_file(file);
+            }
+            self.gen.bump();
+        }
+    }
+
+    fn kick_flusher(&mut self, now: SimTime) {
+        let Some(cache) = &mut self.cache else { return };
+        if cache.flush_inflight.is_some() {
+            return;
+        }
+        // Coalesce queued dirty segments up to the flush chunk size.
+        let mut chunk = 0.0;
+        let mut file = None;
+        while chunk < cache.cfg.flush_chunk {
+            let Some(&(f, b)) = cache.flush_queue.front() else { break };
+            if file.is_some() && file != Some(f) {
+                break;
+            }
+            file = Some(f);
+            let room = cache.cfg.flush_chunk - chunk;
+            if b <= room {
+                chunk += b;
+                cache.flush_queue.pop_front();
+            } else {
+                chunk += room;
+                cache.flush_queue.front_mut().unwrap().1 -= room;
+            }
+        }
+        if let Some(f) = file {
+            cache.flush_inflight = Some((f, chunk));
+            let st = self.sub_tag(SubOp::Flush);
+            self.device.submit(now, Op::Write, chunk, st);
+        }
+    }
+
+    /// Advance to `now`, returning completed user operations.
+    pub fn poll(&mut self, now: SimTime) -> Vec<FsDone> {
+        // Memory-speed completions.
+        for (_, (tag, op)) in self.mem.poll(now) {
+            match op {
+                Op::Write => self.done.push(FsDone { tag, op: Op::Write }),
+                Op::Read => self.finish_read_part(tag),
+            }
+        }
+        // Device completions.
+        let io: Vec<IoDone> = self.device.poll(now);
+        for d in io {
+            match self.subs.remove(&d.tag) {
+                Some(SubOp::UserWrite { tag }) => {
+                    self.done.push(FsDone { tag, op: Op::Write })
+                }
+                Some(SubOp::UserReadPart { tag }) => self.finish_read_part(tag),
+                Some(SubOp::Flush) => {
+                    if let Some(cache) = &mut self.cache {
+                        if let Some((file, bytes)) = cache.flush_inflight.take() {
+                            cache.dirty_total = (cache.dirty_total - bytes).max(0.0);
+                            if let Some(f) = cache.files.get_mut(&file) {
+                                f.dirty = (f.dirty - bytes).max(0.0);
+                            }
+                        }
+                    }
+                    self.kick_flusher(now);
+                }
+                None => panic!("device completion for unknown sub-op {}", d.tag),
+            }
+        }
+        if !self.done.is_empty() {
+            self.gen.bump();
+        }
+        std::mem::take(&mut self.done)
+    }
+
+    fn finish_read_part(&mut self, tag: u64) {
+        let remaining = self.read_join.get_mut(&tag).expect("read join missing");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.read_join.remove(&tag);
+            self.done.push(FsDone { tag, op: Op::Read });
+        }
+    }
+
+    pub fn next_event(&self) -> Option<SimTime> {
+        let a = self.mem.next_completion();
+        let b = self.device.next_event();
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
+    }
+
+    pub fn gen(&self) -> Gen {
+        self.gen
+    }
+
+    /// Cache-resident bytes of a file (test/diagnostic hook).
+    pub fn cached_bytes(&self, file: FileId) -> f64 {
+        self.cache.as_ref().map_or(0.0, |c| c.resident_of(file))
+    }
+
+    pub fn dirty_bytes(&self) -> f64 {
+        self.cache.as_ref().map_or(0.0, |c| c.dirty_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::RamDisk;
+    use crate::ssd::{Ssd, SsdConfig};
+
+    fn run_until_tag(fs: &mut LocalFs, want: u64) -> SimTime {
+        loop {
+            let t = fs.next_event().expect("fs went idle before completion");
+            if fs.poll(t).iter().any(|d| d.tag == want) {
+                return t;
+            }
+        }
+    }
+
+    fn ssd_fs(cache: Option<CacheConfig>) -> LocalFs {
+        LocalFs::new(Box::new(Ssd::new(SsdConfig::test_small())), 1e9, cache)
+    }
+
+    fn small_cache() -> CacheConfig {
+        CacheConfig { capacity: 100.0, mem_bw: 10_000.0, flush_chunk: 25.0 }
+    }
+
+    #[test]
+    fn cached_write_is_memory_speed() {
+        let mut fs = ssd_fs(Some(small_cache()));
+        fs.write(SimTime::ZERO, FileId(1), 50.0, 1);
+        let t = run_until_tag(&mut fs, 1);
+        // 50 bytes at mem_bw 10_000/s: ~5ms, far faster than device 100/s.
+        assert!(t.as_secs_f64() < 0.05, "took {t}");
+        assert_eq!(fs.used(), 50.0);
+    }
+
+    #[test]
+    fn overflow_write_hits_device() {
+        let mut fs = ssd_fs(Some(small_cache()));
+        // Fill the cache with dirty data (cannot be evicted until flushed).
+        fs.write(SimTime::ZERO, FileId(1), 100.0, 1);
+        fs.write(SimTime::ZERO, FileId(2), 100.0, 2);
+        let t = run_until_tag(&mut fs, 2);
+        // The second write must go through the device (100 bytes competing
+        // with the flusher at ~100-400/s): decidedly slower than memory speed.
+        assert!(t.as_secs_f64() > 0.2, "took {t}");
+    }
+
+    #[test]
+    fn read_of_cached_file_is_fast() {
+        let mut fs = ssd_fs(Some(small_cache()));
+        fs.write(SimTime::ZERO, FileId(1), 50.0, 1);
+        let t1 = run_until_tag(&mut fs, 1);
+        fs.read(t1, FileId(1), 50.0, 2);
+        let t2 = run_until_tag(&mut fs, 2);
+        assert!(t2.since(t1).as_secs_f64() < 0.05, "read took {}", t2.since(t1));
+    }
+
+    #[test]
+    fn read_of_evicted_file_hits_device() {
+        let mut fs = LocalFs::new(
+            Box::new(RamDisk::new(100.0, 100.0)),
+            1e9,
+            Some(small_cache()),
+        );
+        fs.write(SimTime::ZERO, FileId(1), 80.0, 1);
+        let t1 = run_until_tag(&mut fs, 1);
+        // Let the flusher clean file 1, then write file 2 to evict it.
+        let mut now = t1;
+        while fs.dirty_bytes() > 0.0 {
+            let t = fs.next_event().unwrap();
+            fs.poll(t);
+            now = t;
+        }
+        fs.write(now, FileId(2), 90.0, 2);
+        let t2 = run_until_tag(&mut fs, 2);
+        assert!(fs.cached_bytes(FileId(1)) < 80.0, "file1 should be (partly) evicted");
+        fs.read(t2, FileId(1), 80.0, 3);
+        let t3 = run_until_tag(&mut fs, 3);
+        // Mostly device speed (100 B/s): takes ~0.7s+.
+        assert!(t3.since(t2).as_secs_f64() > 0.5, "read took {}", t3.since(t2));
+    }
+
+    #[test]
+    fn no_cache_means_device_speed_writes() {
+        let mut fs = LocalFs::new(Box::new(RamDisk::new(100.0, 100.0)), 1e9, None);
+        fs.write(SimTime::ZERO, FileId(1), 100.0, 7);
+        let t = run_until_tag(&mut fs, 7);
+        assert!((t.as_secs_f64() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let mut fs = LocalFs::new(Box::new(RamDisk::new(100.0, 100.0)), 150.0, None);
+        fs.write(SimTime::ZERO, FileId(1), 100.0, 1);
+        run_until_tag(&mut fs, 1);
+        assert_eq!(fs.free(), 50.0);
+        fs.delete(FileId(1));
+        assert_eq!(fs.free(), 150.0);
+        assert_eq!(fs.file_size(FileId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn capacity_is_enforced() {
+        let mut fs = LocalFs::new(Box::new(RamDisk::new(100.0, 100.0)), 10.0, None);
+        fs.write(SimTime::ZERO, FileId(1), 11.0, 1);
+    }
+
+    #[test]
+    fn flusher_drains_dirty_data() {
+        let mut fs = ssd_fs(Some(small_cache()));
+        fs.write(SimTime::ZERO, FileId(1), 100.0, 1);
+        run_until_tag(&mut fs, 1);
+        assert!(fs.dirty_bytes() > 0.0);
+        while let Some(t) = fs.next_event() {
+            fs.poll(t);
+            if fs.dirty_bytes() == 0.0 {
+                break;
+            }
+        }
+        assert_eq!(fs.dirty_bytes(), 0.0);
+    }
+
+    #[test]
+    fn zero_byte_read_completes() {
+        let mut fs = LocalFs::new(Box::new(RamDisk::new(100.0, 100.0)), 1e9, None);
+        fs.write(SimTime::ZERO, FileId(1), 10.0, 1);
+        run_until_tag(&mut fs, 1);
+        fs.read(SimTime::from_secs_f64(1.0), FileId(1), 0.0, 2);
+        run_until_tag(&mut fs, 2);
+    }
+}

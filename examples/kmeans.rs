@@ -1,0 +1,41 @@
+//! kMeans — one of the GroupBy-family applications the paper names (§III-B)
+//! — as real Lloyd iterations over a memory-resident cached point set.
+//!
+//! Run with: `cargo run --release --example kmeans`
+
+use memres::core::prelude::*;
+use memres::workloads::KMeans;
+use memres_des::units::MB;
+use std::sync::Arc;
+
+fn main() {
+    let cluster = memres::cluster::tiny(4);
+    let mut driver = Driver::new(cluster, EngineConfig::default().homogeneous());
+
+    let km = KMeans { dims: 2, iterations: 8, ..KMeans::new(2.0 * MB, 3) };
+    let (points, assign) = km.build_real(3000, 99);
+
+    let mut centroids = Arc::new(vec![vec![-1.5, -1.5], vec![0.0, 0.2], vec![1.5, 1.5]]);
+    println!("iter |  job time | centroid shift");
+    for it in 0..km.iterations {
+        let job = assign(&points, centroids.clone());
+        let (out, metrics) = driver.run(&job, Action::Collect);
+        let next = km.centroids_from(&out.records.expect("collect returns accumulators"));
+        let shift: f64 = next
+            .iter()
+            .zip(centroids.iter())
+            .map(|(a, b)| a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>())
+            .sum::<f64>()
+            .sqrt();
+        centroids = Arc::new(next);
+        println!("{it:4} | {:>8.3}s | {shift:.5}", metrics.job_time());
+        if shift < 1e-4 {
+            println!("converged after {} iterations", it + 1);
+            break;
+        }
+    }
+    println!("\nfinal centroids:");
+    for (i, c) in centroids.iter().enumerate() {
+        println!("  c{i}: [{:+.3}, {:+.3}]", c[0], c[1]);
+    }
+}

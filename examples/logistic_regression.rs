@@ -1,0 +1,57 @@
+//! Iterative machine learning on a memory-resident dataset — the paper's LR
+//! benchmark (§III-B, Fig 4c), with real gradient descent that converges.
+//!
+//! Demonstrates the memory-resident RDD feature: iteration 1 parses and
+//! caches the points; iterations 2+ read the cache at memory speed with
+//! perfect locality, exactly like Spark.
+//!
+//! Run with: `cargo run --release --example logistic_regression`
+
+use memres::core::prelude::*;
+use memres::workloads::LogisticRegression;
+use memres_des::units::MB;
+use std::sync::Arc;
+
+fn main() {
+    let cluster = memres::cluster::tiny(4);
+    let mut driver = Driver::new(cluster, EngineConfig::default().homogeneous());
+
+    let dims = 6;
+    let lr = LogisticRegression { dims, iterations: 5, ..LogisticRegression::new(2.0 * MB) };
+    let (points, gradient_job, sum_action) = lr.build_real(4000, 42);
+
+    let mut weights = Arc::new(vec![0.0_f64; dims]);
+    let step = 1.0 / 4000.0;
+
+    println!("iter |     job time | grad norm | weights (first 4)");
+    for it in 0..lr.iterations {
+        let job = gradient_job(&points, weights.clone());
+        let (out, metrics) = driver.run(&job, sum_action.clone());
+        let grad = out.reduced.expect("LR reduces to a gradient").as_vec().to_vec();
+        let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+        weights = Arc::new(
+            weights.iter().zip(grad.iter()).map(|(w, g)| w - step * g).collect(),
+        );
+        println!(
+            "{it:4} | {:>9.3}s   | {norm:>9.1} | {:?}",
+            metrics.job_time(),
+            &weights[..4.min(dims)]
+        );
+        if it == 0 {
+            println!("     '- cold: parsed input + populated the block-manager cache");
+        }
+    }
+
+    // The generator plants alternating-sign truth [+,-,+,-,...]: the learned
+    // weights recover the signs.
+    for (i, w) in weights.iter().enumerate() {
+        let expected_positive = i % 2 == 0;
+        assert_eq!(
+            *w > 0.0,
+            expected_positive,
+            "weight {i} should be {}",
+            if expected_positive { "positive" } else { "negative" }
+        );
+    }
+    println!("\nconverged: learned weight signs match the planted model");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build an RDD pipeline, run it on a simulated HPC cluster,
+//! and read back both the (real) result and the performance metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use memres::core::prelude::*;
+
+fn main() {
+    // A 4-node test cluster (use `memres::cluster::hyperion()` for the
+    // paper's 100-node LLNL testbed).
+    let cluster = memres::cluster::tiny(4);
+
+    // Engine configured like the paper's data-centric setup: HDFS on
+    // RAMDisk, local shuffle store.
+    let config = EngineConfig::default().homogeneous();
+    let mut driver = Driver::new(cluster, config);
+
+    // Real data: word-count over a tiny corpus.
+    let words = "the quick brown fox jumps over the lazy dog the fox";
+    let records: Vec<Record> = words
+        .split_whitespace()
+        .map(|w| (Value::Null, Value::str(w)))
+        .collect();
+
+    let counts = Rdd::source(Dataset::from_records(records, 4))
+        .map("kv", SizeModel::scan(), |(_, word)| (word, Value::I64(1)))
+        .reduce_by_key(Some(2), 1e9, 1.0, |a, b| Value::I64(a.as_i64() + b.as_i64()));
+
+    // Print the execution plan (paper Fig 3/4 style).
+    println!("{}", driver.explain(&counts, Action::Collect));
+
+    let (output, metrics) = driver.run(&counts, Action::Collect);
+    let mut rows: Vec<(String, i64)> = output
+        .records
+        .expect("real data collects")
+        .into_iter()
+        .map(|(k, v)| (k.as_str().to_string(), v.as_i64()))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    println!("word counts:");
+    for (word, n) in &rows {
+        println!("  {word:>8} {n}");
+    }
+    assert_eq!(rows[0], ("the".to_string(), 3));
+
+    println!("\nsimulated job time: {:.3}s", metrics.job_time());
+    println!(
+        "phases: compute {:.3}s | storing {:.3}s | shuffling {:.3}s",
+        metrics.phase_time(Phase::Compute),
+        metrics.phase_time(Phase::Storing),
+        metrics.phase_time(Phase::Shuffling),
+    );
+}

@@ -1,0 +1,14 @@
+//! # memres
+//!
+//! Umbrella crate re-exporting the whole memory-resident MapReduce stack.
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-reproduction results.
+
+pub use memres_cluster as cluster;
+pub use memres_core as core;
+pub use memres_des as des;
+pub use memres_hdfs as hdfs;
+pub use memres_lustre as lustre;
+pub use memres_net as net;
+pub use memres_storage as storage;
+pub use memres_workloads as workloads;

@@ -1,0 +1,117 @@
+//! Cross-crate correctness: real jobs must produce identical results no
+//! matter which simulated storage architecture, scheduler, or optimization
+//! executes them — performance models may change timing, never answers.
+
+use memres::cluster::tiny;
+use memres::core::prelude::*;
+use memres::workloads::datagen;
+use std::collections::HashMap;
+
+fn wordcount(cfg: EngineConfig) -> HashMap<String, i64> {
+    let mut driver = Driver::new(tiny(4), cfg);
+    let recs: Vec<Record> = datagen::text_lines(300, 7)
+        .into_iter()
+        .flat_map(|(_, line)| {
+            line.as_str()
+                .split_whitespace()
+                .map(|w| (Value::str(w), Value::I64(1)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let rdd = Rdd::source(Dataset::from_records(recs, 6)).reduce_by_key(
+        Some(3),
+        1e9,
+        1.0,
+        |a, b| Value::I64(a.as_i64() + b.as_i64()),
+    );
+    let (out, _) = driver.run(&rdd, Action::Collect);
+    out.records
+        .expect("real job collects")
+        .into_iter()
+        .map(|(k, v)| (k.as_str().to_string(), v.as_i64()))
+        .collect()
+}
+
+#[test]
+fn results_identical_across_shuffle_strategies() {
+    let base = EngineConfig::default().homogeneous();
+    let reference = wordcount(base.clone());
+    assert!(!reference.is_empty());
+    let total: i64 = reference.values().sum();
+    assert!(total > 1000, "word occurrences: {total}");
+    for shuffle in [
+        ShuffleStore::Local(StoreDevice::RamDisk),
+        ShuffleStore::Local(StoreDevice::Ssd),
+        ShuffleStore::LustreLocal,
+        ShuffleStore::LustreShared,
+    ] {
+        let got = wordcount(EngineConfig { shuffle, ..base.clone() });
+        assert_eq!(got, reference, "results diverged under {shuffle:?}");
+    }
+}
+
+#[test]
+fn results_identical_across_schedulers_and_optimizations() {
+    let base = EngineConfig { speed_sigma: 0.4, ..EngineConfig::default() };
+    let reference = wordcount(base.clone().homogeneous());
+    for cfg in [
+        base.clone(),
+        base.clone().with_delay_scheduling(memres_des::SimDuration::from_secs(3)),
+        base.clone().with_elb(),
+        base.clone().with_cad(),
+        EngineConfig { input: InputSource::Lustre, ..base.clone() },
+    ] {
+        assert_eq!(wordcount(cfg), reference);
+    }
+}
+
+#[test]
+fn group_by_key_groups_are_complete_under_every_store() {
+    for shuffle in [ShuffleStore::Local(StoreDevice::RamDisk), ShuffleStore::LustreShared] {
+        let cfg = EngineConfig { shuffle, ..EngineConfig::default() }.homogeneous();
+        let mut driver = Driver::new(tiny(4), cfg);
+        let recs = datagen::kv_pairs(500, 13, 3);
+        let rdd = Rdd::source(Dataset::from_records(recs, 5)).group_by_key(Some(4), 1e9);
+        let (out, _) = driver.run(&rdd, Action::Collect);
+        let groups = out.records.unwrap();
+        assert_eq!(groups.len(), 13, "all 13 keys appear");
+        let values: usize = groups.iter().map(|(_, v)| v.as_list().len()).sum();
+        assert_eq!(values, 500, "no record lost or duplicated in the shuffle");
+    }
+}
+
+#[test]
+fn multi_shuffle_pipeline_runs_end_to_end() {
+    // Two chained shuffles: group, re-key by group size, group again.
+    let cfg = EngineConfig::default().homogeneous();
+    let mut driver = Driver::new(tiny(4), cfg);
+    let recs = datagen::kv_pairs(200, 10, 5);
+    let rdd = Rdd::source(Dataset::from_records(recs, 4))
+        .group_by_key(Some(4), 1e9)
+        .map("size-key", SizeModel::scan(), |(_, v)| {
+            (Value::I64(v.as_list().len() as i64), Value::I64(1))
+        })
+        .group_by_key(Some(2), 1e9);
+    let (out, metrics) = driver.run(&rdd, Action::Collect);
+    let groups = out.records.unwrap();
+    // Total inner values across size-groups = 10 original keys.
+    let total: usize = groups.iter().map(|(_, v)| v.as_list().len()).sum();
+    assert_eq!(total, 10);
+    // Three stages ran: two storing phases recorded.
+    let storing_stages: std::collections::HashSet<u32> = metrics
+        .tasks_in(Phase::Storing)
+        .map(|t| t.stage)
+        .collect();
+    assert_eq!(storing_stages.len(), 2, "both shuffles flushed intermediate data");
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let cfg = EngineConfig { speed_sigma: 0.3, seed: 9, ..EngineConfig::default() };
+        let mut driver = Driver::new(tiny(6), cfg);
+        let gb = memres::workloads::GroupBy::new(3.0e9).with_reducers(8);
+        driver.run_for_metrics(&gb.build(), gb.action()).job_time()
+    };
+    assert_eq!(run(), run());
+}
