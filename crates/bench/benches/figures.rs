@@ -32,7 +32,10 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig5a_grep_lustre", |b| {
         b.iter(|| {
             run_one(
-                EngineConfig { input: InputSource::Lustre, ..base() },
+                EngineConfig {
+                    input: InputSource::Lustre,
+                    ..base()
+                },
                 &grep.build(),
                 grep.action(),
             )
@@ -49,7 +52,10 @@ fn bench_figures(c: &mut Criterion) {
     // Fig 7 / Fig 8: shuffle-store strategies.
     let gb = GroupBy::new(512.0 * MB).with_reducers(8);
     for (name, shuffle) in [
-        ("fig7_store_ramdisk", ShuffleStore::Local(StoreDevice::RamDisk)),
+        (
+            "fig7_store_ramdisk",
+            ShuffleStore::Local(StoreDevice::RamDisk),
+        ),
         ("fig7_store_lustre_local", ShuffleStore::LustreLocal),
         ("fig7_store_lustre_shared", ShuffleStore::LustreShared),
         ("fig8_store_ssd", ShuffleStore::Local(StoreDevice::Ssd)),
@@ -73,7 +79,14 @@ fn bench_figures(c: &mut Criterion) {
     // Fig 12: heterogeneous speeds + FIFO greedy.
     g.bench_function("fig12_skewed_groupby", |b| {
         b.iter(|| {
-            run_one(EngineConfig { speed_sigma: 0.4, ..base() }, &gb.build(), gb.action())
+            run_one(
+                EngineConfig {
+                    speed_sigma: 0.4,
+                    ..base()
+                },
+                &gb.build(),
+                gb.action(),
+            )
         })
     });
 
@@ -81,7 +94,11 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig13_elb", |b| {
         b.iter(|| {
             run_one(
-                EngineConfig { speed_sigma: 0.4, ..base() }.with_elb(),
+                EngineConfig {
+                    speed_sigma: 0.4,
+                    ..base()
+                }
+                .with_elb(),
                 &gb.build(),
                 gb.action(),
             )
@@ -90,8 +107,11 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig14_cad_ssd", |b| {
         b.iter(|| {
             run_one(
-                EngineConfig { shuffle: ShuffleStore::Local(StoreDevice::Ssd), ..base() }
-                    .with_cad(),
+                EngineConfig {
+                    shuffle: ShuffleStore::Local(StoreDevice::Ssd),
+                    ..base()
+                }
+                .with_cad(),
                 &gb.build(),
                 gb.action(),
             )
@@ -100,7 +120,11 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("late_speculation", |b| {
         b.iter(|| {
             run_one(
-                EngineConfig { speed_sigma: 0.4, ..base() }.with_speculation(),
+                EngineConfig {
+                    speed_sigma: 0.4,
+                    ..base()
+                }
+                .with_speculation(),
                 &gb.build(),
                 gb.action(),
             )

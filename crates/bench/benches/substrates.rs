@@ -69,5 +69,11 @@ fn bench_ssd(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_ps, bench_flownet, bench_ssd);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_ps,
+    bench_flownet,
+    bench_ssd
+);
 criterion_main!(benches);

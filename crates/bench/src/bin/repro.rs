@@ -3,11 +3,27 @@
 //! Usage:
 //!   repro [--smoke] [--scale X] [--json DIR] `<target>`...
 //!   targets: table1 plans fig5a fig5b fig7a fig7b fig8a fig8b fig8c fig8d
-//!            fig9a fig9b fig10 fig12a fig12b fig13a fig13b fig14 all
+//!            fig9a fig9b fig10 fig12a fig12b fig13a fig13b fig14 bench all
+//!
+//! `bench` times the simulator itself (host wall-clock) on the mid-size
+//! Fig 7a/8a cells and, with `--json DIR`, writes `DIR/bench.json` — the
+//! machine-readable before/after record used by performance PRs. It runs
+//! at paper scale (100 nodes) by default; pass `--smoke` for a quick CI run.
 
 use memres_bench::experiments as ex;
-use memres_bench::Table;
+use memres_bench::{perf, Table};
 use std::io::Write;
+
+fn operand<'a>(args: &'a [String], i: usize, flag: &str, what: &str) -> &'a str {
+    args.get(i)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage_error(flag, what))
+}
+
+fn usage_error(flag: &str, what: &str) -> ! {
+    eprintln!("error: {flag} takes {what}");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,15 +36,19 @@ fn main() {
             "--smoke" => setup = ex::Setup::smoke(),
             "--scale" => {
                 i += 1;
-                setup.scale = args[i].parse().expect("--scale takes a float");
+                setup.scale = operand(&args, i, "--scale", "a float")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--scale", "a float"));
             }
             "--seed" => {
                 i += 1;
-                setup.seed = args[i].parse().expect("--seed takes an integer");
+                setup.seed = operand(&args, i, "--seed", "an integer")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed", "an integer"));
             }
             "--json" => {
                 i += 1;
-                json_dir = Some(args[i].clone());
+                json_dir = Some(operand(&args, i, "--json", "a directory").to_string());
             }
             other => targets.push(other.to_string()),
         }
@@ -44,8 +64,26 @@ fn main() {
     }
     if targets.iter().any(|t| t == "all") {
         targets = [
-            "table1", "plans", "fig5a", "fig5b", "fig7a", "fig7b", "fig8a", "fig8b", "fig8c",
-            "fig8d", "fig9a", "fig9b", "fig10", "fig12a", "fig12b", "fig13a", "fig13b", "fig14", "ablations", "baselines",
+            "table1",
+            "plans",
+            "fig5a",
+            "fig5b",
+            "fig7a",
+            "fig7b",
+            "fig8a",
+            "fig8b",
+            "fig8c",
+            "fig8d",
+            "fig9a",
+            "fig9b",
+            "fig10",
+            "fig12a",
+            "fig12b",
+            "fig13a",
+            "fig13b",
+            "fig14",
+            "ablations",
+            "baselines",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -58,7 +96,7 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create json dir");
             let path = format!("{dir}/{}.json", t.id);
             let mut f = std::fs::File::create(&path).expect("create json file");
-            let _ = writeln!(f, "{}", serde_json::to_string_pretty(&t.to_json()).unwrap());
+            let _ = writeln!(f, "{}", t.to_json());
             eprintln!("wrote {path}");
         }
     };
@@ -84,6 +122,17 @@ fn main() {
             "fig13a" => emit(&ex::fig13a(setup), &json_dir),
             "fig13b" => emit(&ex::fig13b(setup), &json_dir),
             "baselines" => emit(&ex::baseline_speculation(setup), &json_dir),
+            "bench" => {
+                let records = perf::suite(setup);
+                println!("{}", perf::table(&records).render());
+                if let Some(dir) = &json_dir {
+                    std::fs::create_dir_all(dir).expect("create json dir");
+                    let path = format!("{dir}/bench.json");
+                    let mut f = std::fs::File::create(&path).expect("create json file");
+                    let _ = writeln!(f, "{}", perf::to_json(setup, &records));
+                    eprintln!("wrote {path}");
+                }
+            }
             "ablations" => {
                 emit(&ex::ablation_elb_threshold(setup), &json_dir);
                 emit(&ex::ablation_cad_step(setup), &json_dir);

@@ -23,13 +23,19 @@ pub struct Setup {
 
 impl Setup {
     pub fn paper() -> Setup {
-        Setup { scale: 1.0, seed: 1 }
+        Setup {
+            scale: 1.0,
+            seed: 1,
+        }
     }
 
     /// ~8-node cluster with proportionally shrunk data: same mechanisms,
     /// seconds-fast.
     pub fn smoke() -> Setup {
-        Setup { scale: 0.08, seed: 1 }
+        Setup {
+            scale: 0.08,
+            seed: 1,
+        }
     }
 
     pub fn cluster(&self) -> ClusterSpec {
@@ -47,14 +53,20 @@ impl Setup {
     }
 
     fn base(&self) -> EngineConfig {
-        EngineConfig { seed: self.seed, ..EngineConfig::default() }
+        EngineConfig {
+            seed: self.seed,
+            ..EngineConfig::default()
+        }
     }
 
     /// `hdfs_cfg` with 2-way input replication: affordable for the smaller
     /// compute-bound LR dataset, and what gives locality scheduling any
     /// placement choice.
     pub fn hdfs_cfg_replicated(&self) -> EngineConfig {
-        EngineConfig { input_replication: 2, ..self.hdfs_cfg() }
+        EngineConfig {
+            input_replication: 2,
+            ..self.hdfs_cfg()
+        }
     }
 
     /// The data-centric configuration: HDFS on RAMDisk, delay scheduling
@@ -137,7 +149,14 @@ pub fn fig5a(setup: Setup) -> Table {
     let mut t = Table::new(
         "fig5a",
         "Grep job time (s): input from HDFS vs Lustre, 32 MB and 128 MB splits",
-        &["hdfs-32", "lustre-32", "ratio-32", "hdfs-128", "lustre-128", "ratio-128"],
+        &[
+            "hdfs-32",
+            "lustre-32",
+            "ratio-32",
+            "hdfs-128",
+            "lustre-128",
+            "ratio-128",
+        ],
     );
     let spec = setup.cluster();
     let mut ratios32 = Vec::new();
@@ -149,7 +168,12 @@ pub fn fig5a(setup: Setup) -> Table {
         for split in [32.0 * MB, 128.0 * MB] {
             let grep = Grep::new(bytes).with_split(split);
             let h = run(spec.clone(), setup.hdfs_cfg(), &grep.build(), grep.action());
-            let l = run(spec.clone(), setup.lustre_cfg(), &grep.build(), grep.action());
+            let l = run(
+                spec.clone(),
+                setup.lustre_cfg(),
+                &grep.build(),
+                grep.action(),
+            );
             vals.push(h.job_time());
             vals.push(l.job_time());
             vals.push(ratio(l.job_time(), h.job_time()));
@@ -204,7 +228,10 @@ fn groupby_cfg(setup: Setup, shuffle: ShuffleStore) -> EngineConfig {
         input: InputSource::Lustre, // input source held fixed; §IV-B varies the store
         shuffle,
         scheduler: SchedulerKind::Fifo,
-        ..EngineConfig { seed: setup.seed, ..EngineConfig::default() }
+        ..EngineConfig {
+            seed: setup.seed,
+            ..EngineConfig::default()
+        }
     }
 }
 
@@ -214,7 +241,13 @@ pub fn fig7a(setup: Setup) -> Table {
     let mut t = Table::new(
         "fig7a",
         "GroupBy job time (s) by intermediate-data location",
-        &["hdfs-ram", "lustre-local", "lustre-shared", "LL/ram", "LS/LL"],
+        &[
+            "hdfs-ram",
+            "lustre-local",
+            "lustre-shared",
+            "LL/ram",
+            "LS/LL",
+        ],
     );
     let spec = setup.cluster();
     let mut ll_ram = Vec::new();
@@ -268,7 +301,13 @@ pub fn fig7b(setup: Setup) -> Table {
     let mut t = Table::new(
         "fig7b",
         "GroupBy phase dissection (s): Lustre-local vs Lustre-shared",
-        &["LL-store", "LL-shuffle", "LS-store", "LS-shuffle", "shuffle-ratio"],
+        &[
+            "LL-store",
+            "LL-shuffle",
+            "LS-store",
+            "LS-shuffle",
+            "shuffle-ratio",
+        ],
     );
     let spec = setup.cluster();
     let mut worst = 0.0f64;
@@ -286,7 +325,10 @@ pub fn fig7b(setup: Setup) -> Table {
             &gb.build(),
             gb.action(),
         );
-        let r = ratio(ls.phase_time(Phase::Shuffling), ll.phase_time(Phase::Shuffling));
+        let r = ratio(
+            ls.phase_time(Phase::Shuffling),
+            ll.phase_time(Phase::Shuffling),
+        );
         worst = worst.max(r);
         t.row(
             format!("{gb_in:.0} GB"),
@@ -313,7 +355,10 @@ fn store_cfg(setup: Setup, dev: StoreDevice) -> EngineConfig {
         input: InputSource::Lustre,
         shuffle: ShuffleStore::Local(dev),
         scheduler: SchedulerKind::Fifo,
-        ..EngineConfig { seed: setup.seed, ..EngineConfig::default() }
+        ..EngineConfig {
+            seed: setup.seed,
+            ..EngineConfig::default()
+        }
     }
 }
 
@@ -329,14 +374,31 @@ pub fn fig8a(setup: Setup) -> Table {
     let spec = setup.cluster();
     for gb_in in FIG8_SIZES {
         let gb = GroupBy::new(setup.bytes(gb_in));
-        let ram = run(spec.clone(), store_cfg(setup, StoreDevice::RamDisk), &gb.build(), gb.action());
-        let ssd = run(spec.clone(), store_cfg(setup, StoreDevice::Ssd), &gb.build(), gb.action());
+        let ram = run(
+            spec.clone(),
+            store_cfg(setup, StoreDevice::RamDisk),
+            &gb.build(),
+            gb.action(),
+        );
+        let ssd = run(
+            spec.clone(),
+            store_cfg(setup, StoreDevice::Ssd),
+            &gb.build(),
+            gb.action(),
+        );
         t.row(
             format!("{gb_in:.0} GB"),
-            vec![ram.job_time(), ssd.job_time(), ratio(ssd.job_time(), ram.job_time())],
+            vec![
+                ram.job_time(),
+                ssd.job_time(),
+                ratio(ssd.job_time(), ram.job_time()),
+            ],
         );
     }
-    t.note("paper: comparable up to ~600 GB (page-cache effects), SSD degrades beyond 700 GB".to_string());
+    t.note(
+        "paper: comparable up to ~600 GB (page-cache effects), SSD degrades beyond 700 GB"
+            .to_string(),
+    );
     t
 }
 
@@ -350,7 +412,12 @@ pub fn fig8b(setup: Setup) -> Table {
     let spec = setup.cluster();
     for gb_in in FIG8_SIZES {
         let gb = GroupBy::new(setup.bytes(gb_in));
-        let m = run(spec.clone(), store_cfg(setup, StoreDevice::Ssd), &gb.build(), gb.action());
+        let m = run(
+            spec.clone(),
+            store_cfg(setup, StoreDevice::Ssd),
+            &gb.build(),
+            gb.action(),
+        );
         t.row(
             format!("{gb_in:.0} GB"),
             vec![
@@ -360,7 +427,10 @@ pub fn fig8b(setup: Setup) -> Table {
             ],
         );
     }
-    t.note("paper: shuffling network-bound <=600 GB; storing becomes the bottleneck past 900 GB".to_string());
+    t.note(
+        "paper: shuffling network-bound <=600 GB; storing becomes the bottleneck past 900 GB"
+            .to_string(),
+    );
     t
 }
 
@@ -374,9 +444,17 @@ pub fn fig8c(setup: Setup) -> Table {
     let spec = setup.cluster();
     for gb_in in [500.0, 900.0, 1200.0, 1500.0] {
         let gb = GroupBy::new(setup.bytes(gb_in));
-        let m = run(spec.clone(), store_cfg(setup, StoreDevice::Ssd), &gb.build(), gb.action());
+        let m = run(
+            spec.clone(),
+            store_cfg(setup, StoreDevice::Ssd),
+            &gb.build(),
+            gb.action(),
+        );
         let (min, mean, max) = m.duration_spread(Phase::Storing);
-        t.row(format!("{gb_in:.0} GB"), vec![min, mean, max, ratio(max, min)]);
+        t.row(
+            format!("{gb_in:.0} GB"),
+            vec![min, mean, max, ratio(max, min)],
+        );
     }
     t.note("paper: gap widens to ~18x at 1.5 TB".to_string());
     t
@@ -391,7 +469,12 @@ pub fn fig8d(setup: Setup) -> Table {
     );
     let spec = setup.cluster();
     let gb = GroupBy::new(setup.bytes(1500.0));
-    let m = run(spec, store_cfg(setup, StoreDevice::Ssd), &gb.build(), gb.action());
+    let m = run(
+        spec,
+        store_cfg(setup, StoreDevice::Ssd),
+        &gb.build(),
+        gb.action(),
+    );
     let mut tasks: Vec<(f64, f64)> = m
         .tasks_in(Phase::Storing)
         .map(|x| (x.launched_at, x.duration()))
@@ -429,7 +512,10 @@ pub fn fig9a(setup: Setup) -> Table {
         let no_delay = EngineConfig {
             input: InputSource::HdfsRamDisk,
             scheduler: SchedulerKind::Fifo,
-            ..EngineConfig { seed: setup.seed, ..EngineConfig::default() }
+            ..EngineConfig {
+                seed: setup.seed,
+                ..EngineConfig::default()
+            }
         };
         let f = run(spec.clone(), no_delay, &grep.build(), grep.action());
         let d = run(spec.clone(), setup.hdfs_cfg(), &grep.build(), grep.action());
@@ -462,7 +548,10 @@ pub fn fig9b(setup: Setup) -> Table {
             input: InputSource::HdfsRamDisk,
             scheduler: SchedulerKind::Fifo,
             input_replication: 2,
-            ..EngineConfig { seed: setup.seed, ..EngineConfig::default() }
+            ..EngineConfig {
+                seed: setup.seed,
+                ..EngineConfig::default()
+            }
         };
         let (f, _) = run_lr(spec.clone(), no_delay, &lr);
         let (d, _) = run_lr(spec.clone(), setup.hdfs_cfg_replicated(), &lr);
@@ -491,15 +580,16 @@ pub fn fig10(setup: Setup) -> Table {
     let cfg = EngineConfig {
         input: InputSource::HdfsRamDisk,
         scheduler: SchedulerKind::Fifo,
-        ..EngineConfig { seed: setup.seed, ..EngineConfig::default() }
+        ..EngineConfig {
+            seed: setup.seed,
+            ..EngineConfig::default()
+        }
     };
     let mut add = |name: &str, m: &JobMetrics| {
         for (label, local) in [("local", true), ("remote", false)] {
             let durs: Vec<f64> = m
                 .tasks_in(Phase::Compute)
-                .filter(|x| {
-                    (x.locality == memres_core::TaskLocality::NodeLocal) == local
-                })
+                .filter(|x| (x.locality == memres_core::TaskLocality::NodeLocal) == local)
                 .map(|x| x.duration())
                 .collect();
             if durs.is_empty() {
@@ -569,13 +659,22 @@ fn fig12(setup: Setup, data: bool) -> Table {
             input: InputSource::Lustre,
             scheduler: SchedulerKind::Fifo,
             speed_sigma: 0.25,
-            ..EngineConfig { seed: setup.seed, ..EngineConfig::default() }
+            ..EngineConfig {
+                seed: setup.seed,
+                ..EngineConfig::default()
+            }
         };
         let m = run(spec, cfg, &gb.build(), gb.action());
         let values: Vec<f64> = if data {
-            m.intermediate_per_node(workers).iter().map(|b| b / GB).collect()
+            m.intermediate_per_node(workers)
+                .iter()
+                .map(|b| b / GB)
+                .collect()
         } else {
-            m.tasks_per_node(Phase::Compute, workers).iter().map(|&c| c as f64).collect()
+            m.tasks_per_node(Phase::Compute, workers)
+                .iter()
+                .map(|&c| c as f64)
+                .collect()
         };
         let cdf = Cdf::from_values(&values);
         let head = cdf.value_at(0.05).max(1e-9);
@@ -647,7 +746,13 @@ pub fn fig13b(setup: Setup) -> Table {
     let mut t = Table::new(
         "fig13b",
         "GroupBy, 128 KB FetchRequests: Spark vs ELB (s)",
-        &["spark", "elb", "improvement-%", "shuffle-spark", "shuffle-elb"],
+        &[
+            "spark",
+            "elb",
+            "improvement-%",
+            "shuffle-spark",
+            "shuffle-elb",
+        ],
     );
     let spec = setup.cluster();
     let mut job_imps = Vec::new();
@@ -694,7 +799,13 @@ pub fn fig14(setup: Setup) -> (Table, Table) {
     let mut b = Table::new(
         "fig14b",
         "GroupBy on SSD: phase dissection under CAD (s)",
-        &["store-spark", "store-cad", "store-improvement-%", "shuffle-spark", "shuffle-cad"],
+        &[
+            "store-spark",
+            "store-cad",
+            "store-improvement-%",
+            "shuffle-spark",
+            "shuffle-cad",
+        ],
     );
     let spec = setup.cluster();
     let mut job_imps = Vec::new();
@@ -713,7 +824,10 @@ pub fn fig14(setup: Setup) -> (Table, Table) {
             job_imps.push(jimp);
             store_imps.push(simp);
         }
-        a.row(format!("{gb_in:.0} GB"), vec![plain.job_time(), cad.job_time(), jimp]);
+        a.row(
+            format!("{gb_in:.0} GB"),
+            vec![plain.job_time(), cad.job_time(), jimp],
+        );
         b.row(
             format!("{gb_in:.0} GB"),
             vec![
@@ -806,12 +920,17 @@ pub fn ablation_delay_wait(setup: Setup) -> Table {
     let fifo = EngineConfig {
         input: InputSource::HdfsRamDisk,
         scheduler: SchedulerKind::Fifo,
-        ..EngineConfig { seed: setup.seed, ..EngineConfig::default() }
+        ..EngineConfig {
+            seed: setup.seed,
+            ..EngineConfig::default()
+        }
     };
     let base = run(spec.clone(), fifo.clone(), &grep.build(), grep.action()).job_time();
     t.row("fifo (no wait)".to_string(), vec![base, 0.0]);
     for secs in [1u64, 3, 5, 10] {
-        let cfg = fifo.clone().with_delay_scheduling(SimDuration::from_secs(secs));
+        let cfg = fifo
+            .clone()
+            .with_delay_scheduling(SimDuration::from_secs(secs));
         let m = run(spec.clone(), cfg, &grep.build(), grep.action());
         t.row(
             format!("wait {secs} s"),
@@ -834,12 +953,18 @@ pub fn baseline_speculation(setup: Setup) -> Table {
     );
     let spec = setup.cluster();
     let gb = GroupBy::new(setup.bytes(1000.0));
-    let base = EngineConfig { speed_sigma: 0.35, ..store_cfg(setup, StoreDevice::Ssd) };
+    let base = EngineConfig {
+        speed_sigma: 0.35,
+        ..store_cfg(setup, StoreDevice::Ssd)
+    };
     for (name, cfg) in [
         ("plain spark", base.clone()),
         ("LATE speculation", base.clone().with_speculation()),
         ("ELB", base.clone().with_elb()),
-        ("ELB + speculation", base.clone().with_elb().with_speculation()),
+        (
+            "ELB + speculation",
+            base.clone().with_elb().with_speculation(),
+        ),
     ] {
         let m = run(spec.clone(), cfg, &gb.build(), gb.action());
         t.row(

@@ -8,6 +8,8 @@
 //! Criterion benches.
 
 pub mod experiments;
+pub mod json;
+pub mod perf;
 
 use std::fmt::Write as _;
 
@@ -84,15 +86,42 @@ impl Table {
         out
     }
 
-    /// Machine-readable dump for EXPERIMENTS.md tooling.
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::json!({
-            "id": self.id,
-            "title": self.title,
-            "columns": self.columns,
-            "rows": self.rows.iter().map(|(l, v)| serde_json::json!({"label": l, "values": v})).collect::<Vec<_>>(),
-            "notes": self.notes,
-        })
+    /// Machine-readable dump for EXPERIMENTS.md tooling (pretty JSON).
+    pub fn to_json(&self) -> String {
+        use crate::json::{escape, num};
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": \"{}\",", escape(self.id));
+        let _ = writeln!(out, "  \"title\": \"{}\",", escape(&self.title));
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| format!("\"{}\"", escape(c)))
+            .collect();
+        let _ = writeln!(out, "  \"columns\": [{}],", cols.join(", "));
+        out.push_str("  \"rows\": [");
+        for (i, (label, values)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let vals: Vec<String> = values.iter().map(|&v| num(v)).collect();
+            let _ = write!(
+                out,
+                "\n    {{\"label\": \"{}\", \"values\": [{}]}}",
+                escape(label),
+                vals.join(", ")
+            );
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        let notes: Vec<String> = self
+            .notes
+            .iter()
+            .map(|n| format!("\"{}\"", escape(n)))
+            .collect();
+        let _ = write!(out, "  \"notes\": [{}]\n}}", notes.join(", "));
+        out
     }
 }
 
@@ -130,7 +159,19 @@ mod tests {
         assert!(s.contains("* note"));
         assert_eq!(t.column("b"), vec![2.0, 4.0]);
         let j = t.to_json();
-        assert_eq!(j["rows"][1]["values"][0], 3.0);
+        assert!(j.contains("\"id\": \"figX\""));
+        assert!(j.contains("{\"label\": \"r2\", \"values\": [3.0, 4.0]}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_handles_nan_and_escapes() {
+        let mut t = Table::new("x", "a \"quoted\" title", &["c"]);
+        t.row("r", vec![f64::NAN]);
+        let j = t.to_json();
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"values\": [null]"));
     }
 
     #[test]

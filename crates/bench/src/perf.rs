@@ -1,0 +1,164 @@
+//! Engine wall-clock benchmark: `repro bench [--json DIR]`.
+//!
+//! Times the *simulator itself* (host wall-clock, not simulated seconds) on
+//! the mid-size Fig 7a / Fig 8a GroupBy cells, the repository's hottest
+//! end-to-end paths: tens of thousands of shuffle flows through the max–min
+//! fair network plus the real-partition executor. The JSON output is the
+//! baseline/after evidence for performance PRs (see EXPERIMENTS.md
+//! "Performance").
+
+use crate::experiments::Setup;
+use crate::json::{escape, num};
+use crate::Table;
+use memres_core::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed run: host wall-clock seconds plus the simulated job time (the
+/// latter is a determinism check — optimizations must not change it).
+#[derive(Clone, Debug)]
+pub struct PerfRecord {
+    pub name: &'static str,
+    pub wall_s: f64,
+    pub sim_s: f64,
+}
+
+fn time_run(
+    spec: memres_cluster::ClusterSpec,
+    cfg: EngineConfig,
+    gb: &memres_workloads::GroupBy,
+) -> (f64, f64) {
+    let t0 = Instant::now();
+    let mut d = Driver::new(spec, cfg);
+    let m = d.run_for_metrics(&gb.build(), gb.action());
+    (t0.elapsed().as_secs_f64(), m.job_time())
+}
+
+/// The mid-size Fig 7a / Fig 8a cells (400 GB and 600 GB paper-scale,
+/// shrunk by `setup.scale` like every other experiment).
+pub fn suite(setup: Setup) -> Vec<PerfRecord> {
+    use memres_workloads::GroupBy;
+    let spec = setup.cluster();
+    let mut out = Vec::new();
+
+    let gb7 = GroupBy::new(setup.bytes(400.0));
+    for (name, shuffle) in [
+        (
+            "fig7a_400gb_ramdisk",
+            ShuffleStore::Local(StoreDevice::RamDisk),
+        ),
+        ("fig7a_400gb_lustre_local", ShuffleStore::LustreLocal),
+        ("fig7a_400gb_lustre_shared", ShuffleStore::LustreShared),
+    ] {
+        let cfg = EngineConfig {
+            input: InputSource::Lustre,
+            shuffle,
+            scheduler: SchedulerKind::Fifo,
+            seed: setup.seed,
+            ..EngineConfig::default()
+        };
+        let (wall, sim) = time_run(spec.clone(), cfg, &gb7);
+        out.push(PerfRecord {
+            name,
+            wall_s: wall,
+            sim_s: sim,
+        });
+    }
+
+    let gb8 = GroupBy::new(setup.bytes(600.0));
+    for (name, dev) in [
+        ("fig8a_600gb_ramdisk", StoreDevice::RamDisk),
+        ("fig8a_600gb_ssd", StoreDevice::Ssd),
+    ] {
+        let cfg = EngineConfig {
+            input: InputSource::Lustre,
+            shuffle: ShuffleStore::Local(dev),
+            scheduler: SchedulerKind::Fifo,
+            seed: setup.seed,
+            ..EngineConfig::default()
+        };
+        let (wall, sim) = time_run(spec.clone(), cfg, &gb8);
+        out.push(PerfRecord {
+            name,
+            wall_s: wall,
+            sim_s: sim,
+        });
+    }
+    out
+}
+
+pub fn table(records: &[PerfRecord]) -> Table {
+    let mut t = Table::new(
+        "bench",
+        "engine wall-clock (host seconds) on mid-size Fig 7a/8a cells",
+        &["wall_s", "sim_job_s"],
+    );
+    for r in records {
+        t.row(r.name, vec![r.wall_s, r.sim_s]);
+    }
+    let total: f64 = records.iter().map(|r| r.wall_s).sum();
+    t.note(format!("total wall-clock {total:.3}s"));
+    t
+}
+
+/// Machine-readable record: `{"target", "scale", "seed", "runs": [...],
+/// "total_wall_s"}`.
+pub fn to_json(setup: Setup, records: &[PerfRecord]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"target\": \"bench\",");
+    let _ = writeln!(out, "  \"scale\": {},", num(setup.scale));
+    let _ = writeln!(out, "  \"seed\": {},", setup.seed);
+    out.push_str("  \"runs\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"wall_s\": {}, \"sim_job_s\": {}}}",
+            escape(r.name),
+            num(r.wall_s),
+            num(r.sim_s)
+        );
+    }
+    if !records.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    let total: f64 = records.iter().map(|r| r.wall_s).sum();
+    let _ = write!(out, "  \"total_wall_s\": {}\n}}", num(total));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let recs = vec![
+            PerfRecord {
+                name: "a",
+                wall_s: 0.25,
+                sim_s: 100.0,
+            },
+            PerfRecord {
+                name: "b",
+                wall_s: 0.75,
+                sim_s: 200.0,
+            },
+        ];
+        let j = to_json(
+            Setup {
+                scale: 0.05,
+                seed: 1,
+            },
+            &recs,
+        );
+        assert!(j.contains("\"total_wall_s\": 1.0"));
+        assert!(j.contains("{\"name\": \"a\", \"wall_s\": 0.25, \"sim_job_s\": 100.0}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let t = table(&recs);
+        assert_eq!(t.column("wall_s"), vec![0.25, 0.75]);
+    }
+}

@@ -30,7 +30,10 @@ impl SpeedModel {
     /// The paper-calibrated default: moderate dispersion that yields the
     /// ~2× head-to-tail workload difference of Fig 12.
     pub fn paper_default() -> Self {
-        SpeedModel::Fluctuating { sigma: 0.25, period_secs: 30.0 }
+        SpeedModel::Fluctuating {
+            sigma: 0.25,
+            period_secs: 30.0,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ impl SpeedSampler {
                     *f = self.rng.gen_range(lo..=hi);
                 }
             }
-            SpeedModel::TwoClass { slow_frac, slow_factor } => {
+            SpeedModel::TwoClass {
+                slow_frac,
+                slow_factor,
+            } => {
                 assert!((0.0..=1.0).contains(&slow_frac) && slow_factor > 0.0);
                 let slow_count = ((n as f64) * slow_frac).round() as usize;
                 // Deterministic choice of which nodes are slow: the tail of a
@@ -134,7 +140,10 @@ mod tests {
     #[test]
     fn two_class_has_expected_slow_count() {
         let s = SpeedSampler::new(
-            SpeedModel::TwoClass { slow_frac: 0.3, slow_factor: 0.5 },
+            SpeedModel::TwoClass {
+                slow_frac: 0.3,
+                slow_factor: 0.5,
+            },
             100,
             7,
         );

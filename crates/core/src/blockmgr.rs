@@ -20,7 +20,9 @@ pub struct CachedPart {
     pub node: u32,
     pub bytes: f64,
     pub records: u64,
-    pub data: Option<Arc<Vec<Record>>>,
+    /// Shared view of the materialized partition (zero-copy: snapshots taken
+    /// at cache points and reads by later jobs are all reference bumps).
+    pub data: Option<Arc<[Record]>>,
 }
 
 #[derive(Default)]
@@ -47,7 +49,7 @@ impl BlockMgr {
         node: u32,
         bytes: f64,
         records: u64,
-        data: Option<Arc<Vec<Record>>>,
+        data: Option<Arc<[Record]>>,
     ) {
         let parts = self.entries.entry(rdd).or_default();
         if parts.len() <= part as usize {
@@ -56,7 +58,12 @@ impl BlockMgr {
         if let Some(Some(old)) = parts.get(part as usize) {
             *self.node_used.entry(old.node).or_insert(0.0) -= old.bytes;
         }
-        parts[part as usize] = Some(CachedPart { node, bytes, records, data });
+        parts[part as usize] = Some(CachedPart {
+            node,
+            bytes,
+            records,
+            data,
+        });
         *self.node_used.entry(node).or_insert(0.0) += bytes;
     }
 
@@ -75,7 +82,7 @@ impl BlockMgr {
     }
 
     /// (bytes, records, data, home node) of a cached partition.
-    pub fn partition(&self, rdd: RddId, part: u32) -> (f64, u64, Option<Arc<Vec<Record>>>, u32) {
+    pub fn partition(&self, rdd: RddId, part: u32) -> (f64, u64, Option<Arc<[Record]>>, u32) {
         let p = self
             .entries
             .get(&rdd)
@@ -153,7 +160,7 @@ mod tests {
     #[test]
     fn real_data_flag() {
         let mut bm = BlockMgr::default();
-        let data = Arc::new(vec![(Value::I64(1), Value::I64(2))]);
+        let data: Arc<[Record]> = vec![(Value::I64(1), Value::I64(2))].into();
         bm.insert(RddId(2), 0, 0, 10.0, 1, Some(data));
         assert!(bm.is_real(RddId(2)));
         bm.insert(RddId(2), 1, 0, 10.0, 1, None);

@@ -7,10 +7,9 @@
 
 use memres_des::time::SimDuration;
 use memres_des::units::{GB, MB};
-use serde::Serialize;
 
 /// Table I — key Spark configuration parameters.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SparkConfig {
     /// `spark.reducer.maxMbInFlight` — also the FetchRequest size; §VI-A
     /// shrinks this from 1 GB to 128 KB to manufacture a network bottleneck.
@@ -54,7 +53,7 @@ impl Default for SparkConfig {
 }
 
 /// Where stage-one tasks read their input from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InputSource {
     /// Data-centric: HDFS DataNodes on per-node RAMDisk (Fig 2b).
     HdfsRamDisk,
@@ -63,7 +62,7 @@ pub enum InputSource {
 }
 
 /// Which device backs the per-node shuffle store.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StoreDevice {
     RamDisk,
     Ssd,
@@ -71,7 +70,7 @@ pub enum StoreDevice {
 
 /// Where intermediate (shuffle) data is stored and how fetchers get it —
 /// the §IV-B design space.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ShuffleStore {
     /// Data-centric: local per-node store; fetchers ask the *server* node,
     /// which reads locally and ships bytes over the fabric.
@@ -86,7 +85,7 @@ pub enum ShuffleStore {
 }
 
 /// Base task-placement policy.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SchedulerKind {
     /// Launch pending tasks on any free slot immediately (compute-centric
     /// behaviour: "tasks can be immediately launched ... since there is no
@@ -98,7 +97,7 @@ pub enum SchedulerKind {
 }
 
 /// Enhanced Load Balancer (§VI-A).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ElbConfig {
     /// Stop assigning tasks to a node whose intermediate data exceeds the
     /// cluster average by this factor (paper: 25% ⇒ 1.25).
@@ -112,7 +111,7 @@ impl Default for ElbConfig {
 }
 
 /// Congestion-Aware task Dispatching (§VI-B).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CadConfig {
     /// Increment added to the dispatch interval on a detected jump
     /// (paper: 50 ms).
@@ -126,7 +125,11 @@ pub struct CadConfig {
 
 impl Default for CadConfig {
     fn default() -> Self {
-        CadConfig { step: SimDuration::from_millis(50), jump_factor: 2.0, window: 32 }
+        CadConfig {
+            step: SimDuration::from_millis(50),
+            jump_factor: 2.0,
+            window: 32,
+        }
     }
 }
 
@@ -135,7 +138,7 @@ impl Default for CadConfig {
 /// *tasks*, which cannot fix the *intermediate data* imbalance ELB targets
 /// ("none of them considers the imbalanced intermediate data distribution",
 /// §VIII).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SpeculationConfig {
     /// A running task is a straggler when its elapsed time exceeds
     /// `multiplier` × the median completed-task duration of its phase.
@@ -146,7 +149,10 @@ pub struct SpeculationConfig {
 
 impl Default for SpeculationConfig {
     fn default() -> Self {
-        SpeculationConfig { multiplier: 1.5, min_completed: 8 }
+        SpeculationConfig {
+            multiplier: 1.5,
+            min_completed: 8,
+        }
     }
 }
 
@@ -173,6 +179,12 @@ pub struct EngineConfig {
     pub speed_sigma: f64,
     pub speed_resample: SimDuration,
     pub seed: u64,
+    /// Host worker threads for real-partition UDF evaluation. `None` reads
+    /// the `MEMRES_THREADS` environment variable, falling back to the host's
+    /// available parallelism. Results are deterministic regardless of the
+    /// thread count: placement stays sequential and chain results commit in
+    /// launch order.
+    pub executor_threads: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -190,6 +202,7 @@ impl Default for EngineConfig {
             speed_sigma: 0.25,
             speed_resample: SimDuration::from_secs(30),
             seed: 1,
+            executor_threads: None,
         }
     }
 }
@@ -220,6 +233,13 @@ impl EngineConfig {
         self
     }
 
+    /// Pin the real-partition executor to `n` host threads (tests use this
+    /// instead of mutating the process-global `MEMRES_THREADS`).
+    pub fn with_executor_threads(mut self, n: usize) -> Self {
+        self.executor_threads = Some(n);
+        self
+    }
+
     /// Render Table I the way the paper prints it.
     pub fn table1(&self) -> Vec<(&'static str, String)> {
         vec![
@@ -228,8 +248,14 @@ impl EngineConfig {
                 format!("{:.0}MB", self.spark.reducer_max_bytes_in_flight / MB),
             ),
             ("spark.rdd.compress", self.spark.rdd_compress.to_string()),
-            ("spark.shuffle.compress", self.spark.shuffle_compress.to_string()),
-            ("spark.buffer.size", format!("{:.0}MB", self.spark.buffer_size / MB)),
+            (
+                "spark.shuffle.compress",
+                self.spark.shuffle_compress.to_string(),
+            ),
+            (
+                "spark.buffer.size",
+                format!("{:.0}MB", self.spark.buffer_size / MB),
+            ),
             (
                 "spark.default.parallelism",
                 self.spark

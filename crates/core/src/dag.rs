@@ -51,7 +51,12 @@ pub struct StagePlan {
 
 impl StagePlan {
     fn new(input: StageInput) -> Self {
-        StagePlan { input, steps: Vec::new(), cache_points: Vec::new(), shuffle_out: None }
+        StagePlan {
+            input,
+            steps: Vec::new(),
+            cache_points: Vec::new(),
+            shuffle_out: None,
+        }
     }
 
     pub fn has_shuffle_output(&self) -> bool {
@@ -104,7 +109,13 @@ pub fn build_plan(rdd: &Rdd, action: Action, materialized: &HashSet<RddId>) -> J
                     .steps
                     .push(step.clone());
             }
-            RddOp::Shuffle { agg, reducers, fetch_rate, out_factor, .. } => {
+            RddOp::Shuffle {
+                agg,
+                reducers,
+                fetch_rate,
+                out_factor,
+                ..
+            } => {
                 let mut up = current.take().expect("shuffle without upstream stage");
                 up.shuffle_out = Some(*reducers);
                 stages.push(up);

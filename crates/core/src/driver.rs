@@ -65,7 +65,11 @@ impl Driver {
             );
         }
         let metrics = self.sim.model.metrics.finish_job(self.sim.now());
-        let output = self.sim.model.take_output().expect("job finished without output");
+        let output = self
+            .sim
+            .model
+            .take_output()
+            .expect("job finished without output");
         (output, metrics)
     }
 

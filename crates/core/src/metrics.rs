@@ -8,10 +8,9 @@
 use memres_cluster::NodeId;
 use memres_des::stats::Cdf;
 use memres_des::time::SimTime;
-use serde::Serialize;
 
 /// Which phase of the MapReduce pipeline a task belongs to (§IV/Fig 4a).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Stage computation tasks (map/filter/flatMap pipelines).
     Compute,
@@ -22,7 +21,7 @@ pub enum Phase {
 }
 
 /// How local a task's input was (mirrors `memres-hdfs::Locality`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TaskLocality {
     NodeLocal,
     RackLocal,
@@ -31,7 +30,7 @@ pub enum TaskLocality {
     Any,
 }
 
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TaskMetric {
     pub job: u32,
     pub stage: u32,
@@ -53,7 +52,7 @@ impl TaskMetric {
 }
 
 /// Completed-job metrics.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct JobMetrics {
     pub job: u32,
     pub started_at: f64,
@@ -233,7 +232,12 @@ mod tests {
         let b = mk(Phase::Compute, 0, 0.0, 1.0, 0.0);
         let mut c = mk(Phase::Shuffling, 0, 0.0, 1.0, 0.0);
         c.locality = TaskLocality::NodeLocal;
-        let jm = JobMetrics { job: 0, started_at: 0.0, finished_at: 1.0, tasks: vec![a, b, c] };
+        let jm = JobMetrics {
+            job: 0,
+            started_at: 0.0,
+            finished_at: 1.0,
+            tasks: vec![a, b, c],
+        };
         assert!((jm.locality_fraction() - 0.5).abs() < 1e-12);
     }
 

@@ -48,7 +48,11 @@ pub struct SizeModel {
 impl SizeModel {
     pub fn new(bytes_factor: f64, records_factor: f64, compute_rate: f64) -> Self {
         assert!(bytes_factor >= 0.0 && records_factor >= 0.0 && compute_rate > 0.0);
-        SizeModel { bytes_factor, records_factor, compute_rate }
+        SizeModel {
+            bytes_factor,
+            records_factor,
+            compute_rate,
+        }
     }
 
     /// A cheap streaming operator (identity volume, memory-scan speed).
@@ -80,6 +84,17 @@ impl NarrowStep {
             NarrowKind::Filter(f) => input.into_iter().filter(|r| f(r)).collect(),
         }
     }
+
+    /// Apply to a shared (borrowed) partition without consuming it — the
+    /// zero-copy execution path hands out `Arc<[Record]>` slices, so the
+    /// first step of a chain reads the shared data in place.
+    pub fn apply_slice(&self, input: &[Record]) -> Vec<Record> {
+        match &self.kind {
+            NarrowKind::Map(f) => input.iter().map(|r| f(r.clone())).collect(),
+            NarrowKind::FlatMap(f) => input.iter().flat_map(|r| f(r.clone())).collect(),
+            NarrowKind::Filter(f) => input.iter().filter(|r| f(r)).cloned().collect(),
+        }
+    }
 }
 
 /// Shuffle-side aggregation.
@@ -105,7 +120,10 @@ pub enum RddOp {
     /// Leaf: a dataset (real or synthetic) to be laid out on the configured
     /// input storage when the job starts.
     Source(Arc<Dataset>),
-    Narrow { parent: Rdd, step: Arc<NarrowStep> },
+    Narrow {
+        parent: Rdd,
+        step: Arc<NarrowStep>,
+    },
     Shuffle {
         parent: Rdd,
         agg: ShuffleAgg,
@@ -120,7 +138,9 @@ pub enum RddOp {
     /// Memory-resident cache marker (`rdd.cache()`): partitions computed
     /// through this node are retained by the block managers and reused by
     /// later jobs — the feature LR leans on (§II-C).
-    Cache { parent: Rdd },
+    Cache {
+        parent: Rdd,
+    },
 }
 
 pub struct RddInner {
@@ -149,7 +169,11 @@ impl Rdd {
     pub fn narrow(&self, name: impl Into<String>, kind: NarrowKind, size: SizeModel) -> Rdd {
         Rdd::wrap(RddOp::Narrow {
             parent: self.clone(),
-            step: Arc::new(NarrowStep { name: name.into(), kind, size }),
+            step: Arc::new(NarrowStep {
+                name: name.into(),
+                kind,
+                size,
+            }),
         })
     }
 
@@ -208,7 +232,9 @@ impl Rdd {
 
     /// Mark this RDD memory-resident across jobs.
     pub fn cache(&self) -> Rdd {
-        Rdd::wrap(RddOp::Cache { parent: self.clone() })
+        Rdd::wrap(RddOp::Cache {
+            parent: self.clone(),
+        })
     }
 
     /// Transform only the value of each record (keys and partitioning are
@@ -224,12 +250,16 @@ impl Rdd {
 
     /// Keep only the keys (values become `Null`).
     pub fn keys(&self) -> Rdd {
-        self.map("keys", SizeModel::new(0.5, 1.0, 2.0e9), |(k, _)| (k, Value::Null))
+        self.map("keys", SizeModel::new(0.5, 1.0, 2.0e9), |(k, _)| {
+            (k, Value::Null)
+        })
     }
 
     /// Keep only the values (keys become `Null`).
     pub fn values(&self) -> Rdd {
-        self.map("values", SizeModel::new(0.5, 1.0, 2.0e9), |(_, v)| (Value::Null, v))
+        self.map("values", SizeModel::new(0.5, 1.0, 2.0e9), |(_, v)| {
+            (Value::Null, v)
+        })
     }
 
     /// Distinct keys, via a shuffle (reduceByKey keeping one value).
@@ -257,11 +287,13 @@ impl Rdd {
 }
 
 /// A partition of input data: sizes always, records when materialized.
+/// Materialized data is a shared slice: placement, caching and task launch
+/// all hand out reference-counted views instead of deep copies.
 #[derive(Clone, Debug, Default)]
 pub struct Partition {
     pub bytes: f64,
     pub records: u64,
-    pub data: Option<Vec<Record>>,
+    pub data: Option<Arc<[Record]>>,
 }
 
 /// An input dataset. Placement (HDFS blocks / Lustre files) happens when a
@@ -314,7 +346,7 @@ impl Dataset {
                 .map(|data| Partition {
                     bytes: data.iter().map(crate::value::record_bytes).sum::<u64>() as f64,
                     records: data.len() as u64,
-                    data: Some(data),
+                    data: Some(data.into()),
                 })
                 .collect(),
             generated: false,
@@ -364,7 +396,9 @@ mod tests {
 
     #[test]
     fn real_dataset_round_robin() {
-        let recs: Vec<Record> = (0..10).map(|i| (Value::I64(i), Value::I64(i * i))).collect();
+        let recs: Vec<Record> = (0..10)
+            .map(|i| (Value::I64(i), Value::I64(i * i)))
+            .collect();
         let d = Dataset::from_records(recs, 3);
         assert_eq!(d.partitions.len(), 3);
         assert_eq!(d.total_records(), 10);
@@ -446,7 +480,10 @@ mod sugar_tests {
         let src = Rdd::source(Dataset::synthetic(100.0, 10.0, 1.0));
         assert!(matches!(src.keys().0.op, RddOp::Narrow { .. }));
         assert!(matches!(src.values().0.op, RddOp::Narrow { .. }));
-        assert!(matches!(src.distinct_keys(Some(2)).0.op, RddOp::Shuffle { .. }));
+        assert!(matches!(
+            src.distinct_keys(Some(2)).0.op,
+            RddOp::Shuffle { .. }
+        ));
         // count_by_key = map + reduceByKey.
         let cbk = src.count_by_key(None);
         match &cbk.0.op {

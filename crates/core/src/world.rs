@@ -70,7 +70,7 @@ struct Task {
     input_bytes: f64,
     output_bytes: f64,
     records_est: u64,
-    records_out: Option<Vec<Record>>,
+    records_out: Option<Arc<[Record]>>,
     locality: TaskLocality,
     /// Preferred nodes (HDFS replicas / cache location). Empty = any.
     prefs: Vec<u32>,
@@ -166,10 +166,38 @@ struct JobRun {
 struct PlacedPart {
     bytes: f64,
     records: u64,
-    data: Option<Arc<Vec<Record>>>,
+    /// Shared view of the source partition's records — placing a dataset and
+    /// launching tasks over it never copies record data.
+    data: Option<Arc<[Record]>>,
     hdfs_block: Option<BlockId>,
     lustre: Option<LustreFile>,
 }
+
+/// A real-partition UDF chain captured at task launch and evaluated off the
+/// critical path (possibly on a worker pool — see
+/// [`SimWorld::flush_pending_chains`]). Everything needed by
+/// [`run_narrow_chain`] is either `Copy` or a shared `Arc`, so evaluation is
+/// a pure function of this struct.
+struct PendingChain {
+    task: u32,
+    stage: usize,
+    part: u32,
+    node: u32,
+    in_bytes: f64,
+    in_records: u64,
+    data: Option<Arc<[Record]>>,
+    speed: f64,
+}
+
+/// What [`run_narrow_chain`] produces: (compute seconds, output bytes,
+/// output records, real output, cache snapshots).
+type ChainOut = (
+    SimDuration,
+    f64,
+    u64,
+    Option<Arc<[Record]>>,
+    Vec<(RddId, f64, u64, Option<Arc<[Record]>>)>,
+);
 
 /// Completed-job result.
 #[derive(Debug)]
@@ -227,6 +255,29 @@ pub struct SimWorld {
     hdfs_files: HashMap<RddId, HdfsFile>,
     pub blockmgr: BlockMgr,
     next_shuffle_file: u64,
+    /// Real-partition chains launched this dispatch round, evaluated (maybe
+    /// in parallel) and committed in launch order at the end of the round.
+    pending_chains: Vec<PendingChain>,
+    /// Resolved host worker-thread count for chain evaluation.
+    executor_threads: usize,
+}
+
+/// Worker threads for real-partition execution: explicit config wins, then
+/// `MEMRES_THREADS`, then the host's available parallelism.
+fn resolve_executor_threads(cfg: &EngineConfig) -> usize {
+    cfg.executor_threads
+        .or_else(|| parse_threads(std::env::var("MEMRES_THREADS").ok().as_deref()))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+fn parse_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 impl SimWorld {
@@ -270,7 +321,10 @@ impl SimWorld {
             ..LustreConfig::hyperion()
         });
         let hdfs = Hdfs::new(
-            HdfsConfig { replication: cfg.input_replication.max(1), ..HdfsConfig::default() },
+            HdfsConfig {
+                replication: cfg.input_replication.max(1),
+                ..HdfsConfig::default()
+            },
             spec.clone(),
             spec.ramdisk_capacity + 256.0e9,
             cfg.seed,
@@ -302,6 +356,8 @@ impl SimWorld {
             hdfs_files: HashMap::new(),
             blockmgr: BlockMgr::default(),
             next_shuffle_file: SHUFFLE_FILE_BASE,
+            pending_chains: Vec::new(),
+            executor_threads: resolve_executor_threads(&cfg),
             spec,
             cfg,
             net,
@@ -362,16 +418,27 @@ impl SimWorld {
 
     // ---------------- wake plumbing ----------------
 
-    fn arm_net(&self, out: &mut Outbox<Ev>) {
+    fn arm_net(&mut self, out: &mut Outbox<Ev>) {
         if let Some(t) = self.net.next_event() {
             out.at(t, Ev::NetWake(self.net.gen()));
         }
     }
 
     fn arm_fs(&self, node: u32, ssd: bool, out: &mut Outbox<Ev>) {
-        let fs = if ssd { &self.ssd_fs[node as usize] } else { &self.ram_fs[node as usize] };
+        let fs = if ssd {
+            &self.ssd_fs[node as usize]
+        } else {
+            &self.ram_fs[node as usize]
+        };
         if let Some(t) = fs.next_event() {
-            out.at(t, Ev::FsWake { node, ssd, gen: fs.gen() });
+            out.at(
+                t,
+                Ev::FsWake {
+                    node,
+                    ssd,
+                    gen: fs.gen(),
+                },
+            );
         }
     }
 
@@ -418,7 +485,7 @@ impl SimWorld {
                 .map(|p| PlacedPart {
                     bytes: p.bytes,
                     records: p.records,
-                    data: p.data.clone().map(Arc::new),
+                    data: p.data.clone(),
                     hdfs_block: None,
                     lustre: None,
                 })
@@ -440,7 +507,7 @@ impl SimWorld {
             let mut placed = PlacedPart {
                 bytes: p.bytes,
                 records: p.records,
-                data: p.data.clone().map(Arc::new),
+                data: p.data.clone(),
                 hdfs_block: None,
                 lustre: None,
             };
@@ -496,7 +563,10 @@ impl SimWorld {
             let job = self.job_mut();
             if matches!(stage.input, StageInput::Shuffle(_)) {
                 job.shuffle_in = job.shuffle_out.take();
-                assert!(job.shuffle_in.is_some(), "fetch stage without produced shuffle");
+                assert!(
+                    job.shuffle_in.is_some(),
+                    "fetch stage without produced shuffle"
+                );
             }
         }
 
@@ -604,9 +674,11 @@ impl SimWorld {
                     None => Vec::new(),
                 }
             }
-            StageInput::Cached { rdd } => {
-                self.blockmgr.location(*rdd, part).map(|n| vec![n]).unwrap_or_default()
-            }
+            StageInput::Cached { rdd } => self
+                .blockmgr
+                .location(*rdd, part)
+                .map(|n| vec![n])
+                .unwrap_or_default(),
             StageInput::Shuffle(_) => Vec::new(),
         }
     }
@@ -635,11 +707,11 @@ impl SimWorld {
     /// assigning tasks to nodes holding more than `threshold ×` the cluster
     /// average.
     fn elb_declines(&self, node: u32) -> bool {
-        let Some(elb) = self.cfg.elb else { return false };
+        let Some(elb) = self.cfg.elb else {
+            return false;
+        };
         let depositing = match self.job.as_ref().map(|j| j.phase) {
-            Some(RunPhase::Stage(idx)) => {
-                self.job().plan.stages[idx].has_shuffle_output()
-            }
+            Some(RunPhase::Stage(idx)) => self.job().plan.stages[idx].has_shuffle_output(),
             _ => false,
         };
         if !depositing {
@@ -680,7 +752,9 @@ impl SimWorld {
             return Ok(None);
         }
         loop {
-            let Some(&cand) = self.waiting_q.front() else { return Ok(None) };
+            let Some(&cand) = self.waiting_q.front() else {
+                return Ok(None);
+            };
             if self.tasks[cand as usize].state != TState::Pending {
                 self.waiting_q.pop_front();
                 continue;
@@ -774,6 +848,7 @@ impl SimWorld {
                 }
             }
         }
+        self.flush_pending_chains(now, out);
         if let Some(r) = earliest_retry {
             out.at(r, Ev::Dispatch);
         }
@@ -797,8 +872,12 @@ impl SimWorld {
     /// idles and a running compute task has exceeded `multiplier` × the
     /// median completed duration, launch a duplicate here; first copy wins.
     fn maybe_speculate(&mut self, now: SimTime, node: u32, out: &mut Outbox<Ev>) -> bool {
-        let Some(spec) = self.cfg.speculation else { return false };
-        let Some(job) = self.job.as_ref() else { return false };
+        let Some(spec) = self.cfg.speculation else {
+            return false;
+        };
+        let Some(job) = self.job.as_ref() else {
+            return false;
+        };
         if !matches!(job.phase, RunPhase::Stage(_)) {
             return false;
         }
@@ -823,7 +902,9 @@ impl SimWorld {
                 best = Some((elapsed, tid));
             }
         }
-        let Some((_, straggler)) = best else { return false };
+        let Some((_, straggler)) = best else {
+            return false;
+        };
         let dup = self.tasks.len() as u32;
         let orig = &self.tasks[straggler as usize];
         let kind = orig.kind;
@@ -872,7 +953,14 @@ impl SimWorld {
         }
     }
 
-    fn launch_compute(&mut self, now: SimTime, task: u32, node: u32, part: u32, out: &mut Outbox<Ev>) {
+    fn launch_compute(
+        &mut self,
+        now: SimTime,
+        task: u32,
+        node: u32,
+        part: u32,
+        out: &mut Outbox<Ev>,
+    ) {
         let plan = self.plan();
         let stage_idx = self.tasks[task as usize].stage as usize;
         let stage = &plan.stages[stage_idx];
@@ -892,11 +980,21 @@ impl SimWorld {
                             Locality::RackLocal => TaskLocality::RackLocal,
                             Locality::Remote => TaskLocality::Remote,
                         };
-                        (bytes, records, data, IoPlan::HdfsRead { block: b, src }, locality)
+                        (
+                            bytes,
+                            records,
+                            data,
+                            IoPlan::HdfsRead { block: b, src },
+                            locality,
+                        )
                     }
-                    (_, Some(lf)) => {
-                        (bytes, records, data, IoPlan::LustreRead { file: lf }, TaskLocality::Any)
-                    }
+                    (_, Some(lf)) => (
+                        bytes,
+                        records,
+                        data,
+                        IoPlan::LustreRead { file: lf },
+                        TaskLocality::Any,
+                    ),
                     // Generated in memory: no input I/O.
                     _ => (bytes, records, data, IoPlan::None, TaskLocality::Any),
                 }
@@ -914,20 +1012,42 @@ impl SimWorld {
         };
 
         let speed = self.speed(node);
-        let (dur, out_bytes, out_records, out_data, snaps) =
-            run_narrow_chain(stage, in_bytes, in_records, data.as_deref(), speed);
-        let dur = dur.mul_f64(self.jitter(task)) + self.cfg.spark.task_overhead;
-        {
+        let deferred = data.is_some();
+        if deferred {
+            // Real partition: the UDF chain is a pure function of the shared
+            // input — defer it so the dispatch round can evaluate all such
+            // chains on the worker pool, then commit in launch order.
             let t = &mut self.tasks[task as usize];
-            t.compute_dur = dur;
             t.input_bytes = in_bytes;
-            t.output_bytes = out_bytes;
-            t.records_est = out_records;
-            t.records_out = out_data;
             t.locality = locality;
-        }
-        for (rdd, bytes, records, snapshot) in snaps {
-            self.blockmgr.insert(rdd, part, node, bytes, records, snapshot);
+            self.pending_chains.push(PendingChain {
+                task,
+                stage: stage_idx,
+                part,
+                node,
+                in_bytes,
+                in_records,
+                data,
+                speed,
+            });
+        } else {
+            // Synthetic partition: size-model arithmetic only, run inline.
+            let (dur, out_bytes, out_records, out_data, snaps) =
+                run_narrow_chain(stage, in_bytes, in_records, None, speed);
+            let dur = dur.mul_f64(self.jitter(task)) + self.cfg.spark.task_overhead;
+            {
+                let t = &mut self.tasks[task as usize];
+                t.compute_dur = dur;
+                t.input_bytes = in_bytes;
+                t.output_bytes = out_bytes;
+                t.records_est = out_records;
+                t.records_out = out_data;
+                t.locality = locality;
+            }
+            for (rdd, bytes, records, snapshot) in snaps {
+                self.blockmgr
+                    .insert(rdd, part, node, bytes, records, snapshot);
+            }
         }
 
         match io_plan {
@@ -940,10 +1060,12 @@ impl SimWorld {
                     self.arm_fs(node, false, out);
                 } else {
                     self.tasks[task as usize].pending_io += 1;
-                    let path =
-                        self.fabric.path(Endpoint::Node(src), Endpoint::Node(NodeId(node)));
+                    let path = self
+                        .fabric
+                        .path(Endpoint::Node(src), Endpoint::Node(NodeId(node)));
                     let f = self.net.open_flow(now, path, true);
-                    self.net.push_chunk(now, f, in_bytes, NetTag::TaskIo { task });
+                    self.net
+                        .push_chunk(now, f, in_bytes, NetTag::TaskIo { task });
                     self.arm_net(out);
                 }
             }
@@ -954,8 +1076,9 @@ impl SimWorld {
                 self.arm_lustre(out);
                 if rplan.oss_bytes > 0.0 {
                     self.tasks[task as usize].pending_io += 1;
-                    let path =
-                        self.fabric.path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
+                    let path = self
+                        .fabric
+                        .path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
                     let f = self.net.open_flow(now, path, true);
                     let wire = rplan.oss_bytes + self.lustre.config().read_overhead_bytes;
                     self.net.push_chunk(now, f, wire, NetTag::TaskIo { task });
@@ -973,15 +1096,96 @@ impl SimWorld {
             }
         }
 
-        self.maybe_schedule_finish(now, task, out);
+        // A deferred chain has no compute duration yet; its commit in
+        // `flush_pending_chains` schedules the finish instead.
+        if !deferred {
+            self.maybe_schedule_finish(now, task, out);
+        }
     }
 
-    fn launch_store(&mut self, now: SimTime, task: u32, node: u32, producer: u32, out: &mut Outbox<Ev>) {
+    /// Evaluate every real-partition chain captured this dispatch round and
+    /// commit the results in launch order.
+    ///
+    /// Determinism does not depend on the thread count: placement decisions
+    /// already happened sequentially, [`run_narrow_chain`] is a pure function
+    /// of each [`PendingChain`], and commits (task fields, cache-snapshot
+    /// inserts, finish events) are applied in the exact order the tasks were
+    /// launched. `MEMRES_THREADS=1` and a 16-thread pool produce
+    /// byte-identical metrics.
+    fn flush_pending_chains(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
+        if self.pending_chains.is_empty() {
+            return;
+        }
+        let jobs = std::mem::take(&mut self.pending_chains);
+        let plan = self.plan();
+        let n = jobs.len();
+        let threads = self.executor_threads.min(n);
+        let eval = |j: &PendingChain| {
+            run_narrow_chain(
+                &plan.stages[j.stage],
+                j.in_bytes,
+                j.in_records,
+                j.data.clone(),
+                j.speed,
+            )
+        };
+        let results: Vec<ChainOut> = if threads <= 1 {
+            jobs.iter().map(eval).collect()
+        } else {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+            let slots: Vec<Mutex<Option<ChainOut>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = eval(&jobs[i]);
+                        *slots[i].lock().expect("chain slot poisoned") = Some(r);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("chain slot poisoned")
+                        .expect("chain evaluated")
+                })
+                .collect()
+        };
+        for (j, (dur, out_bytes, out_records, out_data, snaps)) in jobs.iter().zip(results) {
+            let dur = dur.mul_f64(self.jitter(j.task)) + self.cfg.spark.task_overhead;
+            {
+                let t = &mut self.tasks[j.task as usize];
+                t.compute_dur = dur;
+                t.output_bytes = out_bytes;
+                t.records_est = out_records;
+                t.records_out = out_data;
+            }
+            for (rdd, bytes, records, snapshot) in snaps {
+                self.blockmgr
+                    .insert(rdd, j.part, j.node, bytes, records, snapshot);
+            }
+            self.maybe_schedule_finish(now, j.task, out);
+        }
+    }
+
+    fn launch_store(
+        &mut self,
+        now: SimTime,
+        task: u32,
+        node: u32,
+        producer: u32,
+        out: &mut Outbox<Ev>,
+    ) {
         let bytes = self.tasks[producer as usize].output_bytes;
         let speed = self.speed(node);
         // Partition + Java-serialization cost of the flush (Spark 0.7 era).
-        let cpu = SimDuration::from_secs_f64(bytes / (300.0e6 * speed))
-            .mul_f64(self.jitter(task))
+        let cpu = SimDuration::from_secs_f64(bytes / (300.0e6 * speed)).mul_f64(self.jitter(task))
             + self.cfg.spark.task_overhead;
         {
             let t = &mut self.tasks[task as usize];
@@ -1017,8 +1221,9 @@ impl SimWorld {
                 self.arm_lustre(out);
                 if wplan.oss_bytes > 0.0 {
                     self.tasks[task as usize].pending_io += 1;
-                    let path =
-                        self.fabric.path(Endpoint::Node(NodeId(node)), Endpoint::Lustre);
+                    let path = self
+                        .fabric
+                        .path(Endpoint::Node(NodeId(node)), Endpoint::Lustre);
                     let f = self.net.open_flow(now, path, true);
                     let wire = wplan.oss_bytes / self.lustre.config().write_efficiency;
                     self.net.push_chunk(now, f, wire, NetTag::TaskIo { task });
@@ -1061,7 +1266,14 @@ impl SimWorld {
         })
     }
 
-    fn launch_fetch(&mut self, now: SimTime, task: u32, node: u32, reducer: u32, out: &mut Outbox<Ev>) {
+    fn launch_fetch(
+        &mut self,
+        now: SimTime,
+        task: u32,
+        node: u32,
+        reducer: u32,
+        out: &mut Outbox<Ev>,
+    ) {
         let workers = self.spec.workers;
         let req = self.cfg.spark.reducer_max_bytes_in_flight;
         let oh = self.cfg.spark.per_request_overhead_bytes;
@@ -1076,7 +1288,11 @@ impl SimWorld {
 
         // Bucket sizes and shuffle spec.
         let (per_source, total, agg_rate, out_factor) = {
-            let sh = self.job().shuffle_in.as_ref().expect("fetch without shuffle");
+            let sh = self
+                .job()
+                .shuffle_in
+                .as_ref()
+                .expect("fetch without shuffle");
             let per: Vec<f64> = (0..workers as usize)
                 .map(|i| sh.node_bucket_bytes[i][reducer as usize])
                 .collect();
@@ -1154,7 +1370,14 @@ impl SimWorld {
 
     fn fetch_flow(&mut self, now: SimTime, src: u32, dst: u32, kind: u8) -> FlowId {
         let key = (src, dst, kind);
-        if let Some(&f) = self.job().shuffle_in.as_ref().unwrap().fetch_flows.get(&key) {
+        if let Some(&f) = self
+            .job()
+            .shuffle_in
+            .as_ref()
+            .unwrap()
+            .fetch_flows
+            .get(&key)
+        {
             return f;
         }
         let mut path = match (self.cfg.shuffle, kind) {
@@ -1253,7 +1476,9 @@ impl SimWorld {
         // If a speculative copy won, it replaces the original everywhere the
         // job refers to it (storing pins, final-task outputs).
         if self.tasks[task as usize].is_speculative {
-            let orig = self.tasks[task as usize].twin.expect("duplicate without twin");
+            let orig = self.tasks[task as usize]
+                .twin
+                .expect("duplicate without twin");
             let job = self.job_mut();
             for slot in job.stage_tasks.iter_mut().chain(job.final_tasks.iter_mut()) {
                 if *slot == orig {
@@ -1262,7 +1487,9 @@ impl SimWorld {
             }
         }
         if matches!(kind, TaskKind::Compute { .. }) {
-            let d = now.since(self.tasks[task as usize].launched_at).as_secs_f64();
+            let d = now
+                .since(self.tasks[task as usize].launched_at)
+                .as_secs_f64();
             self.stage_durs.push(d);
         }
 
@@ -1321,14 +1548,18 @@ impl SimWorld {
         }
         self.intermediate[node as usize] += out_bytes;
         let records = self.tasks[task as usize].records_out.take();
-        let sh = self.job_mut().shuffle_out.as_mut().expect("producer without shuffle");
+        let sh = self
+            .job_mut()
+            .shuffle_out
+            .as_mut()
+            .expect("producer without shuffle");
         let r = sh.reducers as usize;
         match (records, &mut sh.node_real) {
             (Some(recs), Some(real)) => {
-                for rec in recs {
+                for rec in recs.iter() {
                     let bucket = (rec.0.stable_hash() % r as u64) as usize;
-                    sh.node_bucket_bytes[node as usize][bucket] += record_bytes(&rec) as f64;
-                    real[node as usize][bucket].push(rec);
+                    sh.node_bucket_bytes[node as usize][bucket] += record_bytes(rec) as f64;
+                    real[node as usize][bucket].push(rec.clone());
                 }
             }
             _ => {
@@ -1348,7 +1579,9 @@ impl SimWorld {
     /// interval unwinds at the same rate.
     fn store_finished(&mut self, now: SimTime, task: u32) {
         let Some(cad) = self.cfg.cad else { return };
-        let dur = now.since(self.tasks[task as usize].launched_at).as_secs_f64();
+        let dur = now
+            .since(self.tasks[task as usize].launched_at)
+            .as_secs_f64();
         self.cad_window.push_back(dur);
         if self.cad_window.len() > cad.window {
             self.cad_window.pop_front();
@@ -1380,8 +1613,7 @@ impl SimWorld {
         let stage_idx = self.tasks[task as usize].stage as usize;
         let gathered = {
             let job = self.job_mut();
-            let Some(real) = job.shuffle_in.as_mut().and_then(|sh| sh.node_real.as_mut())
-            else {
+            let Some(real) = job.shuffle_in.as_mut().and_then(|sh| sh.node_real.as_mut()) else {
                 return;
             };
             let mut gathered: Vec<Record> = Vec::new();
@@ -1398,7 +1630,7 @@ impl SimWorld {
         let t = &mut self.tasks[task as usize];
         t.records_est = recs.len() as u64;
         t.output_bytes = recs.iter().map(record_bytes).sum::<u64>() as f64;
-        t.records_out = Some(recs);
+        t.records_out = Some(recs.into());
     }
 
     fn advance_phase(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
@@ -1464,16 +1696,26 @@ impl SimWorld {
             ShuffleStore::Local(dev) => {
                 self.net.start_batch();
                 for n in 0..workers {
-                    let fs = if dev == StoreDevice::Ssd { &self.ssd_fs[n] } else { &self.ram_fs[n] };
+                    let fs = if dev == StoreDevice::Ssd {
+                        &self.ssd_fs[n]
+                    } else {
+                        &self.ram_fs[n]
+                    };
                     let bw = effective_read_bw(fs, dev);
-                    self.net.set_link_capacity(now, self.store_read_links[n], bw.max(1.0));
+                    self.net
+                        .set_link_capacity(now, self.store_read_links[n], bw.max(1.0));
                 }
                 self.net.end_batch();
                 self.arm_net(out);
             }
             ShuffleStore::LustreLocal => {
-                let files: Vec<Option<LustreFile>> =
-                    self.job().shuffle_out.as_ref().unwrap().lustre_files.clone();
+                let files: Vec<Option<LustreFile>> = self
+                    .job()
+                    .shuffle_out
+                    .as_ref()
+                    .unwrap()
+                    .lustre_files
+                    .clone();
                 for (n, f) in files.iter().enumerate() {
                     let frac = f.map(|lf| self.lustre.cached_fraction(lf)).unwrap_or(0.0);
                     self.job_mut().shuffle_out.as_mut().unwrap().cached_frac[n] = frac;
@@ -1497,8 +1739,9 @@ impl SimWorld {
                     let dirty = self.lustre.revoke(lf);
                     if dirty > 0.0 {
                         pending += 1;
-                        let path =
-                            self.fabric.path(Endpoint::Node(NodeId(n)), Endpoint::Lustre);
+                        let path = self
+                            .fabric
+                            .path(Endpoint::Node(NodeId(n)), Endpoint::Lustre);
                         let f = self.net.open_flow(now, path, true);
                         let wire = dirty / self.lustre.config().write_efficiency;
                         self.net.push_chunk(now, f, wire, NetTag::Flush);
@@ -1529,7 +1772,9 @@ impl SimWorld {
         );
         // The revocation round trip delays the read start.
         let start = now + self.lustre.config().revoke_latency;
-        let path = self.fabric.path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
+        let path = self
+            .fabric
+            .path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
         let f = self.net.open_flow(start, path, true);
         self.net.push_chunk(start, f, wire, NetTag::TaskIo { task });
         self.arm_net(out);
@@ -1537,7 +1782,9 @@ impl SimWorld {
 
     fn on_flush_progress(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
         let Some(job) = self.job.as_mut() else { return };
-        let Some(sh) = job.shuffle_in.as_mut().or(job.shuffle_out.as_mut()) else { return };
+        let Some(sh) = job.shuffle_in.as_mut().or(job.shuffle_out.as_mut()) else {
+            return;
+        };
         if sh.flush_pending > 0 {
             sh.flush_pending -= 1;
         }
@@ -1566,12 +1813,20 @@ impl SimWorld {
         }
         let output = match &job.plan.action {
             Action::Count => JobOutput {
-                count: if have_real { records.len() as u64 } else { count },
+                count: if have_real {
+                    records.len() as u64
+                } else {
+                    count
+                },
                 records: None,
                 reduced: None,
             },
             Action::Collect => JobOutput {
-                count: if have_real { records.len() as u64 } else { count },
+                count: if have_real {
+                    records.len() as u64
+                } else {
+                    count
+                },
                 records: have_real.then_some(records),
                 reduced: None,
             },
@@ -1583,7 +1838,11 @@ impl SimWorld {
                         .reduce(|a, b| f(a, b))
                         .unwrap_or(Value::Null)
                 });
-                JobOutput { count, records: None, reduced }
+                JobOutput {
+                    count,
+                    records: None,
+                    reduced,
+                }
             }
         };
         self.last_output = Some(output);
@@ -1619,38 +1878,36 @@ fn effective_read_bw(fs: &LocalFs, dev: StoreDevice) -> f64 {
 
 /// Apply a stage's narrow chain. Returns (compute seconds, output bytes,
 /// output records, real output, cache snapshots).
-#[allow(clippy::type_complexity)]
+///
+/// Zero-copy contract: the shared input is never deep-copied. A chain with
+/// no steps passes the input `Arc` straight through (placement, caching and
+/// task output all share one allocation), and every cache snapshot is a
+/// reference bump of the value at that point.
 fn run_narrow_chain(
     stage: &StagePlan,
     in_bytes: f64,
     in_records: u64,
-    data: Option<&Vec<Record>>,
+    data: Option<Arc<[Record]>>,
     speed: f64,
-) -> (
-    SimDuration,
-    f64,
-    u64,
-    Option<Vec<Record>>,
-    Vec<(RddId, f64, u64, Option<Arc<Vec<Record>>>)>,
-) {
+) -> ChainOut {
     let mut secs = 0.0;
     let mut bytes = in_bytes;
     let mut records = in_records;
-    let mut real: Option<Vec<Record>> = data.cloned();
+    let mut real: Option<Arc<[Record]>> = data;
     let mut snaps = Vec::new();
     for (cp_idx, rdd) in &stage.cache_points {
         if *cp_idx == 0 {
-            snaps.push((*rdd, bytes, records, real.clone().map(Arc::new)));
+            snaps.push((*rdd, bytes, records, real.clone()));
         }
     }
     for (i, step) in stage.steps.iter().enumerate() {
         secs += bytes / (step.size.compute_rate * speed);
-        match real.take() {
+        match &real {
             Some(recs) => {
-                let out = step.apply(recs);
+                let out = step.apply_slice(recs);
                 bytes = out.iter().map(record_bytes).sum::<u64>() as f64;
                 records = out.len() as u64;
-                real = Some(out);
+                real = Some(out.into());
             }
             None => {
                 bytes *= step.size.bytes_factor;
@@ -1659,11 +1916,17 @@ fn run_narrow_chain(
         }
         for (cp_idx, rdd) in &stage.cache_points {
             if *cp_idx == i + 1 {
-                snaps.push((*rdd, bytes, records, real.clone().map(Arc::new)));
+                snaps.push((*rdd, bytes, records, real.clone()));
             }
         }
     }
-    (SimDuration::from_secs_f64(secs), bytes, records, real, snaps)
+    (
+        SimDuration::from_secs_f64(secs),
+        bytes,
+        records,
+        real,
+        snaps,
+    )
 }
 
 fn apply_agg(agg: &ShuffleAgg, records: Vec<Record>) -> Vec<Record> {
@@ -1671,16 +1934,24 @@ fn apply_agg(agg: &ShuffleAgg, records: Vec<Record>) -> Vec<Record> {
     // Deterministic output ordering via the stable key hash.
     let mut groups: BTreeMap<u64, (Value, Vec<Value>)> = BTreeMap::new();
     for (k, v) in records {
-        groups.entry(k.stable_hash()).or_insert_with(|| (k.clone(), Vec::new())).1.push(v);
+        groups
+            .entry(k.stable_hash())
+            .or_insert_with(|| (k.clone(), Vec::new()))
+            .1
+            .push(v);
     }
     match agg {
-        ShuffleAgg::GroupByKey => {
-            groups.into_values().map(|(k, vs)| (k, Value::list(vs))).collect()
-        }
+        ShuffleAgg::GroupByKey => groups
+            .into_values()
+            .map(|(k, vs)| (k, Value::list(vs)))
+            .collect(),
         ShuffleAgg::ReduceByKey(f) => groups
             .into_values()
             .map(|(k, vs)| {
-                let folded = vs.into_iter().reduce(|a, b| f(a, b)).expect("nonempty group");
+                let folded = vs
+                    .into_iter()
+                    .reduce(|a, b| f(a, b))
+                    .expect("nonempty group");
                 (k, folded)
             })
             .collect(),
@@ -1710,7 +1981,11 @@ impl Model for SimWorld {
                 self.arm_net(out);
             }
             Ev::FsWake { node, ssd, gen } => {
-                let fs = if ssd { &self.ssd_fs[node as usize] } else { &self.ram_fs[node as usize] };
+                let fs = if ssd {
+                    &self.ssd_fs[node as usize]
+                } else {
+                    &self.ram_fs[node as usize]
+                };
                 if !gen.is_current(fs.gen()) {
                     return;
                 }
@@ -1788,6 +2063,20 @@ mod tests {
 
     fn world() -> SimWorld {
         SimWorld::new(tiny(4), EngineConfig::default())
+    }
+
+    #[test]
+    fn executor_thread_resolution() {
+        // Explicit config beats the environment; the env parser rejects junk
+        // and zero (a pool of zero threads would deadlock the commit loop).
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert_eq!(parse_threads(None), None);
+        let cfg = EngineConfig::default().with_executor_threads(3);
+        assert_eq!(resolve_executor_threads(&cfg), 3);
+        assert!(resolve_executor_threads(&EngineConfig::default()) >= 1);
     }
 
     #[test]
@@ -1869,8 +2158,10 @@ mod tests {
             &ShuffleAgg::ReduceByKey(Arc::new(|a, b| Value::I64(a.as_i64() + b.as_i64()))),
             recs,
         );
-        let m: std::collections::HashMap<i64, i64> =
-            reduced.into_iter().map(|(k, v)| (k.as_i64(), v.as_i64())).collect();
+        let m: std::collections::HashMap<i64, i64> = reduced
+            .into_iter()
+            .map(|(k, v)| (k.as_i64(), v.as_i64()))
+            .collect();
         assert_eq!(m[&1], 40);
         assert_eq!(m[&2], 20);
     }
@@ -1879,7 +2170,9 @@ mod tests {
     fn run_narrow_chain_synthetic_factors() {
         use crate::rdd::{NarrowKind, NarrowStep, SizeModel};
         let stage = crate::dag::StagePlan {
-            input: crate::dag::StageInput::Cached { rdd: crate::rdd::RddId(0) },
+            input: crate::dag::StageInput::Cached {
+                rdd: crate::rdd::RddId(0),
+            },
             steps: vec![
                 Arc::new(NarrowStep {
                     name: "half".into(),
@@ -1895,8 +2188,7 @@ mod tests {
             cache_points: vec![],
             shuffle_out: None,
         };
-        let (dur, bytes, records, real, snaps) =
-            run_narrow_chain(&stage, 1000.0, 10, None, 1.0);
+        let (dur, bytes, records, real, snaps) = run_narrow_chain(&stage, 1000.0, 10, None, 1.0);
         assert!((bytes - 1000.0).abs() < 1e-9, "0.5 then 2.0 round-trips");
         assert_eq!(records, 10);
         assert!(real.is_none());

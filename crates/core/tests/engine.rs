@@ -24,7 +24,9 @@ fn wordcount_produces_exact_counts() {
     let mut d = driver(EngineConfig::default().homogeneous());
     let rdd = Rdd::source(Dataset::from_records(wordcount_data(), 3))
         .map("kv", SizeModel::scan(), |(_, v)| (v, Value::I64(1)))
-        .reduce_by_key(Some(2), 1e9, 1.0, |a, b| Value::I64(a.as_i64() + b.as_i64()));
+        .reduce_by_key(Some(2), 1e9, 1.0, |a, b| {
+            Value::I64(a.as_i64() + b.as_i64())
+        });
     let (out, metrics) = d.run(&rdd, Action::Collect);
     let counts: HashMap<String, i64> = out
         .records
@@ -44,7 +46,9 @@ fn wordcount_produces_exact_counts() {
 
 #[test]
 fn group_by_key_collects_all_values() {
-    let recs: Vec<Record> = (0..20).map(|i| (Value::I64(i % 4), Value::I64(i))).collect();
+    let recs: Vec<Record> = (0..20)
+        .map(|i| (Value::I64(i % 4), Value::I64(i)))
+        .collect();
     let mut d = driver(EngineConfig::default().homogeneous());
     let rdd = Rdd::source(Dataset::from_records(recs, 4)).group_by_key(Some(3), 1e9);
     let (out, _) = d.run(&rdd, Action::Collect);
@@ -68,9 +72,13 @@ fn filter_and_flatmap_compose() {
 #[test]
 fn synthetic_job_runs_with_size_models() {
     let mut d = driver(EngineConfig::default().homogeneous());
-    let rdd = Rdd::source(Dataset::synthetic(64.0 * 1024.0 * 1024.0, 8.0 * 1024.0 * 1024.0, 100.0))
-        .map("scan", SizeModel::new(0.5, 1.0, 1e9), |r| r)
-        .group_by_key(Some(4), 1e9);
+    let rdd = Rdd::source(Dataset::synthetic(
+        64.0 * 1024.0 * 1024.0,
+        8.0 * 1024.0 * 1024.0,
+        100.0,
+    ))
+    .map("scan", SizeModel::new(0.5, 1.0, 1e9), |r| r)
+    .group_by_key(Some(4), 1e9);
     let (out, metrics) = d.run(&rdd, Action::Count);
     assert!(out.count > 0);
     assert!(metrics.job_time() > 0.0);
@@ -93,7 +101,10 @@ fn cached_rdd_is_reused_by_second_job() {
     let (_, m1) = d.run(&job1, Action::Count);
     // Second job over the cache: lineage truncated, no dataset read.
     let plan = d.explain(&job1, Action::Count);
-    assert!(plan.contains("cached"), "plan should start from cache:\n{plan}");
+    assert!(
+        plan.contains("cached"),
+        "plan should start from cache:\n{plan}"
+    );
     let (out2, m2) = d.run(&job1, Action::Count);
     assert_eq!(out2.count, 100);
     assert!(
@@ -108,28 +119,46 @@ fn cached_rdd_is_reused_by_second_job() {
 
 #[test]
 fn reduce_action_folds_values() {
-    let recs: Vec<Record> = (1..=10).map(|i| (Value::Null, Value::F64(i as f64))).collect();
+    let recs: Vec<Record> = (1..=10)
+        .map(|i| (Value::Null, Value::F64(i as f64)))
+        .collect();
     let mut d = driver(EngineConfig::default().homogeneous());
     let rdd = Rdd::source(Dataset::from_records(recs, 2));
     let (out, _) = d.run(
         &rdd,
-        Action::Reduce(std::sync::Arc::new(|a, b| Value::F64(a.as_f64() + b.as_f64()))),
+        Action::Reduce(std::sync::Arc::new(|a, b| {
+            Value::F64(a.as_f64() + b.as_f64())
+        })),
     );
     assert_eq!(out.reduced.unwrap().as_f64(), 55.0);
 }
 
 fn groupby_synthetic(total_mb: f64) -> Rdd {
-    Rdd::source(Dataset::synthetic(total_mb * 1048576.0, 8.0 * 1048576.0, 100.0))
-        .map("genKV", SizeModel::new(1.0, 1.0, 800e6), |r| r)
-        .group_by_key(Some(8), 1e9)
+    Rdd::source(Dataset::synthetic(
+        total_mb * 1048576.0,
+        8.0 * 1048576.0,
+        100.0,
+    ))
+    .map("genKV", SizeModel::new(1.0, 1.0, 800e6), |r| r)
+    .group_by_key(Some(8), 1e9)
 }
 
 #[test]
 fn lustre_shared_shuffles_slower_than_lustre_local() {
-    let base = EngineConfig { input: InputSource::Lustre, ..EngineConfig::default() }.homogeneous();
-    let mut d_local = driver(EngineConfig { shuffle: ShuffleStore::LustreLocal, ..base.clone() });
+    let base = EngineConfig {
+        input: InputSource::Lustre,
+        ..EngineConfig::default()
+    }
+    .homogeneous();
+    let mut d_local = driver(EngineConfig {
+        shuffle: ShuffleStore::LustreLocal,
+        ..base.clone()
+    });
     let m_local = d_local.run_for_metrics(&groupby_synthetic(512.0), Action::Count);
-    let mut d_shared = driver(EngineConfig { shuffle: ShuffleStore::LustreShared, ..base });
+    let mut d_shared = driver(EngineConfig {
+        shuffle: ShuffleStore::LustreShared,
+        ..base
+    });
     let m_shared = d_shared.run_for_metrics(&groupby_synthetic(512.0), Action::Count);
     let sh_local = m_local.phase_time(Phase::Shuffling);
     let sh_shared = m_shared.phase_time(Phase::Shuffling);
@@ -150,22 +179,34 @@ fn lustre_shared_shuffles_slower_than_lustre_local() {
 fn delay_scheduling_hurts_short_tasks_under_skew() {
     // §V-A / Fig 9: with heterogeneous node speeds, holding tasks for
     // locality idles fast nodes, stretching the computation phase.
-    let cfg = EngineConfig { speed_sigma: 0.6, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        speed_sigma: 0.6,
+        ..EngineConfig::default()
+    };
     let job = || {
-        Rdd::source(Dataset::synthetic(512.0 * 1048576.0, 4.0 * 1048576.0, 100.0))
-            .filter("grep", SizeModel::new(0.001, 0.001, 1.5e9), |_| true)
-            .group_by_key(Some(4), 1e9)
+        Rdd::source(Dataset::synthetic(
+            512.0 * 1048576.0,
+            4.0 * 1048576.0,
+            100.0,
+        ))
+        .filter("grep", SizeModel::new(0.001, 0.001, 1.5e9), |_| true)
+        .group_by_key(Some(4), 1e9)
     };
     let mut fifo = Driver::new(tiny(16), cfg.clone());
     let m_fifo = fifo.run_for_metrics(&job(), Action::Count);
-    let mut delay =
-        Driver::new(tiny(16), cfg.with_delay_scheduling(SimDuration::from_secs(3)));
+    let mut delay = Driver::new(
+        tiny(16),
+        cfg.with_delay_scheduling(SimDuration::from_secs(3)),
+    );
     let m_delay = delay.run_for_metrics(&job(), Action::Count);
     let (f, d) = (
         m_fifo.phase_time(Phase::Compute),
         m_delay.phase_time(Phase::Compute),
     );
-    assert!(d > f * 1.1, "delay compute phase {d:.4}s should exceed fifo {f:.4}s by >10%");
+    assert!(
+        d > f * 1.1,
+        "delay compute phase {d:.4}s should exceed fifo {f:.4}s by >10%"
+    );
     // And delay achieves (near-)perfect locality while fifo does not.
     assert!(m_delay.locality_fraction() > m_fifo.locality_fraction());
 }
@@ -173,7 +214,10 @@ fn delay_scheduling_hurts_short_tasks_under_skew() {
 #[test]
 fn elb_balances_intermediate_data_under_skew() {
     let job = || groupby_synthetic(1024.0);
-    let cfg = EngineConfig { speed_sigma: 0.5, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        speed_sigma: 0.5,
+        ..EngineConfig::default()
+    };
     let mut plain = driver(cfg.clone());
     let m_plain = plain.run_for_metrics(&job(), Action::Count);
     let mut elb = driver(cfg.with_elb());
@@ -196,11 +240,47 @@ fn elb_balances_intermediate_data_under_skew() {
 fn determinism_same_seed_same_times() {
     let run = || {
         let mut d = driver(EngineConfig::default());
-        d.run_for_metrics(&groupby_synthetic(128.0), Action::Count).job_time()
+        d.run_for_metrics(&groupby_synthetic(128.0), Action::Count)
+            .job_time()
     };
     let a = run();
     let b = run();
     assert_eq!(a, b, "same seed must reproduce bit-identical times");
+}
+
+#[test]
+fn parallel_executor_matches_single_thread_byte_for_byte() {
+    // Same seed, same job: the metrics JSON and the collected output must be
+    // byte-identical whether real-partition chains are evaluated on one host
+    // thread or a pool. 32 partitions over tiny(4)'s 8 slots guarantees
+    // multi-chain dispatch batches actually hit the worker pool.
+    let recs: Vec<Record> = (0..4000)
+        .map(|i| (Value::I64(i % 97), Value::I64(i)))
+        .collect();
+    let job = || {
+        Rdd::source(Dataset::from_records(recs.clone(), 32))
+            .map("x3", SizeModel::scan(), |(k, v)| {
+                (k, Value::I64(v.as_i64() * 3))
+            })
+            .filter("odd", SizeModel::scan(), |r| r.1.as_i64() % 2 == 1)
+            .reduce_by_key(Some(8), 1e9, 1.0, |a, b| {
+                Value::I64(a.as_i64() + b.as_i64())
+            })
+    };
+    let run = |threads: usize| {
+        let mut d = driver(EngineConfig::default().with_executor_threads(threads));
+        let (out, m) = d.run(&job(), Action::Collect);
+        (out, memres_core::export::job_json(&m))
+    };
+    let (out1, json1) = run(1);
+    let (out4, json4) = run(4);
+    assert_eq!(
+        json1, json4,
+        "metrics JSON must not depend on the thread count"
+    );
+    assert_eq!(out1.count, out4.count);
+    assert_eq!(out1.records, out4.records);
+    assert!(out1.count > 0);
 }
 
 #[test]
@@ -224,7 +304,11 @@ fn job_output_shapes() {
     let mut d = driver(EngineConfig::default().homogeneous());
     let rdd = Rdd::source(Dataset::synthetic(1048576.0, 1048576.0, 100.0));
     let (out, _) = d.run(&rdd, Action::Count);
-    let JobOutput { count, records, reduced } = out;
+    let JobOutput {
+        count,
+        records,
+        reduced,
+    } = out;
     assert!(count > 0);
     assert!(records.is_none(), "synthetic data cannot be collected");
     assert!(reduced.is_none());
@@ -233,11 +317,19 @@ fn job_output_shapes() {
 #[test]
 fn speculation_preserves_results_and_tames_stragglers() {
     // A strongly skewed cluster: one class of very slow nodes.
-    let cfg = EngineConfig { speed_sigma: 0.6, seed: 4, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        speed_sigma: 0.6,
+        seed: 4,
+        ..EngineConfig::default()
+    };
     let job = || {
-        Rdd::source(Dataset::generated(512.0 * 1048576.0, 8.0 * 1048576.0, 100.0))
-            .map("gen", SizeModel::new(1.0, 1.0, 100e6), |r| r)
-            .group_by_key(Some(8), 1e9)
+        Rdd::source(Dataset::generated(
+            512.0 * 1048576.0,
+            8.0 * 1048576.0,
+            100.0,
+        ))
+        .map("gen", SizeModel::new(1.0, 1.0, 100e6), |r| r)
+        .group_by_key(Some(8), 1e9)
     };
     let mut plain = Driver::new(tiny(8), cfg.clone());
     let m_plain = plain.run_for_metrics(&job(), Action::Count);

@@ -16,7 +16,12 @@ fn cfg_for(shuffle_idx: u8, sigma: f64, seed: u64) -> EngineConfig {
         2 => ShuffleStore::LustreLocal,
         _ => ShuffleStore::LustreShared,
     };
-    EngineConfig { shuffle, speed_sigma: sigma, seed, ..EngineConfig::default() }
+    EngineConfig {
+        shuffle,
+        speed_sigma: sigma,
+        seed,
+        ..EngineConfig::default()
+    }
 }
 
 proptest! {

@@ -143,7 +143,13 @@ impl<T> PsResource<T> {
         if work == 0.0 {
             self.completed.push((key, tag));
         } else {
-            self.jobs.insert(key.0, Job { remaining: work, tag });
+            self.jobs.insert(
+                key.0,
+                Job {
+                    remaining: work,
+                    tag,
+                },
+            );
         }
         key
     }

@@ -29,7 +29,10 @@ impl<E> Outbox<E> {
     /// Create a standalone outbox (for drivers injecting events from outside
     /// the event loop).
     pub fn standalone(now: SimTime) -> Self {
-        Outbox { now, items: Vec::new() }
+        Outbox {
+            now,
+            items: Vec::new(),
+        }
     }
 
     /// Drain the collected events (standalone use).
@@ -109,7 +112,10 @@ impl<M: Model> Simulation<M> {
             "simulation exceeded max_steps={} (event storm?)",
             self.max_steps
         );
-        let mut out = Outbox { now: self.now, items: Vec::new() };
+        let mut out = Outbox {
+            now: self.now,
+            items: Vec::new(),
+        };
         self.model.handle(self.now, event, &mut out);
         for (t, e) in out.items {
             self.queue.push(t, e);

@@ -13,7 +13,13 @@ pub struct OnlineStats {
 
 impl OnlineStats {
     pub fn new() -> Self {
-        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     pub fn push(&mut self, x: f64) {
@@ -30,11 +36,19 @@ impl OnlineStats {
     }
 
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.mean }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     pub fn variance(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
     }
 
     pub fn stddev(&self) -> f64 {
@@ -42,11 +56,19 @@ impl OnlineStats {
     }
 
     pub fn min(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.min }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
     }
 
     pub fn max(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.max }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
     }
 
     pub fn sum(&self) -> f64 {
@@ -103,7 +125,10 @@ impl Cdf {
 
     /// Fraction of samples <= x.
     pub fn fraction_at(&self, x: f64) -> f64 {
-        match self.points.binary_search_by(|p| p.0.partial_cmp(&x).unwrap()) {
+        match self
+            .points
+            .binary_search_by(|p| p.0.partial_cmp(&x).unwrap())
+        {
             Ok(mut i) => {
                 // step to the last equal value
                 while i + 1 < self.points.len() && self.points[i + 1].0 <= x {

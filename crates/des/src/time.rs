@@ -5,16 +5,15 @@
 //! appear only at the edges (rates, durations derived from bandwidth math)
 //! and are rounded once, on conversion into [`SimDuration`].
 
-use serde::Serialize;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An absolute instant on the simulation clock (nanoseconds since start).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time (nanoseconds).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
@@ -170,7 +169,10 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::from_secs_f64(2.0) + SimDuration::from_millis(500);
         assert!((t.as_secs_f64() - 2.5).abs() < 1e-9);
-        assert_eq!(t.since(SimTime::from_secs_f64(2.0)), SimDuration::from_millis(500));
+        assert_eq!(
+            t.since(SimTime::from_secs_f64(2.0)),
+            SimDuration::from_millis(500)
+        );
         // saturating on reversed order
         assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
     }

@@ -42,7 +42,10 @@ pub struct HdfsConfig {
 
 impl Default for HdfsConfig {
     fn default() -> Self {
-        HdfsConfig { block_size: 128.0 * 1024.0 * 1024.0, replication: 2 }
+        HdfsConfig {
+            block_size: 128.0 * 1024.0 * 1024.0,
+            replication: 2,
+        }
     }
 }
 
@@ -112,8 +115,9 @@ impl Hdfs {
     fn place(&mut self, writer: Option<NodeId>, bytes: f64) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = Vec::new();
         let workers = self.cluster.workers;
-        let pick = |hdfs: &mut Self, pred: &dyn Fn(&Self, NodeId) -> bool,
-                        out: &Vec<NodeId>|
+        let pick = |hdfs: &mut Self,
+                    pred: &dyn Fn(&Self, NodeId) -> bool,
+                    out: &Vec<NodeId>|
          -> Option<NodeId> {
             // Bounded random probing, then linear fallback: deterministic
             // given the seeded RNG.
@@ -136,9 +140,8 @@ impl Hdfs {
         out.push(first);
         if self.cfg.replication >= 2 {
             // Replica 2: different rack from the first.
-            if let Some(n) =
-                pick(self, &|h, n| !h.cluster.same_rack(n, first), &out)
-                    .or_else(|| pick(self, &|_, _| true, &out))
+            if let Some(n) = pick(self, &|h, n| !h.cluster.same_rack(n, first), &out)
+                .or_else(|| pick(self, &|_, _| true, &out))
             {
                 out.push(n);
             }
@@ -194,7 +197,9 @@ impl Hdfs {
             let bytes = sz as f64;
             let mut locs = vec![NodeId((start + i as u32) % workers)];
             for r in 1..self.cfg.replication {
-                locs.push(NodeId((start + i as u32 + r * (workers / 2).max(1)) % workers));
+                locs.push(NodeId(
+                    (start + i as u32 + r * (workers / 2).max(1)) % workers,
+                ));
             }
             locs.dedup();
             let b = self.fresh_block(bytes, locs);
@@ -205,7 +210,12 @@ impl Hdfs {
 
     /// Register a block at explicit locations (input layout control for the
     /// experiment harness). Returns its id.
-    pub fn place_block_at(&mut self, file: HdfsFile, bytes: f64, locations: Vec<NodeId>) -> BlockId {
+    pub fn place_block_at(
+        &mut self,
+        file: HdfsFile,
+        bytes: f64,
+        locations: Vec<NodeId>,
+    ) -> BlockId {
         assert!(!locations.is_empty());
         for &n in &locations {
             assert!(n.0 < self.cluster.workers, "unknown node {n:?}");
@@ -233,7 +243,10 @@ impl Hdfs {
     }
 
     pub fn file_size(&self, file: HdfsFile) -> f64 {
-        self.file_blocks(file).iter().map(|b| self.blocks[b].size).sum()
+        self.file_blocks(file)
+            .iter()
+            .map(|b| self.blocks[b].size)
+            .sum()
     }
 
     /// Locality of `reader` with respect to `block`'s replicas.
@@ -286,7 +299,10 @@ mod tests {
     fn hdfs(replication: u32) -> Hdfs {
         let cluster = tiny(8);
         Hdfs::new(
-            HdfsConfig { block_size: 100.0, replication },
+            HdfsConfig {
+                block_size: 100.0,
+                replication,
+            },
             cluster,
             10_000.0,
             42,
@@ -339,7 +355,10 @@ mod tests {
         assert_eq!(h.locality(NodeId(2), b), Locality::NodeLocal);
         assert_eq!(h.locality(NodeId(4), b), Locality::RackLocal); // same parity rack
         assert_eq!(h.locality(NodeId(3), b), Locality::Remote);
-        assert_eq!(h.preferred_source(NodeId(2), b), (NodeId(2), Locality::NodeLocal));
+        assert_eq!(
+            h.preferred_source(NodeId(2), b),
+            (NodeId(2), Locality::NodeLocal)
+        );
         let (src, loc) = h.preferred_source(NodeId(4), b);
         assert_eq!(src, NodeId(2));
         assert_eq!(loc, Locality::RackLocal);
@@ -360,7 +379,10 @@ mod tests {
     fn capacity_limits_placement() {
         let cluster = tiny(2);
         let mut h = Hdfs::new(
-            HdfsConfig { block_size: 100.0, replication: 1 },
+            HdfsConfig {
+                block_size: 100.0,
+                replication: 1,
+            },
             cluster,
             150.0,
             1,
@@ -372,7 +394,10 @@ mod tests {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             h.create_file(None, 100.0);
         }));
-        assert!(result.is_err(), "placement should fail when all nodes are full");
+        assert!(
+            result.is_err(),
+            "placement should fail when all nodes are full"
+        );
     }
 
     #[test]
@@ -388,7 +413,15 @@ mod tests {
     #[test]
     fn replication_deduped_on_tiny_clusters() {
         let cluster = tiny(2);
-        let mut h = Hdfs::new(HdfsConfig { block_size: 100.0, replication: 3 }, cluster, 1e6, 5);
+        let mut h = Hdfs::new(
+            HdfsConfig {
+                block_size: 100.0,
+                replication: 3,
+            },
+            cluster,
+            1e6,
+            5,
+        );
         let (_, layout) = h.create_file(Some(NodeId(0)), 100.0);
         // Only 2 nodes exist; replicas must be distinct nodes.
         assert!(layout[0].2.len() <= 2);

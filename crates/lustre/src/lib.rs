@@ -152,7 +152,13 @@ pub struct Lustre {
 impl Lustre {
     pub fn new(cfg: LustreConfig) -> Self {
         let mds = PsResource::new(cfg.mds_ops_per_sec);
-        Lustre { cfg, mds, files: HashMap::new(), client_cache_used: HashMap::new(), gen: Gen::default() }
+        Lustre {
+            cfg,
+            mds,
+            files: HashMap::new(),
+            client_cache_used: HashMap::new(),
+            gen: Gen::default(),
+        }
     }
 
     pub fn config(&self) -> &LustreConfig {
@@ -165,7 +171,12 @@ impl Lustre {
         assert!(size >= 0.0);
         let prev = self.files.insert(
             file,
-            LFile { size, writer: None, cached: 0.0, dirty: 0.0 },
+            LFile {
+                size,
+                writer: None,
+                cached: 0.0,
+                dirty: 0.0,
+            },
         );
         assert!(prev.is_none(), "file {file:?} already exists");
     }
@@ -202,7 +213,12 @@ impl Lustre {
         *self.client_cache_used.entry(writer).or_insert(0.0) += cached;
         self.files.insert(
             file,
-            LFile { size: bytes, writer: Some(writer), cached, dirty: cached },
+            LFile {
+                size: bytes,
+                writer: Some(writer),
+                cached,
+                dirty: cached,
+            },
         );
         self.gen.bump();
         WritePlan {
@@ -263,7 +279,10 @@ impl Lustre {
         let ops_lock = self.cfg.ops_lock;
         let ops_revoke = self.cfg.ops_revoke;
         let revoke_latency = self.cfg.revoke_latency;
-        let f = self.files.get_mut(&file).unwrap_or_else(|| panic!("read of unknown {file:?}"));
+        let f = self
+            .files
+            .get_mut(&file)
+            .unwrap_or_else(|| panic!("read of unknown {file:?}"));
         assert!(
             bytes <= f.size * (1.0 + 1e-9) + 1.0,
             "read past EOF: {bytes} of {}",
@@ -303,7 +322,11 @@ impl Lustre {
                     oss_bytes: bytes,
                     mds_ops: ops_lock + if had_conflict { ops_revoke } else { 0.0 },
                     revocations,
-                    revoke_latency: if had_conflict { revoke_latency } else { SimDuration::ZERO },
+                    revoke_latency: if had_conflict {
+                        revoke_latency
+                    } else {
+                        SimDuration::ZERO
+                    },
                 }
             }
             None => ReadPlan {
@@ -323,7 +346,9 @@ impl Lustre {
     /// writer's cached copy and returns the dirty bytes the caller must move
     /// writer→OSS. Idempotent.
     pub fn revoke(&mut self, file: LustreFile) -> f64 {
-        let Some(f) = self.files.get_mut(&file) else { return 0.0 };
+        let Some(f) = self.files.get_mut(&file) else {
+            return 0.0;
+        };
         let dirty = f.dirty;
         let released = f.cached;
         f.dirty = 0.0;
@@ -449,7 +474,7 @@ mod tests {
         let mut l = lustre();
         l.write(NodeId(0), LustreFile(1), 1000.0); // grant exhausted
         l.read(NodeId(5), LustreFile(1), 1000.0); // revoke
-        // Grant is free again: a new write caches fully.
+                                                  // Grant is free again: a new write caches fully.
         let plan = l.write(NodeId(0), LustreFile(2), 900.0);
         assert_eq!(plan.cached_bytes, 900.0);
     }

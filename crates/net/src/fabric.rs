@@ -31,10 +31,18 @@ pub struct Fabric {
 
 impl Fabric {
     pub fn build<T>(net: &mut FlowNet<T>, spec: &ClusterSpec) -> Fabric {
-        let egress = (0..spec.workers).map(|_| net.add_link(spec.nic_bandwidth)).collect();
-        let ingress = (0..spec.workers).map(|_| net.add_link(spec.nic_bandwidth)).collect();
-        let rack_up = (0..spec.racks).map(|_| net.add_link(spec.rack_uplink)).collect();
-        let rack_down = (0..spec.racks).map(|_| net.add_link(spec.rack_uplink)).collect();
+        let egress = (0..spec.workers)
+            .map(|_| net.add_link(spec.nic_bandwidth))
+            .collect();
+        let ingress = (0..spec.workers)
+            .map(|_| net.add_link(spec.nic_bandwidth))
+            .collect();
+        let rack_up = (0..spec.racks)
+            .map(|_| net.add_link(spec.rack_uplink))
+            .collect();
+        let rack_down = (0..spec.racks)
+            .map(|_| net.add_link(spec.rack_uplink))
+            .collect();
         // Core fabric: non-blocking relative to rack uplinks.
         let core = net.add_link(spec.rack_uplink * spec.racks as f64);
         let lustre_pipe = net.add_link(spec.lustre_bandwidth);
@@ -146,7 +154,9 @@ mod tests {
         let mut net: FlowNet<u32> = FlowNet::new();
         let spec = tiny(4);
         let f = Fabric::build(&mut net, &spec);
-        assert!(f.path(Endpoint::Node(NodeId(3)), Endpoint::Node(NodeId(3))).is_empty());
+        assert!(f
+            .path(Endpoint::Node(NodeId(3)), Endpoint::Node(NodeId(3)))
+            .is_empty());
     }
 
     #[test]

@@ -57,9 +57,26 @@ pub struct FlowNet<T> {
     delivered: Vec<Delivered<T>>,
     /// Count of rate recomputations (exposed for perf assertions in tests).
     pub recomputes: u64,
-    /// Batch mode: defer recomputation until `end_batch`.
+    /// Batch mode marker: the engine brackets each event-dispatch round so a
+    /// burst of flow operations settles in one recompute at `end_batch`.
     in_batch: bool,
-    batch_dirty: bool,
+    /// Rates are stale; the next rate-dependent query recomputes them. All
+    /// mutations landing at the same `SimTime` therefore coalesce into a
+    /// single water-filling pass, and mutations that leave the active-flow
+    /// set unchanged (e.g. queueing behind an already-active flow) never
+    /// trigger one.
+    dirty: bool,
+    /// Ids of flows with queued bytes, ascending (fixes the iteration order
+    /// of `advance` and the freeze order of the water-filling pass).
+    active: Vec<u64>,
+    /// Per-link ascending ids of active flows crossing it — the water-
+    /// filling pass freezes a bottleneck's flows without scanning the whole
+    /// active set.
+    flows_on_link: Vec<Vec<u64>>,
+    /// Scratch buffers reused across recomputes (no per-call allocation).
+    scratch_remaining: Vec<f64>,
+    scratch_unfrozen: Vec<u32>,
+    scratch_emptied: Vec<u64>,
 }
 
 impl<T> Default for FlowNet<T> {
@@ -79,24 +96,73 @@ impl<T> FlowNet<T> {
             delivered: Vec::new(),
             recomputes: 0,
             in_batch: false,
-            batch_dirty: false,
+            dirty: false,
+            active: Vec::new(),
+            flows_on_link: Vec::new(),
+            scratch_remaining: Vec::new(),
+            scratch_unfrozen: Vec::new(),
+            scratch_emptied: Vec::new(),
         }
     }
 
     /// Defer rate recomputation across a burst of flow operations (e.g. a
-    /// fetch task opening chunks to a hundred sources). Must be paired with
-    /// [`FlowNet::end_batch`].
+    /// fetch task opening chunks to a hundred sources, or the engine
+    /// bracketing one event-dispatch round). Must be paired with
+    /// [`FlowNet::end_batch`]. Recomputation is lazy regardless — the batch
+    /// marker only makes the coalescing point explicit.
     pub fn start_batch(&mut self) {
         self.in_batch = true;
     }
 
     pub fn end_batch(&mut self) {
         self.in_batch = false;
-        if self.batch_dirty {
-            self.batch_dirty = false;
-            self.do_recompute();
+        if self.dirty {
+            self.settle();
             self.gen.bump();
         }
+    }
+
+    /// Recompute rates if any mutation since the last pass changed the
+    /// active-flow set or a capacity.
+    fn settle(&mut self) {
+        if self.dirty {
+            self.dirty = false;
+            self.do_recompute();
+        }
+    }
+
+    /// Mark flow `id` active: index it on its links and in the active list.
+    fn activate(&mut self, id: u64) {
+        let links = &self.flows[&id].links;
+        for l in links {
+            let list = &mut self.flows_on_link[l.0 as usize];
+            let pos = list.partition_point(|&x| x < id);
+            list.insert(pos, id);
+        }
+        let pos = self.active.partition_point(|&x| x < id);
+        self.active.insert(pos, id);
+        self.dirty = true;
+    }
+
+    /// Remove flow `id` (crossing `links`) from the active indexes.
+    fn deactivate_indexed(
+        active: &mut Vec<u64>,
+        flows_on_link: &mut [Vec<u64>],
+        id: u64,
+        links: &[LinkId],
+    ) {
+        for l in links {
+            let list = &mut flows_on_link[l.0 as usize];
+            let pos = list.partition_point(|&x| x < id);
+            debug_assert!(list.get(pos) == Some(&id), "flow missing from link index");
+            list.remove(pos);
+        }
+        let pos = active.partition_point(|&x| x < id);
+        debug_assert!(
+            active.get(pos) == Some(&id),
+            "flow missing from active list"
+        );
+        active.remove(pos);
     }
 
     pub fn gen(&self) -> Gen {
@@ -106,6 +172,7 @@ impl<T> FlowNet<T> {
     pub fn add_link(&mut self, capacity: f64) -> LinkId {
         assert!(capacity > 0.0 && capacity.is_finite());
         self.links.push(Link { capacity });
+        self.flows_on_link.push(Vec::new());
         LinkId(self.links.len() as u32 - 1)
     }
 
@@ -118,7 +185,7 @@ impl<T> FlowNet<T> {
         self.advance(now);
         if (self.links[link.0 as usize].capacity - capacity).abs() > f64::EPSILON {
             self.links[link.0 as usize].capacity = capacity;
-            self.recompute();
+            self.dirty = true;
             self.gen.bump();
         }
     }
@@ -134,7 +201,12 @@ impl<T> FlowNet<T> {
         self.next_flow += 1;
         self.flows.insert(
             id.0,
-            Flow { links, queue: VecDeque::new(), rate: 0.0, auto_close },
+            Flow {
+                links,
+                queue: VecDeque::new(),
+                rate: 0.0,
+                auto_close,
+            },
         );
         // An empty flow does not consume bandwidth; no recompute needed yet.
         id
@@ -145,16 +217,22 @@ impl<T> FlowNet<T> {
     pub fn push_chunk(&mut self, now: SimTime, flow: FlowId, bytes: f64, tag: T) {
         assert!(bytes >= 0.0 && bytes.is_finite());
         self.advance(now);
-        let f = self.flows.get_mut(&flow.0).expect("push_chunk on unknown flow");
+        let f = self
+            .flows
+            .get_mut(&flow.0)
+            .expect("push_chunk on unknown flow");
         if bytes == 0.0 {
             self.delivered.push(Delivered { flow, tag });
             self.gen.bump();
             return;
         }
         let was_idle = f.queue.is_empty();
-        f.queue.push_back(Chunk { remaining: bytes, tag });
+        f.queue.push_back(Chunk {
+            remaining: bytes,
+            tag,
+        });
         if was_idle {
-            self.recompute();
+            self.activate(flow.0);
         }
         self.gen.bump();
     }
@@ -166,19 +244,23 @@ impl<T> FlowNet<T> {
             return Vec::new();
         };
         if !f.queue.is_empty() {
-            self.recompute();
+            Self::deactivate_indexed(&mut self.active, &mut self.flows_on_link, flow.0, &f.links);
+            self.dirty = true;
         }
         self.gen.bump();
         f.queue.into_iter().map(|c| c.tag).collect()
     }
 
     pub fn active_flows(&self) -> usize {
-        self.flows.values().filter(|f| !f.queue.is_empty()).count()
+        self.active.len()
     }
 
     /// Advance fluid state to `now`, harvesting chunk completions along the
     /// way. Rates are constant between recomputes, so in-interval chunk
-    /// completions are exact.
+    /// completions are exact. Every mutating operation advances first, so
+    /// `last` always equals the time of the most recent mutation and stale
+    /// rates can only ever span a zero-length interval — `settle` here
+    /// therefore recomputes before any time actually passes on them.
     fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.last, "FlowNet clock went backwards");
         let dt = now.since(self.last).as_secs_f64();
@@ -186,118 +268,116 @@ impl<T> FlowNet<T> {
         if dt <= 0.0 {
             return;
         }
-        let mut any_emptied = false;
-        let mut closed: Vec<u64> = Vec::new();
-        for (&id, f) in self.flows.iter_mut() {
-            if f.queue.is_empty() || f.rate <= 0.0 {
+        self.settle();
+        let mut emptied = std::mem::take(&mut self.scratch_emptied);
+        emptied.clear();
+        for i in 0..self.active.len() {
+            let id = self.active[i];
+            let f = self.flows.get_mut(&id).expect("active flow exists");
+            if f.rate <= 0.0 {
                 continue;
             }
             let mut budget = f.rate * dt;
             while budget > 0.0 {
-                let Some(head) = f.queue.front_mut() else { break };
+                let Some(head) = f.queue.front_mut() else {
+                    break;
+                };
                 // Tolerance: a chunk whose remainder is within rounding noise
                 // of the budget counts as delivered.
                 if head.remaining <= budget + 1e-6 {
                     budget -= head.remaining;
                     let c = f.queue.pop_front().unwrap();
-                    self.delivered.push(Delivered { flow: FlowId(id), tag: c.tag });
+                    self.delivered.push(Delivered {
+                        flow: FlowId(id),
+                        tag: c.tag,
+                    });
                 } else {
                     head.remaining -= budget;
                     budget = 0.0;
                 }
             }
             if f.queue.is_empty() {
-                any_emptied = true;
-                if f.auto_close {
-                    closed.push(id);
-                }
+                emptied.push(id);
             }
         }
-        for id in closed {
-            self.flows.remove(&id);
+        for &id in &emptied {
+            let f = self.flows.get_mut(&id).expect("emptied flow exists");
+            f.rate = 0.0;
+            let auto_close = f.auto_close;
+            let links = std::mem::take(&mut f.links);
+            Self::deactivate_indexed(&mut self.active, &mut self.flows_on_link, id, &links);
+            if auto_close {
+                self.flows.remove(&id);
+            } else {
+                self.flows.get_mut(&id).unwrap().links = links;
+            }
         }
-        if any_emptied {
-            self.recompute();
+        if !emptied.is_empty() {
+            self.dirty = true;
         }
+        self.scratch_emptied = emptied;
     }
 
-    fn recompute(&mut self) {
-        if self.in_batch {
-            self.batch_dirty = true;
-            return;
-        }
-        self.do_recompute();
-    }
-
-    /// Progressive-filling (max–min fair) rate allocation.
+    /// Progressive-filling (max–min fair) rate allocation over the active
+    /// set, driven by the per-link index and reusing scratch buffers.
     fn do_recompute(&mut self) {
         self.recomputes += 1;
         let nl = self.links.len();
-        let mut remaining: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
-        let mut unfrozen_on: Vec<u32> = vec![0; nl];
-        // Active flows only.
-        let active: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| !f.queue.is_empty())
-            .map(|(&id, _)| id)
-            .collect();
-        for &id in &active {
-            for l in &self.flows[&id].links {
-                unfrozen_on[l.0 as usize] += 1;
-            }
-        }
+        self.scratch_remaining.clear();
+        self.scratch_remaining
+            .extend(self.links.iter().map(|l| l.capacity));
+        self.scratch_unfrozen.clear();
+        self.scratch_unfrozen
+            .extend(self.flows_on_link.iter().map(|v| v.len() as u32));
         // Sentinel: unfrozen active flows carry a negative rate until the
         // water-filling pass freezes them.
-        for &id in &active {
-            self.flows.get_mut(&id).unwrap().rate = -1.0;
+        for i in 0..self.active.len() {
+            let id = self.active[i];
+            self.flows.get_mut(&id).expect("active flow exists").rate = -1.0;
         }
-        // Each iteration saturates at least one link, so <= nl iterations.
+        // Each iteration saturates at least one link, so <= nl iterations;
+        // each link's flow list is scanned at most once as a bottleneck.
         loop {
             // Find the bottleneck link: the smallest per-flow fair share.
             let mut best: Option<(usize, f64)> = None;
             for i in 0..nl {
-                if unfrozen_on[i] == 0 {
+                let n = self.scratch_unfrozen[i];
+                if n == 0 {
                     continue;
                 }
-                let share = remaining[i].max(0.0) / unfrozen_on[i] as f64;
+                let share = self.scratch_remaining[i].max(0.0) / n as f64;
                 if best.is_none_or(|(_, s)| share < s) {
                     best = Some((i, share));
                 }
             }
-            let Some((bottleneck, share)) = best else { break };
-            // Freeze every unfrozen flow crossing the bottleneck at `share`.
-            for &id in &active {
-                let f = &self.flows[&id];
+            let Some((bottleneck, share)) = best else {
+                break;
+            };
+            // Freeze every unfrozen flow crossing the bottleneck at `share`
+            // (ascending flow id, like the pre-index implementation).
+            for idx in 0..self.flows_on_link[bottleneck].len() {
+                let id = self.flows_on_link[bottleneck][idx];
+                let f = self.flows.get_mut(&id).expect("indexed flow exists");
                 if f.rate >= 0.0 {
                     continue;
                 }
-                if !f.links.iter().any(|l| l.0 as usize == bottleneck) {
-                    continue;
-                }
-                let links: Vec<LinkId> = f.links.clone();
-                self.flows.get_mut(&id).unwrap().rate = share;
-                for l in links {
+                f.rate = share;
+                for l in &f.links {
                     let li = l.0 as usize;
-                    remaining[li] -= share;
-                    unfrozen_on[li] -= 1;
+                    self.scratch_remaining[li] -= share;
+                    self.scratch_unfrozen[li] -= 1;
                 }
-            }
-        }
-        // Flows crossing no saturated link in a net with spare capacity can't
-        // happen: every flow crosses >=1 link, and progressive filling always
-        // terminates by freezing all flows. Idle flows get rate 0.
-        for (_, f) in self.flows.iter_mut() {
-            if f.queue.is_empty() {
-                f.rate = 0.0;
             }
         }
     }
 
-    /// Instant of the next chunk completion, or `None` when idle.
-    pub fn next_event(&self) -> Option<SimTime> {
+    /// Instant of the next chunk completion, or `None` when idle. Scans only
+    /// active flows (idle persistent flows cost nothing).
+    pub fn next_event(&mut self) -> Option<SimTime> {
+        self.settle();
         let mut best: Option<f64> = None;
-        for f in self.flows.values() {
+        for &id in &self.active {
+            let f = &self.flows[&id];
             if f.rate <= 0.0 {
                 continue;
             }
@@ -328,7 +408,8 @@ impl<T> FlowNet<T> {
     }
 
     /// Current rate of a flow in bytes/sec (0 while idle). Test hook.
-    pub fn flow_rate(&self, flow: FlowId) -> Option<f64> {
+    pub fn flow_rate(&mut self, flow: FlowId) -> Option<f64> {
+        self.settle();
         self.flows.get(&flow.0).map(|f| f.rate)
     }
 }
@@ -471,6 +552,38 @@ mod tests {
     }
 
     #[test]
+    fn push_behind_active_flow_skips_recompute() {
+        // Queueing a chunk behind an already-active flow leaves the active
+        // set unchanged: no water-filling pass may be spent on it.
+        let mut net: FlowNet<u32> = FlowNet::new();
+        let l = net.add_link(100.0);
+        let f = net.open_flow(SimTime::ZERO, vec![l], false);
+        net.push_chunk(SimTime::ZERO, f, 50.0, 1);
+        assert_eq!(net.flow_rate(f), Some(100.0)); // settles
+        let before = net.recomputes;
+        net.push_chunk(SimTime::ZERO, f, 50.0, 2);
+        assert_eq!(net.flow_rate(f), Some(100.0));
+        assert_eq!(net.recomputes, before, "no-op mutation must not recompute");
+    }
+
+    #[test]
+    fn same_time_arrivals_coalesce_into_one_recompute() {
+        let mut net: FlowNet<u32> = FlowNet::new();
+        let l = net.add_link(100.0);
+        let base = net.recomputes;
+        for i in 0..10u32 {
+            let f = net.open_flow(SimTime::ZERO, vec![l], true);
+            net.push_chunk(SimTime::ZERO, f, 10.0, i);
+        }
+        let _ = net.next_event(); // settles once for the whole burst
+        assert_eq!(
+            net.recomputes,
+            base + 1,
+            "same-instant arrivals must coalesce"
+        );
+    }
+
+    #[test]
     fn late_arrival_shares_from_then_on() {
         let mut net = FlowNet::new();
         let l = net.add_link(100.0);
@@ -493,7 +606,189 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Textbook progressive filling, written independently of the engine's
+    /// incremental implementation: rebuilds the allocation from scratch from
+    /// (capacities, active flow paths). Max–min fair rates are unique, so the
+    /// two must agree to float precision after any event sequence.
+    fn scratch_waterfill(caps: &[f64], paths: &[Vec<usize>]) -> Vec<f64> {
+        let nl = caps.len();
+        let mut remaining: Vec<f64> = caps.to_vec();
+        let mut count = vec![0u32; nl];
+        for p in paths {
+            for &l in p {
+                count[l] += 1;
+            }
+        }
+        let mut rates = vec![-1.0f64; paths.len()];
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..nl {
+                if count[i] == 0 {
+                    continue;
+                }
+                let share = remaining[i].max(0.0) / count[i] as f64;
+                if best.is_none_or(|(_, s)| share < s) {
+                    best = Some((i, share));
+                }
+            }
+            let Some((bottleneck, share)) = best else {
+                break;
+            };
+            for (fi, p) in paths.iter().enumerate() {
+                if rates[fi] >= 0.0 || !p.contains(&bottleneck) {
+                    continue;
+                }
+                rates[fi] = share;
+                for &l in p {
+                    remaining[l] -= share;
+                    count[l] -= 1;
+                }
+            }
+        }
+        rates
+    }
+
+    /// One random arrival/departure/advance/capacity event. Returns the
+    /// updated wall-clock.
+    type Op = (
+        u8,
+        proptest::sample::Index,
+        proptest::sample::Index,
+        f64,
+        f64,
+    );
+
+    /// Shadow bookkeeping the test keeps alongside the net: flow id, link
+    /// path (as indices), undelivered chunk count.
+    type Shadow = Vec<(FlowId, Vec<usize>, usize)>;
+
+    fn apply_op(
+        net: &mut FlowNet<u32>,
+        caps: &mut [f64],
+        shadow: &mut Shadow,
+        links: &[LinkId],
+        op: &Op,
+        now_secs: &mut f64,
+    ) {
+        let (kind, a, b, bytes, dt) = op;
+        let now = SimTime::from_secs_f64(*now_secs);
+        match kind % 4 {
+            // Arrival: open an auto-close flow over 1-2 links, queue a chunk.
+            0 => {
+                let mut path = vec![a.index(links.len()), b.index(links.len())];
+                path.sort_unstable();
+                path.dedup();
+                let f = net.open_flow(now, path.iter().map(|&i| links[i]).collect(), true);
+                net.push_chunk(now, f, *bytes, f.0 as u32);
+                shadow.push((f, path, 1));
+            }
+            // Extra chunk behind a random active flow (active set unchanged).
+            1 => {
+                if !shadow.is_empty() {
+                    let i = a.index(shadow.len());
+                    let e = &mut shadow[i];
+                    net.push_chunk(now, e.0, *bytes, e.0 .0 as u32);
+                    e.2 += 1;
+                }
+            }
+            // Departure: close a random active flow.
+            2 => {
+                if !shadow.is_empty() {
+                    let (f, _, _) = shadow.swap_remove(a.index(shadow.len()));
+                    net.close_flow(now, f);
+                }
+            }
+            // Advance time, harvesting deliveries; or resize a link.
+            _ => {
+                if *bytes < 50.0 {
+                    *now_secs += dt;
+                    let t = SimTime::from_secs_f64(*now_secs);
+                    for d in net.poll(t) {
+                        let i = shadow
+                            .iter()
+                            .position(|(f, _, _)| *f == d.flow)
+                            .expect("delivery for tracked flow");
+                        shadow[i].2 -= 1;
+                        if shadow[i].2 == 0 {
+                            shadow.swap_remove(i);
+                        }
+                    }
+                } else {
+                    let li = a.index(caps.len());
+                    caps[li] = 1.0 + *bytes;
+                    net.set_link_capacity(now, links[li], caps[li]);
+                }
+            }
+        }
+    }
+
     proptest! {
+        /// After EVERY event in a random arrival/departure/advance/capacity
+        /// sequence, the incremental recompute's rates equal an independent
+        /// from-scratch water-filling to within 1e-9.
+        #[test]
+        fn incremental_recompute_matches_scratch_waterfill(
+            caps0 in proptest::collection::vec(1.0f64..100.0, 1..5),
+            ops in proptest::collection::vec(
+                (0u8..4, any::<proptest::sample::Index>(), any::<proptest::sample::Index>(),
+                 1.0f64..100.0, 0.001f64..0.05),
+                1..30,
+            ),
+        ) {
+            let mut net: FlowNet<u32> = FlowNet::new();
+            let mut caps = caps0.clone();
+            let links: Vec<LinkId> = caps.iter().map(|&c| net.add_link(c)).collect();
+            let mut shadow: Shadow = Vec::new();
+            let mut now = 0.0f64;
+            for op in &ops {
+                apply_op(&mut net, &mut caps, &mut shadow, &links, op, &mut now);
+                let paths: Vec<Vec<usize>> = shadow.iter().map(|(_, p, _)| p.clone()).collect();
+                let want = scratch_waterfill(&caps, &paths);
+                for ((f, _, _), w) in shadow.iter().zip(want.iter()) {
+                    let got = net.flow_rate(*f).expect("tracked flow exists");
+                    prop_assert!(
+                        (got - w).abs() <= 1e-9 * w.max(1.0),
+                        "rate mismatch after event: got {got}, scratch waterfill {w}"
+                    );
+                }
+            }
+        }
+
+        /// Invariant: after every event, the allocated rates on each link sum
+        /// to at most its capacity.
+        #[test]
+        fn link_rates_never_exceed_capacity(
+            caps0 in proptest::collection::vec(1.0f64..100.0, 1..5),
+            ops in proptest::collection::vec(
+                (0u8..4, any::<proptest::sample::Index>(), any::<proptest::sample::Index>(),
+                 1.0f64..100.0, 0.001f64..0.05),
+                1..30,
+            ),
+        ) {
+            let mut net: FlowNet<u32> = FlowNet::new();
+            let mut caps = caps0.clone();
+            let links: Vec<LinkId> = caps.iter().map(|&c| net.add_link(c)).collect();
+            let mut shadow: Shadow = Vec::new();
+            let mut now = 0.0f64;
+            for op in &ops {
+                apply_op(&mut net, &mut caps, &mut shadow, &links, op, &mut now);
+                let mut used = vec![0.0f64; caps.len()];
+                for (f, path, _) in &shadow {
+                    let rate = net.flow_rate(*f).expect("tracked flow exists");
+                    prop_assert!(rate > 0.0, "active flow starved");
+                    for &li in path {
+                        used[li] += rate;
+                    }
+                }
+                for (u, c) in used.iter().zip(caps.iter()) {
+                    prop_assert!(
+                        *u <= c * (1.0 + 1e-9) + 1e-9,
+                        "link oversubscribed after event: {u} > {c}"
+                    );
+                }
+            }
+        }
+
         /// No link is ever oversubscribed, and every flow with queued bytes
         /// gets a strictly positive rate (work conservation at the flow level).
         #[test]

@@ -117,7 +117,11 @@ pub struct RamDisk {
 
 impl RamDisk {
     pub fn new(read_bw: f64, write_bw: f64) -> Self {
-        RamDisk { ch: DualChannel::new(read_bw, write_bw), read_bw, write_bw }
+        RamDisk {
+            ch: DualChannel::new(read_bw, write_bw),
+            read_bw,
+            write_bw,
+        }
     }
 
     /// Calibrated default: a slice of one socket's memory bandwidth that the
@@ -162,7 +166,11 @@ pub struct Hdd {
 
 impl Hdd {
     pub fn new(bandwidth: f64) -> Self {
-        Hdd { ps: PsResource::new(bandwidth), gen: Gen::default(), bw: bandwidth }
+        Hdd {
+            ps: PsResource::new(bandwidth),
+            gen: Gen::default(),
+            bw: bandwidth,
+        }
     }
 }
 

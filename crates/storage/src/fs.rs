@@ -43,7 +43,11 @@ pub struct CacheConfig {
 impl CacheConfig {
     pub fn hyperion() -> Self {
         const GB: f64 = 1024.0 * 1024.0 * 1024.0;
-        CacheConfig { capacity: 20.0 * GB, mem_bw: 3.0 * GB, flush_chunk: 64.0 * 1024.0 * 1024.0 }
+        CacheConfig {
+            capacity: 20.0 * GB,
+            mem_bw: 3.0 * GB,
+            flush_chunk: 64.0 * 1024.0 * 1024.0,
+        }
     }
 }
 
@@ -315,7 +319,9 @@ impl LocalFs {
         let mut chunk = 0.0;
         let mut file = None;
         while chunk < cache.cfg.flush_chunk {
-            let Some(&(f, b)) = cache.flush_queue.front() else { break };
+            let Some(&(f, b)) = cache.flush_queue.front() else {
+                break;
+            };
             if file.is_some() && file != Some(f) {
                 break;
             }
@@ -349,9 +355,7 @@ impl LocalFs {
         let io: Vec<IoDone> = self.device.poll(now);
         for d in io {
             match self.subs.remove(&d.tag) {
-                Some(SubOp::UserWrite { tag }) => {
-                    self.done.push(FsDone { tag, op: Op::Write })
-                }
+                Some(SubOp::UserWrite { tag }) => self.done.push(FsDone { tag, op: Op::Write }),
                 Some(SubOp::UserReadPart { tag }) => self.finish_read_part(tag),
                 Some(SubOp::Flush) => {
                     if let Some(cache) = &mut self.cache {
@@ -425,7 +429,11 @@ mod tests {
     }
 
     fn small_cache() -> CacheConfig {
-        CacheConfig { capacity: 100.0, mem_bw: 10_000.0, flush_chunk: 25.0 }
+        CacheConfig {
+            capacity: 100.0,
+            mem_bw: 10_000.0,
+            flush_chunk: 25.0,
+        }
     }
 
     #[test]
@@ -457,7 +465,11 @@ mod tests {
         let t1 = run_until_tag(&mut fs, 1);
         fs.read(t1, FileId(1), 50.0, 2);
         let t2 = run_until_tag(&mut fs, 2);
-        assert!(t2.since(t1).as_secs_f64() < 0.05, "read took {}", t2.since(t1));
+        assert!(
+            t2.since(t1).as_secs_f64() < 0.05,
+            "read took {}",
+            t2.since(t1)
+        );
     }
 
     #[test]
@@ -478,11 +490,18 @@ mod tests {
         }
         fs.write(now, FileId(2), 90.0, 2);
         let t2 = run_until_tag(&mut fs, 2);
-        assert!(fs.cached_bytes(FileId(1)) < 80.0, "file1 should be (partly) evicted");
+        assert!(
+            fs.cached_bytes(FileId(1)) < 80.0,
+            "file1 should be (partly) evicted"
+        );
         fs.read(t2, FileId(1), 80.0, 3);
         let t3 = run_until_tag(&mut fs, 3);
         // Mostly device speed (100 B/s): takes ~0.7s+.
-        assert!(t3.since(t2).as_secs_f64() > 0.5, "read took {}", t3.since(t2));
+        assert!(
+            t3.since(t2).as_secs_f64() > 0.5,
+            "read took {}",
+            t3.since(t2)
+        );
     }
 
     #[test]

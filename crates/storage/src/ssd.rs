@@ -176,8 +176,8 @@ impl Ssd {
         // Flash programming drains the buffer.
         let program_possible = self.program_rate(depth) * dt;
         let program_actual = (self.buffer_fill + inflow).min(program_possible);
-        self.buffer_fill = (self.buffer_fill + inflow - program_actual)
-            .clamp(0.0, self.cfg.buffer_bytes);
+        self.buffer_fill =
+            (self.buffer_fill + inflow - program_actual).clamp(0.0, self.cfg.buffer_bytes);
 
         // Clean pool: consumed by programming (amplified), replenished by GC.
         let consumed = program_actual * self.write_amp();
@@ -192,7 +192,11 @@ impl Ssd {
             self.cfg.buffer_accept_bw
         };
         self.ch.write.set_capacity(now, accept.max(1.0));
-        let read_bw = if self.gc_active() { self.cfg.read_bw_gc } else { self.cfg.read_bw };
+        let read_bw = if self.gc_active() {
+            self.cfg.read_bw_gc
+        } else {
+            self.cfg.read_bw
+        };
         self.ch.read.set_capacity(now, read_bw);
         self.gen.bump();
     }
@@ -332,7 +336,11 @@ mod tests {
         while let Some(t) = ssd.next_event() {
             ssd.poll(t);
         }
-        assert!(ssd.clean_fraction() > 0.99, "pool at {}", ssd.clean_fraction());
+        assert!(
+            ssd.clean_fraction() > 0.99,
+            "pool at {}",
+            ssd.clean_fraction()
+        );
         assert!(ssd.buffer_fill() < 1.0);
     }
 

@@ -16,8 +16,9 @@ pub fn text_lines(lines: u64, seed: u64) -> Vec<Record> {
     (0..lines)
         .map(|i| {
             let len = rng.gen_range(4..12);
-            let line: Vec<&str> =
-                (0..len).map(|_| WORDS[rng.gen_range(0..WORDS.len())]).collect();
+            let line: Vec<&str> = (0..len)
+                .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+                .collect();
             (Value::I64(i as i64), Value::str(line.join(" ")))
         })
         .collect()
@@ -38,7 +39,9 @@ pub fn kv_pairs(pairs: u64, cardinality: u64, seed: u64) -> Vec<Record> {
 pub fn kv_pairs_zipf(pairs: u64, cardinality: u64, s: f64, seed: u64) -> Vec<Record> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x21bf);
     // Precompute CDF.
-    let weights: Vec<f64> = (1..=cardinality).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let weights: Vec<f64> = (1..=cardinality)
+        .map(|k| 1.0 / (k as f64).powf(s))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(cardinality as usize);
     let mut acc = 0.0;
@@ -59,7 +62,9 @@ pub fn kv_pairs_zipf(pairs: u64, cardinality: u64, s: f64, seed: u64) -> Vec<Rec
 /// planted weight vector with alternating signs [1, -1, 1, -1, ...].
 pub fn labeled_points(points: u64, dims: usize, seed: u64) -> Vec<Record> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x1061);
-    let truth: Vec<f64> = (0..dims).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let truth: Vec<f64> = (0..dims)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     (0..points)
         .map(|_| {
             let x: Vec<f64> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -108,7 +113,12 @@ mod tests {
         let recs = labeled_points(500, 4, 9);
         let truth = [1.0, -1.0, 1.0, -1.0];
         for (label, x) in &recs {
-            let margin: f64 = x.as_vec().iter().zip(truth.iter()).map(|(a, b)| a * b).sum();
+            let margin: f64 = x
+                .as_vec()
+                .iter()
+                .zip(truth.iter())
+                .map(|(a, b)| a * b)
+                .sum();
             assert_eq!(label.as_f64() >= 0.0, margin >= 0.0);
         }
     }

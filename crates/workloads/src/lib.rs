@@ -51,7 +51,11 @@ pub struct GroupBy {
 
 impl GroupBy {
     pub fn new(input_bytes: f64) -> Self {
-        GroupBy { input_bytes, split_bytes: 256.0 * MB, reducers: None }
+        GroupBy {
+            input_bytes,
+            split_bytes: 256.0 * MB,
+            reducers: None,
+        }
     }
 
     pub fn with_split(mut self, split_bytes: f64) -> Self {
@@ -71,9 +75,13 @@ impl GroupBy {
     /// Synthetic TB-scale job. The first stage *generates* its key/value
     /// pairs in memory (paper §III-B): no input storage is read.
     pub fn build(&self) -> Rdd {
-        Rdd::source(Dataset::generated(self.input_bytes, self.split_bytes, 100.0))
-            .map("genKV", SizeModel::new(1.0, 1.0, rates::GROUPBY_GEN), |r| r)
-            .group_by_key(self.reducers, rates::GROUP_AGG)
+        Rdd::source(Dataset::generated(
+            self.input_bytes,
+            self.split_bytes,
+            100.0,
+        ))
+        .map("genKV", SizeModel::new(1.0, 1.0, rates::GROUPBY_GEN), |r| r)
+        .group_by_key(self.reducers, rates::GROUP_AGG)
     }
 
     /// Real-data variant over generated KV pairs.
@@ -103,7 +111,12 @@ pub struct Grep {
 
 impl Grep {
     pub fn new(input_bytes: f64) -> Self {
-        Grep { input_bytes, split_bytes: 32.0 * MB, match_ratio: 5e-4, reducers: Some(64) }
+        Grep {
+            input_bytes,
+            split_bytes: 32.0 * MB,
+            match_ratio: 5e-4,
+            reducers: Some(64),
+        }
     }
 
     pub fn with_split(mut self, split_bytes: f64) -> Self {
@@ -114,9 +127,17 @@ impl Grep {
     /// Synthetic job.
     pub fn build(&self) -> Rdd {
         let ratio = self.match_ratio;
-        Rdd::source(Dataset::synthetic(self.input_bytes, self.split_bytes, 120.0))
-            .filter("match", SizeModel::new(ratio, ratio, rates::GREP_SCAN), |_| true)
-            .group_by_key(self.reducers, rates::GROUP_AGG)
+        Rdd::source(Dataset::synthetic(
+            self.input_bytes,
+            self.split_bytes,
+            120.0,
+        ))
+        .filter(
+            "match",
+            SizeModel::new(ratio, ratio, rates::GREP_SCAN),
+            |_| true,
+        )
+        .group_by_key(self.reducers, rates::GROUP_AGG)
     }
 
     /// Real-data variant: actually greps generated text lines for `needle`.
@@ -129,7 +150,9 @@ impl Grep {
                 SizeModel::new(self.match_ratio, self.match_ratio, rates::GREP_SCAN),
                 move |r| r.1.as_str().contains(needle),
             )
-            .map("key-by-line", SizeModel::scan(), |(_, v)| (v, Value::I64(1)))
+            .map("key-by-line", SizeModel::scan(), |(_, v)| {
+                (v, Value::I64(1))
+            })
             .group_by_key(self.reducers, rates::GROUP_AGG)
     }
 
@@ -150,7 +173,12 @@ pub struct LogisticRegression {
 
 impl LogisticRegression {
     pub fn new(input_bytes: f64) -> Self {
-        LogisticRegression { input_bytes, split_bytes: 32.0 * MB, dims: 10, iterations: 3 }
+        LogisticRegression {
+            input_bytes,
+            split_bytes: 32.0 * MB,
+            dims: 10,
+            iterations: 3,
+        }
     }
 
     pub fn with_split(mut self, split_bytes: f64) -> Self {
@@ -161,9 +189,13 @@ impl LogisticRegression {
     /// Synthetic cached dataset: parse once, iterate `iterations` times.
     /// Returns (cached rdd, per-iteration job builder, action).
     pub fn build(&self) -> (Rdd, impl Fn(&Rdd) -> Rdd, Action) {
-        let cached = Rdd::source(Dataset::synthetic(self.input_bytes, self.split_bytes, 8.0 * 12.0))
-            .map("parse", SizeModel::new(1.0, 1.0, rates::LR_PARSE), |r| r)
-            .cache();
+        let cached = Rdd::source(Dataset::synthetic(
+            self.input_bytes,
+            self.split_bytes,
+            8.0 * 12.0,
+        ))
+        .map("parse", SizeModel::new(1.0, 1.0, rates::LR_PARSE), |r| r)
+        .cache();
         let iter = |points: &Rdd| {
             points.map(
                 "gradient",
@@ -231,7 +263,9 @@ mod tests {
 
     #[test]
     fn groupby_synthetic_preserves_input_as_intermediate() {
-        let gb = GroupBy::new(128.0 * MB).with_split(16.0 * MB).with_reducers(8);
+        let gb = GroupBy::new(128.0 * MB)
+            .with_split(16.0 * MB)
+            .with_reducers(8);
         assert_eq!(gb.map_tasks(), 8);
         let mut d = driver();
         let m = d.run_for_metrics(&gb.build(), gb.action());
@@ -248,12 +282,18 @@ mod tests {
         let mut d = driver();
         let m = d.run_for_metrics(&g.build(), g.action());
         let shuffled: f64 = m.tasks_in(Phase::Shuffling).map(|t| t.input_bytes).sum();
-        assert!(shuffled < 1.0 * MB, "Grep intermediate should be tiny: {shuffled}");
+        assert!(
+            shuffled < 1.0 * MB,
+            "Grep intermediate should be tiny: {shuffled}"
+        );
     }
 
     #[test]
     fn grep_real_finds_needles() {
-        let g = Grep { match_ratio: 1.0, ..Grep::new(1.0 * MB) };
+        let g = Grep {
+            match_ratio: 1.0,
+            ..Grep::new(1.0 * MB)
+        };
         let rdd = g.build_real(500, "fox", 7);
         let mut d = driver();
         let (out, _) = d.run(&rdd, Action::Collect);
@@ -267,7 +307,10 @@ mod tests {
 
     #[test]
     fn lr_real_converges_toward_true_weights() {
-        let lr = LogisticRegression { dims: 4, ..LogisticRegression::new(1.0 * MB) };
+        let lr = LogisticRegression {
+            dims: 4,
+            ..LogisticRegression::new(1.0 * MB)
+        };
         let (points, iter, action) = lr.build_real(2000, 11);
         let mut d = driver();
         let mut w = Arc::new(vec![0.0; 4]);
@@ -278,8 +321,11 @@ mod tests {
             let grad = out.reduced.expect("real LR reduces").as_vec().to_vec();
             let norm: f64 = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
             let step = 1.0 / 2000.0;
-            let next: Vec<f64> =
-                w.iter().zip(grad.iter()).map(|(wi, gi)| wi - step * gi).collect();
+            let next: Vec<f64> = w
+                .iter()
+                .zip(grad.iter())
+                .map(|(wi, gi)| wi - step * gi)
+                .collect();
             w = Arc::new(next);
             assert!(norm <= last_norm * 1.5, "gradient should not blow up");
             last_norm = norm;
@@ -296,7 +342,10 @@ mod tests {
         let m1 = d.run_for_metrics(&iter(&points), action.clone());
         let m2 = d.run_for_metrics(&iter(&points), action.clone());
         assert!(m2.job_time() < m1.job_time());
-        assert!(m2.locality_fraction() > 0.99, "cached iterations are node-local");
+        assert!(
+            m2.locality_fraction() > 0.99,
+            "cached iterations are node-local"
+        );
     }
 }
 
@@ -312,7 +361,11 @@ pub struct WordCount {
 
 impl WordCount {
     pub fn new(input_bytes: f64) -> Self {
-        WordCount { input_bytes, split_bytes: 128.0 * MB, reducers: None }
+        WordCount {
+            input_bytes,
+            split_bytes: 128.0 * MB,
+            reducers: None,
+        }
     }
 
     /// Synthetic pipeline: tokenization expands records, counting shrinks
@@ -330,12 +383,16 @@ impl WordCount {
         let recs = datagen::text_lines(lines, seed);
         let parts = ((self.input_bytes / self.split_bytes).ceil().max(1.0)) as usize;
         Rdd::source(Dataset::from_records(recs, parts))
-            .flat_map("tokenize", SizeModel::new(1.1, 8.0, 700.0e6), |(_, line)| {
-                line.as_str()
-                    .split_whitespace()
-                    .map(|w| (Value::str(w), Value::I64(1)))
-                    .collect()
-            })
+            .flat_map(
+                "tokenize",
+                SizeModel::new(1.1, 8.0, 700.0e6),
+                |(_, line)| {
+                    line.as_str()
+                        .split_whitespace()
+                        .map(|w| (Value::str(w), Value::I64(1)))
+                        .collect()
+                },
+            )
             .reduce_by_key(self.reducers, 900.0e6, 0.05, |a, b| {
                 Value::I64(a.as_i64() + b.as_i64())
             })
@@ -359,12 +416,19 @@ pub struct KMeans {
 
 impl KMeans {
     pub fn new(input_bytes: f64, k: usize) -> Self {
-        KMeans { input_bytes, split_bytes: 64.0 * MB, k, dims: 4, iterations: 5 }
+        KMeans {
+            input_bytes,
+            split_bytes: 64.0 * MB,
+            k,
+            dims: 4,
+            iterations: 5,
+        }
     }
 
     /// Real Lloyd iterations: returns the cached points and a closure that
     /// builds the assign+aggregate job for the current centroids. The job's
     /// collect returns per-centroid (sum-vector ++ count) records.
+    #[allow(clippy::type_complexity)]
     pub fn build_real(
         &self,
         points: u64,
@@ -381,34 +445,29 @@ impl KMeans {
         let k = self.k;
         let assign = move |pts: &Rdd, centroids: Arc<Vec<Vec<f64>>>| {
             let cents = centroids.clone();
-            pts.map(
-                "assign",
-                SizeModel::new(1.0, 1.0, 60.0e6),
-                move |(_, x)| {
-                    let xs = x.as_vec();
-                    let (best, _) = cents
-                        .iter()
-                        .enumerate()
-                        .map(|(i, c)| {
-                            let d: f64 = xs
-                                .iter()
-                                .zip(c.iter())
-                                .map(|(a, b)| (a - b) * (a - b))
-                                .sum();
-                            (i, d)
-                        })
-                        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                        .expect("k >= 1");
-                    (Value::I64(best as i64), x)
-                },
-            )
+            pts.map("assign", SizeModel::new(1.0, 1.0, 60.0e6), move |(_, x)| {
+                let xs = x.as_vec();
+                let (best, _) = cents
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let d: f64 = xs
+                            .iter()
+                            .zip(c.iter())
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum();
+                        (i, d)
+                    })
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .expect("k >= 1");
+                (Value::I64(best as i64), x)
+            })
             .reduce_by_key(Some(k as u32), 500.0e6, 0.01, |a, b| {
                 // Accumulate [sum..., count] vectors.
                 let (x, y) = (a.as_vec(), b.as_vec());
                 let (xs, xc) = split_acc(x);
                 let (ys, yc) = split_acc(y);
-                let mut sum: Vec<f64> =
-                    xs.iter().zip(ys.iter()).map(|(p, q)| p + q).collect();
+                let mut sum: Vec<f64> = xs.iter().zip(ys.iter()).map(|(p, q)| p + q).collect();
                 sum.push(xc + yc);
                 Value::vec(sum)
             })
@@ -431,8 +490,7 @@ impl KMeans {
         for (key, acc) in records {
             let (sum, count) = split_acc(acc.as_vec());
             if count > 0.0 {
-                out[key.as_i64() as usize] =
-                    sum.iter().map(|s| s / count).collect();
+                out[key.as_i64() as usize] = sum.iter().map(|s| s / count).collect();
             }
         }
         out
@@ -485,7 +543,11 @@ mod extra_workload_tests {
 
     #[test]
     fn kmeans_clusters_converge() {
-        let km = KMeans { dims: 2, iterations: 6, ..KMeans::new(1.0 * MB, 3) };
+        let km = KMeans {
+            dims: 2,
+            iterations: 12,
+            ..KMeans::new(1.0 * MB, 3)
+        };
         let (points, assign) = km.build_real(1500, 33);
         let mut d = Driver::new(tiny(4), EngineConfig::default().homogeneous());
         // Start with spread-out centroids.
@@ -499,7 +561,10 @@ mod extra_workload_tests {
                 .iter()
                 .zip(centroids.iter())
                 .map(|(a, b)| {
-                    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
+                    a.iter()
+                        .zip(b.iter())
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
                 })
                 .sum::<f64>()
                 .sqrt();
@@ -517,13 +582,20 @@ mod extra_workload_tests {
 
     #[test]
     fn kmeans_caches_points_after_first_iteration() {
-        let km = KMeans { dims: 2, iterations: 2, ..KMeans::new(1.0 * MB, 2) };
+        let km = KMeans {
+            dims: 2,
+            iterations: 2,
+            ..KMeans::new(1.0 * MB, 2)
+        };
         let (points, assign) = km.build_real(500, 3);
         let mut d = Driver::new(tiny(4), EngineConfig::default().homogeneous());
         let c = Arc::new(vec![vec![-1.0, 0.0], vec![1.0, 0.0]]);
         let m1 = d.run_for_metrics(&assign(&points, c.clone()), Action::Collect);
         let m2 = d.run_for_metrics(&assign(&points, c), Action::Collect);
-        assert!(m2.locality_fraction() > 0.99, "iteration 2 reads the cache locally");
+        assert!(
+            m2.locality_fraction() > 0.99,
+            "iteration 2 reads the cache locally"
+        );
         assert!(m2.job_time() <= m1.job_time());
     }
 }

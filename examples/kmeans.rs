@@ -12,7 +12,11 @@ fn main() {
     let cluster = memres::cluster::tiny(4);
     let mut driver = Driver::new(cluster, EngineConfig::default().homogeneous());
 
-    let km = KMeans { dims: 2, iterations: 8, ..KMeans::new(2.0 * MB, 3) };
+    let km = KMeans {
+        dims: 2,
+        iterations: 8,
+        ..KMeans::new(2.0 * MB, 3)
+    };
     let (points, assign) = km.build_real(3000, 99);
 
     let mut centroids = Arc::new(vec![vec![-1.5, -1.5], vec![0.0, 0.2], vec![1.5, 1.5]]);
@@ -24,7 +28,12 @@ fn main() {
         let shift: f64 = next
             .iter()
             .zip(centroids.iter())
-            .map(|(a, b)| a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>())
+            .map(|(a, b)| {
+                a.iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+            })
             .sum::<f64>()
             .sqrt();
         centroids = Arc::new(next);

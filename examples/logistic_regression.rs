@@ -17,7 +17,11 @@ fn main() {
     let mut driver = Driver::new(cluster, EngineConfig::default().homogeneous());
 
     let dims = 6;
-    let lr = LogisticRegression { dims, iterations: 5, ..LogisticRegression::new(2.0 * MB) };
+    let lr = LogisticRegression {
+        dims,
+        iterations: 5,
+        ..LogisticRegression::new(2.0 * MB)
+    };
     let (points, gradient_job, sum_action) = lr.build_real(4000, 42);
 
     let mut weights = Arc::new(vec![0.0_f64; dims]);
@@ -27,10 +31,18 @@ fn main() {
     for it in 0..lr.iterations {
         let job = gradient_job(&points, weights.clone());
         let (out, metrics) = driver.run(&job, sum_action.clone());
-        let grad = out.reduced.expect("LR reduces to a gradient").as_vec().to_vec();
+        let grad = out
+            .reduced
+            .expect("LR reduces to a gradient")
+            .as_vec()
+            .to_vec();
         let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
         weights = Arc::new(
-            weights.iter().zip(grad.iter()).map(|(w, g)| w - step * g).collect(),
+            weights
+                .iter()
+                .zip(grad.iter())
+                .map(|(w, g)| w - step * g)
+                .collect(),
         );
         println!(
             "{it:4} | {:>9.3}s   | {norm:>9.1} | {:?}",
@@ -50,7 +62,11 @@ fn main() {
             *w > 0.0,
             expected_positive,
             "weight {i} should be {}",
-            if expected_positive { "positive" } else { "negative" }
+            if expected_positive {
+                "positive"
+            } else {
+                "negative"
+            }
         );
     }
     println!("\nconverged: learned weight signs match the planted model");

@@ -24,7 +24,9 @@ fn main() {
 
     let counts = Rdd::source(Dataset::from_records(records, 4))
         .map("kv", SizeModel::scan(), |(_, word)| (word, Value::I64(1)))
-        .reduce_by_key(Some(2), 1e9, 1.0, |a, b| Value::I64(a.as_i64() + b.as_i64()));
+        .reduce_by_key(Some(2), 1e9, 1.0, |a, b| {
+            Value::I64(a.as_i64() + b.as_i64())
+        });
 
     // Print the execution plan (paper Fig 3/4 style).
     println!("{}", driver.explain(&counts, Action::Collect));

@@ -23,13 +23,19 @@ fn main() {
         ("HDFS/RAMDisk + delay sched", InputSource::HdfsRamDisk, true),
         ("Lustre + immediate sched  ", InputSource::Lustre, false),
     ] {
-        let mut cfg = EngineConfig { input, ..EngineConfig::default() };
+        let mut cfg = EngineConfig {
+            input,
+            ..EngineConfig::default()
+        };
         if delay {
             cfg = cfg.with_delay_scheduling(memres_des::SimDuration::from_secs(3));
         }
         let mut driver = Driver::new(cluster.clone(), cfg);
         let m = driver.run_for_metrics(&grep.build(), grep.action());
-        println!("  Grep {input_gb:.0} GB | {name} | job {:>7.2}s", m.job_time());
+        println!(
+            "  Grep {input_gb:.0} GB | {name} | job {:>7.2}s",
+            m.job_time()
+        );
         results.push(m.job_time());
     }
     println!(
@@ -40,7 +46,10 @@ fn main() {
     println!("== intermediate-data placement (paper Fig 7) ==");
     let gb = GroupBy::new(input_gb * GB);
     for (name, shuffle) in [
-        ("local RAMDisk store   ", ShuffleStore::Local(StoreDevice::RamDisk)),
+        (
+            "local RAMDisk store   ",
+            ShuffleStore::Local(StoreDevice::RamDisk),
+        ),
         ("Lustre-local fetching ", ShuffleStore::LustreLocal),
         ("Lustre-shared fetching", ShuffleStore::LustreShared),
     ] {

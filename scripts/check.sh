@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, the full test suite, and a smoke run of
+# the machine-readable performance benchmark (see EXPERIMENTS.md
+# "Performance"). Everything here must pass before a change lands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "== bench smoke (JSON) =="
+out="$(mktemp -d)"
+cargo run -q --release -p memres-bench --bin repro -- --smoke --json "$out" bench >/dev/null
+test -s "$out/bench.json" || { echo "bench.json missing or empty"; exit 1; }
+grep -q '"total_wall_s"' "$out/bench.json" || { echo "bench.json malformed"; exit 1; }
+echo "ok: $out/bench.json"

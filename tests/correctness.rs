@@ -18,12 +18,10 @@ fn wordcount(cfg: EngineConfig) -> HashMap<String, i64> {
                 .collect::<Vec<_>>()
         })
         .collect();
-    let rdd = Rdd::source(Dataset::from_records(recs, 6)).reduce_by_key(
-        Some(3),
-        1e9,
-        1.0,
-        |a, b| Value::I64(a.as_i64() + b.as_i64()),
-    );
+    let rdd =
+        Rdd::source(Dataset::from_records(recs, 6)).reduce_by_key(Some(3), 1e9, 1.0, |a, b| {
+            Value::I64(a.as_i64() + b.as_i64())
+        });
     let (out, _) = driver.run(&rdd, Action::Collect);
     out.records
         .expect("real job collects")
@@ -45,21 +43,31 @@ fn results_identical_across_shuffle_strategies() {
         ShuffleStore::LustreLocal,
         ShuffleStore::LustreShared,
     ] {
-        let got = wordcount(EngineConfig { shuffle, ..base.clone() });
+        let got = wordcount(EngineConfig {
+            shuffle,
+            ..base.clone()
+        });
         assert_eq!(got, reference, "results diverged under {shuffle:?}");
     }
 }
 
 #[test]
 fn results_identical_across_schedulers_and_optimizations() {
-    let base = EngineConfig { speed_sigma: 0.4, ..EngineConfig::default() };
+    let base = EngineConfig {
+        speed_sigma: 0.4,
+        ..EngineConfig::default()
+    };
     let reference = wordcount(base.clone().homogeneous());
     for cfg in [
         base.clone(),
-        base.clone().with_delay_scheduling(memres_des::SimDuration::from_secs(3)),
+        base.clone()
+            .with_delay_scheduling(memres_des::SimDuration::from_secs(3)),
         base.clone().with_elb(),
         base.clone().with_cad(),
-        EngineConfig { input: InputSource::Lustre, ..base.clone() },
+        EngineConfig {
+            input: InputSource::Lustre,
+            ..base.clone()
+        },
     ] {
         assert_eq!(wordcount(cfg), reference);
     }
@@ -67,8 +75,15 @@ fn results_identical_across_schedulers_and_optimizations() {
 
 #[test]
 fn group_by_key_groups_are_complete_under_every_store() {
-    for shuffle in [ShuffleStore::Local(StoreDevice::RamDisk), ShuffleStore::LustreShared] {
-        let cfg = EngineConfig { shuffle, ..EngineConfig::default() }.homogeneous();
+    for shuffle in [
+        ShuffleStore::Local(StoreDevice::RamDisk),
+        ShuffleStore::LustreShared,
+    ] {
+        let cfg = EngineConfig {
+            shuffle,
+            ..EngineConfig::default()
+        }
+        .homogeneous();
         let mut driver = Driver::new(tiny(4), cfg);
         let recs = datagen::kv_pairs(500, 13, 3);
         let rdd = Rdd::source(Dataset::from_records(recs, 5)).group_by_key(Some(4), 1e9);
@@ -98,17 +113,23 @@ fn multi_shuffle_pipeline_runs_end_to_end() {
     let total: usize = groups.iter().map(|(_, v)| v.as_list().len()).sum();
     assert_eq!(total, 10);
     // Three stages ran: two storing phases recorded.
-    let storing_stages: std::collections::HashSet<u32> = metrics
-        .tasks_in(Phase::Storing)
-        .map(|t| t.stage)
-        .collect();
-    assert_eq!(storing_stages.len(), 2, "both shuffles flushed intermediate data");
+    let storing_stages: std::collections::HashSet<u32> =
+        metrics.tasks_in(Phase::Storing).map(|t| t.stage).collect();
+    assert_eq!(
+        storing_stages.len(),
+        2,
+        "both shuffles flushed intermediate data"
+    );
 }
 
 #[test]
 fn deterministic_end_to_end() {
     let run = || {
-        let cfg = EngineConfig { speed_sigma: 0.3, seed: 9, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            speed_sigma: 0.3,
+            seed: 9,
+            ..EngineConfig::default()
+        };
         let mut driver = Driver::new(tiny(6), cfg);
         let gb = memres::workloads::GroupBy::new(3.0e9).with_reducers(8);
         driver.run_for_metrics(&gb.build(), gb.action()).job_time()

@@ -20,7 +20,10 @@ fn fig5a_lustre_input_hurts_scan_jobs() {
     let l32 = t.column("lustre-32");
     let l128 = t.column("lustre-128");
     for (a, b) in l32.iter().zip(l128.iter()) {
-        assert!(b < a, "128 MB splits should beat 32 MB on Lustre: {b} vs {a}");
+        assert!(
+            b < a,
+            "128 MB splits should beat 32 MB on Lustre: {b} vs {a}"
+        );
     }
 }
 
@@ -53,7 +56,10 @@ fn fig7_intermediate_data_placement_ordering() {
         last_ratio > first_ratio,
         "LL/ram should grow with size: {first_ratio} -> {last_ratio}"
     );
-    assert!(last_ratio > 2.0, "LL should lose clearly at TB scale: {last_ratio}");
+    assert!(
+        last_ratio > 2.0,
+        "LL should lose clearly at TB scale: {last_ratio}"
+    );
 }
 
 #[test]
@@ -71,7 +77,10 @@ fn fig8_ssd_parity_then_collapse() {
     let t = ex::fig8a(setup());
     let ratios = t.column("ssd/ram");
     // Parity in the cache regime...
-    assert!(ratios[0] < 1.3, "small sizes should be comparable: {ratios:?}");
+    assert!(
+        ratios[0] < 1.3,
+        "small sizes should be comparable: {ratios:?}"
+    );
     // ...clear degradation at 1.5 TB.
     assert!(
         *ratios.last().unwrap() > 2.0,
@@ -121,7 +130,10 @@ fn fig10_locality_buys_little() {
         // meaningfully slower (pipelined input). Remote tasks can be *faster*
         // here: FIFO steals tail tasks onto lightly loaded nodes.
         let ratio = remote[1] / local[1];
-        assert!(ratio < 2.0, "{local_label}: remote tasks much slower ({ratio}x)");
+        assert!(
+            ratio < 2.0,
+            "{local_label}: remote tasks much slower ({ratio}x)"
+        );
     }
 }
 
@@ -134,7 +146,10 @@ fn fig12_imbalance_emerges_from_speed_skew() {
     assert_eq!(p10.0, "p 10");
     for (lo, hi) in p10.1.iter().zip(p90.1.iter()) {
         assert!(hi > lo, "CDF must be increasing");
-        assert!(hi / lo.max(1e-9) > 1.2, "skew should be visible: {lo} vs {hi}");
+        assert!(
+            hi / lo.max(1e-9) > 1.2,
+            "skew should be visible: {lo} vs {hi}"
+        );
     }
 }
 
@@ -143,10 +158,7 @@ fn fig13a_elb_helps_under_storage_bottleneck() {
     let t = ex::fig13a(setup());
     let imp = t.column("improvement-%");
     let large = imp.last().unwrap();
-    assert!(
-        *large > 0.0,
-        "ELB should improve the largest run: {imp:?}"
-    );
+    assert!(*large > 0.0, "ELB should improve the largest run: {imp:?}");
 }
 
 #[test]
