@@ -3,7 +3,11 @@
 //! Usage:
 //!   repro [--smoke] [--scale X] [--json DIR] `<target>`...
 //!   targets: table1 plans fig5a fig5b fig7a fig7b fig8a fig8b fig8c fig8d
-//!            fig9a fig9b fig10 fig12a fig12b fig13a fig13b fig14 bench all
+//!            fig9a fig9b fig10 fig12a fig12b fig13a fig13b fig14 ablations
+//!            baselines faults bench all
+//!
+//! Unknown targets are rejected up front (exit 2) with the usage line, so a
+//! typo can't burn hours of experiments first.
 //!
 //! `bench` times the simulator itself (host wall-clock) on the mid-size
 //! Fig 7a/8a cells and, with `--json DIR`, writes `DIR/bench.json` — the
@@ -13,6 +17,43 @@
 use memres_bench::experiments as ex;
 use memres_bench::{perf, Table};
 use std::io::Write;
+
+/// Every runnable target, in `all` order (`bench` is opt-in, not in `all`).
+const ALL_TARGETS: [&str; 21] = [
+    "table1",
+    "plans",
+    "fig5a",
+    "fig5b",
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig8d",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig12a",
+    "fig12b",
+    "fig13a",
+    "fig13b",
+    "fig14",
+    "ablations",
+    "baselines",
+    "faults",
+];
+
+fn valid_target(t: &str) -> bool {
+    t == "all" || t == "bench" || t == "fig14a" || t == "fig14b" || ALL_TARGETS.contains(&t)
+}
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--smoke] [--scale X] [--seed N] [--json DIR] <target>...\n\
+         targets: {} fig14a fig14b bench all",
+        ALL_TARGETS.join(" ")
+    )
+}
 
 fn operand<'a>(args: &'a [String], i: usize, flag: &str, what: &str) -> &'a str {
     args.get(i)
@@ -55,39 +96,21 @@ fn main() {
         i += 1;
     }
     if targets.is_empty() {
-        eprintln!(
-            "usage: repro [--smoke] [--scale X] [--seed N] [--json DIR] <target>...\n\
-             targets: table1 plans fig5a fig5b fig7a fig7b fig8a fig8b fig8c fig8d \
-             fig9a fig9b fig10 fig12a fig12b fig13a fig13b fig14 ablations baselines all"
-        );
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    }
+    // Reject unknown targets before running anything: a typo at position N
+    // must not cost N-1 experiments of wasted wall-clock first.
+    let unknown: Vec<&String> = targets.iter().filter(|t| !valid_target(t)).collect();
+    if !unknown.is_empty() {
+        for t in unknown {
+            eprintln!("error: unknown target '{t}'");
+        }
+        eprintln!("{}", usage());
         std::process::exit(2);
     }
     if targets.iter().any(|t| t == "all") {
-        targets = [
-            "table1",
-            "plans",
-            "fig5a",
-            "fig5b",
-            "fig7a",
-            "fig7b",
-            "fig8a",
-            "fig8b",
-            "fig8c",
-            "fig8d",
-            "fig9a",
-            "fig9b",
-            "fig10",
-            "fig12a",
-            "fig12b",
-            "fig13a",
-            "fig13b",
-            "fig14",
-            "ablations",
-            "baselines",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        targets = ALL_TARGETS.iter().map(|s| s.to_string()).collect();
     }
 
     let emit = |t: &Table, json_dir: &Option<String>| {
@@ -122,6 +145,7 @@ fn main() {
             "fig13a" => emit(&ex::fig13a(setup), &json_dir),
             "fig13b" => emit(&ex::fig13b(setup), &json_dir),
             "baselines" => emit(&ex::baseline_speculation(setup), &json_dir),
+            "faults" => emit(&ex::faults(setup), &json_dir),
             "bench" => {
                 let records = perf::suite(setup);
                 println!("{}", perf::table(&records).render());
@@ -143,11 +167,39 @@ fn main() {
                 emit(&a, &json_dir);
                 emit(&b, &json_dir);
             }
-            other => {
-                eprintln!("unknown target {other}");
-                std::process::exit(2);
-            }
+            other => unreachable!("target '{other}' passed validation but has no handler"),
         }
         eprintln!("[{target} took {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_all_target_is_valid() {
+        for t in ALL_TARGETS {
+            assert!(valid_target(t), "{t}");
+        }
+        for t in ["all", "bench", "fig14a", "fig14b"] {
+            assert!(valid_target(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn typos_are_invalid() {
+        for t in ["fig5", "figure5a", "fault", "", "tables", "benchh"] {
+            assert!(!valid_target(t), "'{t}' should be rejected");
+        }
+    }
+
+    #[test]
+    fn usage_lists_every_target() {
+        let u = usage();
+        for t in ALL_TARGETS {
+            assert!(u.contains(t), "usage is missing {t}");
+        }
+        assert!(u.contains("bench all"));
     }
 }

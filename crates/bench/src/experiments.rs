@@ -941,6 +941,120 @@ pub fn ablation_delay_wait(setup: Setup) -> Table {
     t
 }
 
+// ------------------------------------------------------- Fault tolerance
+
+/// Fault injection & lineage recovery (DESIGN.md §4.9): GroupBy over real
+/// records under a clean run, a task failure, a node crash, a fetch failure
+/// and a seeded mixed plan. Every faulted run must reproduce the clean
+/// output exactly (`output_equal` = 1) while reporting non-zero recovery
+/// work in the counter columns.
+pub fn faults(setup: Setup) -> Table {
+    let mut t = Table::new(
+        "faults",
+        "GroupBy (real records) under injected faults: output must match the clean run",
+        &[
+            "wall_s",
+            "output_count",
+            "output_equal",
+            "tasks_retried",
+            "recomputed_partitions",
+            "failed_fetches",
+            "node_crashes",
+            "wasted_s",
+        ],
+    );
+    let spec = setup.cluster();
+    let bytes = setup.bytes(2.0);
+    // 32 map partitions at any scale so faults always have work to hit.
+    let gb = GroupBy::new(bytes)
+        .with_split(bytes / 32.0)
+        .with_reducers(16);
+    let rdd = gb.build_real(120_000, 1_000, setup.seed);
+    let cfg = setup.hdfs_cfg_replicated();
+    let run_out = |cfg: EngineConfig| {
+        let mut d = Driver::new(spec.clone(), cfg);
+        d.run(&rdd, gb.action())
+    };
+
+    let (clean, cm) = run_out(cfg.clone());
+    let horizon = cm.job_time();
+    let shuffle_mid = {
+        let start = cm
+            .tasks_in(Phase::Shuffling)
+            .map(|x| x.launched_at)
+            .fold(f64::INFINITY, f64::min);
+        let end = cm
+            .tasks_in(Phase::Shuffling)
+            .map(|x| x.finished_at)
+            .fold(0.0, f64::max);
+        (start + end) * 0.5 - cm.started_at
+    };
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("clean", FaultPlan::new()),
+        (
+            "task-failure",
+            FaultPlan::new().at(SimDuration::ZERO, FaultKind::TaskFail { nth_launch: 5 }),
+        ),
+        (
+            "node-crash+restart",
+            FaultPlan::new().at(
+                SimDuration::from_secs_f64(horizon * 0.4),
+                FaultKind::NodeCrash {
+                    node: 1,
+                    restart: Some(SimDuration::from_secs_f64(horizon * 0.2)),
+                },
+            ),
+        ),
+        (
+            "fetch-failure",
+            FaultPlan::new().at(
+                SimDuration::from_secs_f64(shuffle_mid),
+                FaultKind::FetchFail { src: 0 },
+            ),
+        ),
+        (
+            "seeded-mix",
+            FaultPlan::seeded(
+                setup.seed,
+                spec.workers,
+                3,
+                SimDuration::from_secs_f64(horizon),
+            ),
+        ),
+    ];
+    for (name, plan) in plans {
+        let (out, m) = if plan.is_empty() {
+            (clean.clone(), cm.clone())
+        } else {
+            run_out(cfg.clone().with_faults(plan))
+        };
+        let r = &m.recovery;
+        t.row(
+            name.to_string(),
+            vec![
+                m.job_time(),
+                out.count as f64,
+                (out.count == clean.count && !out.aborted) as u64 as f64,
+                r.tasks_retried as f64,
+                r.recomputed_partitions as f64,
+                r.failed_fetches as f64,
+                r.node_crashes as f64,
+                r.wasted_secs,
+            ],
+        );
+    }
+    t.note(format!(
+        "clean output: {} groups; every faulted run must report output_equal = 1",
+        clean.count
+    ));
+    t.note(
+        "recovery is exact by lineage: lost rows are re-hosted and recomputed, \
+         so Count matches while wall time absorbs the wasted work"
+            .to_string(),
+    );
+    t
+}
+
 /// Baseline comparison (§VIII related work): LATE-style speculative
 /// execution duplicates straggling *tasks*, but "none of them considers the
 /// imbalanced intermediate data distribution" — so it cannot fix the

@@ -15,6 +15,9 @@ use crate::value::Record;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// (bytes, records, data, home node) of one cached partition.
+pub type PartitionView = (f64, u64, Option<Arc<[Record]>>, u32);
+
 #[derive(Clone)]
 pub struct CachedPart {
     pub node: u32,
@@ -82,14 +85,39 @@ impl BlockMgr {
     }
 
     /// (bytes, records, data, home node) of a cached partition.
-    pub fn partition(&self, rdd: RddId, part: u32) -> (f64, u64, Option<Arc<[Record]>>, u32) {
-        let p = self
-            .entries
+    pub fn partition(&self, rdd: RddId, part: u32) -> PartitionView {
+        self.try_partition(rdd, part)
+            .unwrap_or_else(|| panic!("partition {part} of cached {rdd:?} not materialized"))
+    }
+
+    /// Non-panicking [`partition`](Self::partition): `None` when the slot was
+    /// never materialized or was lost (node crash, executor memory loss) —
+    /// the scheduler's cue to recompute it from lineage.
+    pub fn try_partition(&self, rdd: RddId, part: u32) -> Option<PartitionView> {
+        self.entries
             .get(&rdd)
             .and_then(|parts| parts.get(part as usize))
             .and_then(Option::as_ref)
-            .unwrap_or_else(|| panic!("partition {part} of cached {rdd:?} not materialized"));
-        (p.bytes, p.records, p.data.clone(), p.node)
+            .map(|p| (p.bytes, p.records, p.data.clone(), p.node))
+    }
+
+    /// Drop every cached partition living on `node` (crash / executor memory
+    /// loss). Slots become `None` but each RDD's partition count is kept, so
+    /// `materialized()` correctly reports the RDD as incomplete. Returns the
+    /// lost `(rdd, part)` pairs, sorted for determinism.
+    pub fn drop_node(&mut self, node: u32) -> Vec<(RddId, u32)> {
+        let mut lost = Vec::new();
+        for (&rdd, parts) in self.entries.iter_mut() {
+            for (i, slot) in parts.iter_mut().enumerate() {
+                if slot.as_ref().is_some_and(|p| p.node == node) {
+                    let p = slot.take().unwrap();
+                    *self.node_used.entry(p.node).or_insert(0.0) -= p.bytes;
+                    lost.push((rdd, i as u32));
+                }
+            }
+        }
+        lost.sort_unstable();
+        lost
     }
 
     pub fn location(&self, rdd: RddId, part: u32) -> Option<u32> {
@@ -172,5 +200,25 @@ mod tests {
     fn missing_partition_panics() {
         let bm = BlockMgr::default();
         bm.partition(RddId(9), 0);
+    }
+
+    #[test]
+    fn drop_node_loses_partitions_but_keeps_shape() {
+        let mut bm = BlockMgr::default();
+        let rdd = RddId(3);
+        bm.declare(rdd, 3);
+        bm.insert(rdd, 0, 0, 10.0, 1, None);
+        bm.insert(rdd, 1, 1, 20.0, 2, None);
+        bm.insert(rdd, 2, 1, 30.0, 3, None);
+        assert!(bm.materialized().contains(&rdd));
+        let lost = bm.drop_node(1);
+        assert_eq!(lost, vec![(rdd, 1), (rdd, 2)]);
+        assert_eq!(bm.partition_count(rdd), 3, "shape survives the loss");
+        assert!(!bm.materialized().contains(&rdd));
+        assert!(bm.try_partition(rdd, 1).is_none());
+        assert!(bm.try_partition(rdd, 0).is_some());
+        assert_eq!(bm.bytes_on(1), 0.0);
+        assert_eq!(bm.bytes_on(0), 10.0);
+        assert!(bm.drop_node(1).is_empty(), "second drop is a no-op");
     }
 }

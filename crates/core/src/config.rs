@@ -5,6 +5,7 @@
 //! paper varies between sections: input source, shuffle-store strategy,
 //! scheduling policy, and the ELB/CAD optimizations.
 
+use crate::faults::{FaultPlan, RecoveryConfig};
 use memres_des::time::SimDuration;
 use memres_des::units::{GB, MB};
 
@@ -185,6 +186,10 @@ pub struct EngineConfig {
     /// thread count: placement stays sequential and chain results commit in
     /// launch order.
     pub executor_threads: Option<usize>,
+    /// Deterministic fault schedule (DESIGN.md §4.9). `None` = happy path.
+    pub faults: Option<FaultPlan>,
+    /// Retry/backoff/blacklist policy for the recovery engine.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for EngineConfig {
@@ -203,6 +208,8 @@ impl Default for EngineConfig {
             speed_resample: SimDuration::from_secs(30),
             seed: 1,
             executor_threads: None,
+            faults: None,
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -238,6 +245,64 @@ impl EngineConfig {
     pub fn with_executor_threads(mut self, n: usize) -> Self {
         self.executor_threads = Some(n);
         self
+    }
+
+    /// Attach a deterministic fault schedule to the run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the recovery policy (attempt caps, backoff, blacklisting).
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Validate the configuration against a cluster of `workers` nodes.
+    /// Returns a descriptive error instead of letting a bad knob panic (or
+    /// silently misbehave) deep inside the simulation.
+    pub fn validate(&self, workers: u32) -> Result<(), String> {
+        if workers == 0 {
+            return Err("cluster has zero worker nodes".to_string());
+        }
+        if self.input_replication == 0 {
+            return Err("input_replication must be at least 1".to_string());
+        }
+        if self.input_replication > workers {
+            return Err(format!(
+                "input_replication {} exceeds cluster size {workers}",
+                self.input_replication
+            ));
+        }
+        if !(0.0..1.0).contains(&self.task_jitter) {
+            return Err(format!(
+                "task_jitter must be in [0, 1), got {}",
+                self.task_jitter
+            ));
+        }
+        if !self.speed_sigma.is_finite() || self.speed_sigma < 0.0 {
+            return Err(format!(
+                "speed_sigma must be non-negative, got {}",
+                self.speed_sigma
+            ));
+        }
+        if self.speed_sigma > 0.0 && self.speed_resample.as_secs_f64() <= 0.0 {
+            return Err("speed_resample must be positive when speed_sigma > 0".to_string());
+        }
+        if self.executor_threads == Some(0) {
+            return Err("executor_threads must be at least 1".to_string());
+        }
+        if self.recovery.max_task_attempts == 0 {
+            return Err("recovery.max_task_attempts must be at least 1".to_string());
+        }
+        if self.recovery.blacklist_after == 0 {
+            return Err("recovery.blacklist_after must be at least 1".to_string());
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate(workers)?;
+        }
+        Ok(())
     }
 
     /// Render Table I the way the paper prints it.
@@ -294,5 +359,60 @@ mod tests {
         assert!(matches!(cfg.scheduler, SchedulerKind::Delay { .. }));
         assert!((cfg.elb.unwrap().threshold - 1.25).abs() < 1e-12);
         assert_eq!(cfg.cad.unwrap().step, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn validate_accepts_defaults() {
+        EngineConfig::default().validate(4).expect("defaults valid");
+        // Zero jitter / zero sigma are legal (homogeneous clusters).
+        EngineConfig::default().homogeneous().validate(1).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let err = |cfg: EngineConfig, workers: u32| -> String {
+            cfg.validate(workers).expect_err("should be rejected")
+        };
+        assert!(err(EngineConfig::default(), 0).contains("zero worker"));
+        let cfg = EngineConfig {
+            input_replication: 5,
+            ..EngineConfig::default()
+        };
+        assert!(err(cfg, 4).contains("input_replication"));
+        let cfg = EngineConfig {
+            input_replication: 0,
+            ..EngineConfig::default()
+        };
+        assert!(err(cfg, 4).contains("input_replication"));
+        let cfg = EngineConfig {
+            task_jitter: -0.1,
+            ..EngineConfig::default()
+        };
+        assert!(err(cfg, 4).contains("task_jitter"));
+        let cfg = EngineConfig {
+            task_jitter: 1.0,
+            ..EngineConfig::default()
+        };
+        assert!(err(cfg, 4).contains("task_jitter"));
+        let cfg = EngineConfig {
+            speed_sigma: -1.0,
+            ..EngineConfig::default()
+        };
+        assert!(err(cfg, 4).contains("speed_sigma"));
+        let cfg = EngineConfig::default().with_executor_threads(0);
+        assert!(err(cfg, 4).contains("executor_threads"));
+        let rec = RecoveryConfig {
+            max_task_attempts: 0,
+            ..RecoveryConfig::default()
+        };
+        let cfg = EngineConfig::default().with_recovery(rec);
+        assert!(err(cfg, 4).contains("max_task_attempts"));
+        // Fault plans are validated against the cluster size too.
+        let plan = FaultPlan::new().at(
+            SimDuration::from_secs(1),
+            crate::faults::FaultKind::BlockLoss { node: 9 },
+        );
+        let cfg = EngineConfig::default().with_faults(plan);
+        assert!(err(cfg, 4).contains("out of range"));
     }
 }

@@ -15,7 +15,7 @@
 //! memory-resident reuse LR exploits across iterations.
 
 use crate::rdd::{Action, Dataset, NarrowStep, Rdd, RddId, RddOp, ShuffleAgg};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Shuffle parameters feeding a downstream stage.
@@ -64,9 +64,30 @@ impl StagePlan {
     }
 }
 
+/// How to rebuild one lost partition of a materialized cache: re-read its
+/// source partition and replay the narrow prefix that produced the cache
+/// point. Recorded at lineage truncation so the scheduler can recompute a
+/// partition the block managers no longer hold (node crash, executor memory
+/// loss) without replanning the job — Spark's lineage fault tolerance.
+#[derive(Clone)]
+pub struct RecoverySpec {
+    /// The leaf dataset the cached RDD descends from.
+    pub source: RddId,
+    pub dataset: Arc<Dataset>,
+    /// Narrow steps between the source and the cache point.
+    pub steps: Vec<Arc<NarrowStep>>,
+    /// Pipeline position of the cache snapshot ( = `steps.len()`).
+    pub cache_step: usize,
+}
+
 pub struct JobPlan {
     pub stages: Vec<StagePlan>,
     pub action: Action,
+    /// Lineage-recovery recipes for the materialized caches this plan was
+    /// truncated at, keyed by cached RDD. Only shuffle-free (Dataset-rooted)
+    /// prefixes are recoverable per-partition; a cache downstream of a
+    /// shuffle has no such recipe and its loss is unrecoverable.
+    pub recovery: HashMap<RddId, RecoverySpec>,
 }
 
 /// Build a [`JobPlan`] for `action` on `rdd`. `materialized` is the set of
@@ -93,6 +114,7 @@ pub fn build_plan(rdd: &Rdd, action: Action, materialized: &HashSet<RddId>) -> J
 
     let mut stages: Vec<StagePlan> = Vec::new();
     let mut current: Option<StagePlan> = None;
+    let mut recovery: HashMap<RddId, RecoverySpec> = HashMap::new();
     for node in &chain {
         match &node.0.op {
             RddOp::Source(ds) => {
@@ -127,6 +149,24 @@ pub fn build_plan(rdd: &Rdd, action: Action, materialized: &HashSet<RddId>) -> J
             }
             RddOp::Cache { .. } => {
                 if materialized.contains(&node.id()) {
+                    // Record the lineage-recovery recipe before truncating,
+                    // when the cache's prefix is shuffle-free.
+                    if let Some(StagePlan {
+                        input: StageInput::Dataset { rdd: src, dataset },
+                        steps,
+                        ..
+                    }) = &current
+                    {
+                        recovery.insert(
+                            node.id(),
+                            RecoverySpec {
+                                source: *src,
+                                dataset: dataset.clone(),
+                                steps: steps.clone(),
+                                cache_step: steps.len(),
+                            },
+                        );
+                    }
                     // Truncate: restart the plan from the cached partitions.
                     stages.clear();
                     current = Some(StagePlan::new(StageInput::Cached { rdd: node.id() }));
@@ -138,7 +178,11 @@ pub fn build_plan(rdd: &Rdd, action: Action, materialized: &HashSet<RddId>) -> J
         }
     }
     stages.push(current.expect("empty lineage"));
-    JobPlan { stages, action }
+    JobPlan {
+        stages,
+        action,
+        recovery,
+    }
 }
 
 /// Render the execution plan the way the paper's Fig 4 draws them.
@@ -237,6 +281,29 @@ mod tests {
         // Only the post-cache step remains.
         assert_eq!(plan.stages[0].steps.len(), 1);
         assert_eq!(plan.stages[0].steps[0].name, "gradient");
+    }
+
+    #[test]
+    fn truncation_records_recovery_spec() {
+        let cached = src().map("parse", SizeModel::scan(), |r| r).cache();
+        let rdd = cached.map("gradient", SizeModel::scan(), |r| r);
+        let mut mat = HashSet::new();
+        mat.insert(cached.id());
+        let plan = build_plan(&rdd, Action::Count, &mat);
+        let spec = plan
+            .recovery
+            .get(&cached.id())
+            .expect("shuffle-free cache prefix must get a recovery recipe");
+        assert_eq!(spec.steps.len(), 1);
+        assert_eq!(spec.steps[0].name, "parse");
+        assert_eq!(spec.cache_step, 1);
+        // A cache downstream of a shuffle is not per-partition recoverable.
+        let cached2 = src().group_by_key(Some(4), 1e9).cache();
+        let rdd2 = cached2.map("m", SizeModel::scan(), |r| r);
+        let mut mat2 = HashSet::new();
+        mat2.insert(cached2.id());
+        let plan2 = build_plan(&rdd2, Action::Count, &mat2);
+        assert!(plan2.recovery.is_empty());
     }
 
     #[test]

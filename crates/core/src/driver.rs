@@ -18,7 +18,19 @@ pub struct Driver {
 }
 
 impl Driver {
+    /// Build a driver, panicking on an invalid configuration. Prefer
+    /// [`Driver::try_new`] where the config comes from user input.
     pub fn new(spec: ClusterSpec, cfg: EngineConfig) -> Driver {
+        match Driver::try_new(spec, cfg) {
+            Ok(d) => d,
+            Err(e) => panic!("invalid engine configuration: {e}"),
+        }
+    }
+
+    /// Build a driver after validating `cfg` against the cluster shape;
+    /// returns a descriptive error instead of simulating a nonsense cluster.
+    pub fn try_new(spec: ClusterSpec, cfg: EngineConfig) -> Result<Driver, String> {
+        cfg.validate(spec.workers)?;
         let world = SimWorld::new(spec, cfg);
         let mut sim = Simulation::new(world);
         sim.max_steps = 500_000_000;
@@ -26,7 +38,7 @@ impl Driver {
             let period = sim.model.cfg.speed_resample;
             sim.schedule(SimTime::ZERO + period, Ev::SpeedResample);
         }
-        Driver { sim }
+        Ok(Driver { sim })
     }
 
     pub fn now(&self) -> SimTime {
@@ -35,6 +47,10 @@ impl Driver {
 
     pub fn world(&self) -> &SimWorld {
         &self.sim.model
+    }
+
+    pub fn world_mut(&mut self) -> &mut SimWorld {
+        &mut self.sim.model
     }
 
     /// Build the plan an action would run (cache-aware), without running it.

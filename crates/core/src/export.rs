@@ -102,7 +102,25 @@ pub fn job_json(metrics: &JobMetrics) -> String {
     if !metrics.tasks.is_empty() {
         out.push_str("\n  ");
     }
-    out.push_str("]\n}");
+    out.push_str("],\n");
+    let r = &metrics.recovery;
+    out.push_str("  \"recovery\": {\n");
+    let _ = writeln!(out, "    \"node_crashes\": {},", r.node_crashes);
+    let _ = writeln!(out, "    \"node_restarts\": {},", r.node_restarts);
+    let _ = writeln!(out, "    \"tasks_retried\": {},", r.tasks_retried);
+    let _ = writeln!(out, "    \"failed_fetches\": {},", r.failed_fetches);
+    let _ = writeln!(out, "    \"fetch_retries\": {},", r.fetch_retries);
+    let _ = writeln!(
+        out,
+        "    \"recomputed_partitions\": {},",
+        r.recomputed_partitions
+    );
+    let _ = writeln!(out, "    \"blocks_lost\": {},", r.blocks_lost);
+    let _ = writeln!(out, "    \"blacklisted_nodes\": {},", r.blacklisted_nodes);
+    let _ = writeln!(out, "    \"ssd_degradations\": {},", r.ssd_degradations);
+    let _ = writeln!(out, "    \"wasted_secs\": {},", json_f64(r.wasted_secs));
+    let _ = writeln!(out, "    \"aborted_jobs\": {}", r.aborted_jobs);
+    out.push_str("  }\n}");
     out
 }
 
@@ -141,7 +159,7 @@ pub fn durations_from_csv(csv: &str, phase: &str) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{TaskLocality, TaskMetric};
+    use crate::metrics::{RecoveryCounters, TaskLocality, TaskMetric};
 
     fn sample() -> JobMetrics {
         JobMetrics {
@@ -176,6 +194,7 @@ mod tests {
                     locality: TaskLocality::NodeLocal,
                 },
             ],
+            recovery: RecoveryCounters::default(),
         }
     }
 
@@ -217,6 +236,10 @@ mod tests {
         assert!(j.contains("\"finished_at\": 10.0"));
         // Floats always carry a decimal point so they parse back as floats.
         assert!(j.contains("\"queued_at\": 0.0"));
+        // Recovery counters are always present (zeros on a clean run).
+        assert!(j.contains("\"recovery\": {"));
+        assert!(j.contains("\"tasks_retried\": 0"));
+        assert!(j.contains("\"wasted_secs\": 0.0"));
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod config;
 pub mod dag;
 pub mod driver;
 pub mod export;
+pub mod faults;
 pub mod metrics;
 pub mod rdd;
 pub mod value;
@@ -47,7 +48,8 @@ pub use config::{
     SpeculationConfig, StoreDevice,
 };
 pub use driver::Driver;
-pub use metrics::{JobMetrics, Phase, TaskLocality, TaskMetric};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryConfig};
+pub use metrics::{JobMetrics, Phase, RecoveryCounters, TaskLocality, TaskMetric};
 pub use rdd::{Action, Dataset, Rdd, RddId, SizeModel};
 pub use value::{Record, Value};
 pub use world::{JobOutput, SimWorld};
@@ -58,6 +60,7 @@ pub mod prelude {
         EngineConfig, InputSource, SchedulerKind, ShuffleStore, SparkConfig, StoreDevice,
     };
     pub use crate::driver::Driver;
+    pub use crate::faults::{FaultKind, FaultPlan, RecoveryConfig};
     pub use crate::metrics::{JobMetrics, Phase};
     pub use crate::rdd::{Action, Dataset, Rdd, SizeModel};
     pub use crate::value::{Record, Value};

@@ -51,6 +51,50 @@ impl TaskMetric {
     }
 }
 
+/// What the recovery engine did during a job (DESIGN.md §4.9). All zeros on
+/// a fault-free run; the `repro faults` cell and the fault tests key off
+/// these.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoveryCounters {
+    /// Node-crash fault events applied.
+    pub node_crashes: u64,
+    /// Crashed nodes that came back (transient crashes).
+    pub node_restarts: u64,
+    /// Task attempts that failed and were re-queued (any cause).
+    pub tasks_retried: u64,
+    /// Shuffle-fetch attempts that failed (network fault or source crash).
+    pub failed_fetches: u64,
+    /// Fetch retries scheduled with exponential backoff.
+    pub fetch_retries: u64,
+    /// Partitions recomputed from lineage (ghost recomputes after a crash
+    /// plus cached partitions rebuilt from their recovery recipe).
+    pub recomputed_partitions: u64,
+    /// Cached partitions dropped by crashes / executor memory loss.
+    pub blocks_lost: u64,
+    /// Nodes blacklisted for repeated task-level failures.
+    pub blacklisted_nodes: u64,
+    /// SSD degradation fault events applied.
+    pub ssd_degradations: u64,
+    /// Simulated seconds of work thrown away by failed attempts.
+    pub wasted_secs: f64,
+    /// Jobs aborted after a task exhausted its attempt limit.
+    pub aborted_jobs: u64,
+}
+
+impl RecoveryCounters {
+    /// Any recovery activity at all? (Degradations alone don't count — they
+    /// change timing, not correctness.)
+    pub fn any(&self) -> bool {
+        self.node_crashes
+            + self.tasks_retried
+            + self.failed_fetches
+            + self.recomputed_partitions
+            + self.blocks_lost
+            + self.aborted_jobs
+            > 0
+    }
+}
+
 /// Completed-job metrics.
 #[derive(Clone, Debug, Default)]
 pub struct JobMetrics {
@@ -58,6 +102,8 @@ pub struct JobMetrics {
     pub started_at: f64,
     pub finished_at: f64,
     pub tasks: Vec<TaskMetric>,
+    /// Fault-recovery activity during this job.
+    pub recovery: RecoveryCounters,
 }
 
 impl JobMetrics {
@@ -151,6 +197,7 @@ impl MetricsSink {
             started_at: now.as_secs_f64(),
             finished_at: now.as_secs_f64(),
             tasks: Vec::new(),
+            recovery: RecoveryCounters::default(),
         };
     }
 
@@ -199,6 +246,7 @@ mod tests {
                 mk(Phase::Compute, 1, 2.0, 6.0, 20.0),
                 mk(Phase::Storing, 0, 6.0, 9.0, 0.0),
             ],
+            recovery: RecoveryCounters::default(),
         };
         assert!((jm.phase_time(Phase::Compute) - 5.0).abs() < 1e-12);
         assert!((jm.phase_time(Phase::Storing) - 3.0).abs() < 1e-12);
@@ -217,6 +265,7 @@ mod tests {
                 mk(Phase::Compute, 0, 0.0, 2.0, 5.0),
                 mk(Phase::Compute, 1, 0.0, 4.0, 30.0),
             ],
+            recovery: RecoveryCounters::default(),
         };
         let (min, mean, max) = jm.duration_spread(Phase::Compute);
         assert_eq!((min, max), (1.0, 4.0));
@@ -237,6 +286,7 @@ mod tests {
             started_at: 0.0,
             finished_at: 1.0,
             tasks: vec![a, b, c],
+            recovery: RecoveryCounters::default(),
         };
         assert!((jm.locality_fraction() - 0.5).abs() < 1e-12);
     }

@@ -22,6 +22,7 @@
 use crate::blockmgr::BlockMgr;
 use crate::config::{EngineConfig, InputSource, SchedulerKind, ShuffleStore, StoreDevice};
 use crate::dag::{JobPlan, ShuffleInSpec, StageInput, StagePlan};
+use crate::faults::FaultKind;
 use crate::metrics::{MetricsSink, Phase, TaskLocality, TaskMetric};
 use crate::rdd::{Action, Dataset, RddId, ShuffleAgg};
 use crate::value::{record_bytes, Record, Value};
@@ -80,13 +81,24 @@ struct Task {
     twin: Option<u32>,
     /// True for the duplicate copy of a speculated task.
     is_speculative: bool,
+    /// Attempt number; bumped on every failure so stale completion events
+    /// from an earlier attempt are dropped.
+    attempt: u32,
+    /// The injected-fault engine marked this attempt to fail at the moment
+    /// it would have finished (the whole duration becomes wasted work).
+    doomed: Option<u32>,
+    /// Recovery ghost: charges compute/IO time for redone work after a node
+    /// crash but deposits nothing (the lost rows were already re-hosted).
+    ghost: bool,
 }
 
 /// Network transfer tags.
 #[derive(Clone, Copy, Debug)]
 pub enum NetTag {
-    /// Transfer that counts toward a task's outstanding I/O.
-    TaskIo { task: u32 },
+    /// Transfer that counts toward a task's outstanding I/O. `attempt` and
+    /// `job` let completions of failed attempts / finished jobs drain as
+    /// no-ops instead of corrupting a relaunched task.
+    TaskIo { task: u32, attempt: u32, job: u32 },
     /// Lustre-shared revocation flush chunk.
     Flush,
 }
@@ -95,12 +107,35 @@ pub enum NetTag {
 #[derive(Debug)]
 pub enum Ev {
     NetWake(Gen),
-    FsWake { node: u32, ssd: bool, gen: Gen },
+    FsWake {
+        node: u32,
+        ssd: bool,
+        gen: Gen,
+    },
     LustreWake(Gen),
-    TaskFinish { task: u32 },
+    TaskFinish {
+        task: u32,
+        attempt: u32,
+        job: u32,
+    },
     Dispatch,
-    DispatchNode { node: u32 },
+    DispatchNode {
+        node: u32,
+    },
     SpeedResample,
+    /// Re-enqueue a failed task after its retry backoff.
+    Requeue {
+        task: u32,
+        job: u32,
+    },
+    /// Apply `cfg.faults.events[idx]`.
+    Fault {
+        idx: usize,
+    },
+    /// A transiently-crashed node comes back (empty memory, disk intact).
+    NodeRestart {
+        node: u32,
+    },
 }
 
 /// Intermediate-data state between a producing stage and its fetch stage.
@@ -187,6 +222,9 @@ struct PendingChain {
     in_records: u64,
     data: Option<Arc<[Record]>>,
     speed: f64,
+    /// Lineage recovery: evaluate this synthesized source→stage chain
+    /// instead of `plan.stages[stage]` (see `launch_recovered_compute`).
+    stage_override: Option<Arc<StagePlan>>,
 }
 
 /// What [`run_narrow_chain`] produces: (compute seconds, output bytes,
@@ -200,11 +238,14 @@ type ChainOut = (
 );
 
 /// Completed-job result.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct JobOutput {
     pub count: u64,
     pub records: Option<Vec<Record>>,
     pub reduced: Option<Value>,
+    /// True when the job was aborted after a task exhausted its attempt
+    /// limit (or no live node remained); the other fields are empty.
+    pub aborted: bool,
 }
 
 pub struct SimWorld {
@@ -260,6 +301,20 @@ pub struct SimWorld {
     pending_chains: Vec<PendingChain>,
     /// Resolved host worker-thread count for chain evaluation.
     executor_threads: usize,
+
+    // Fault & recovery state (DESIGN.md §4.9).
+    /// Per-node liveness; crashed nodes get no dispatch and release no slots.
+    node_up: Vec<bool>,
+    /// Nodes excluded from scheduling after repeated task failures.
+    blacklisted: Vec<bool>,
+    /// Task-attributed failures per node (drives blacklisting).
+    node_fail_counts: Vec<u32>,
+    /// Global task-launch counter (the `TaskFail { nth_launch }` clock).
+    launch_count: u64,
+    /// Sorted launch ordinals doomed to fail (from the fault plan).
+    doomed_launches: Vec<u64>,
+    /// The fault plan is armed once, at the first job submission.
+    faults_armed: bool,
 }
 
 /// Worker threads for real-partition execution: explicit config wins, then
@@ -358,6 +413,12 @@ impl SimWorld {
             next_shuffle_file: SHUFFLE_FILE_BASE,
             pending_chains: Vec::new(),
             executor_threads: resolve_executor_threads(&cfg),
+            node_up: vec![true; workers],
+            blacklisted: vec![false; workers],
+            node_fail_counts: vec![0; workers],
+            launch_count: 0,
+            doomed_launches: Vec::new(),
+            faults_armed: false,
             spec,
             cfg,
             net,
@@ -448,11 +509,41 @@ impl SimWorld {
         }
     }
 
+    // ---------------- completion-identity tags ----------------
+
+    /// Pack (task, attempt, job) into an opaque device/Lustre tag. 16 bits
+    /// each for attempt and job: enough to tell any live completion from a
+    /// stale one (a tag only collides after 65536 wrapped attempts *while*
+    /// the original request is still in flight, which cannot happen).
+    fn io_tag(&self, task: u32) -> u64 {
+        task as u64
+            | ((self.tasks[task as usize].attempt as u64 & 0xffff) << 32)
+            | ((self.job_seq as u64 & 0xffff) << 48)
+    }
+
+    fn unpack_io_tag(tag: u64) -> (u32, u32, u32) {
+        (
+            tag as u32,
+            ((tag >> 32) & 0xffff) as u32,
+            ((tag >> 48) & 0xffff) as u32,
+        )
+    }
+
+    /// The network-side equivalent of [`SimWorld::io_tag`].
+    fn net_tag(&self, task: u32) -> NetTag {
+        NetTag::TaskIo {
+            task,
+            attempt: self.tasks[task as usize].attempt,
+            job: self.job_seq,
+        }
+    }
+
     // ---------------- job lifecycle ----------------
 
     /// Begin executing a plan. Drive the simulation until `job_done`.
     pub fn submit_job(&mut self, now: SimTime, plan: JobPlan, out: &mut Outbox<Ev>) {
         assert!(self.job.is_none(), "one job at a time (stages serialize)");
+        self.arm_faults(now, out);
         self.job_seq += 1;
         self.job_done = false;
         self.metrics.begin_job(self.job_seq, now);
@@ -471,6 +562,26 @@ impl SimWorld {
             final_tasks: Vec::new(),
         });
         self.start_stage(now, 0, out);
+    }
+
+    /// Schedule every fault of the configured plan, once, relative to the
+    /// first job submission. `TaskFail` faults become doomed launch ordinals
+    /// consumed by [`SimWorld::launch`]; everything else fires as an event.
+    fn arm_faults(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
+        if self.faults_armed {
+            return;
+        }
+        self.faults_armed = true;
+        let Some(plan) = self.cfg.faults.clone() else {
+            return;
+        };
+        for (idx, ev) in plan.events.iter().enumerate() {
+            match ev.kind {
+                FaultKind::TaskFail { nth_launch } => self.doomed_launches.push(nth_launch),
+                _ => out.at(now + ev.after, Ev::Fault { idx }),
+            }
+        }
+        self.doomed_launches.sort_unstable();
     }
 
     fn ensure_placed(&mut self, rdd: RddId, dataset: &Arc<Dataset>) {
@@ -644,6 +755,9 @@ impl SimWorld {
                 pinned: false,
                 twin: None,
                 is_speculative: false,
+                attempt: 0,
+                doomed: None,
+                ghost: false,
             });
             created.push(id);
         }
@@ -795,6 +909,9 @@ impl SimWorld {
                 let mut launched_any = false;
                 for k in 0..workers {
                     let node = (k + self.rotate) % workers;
+                    if !self.node_up[node as usize] || self.blacklisted[node as usize] {
+                        continue;
+                    }
                     if blocked[node as usize] || self.free_slots[node as usize] == 0 {
                         continue;
                     }
@@ -929,6 +1046,9 @@ impl SimWorld {
             pinned: false,
             twin: Some(straggler),
             is_speculative: true,
+            attempt: 0,
+            doomed: None,
+            ghost: false,
         });
         self.tasks[straggler as usize].twin = Some(dup);
         self.launch(now, dup, node, out);
@@ -939,12 +1059,20 @@ impl SimWorld {
 
     fn launch(&mut self, now: SimTime, task: u32, node: u32, out: &mut Outbox<Ev>) {
         debug_assert_eq!(self.tasks[task as usize].state, TState::Pending);
+        self.launch_count += 1;
+        let doomed = self
+            .doomed_launches
+            .binary_search(&self.launch_count)
+            .is_ok();
         self.free_slots[node as usize] -= 1;
         {
             let t = &mut self.tasks[task as usize];
             t.state = TState::Running;
             t.node = node;
             t.launched_at = now;
+            if doomed {
+                t.doomed = Some(t.attempt);
+            }
         }
         match self.tasks[task as usize].kind {
             TaskKind::Compute { part } => self.launch_compute(now, task, node, part, out),
@@ -967,46 +1095,23 @@ impl SimWorld {
 
         // Resolve input: bytes, records, data, the I/O to issue, locality.
         let (in_bytes, in_records, data, io_plan, locality) = match &stage.input {
-            StageInput::Dataset { rdd, .. } => {
-                let placed = &self.placed[rdd][part as usize];
-                let bytes = placed.bytes;
-                let records = placed.records;
-                let data = placed.data.clone();
-                match (placed.hdfs_block, placed.lustre) {
-                    (Some(b), _) => {
-                        let (src, loc) = self.hdfs.preferred_source(NodeId(node), b);
-                        let locality = match loc {
-                            Locality::NodeLocal => TaskLocality::NodeLocal,
-                            Locality::RackLocal => TaskLocality::RackLocal,
-                            Locality::Remote => TaskLocality::Remote,
-                        };
-                        (
-                            bytes,
-                            records,
-                            data,
-                            IoPlan::HdfsRead { block: b, src },
-                            locality,
-                        )
-                    }
-                    (_, Some(lf)) => (
-                        bytes,
-                        records,
-                        data,
-                        IoPlan::LustreRead { file: lf },
-                        TaskLocality::Any,
-                    ),
-                    // Generated in memory: no input I/O.
-                    _ => (bytes, records, data, IoPlan::None, TaskLocality::Any),
-                }
-            }
+            StageInput::Dataset { rdd, .. } => self.dataset_input(*rdd, part, node),
             StageInput::Cached { rdd } => {
-                let (bytes, records, data, home) = self.blockmgr.partition(*rdd, part);
-                let (io, locality) = if home == node {
-                    (IoPlan::None, TaskLocality::NodeLocal)
-                } else {
-                    (IoPlan::NetOnly { src: home, bytes }, TaskLocality::Remote)
-                };
-                (bytes, records, data, io, locality)
+                match self.blockmgr.try_partition(*rdd, part) {
+                    Some((bytes, records, data, home)) => {
+                        let (io, locality) = if home == node {
+                            (IoPlan::None, TaskLocality::NodeLocal)
+                        } else {
+                            (IoPlan::NetOnly { src: home, bytes }, TaskLocality::Remote)
+                        };
+                        (bytes, records, data, io, locality)
+                    }
+                    // Lost with its node: rebuild it from lineage.
+                    None => {
+                        self.launch_recovered_compute(now, task, node, part, *rdd, out);
+                        return;
+                    }
+                }
             }
             StageInput::Shuffle(_) => unreachable!("fetch tasks use launch_fetch"),
         };
@@ -1029,6 +1134,7 @@ impl SimWorld {
                 in_records,
                 data,
                 speed,
+                stage_override: None,
             });
         } else {
             // Synthetic partition: size-model arithmetic only, run inline.
@@ -1050,54 +1156,220 @@ impl SimWorld {
             }
         }
 
+        self.issue_io_plan(now, task, node, in_bytes, io_plan, out);
+
+        // A deferred chain has no compute duration yet; its commit in
+        // `flush_pending_chains` schedules the finish instead.
+        if !deferred {
+            self.maybe_schedule_finish(now, task, out);
+        }
+    }
+
+    /// Input description for a dataset-rooted compute task (also used when
+    /// rebuilding a lost cached partition from lineage).
+    fn dataset_input(
+        &self,
+        rdd: RddId,
+        part: u32,
+        node: u32,
+    ) -> (f64, u64, Option<Arc<[Record]>>, IoPlan, TaskLocality) {
+        let placed = &self.placed[&rdd][part as usize];
+        let bytes = placed.bytes;
+        let records = placed.records;
+        let data = placed.data.clone();
+        match (placed.hdfs_block, placed.lustre) {
+            (Some(b), _) => {
+                let (mut src, loc) = self.hdfs.preferred_source(NodeId(node), b);
+                let mut locality = match loc {
+                    Locality::NodeLocal => TaskLocality::NodeLocal,
+                    Locality::RackLocal => TaskLocality::RackLocal,
+                    Locality::Remote => TaskLocality::Remote,
+                };
+                if !self.node_up[src.index()] {
+                    // Preferred replica host is down: read any live replica.
+                    // (With every replica down we still charge the read to
+                    // the dead host's store — input durability is assumed.)
+                    if let Some(up) = self
+                        .hdfs
+                        .locations(b)
+                        .iter()
+                        .copied()
+                        .find(|n| self.node_up[n.index()])
+                    {
+                        src = up;
+                        locality = if src.0 == node {
+                            TaskLocality::NodeLocal
+                        } else {
+                            TaskLocality::Remote
+                        };
+                    }
+                }
+                (
+                    bytes,
+                    records,
+                    data,
+                    IoPlan::HdfsRead { block: b, src },
+                    locality,
+                )
+            }
+            (_, Some(lf)) => (
+                bytes,
+                records,
+                data,
+                IoPlan::LustreRead { file: lf },
+                TaskLocality::Any,
+            ),
+            // Generated in memory: no input I/O.
+            _ => (bytes, records, data, IoPlan::None, TaskLocality::Any),
+        }
+    }
+
+    /// Issue the input I/O of a compute task against the substrates.
+    fn issue_io_plan(
+        &mut self,
+        now: SimTime,
+        task: u32,
+        node: u32,
+        in_bytes: f64,
+        io_plan: IoPlan,
+        out: &mut Outbox<Ev>,
+    ) {
         match io_plan {
             IoPlan::None => {}
             IoPlan::HdfsRead { block, src } => {
                 let file = FileId(HDFS_BLOCK_BASE + block.0);
                 if src.0 == node {
+                    let tag = self.io_tag(task);
                     self.tasks[task as usize].pending_io += 1;
-                    self.ram_fs[node as usize].read(now, file, in_bytes, task as u64);
+                    self.ram_fs[node as usize].read(now, file, in_bytes, tag);
                     self.arm_fs(node, false, out);
                 } else {
+                    let tag = self.net_tag(task);
                     self.tasks[task as usize].pending_io += 1;
                     let path = self
                         .fabric
                         .path(Endpoint::Node(src), Endpoint::Node(NodeId(node)));
                     let f = self.net.open_flow(now, path, true);
-                    self.net
-                        .push_chunk(now, f, in_bytes, NetTag::TaskIo { task });
+                    self.net.push_chunk(now, f, in_bytes, tag);
                     self.arm_net(out);
                 }
             }
             IoPlan::LustreRead { file } => {
+                let tag = self.io_tag(task);
                 let rplan = self.lustre.read(NodeId(node), file, in_bytes);
                 self.tasks[task as usize].pending_io += 1;
-                self.lustre.submit_mds(now, rplan.mds_ops, task as u64);
+                self.lustre.submit_mds(now, rplan.mds_ops, tag);
                 self.arm_lustre(out);
                 if rplan.oss_bytes > 0.0 {
+                    let tag = self.net_tag(task);
                     self.tasks[task as usize].pending_io += 1;
                     let path = self
                         .fabric
                         .path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
                     let f = self.net.open_flow(now, path, true);
                     let wire = rplan.oss_bytes + self.lustre.config().read_overhead_bytes;
-                    self.net.push_chunk(now, f, wire, NetTag::TaskIo { task });
+                    self.net.push_chunk(now, f, wire, tag);
                     self.arm_net(out);
                 }
             }
             IoPlan::NetOnly { src, bytes } => {
+                let tag = self.net_tag(task);
                 self.tasks[task as usize].pending_io += 1;
                 let path = self
                     .fabric
                     .path(Endpoint::Node(NodeId(src)), Endpoint::Node(NodeId(node)));
                 let f = self.net.open_flow(now, path, true);
-                self.net.push_chunk(now, f, bytes, NetTag::TaskIo { task });
+                self.net.push_chunk(now, f, bytes, tag);
                 self.arm_net(out);
             }
         }
+    }
 
-        // A deferred chain has no compute duration yet; its commit in
-        // `flush_pending_chains` schedules the finish instead.
+    /// Lineage-based recovery (§II-C "lost partitions can be recovered by
+    /// recomputing from the lineage"): a compute task found its cached input
+    /// partition gone (node crash / executor memory loss). Re-derive it by
+    /// running the recorded source→cache recipe concatenated with the
+    /// stage's own chain, reading the original dataset partition again. The
+    /// cache point inside the combined chain re-materializes the partition
+    /// at the recomputing node.
+    fn launch_recovered_compute(
+        &mut self,
+        now: SimTime,
+        task: u32,
+        node: u32,
+        part: u32,
+        rdd: RddId,
+        out: &mut Outbox<Ev>,
+    ) {
+        let plan = self.plan();
+        let stage_idx = self.tasks[task as usize].stage as usize;
+        let stage = &plan.stages[stage_idx];
+        let Some(spec) = plan.recovery.get(&rdd) else {
+            panic!(
+                "cached partition {part} of {rdd:?} lost with no lineage recipe — \
+                 a cache fed through a shuffle cannot be rebuilt in this model"
+            );
+        };
+        self.metrics.current.recovery.recomputed_partitions += 1;
+
+        // Combined chain: recipe steps, the cache point, then the stage's
+        // own steps (stage cache points shift past the recipe prefix).
+        let prefix = spec.steps.len();
+        let mut steps = spec.steps.clone();
+        steps.extend(stage.steps.iter().cloned());
+        let mut cache_points = vec![(spec.cache_step, rdd)];
+        cache_points.extend(stage.cache_points.iter().map(|&(i, r)| (i + prefix, r)));
+        let rec_stage = Arc::new(StagePlan {
+            input: StageInput::Dataset {
+                rdd: spec.source,
+                dataset: spec.dataset.clone(),
+            },
+            steps,
+            cache_points,
+            shuffle_out: stage.shuffle_out,
+        });
+        let source = spec.source;
+        let dataset = spec.dataset.clone();
+        self.ensure_placed(source, &dataset);
+        let (in_bytes, in_records, data, io_plan, locality) =
+            self.dataset_input(source, part, node);
+
+        let speed = self.speed(node);
+        let deferred = data.is_some();
+        if deferred {
+            let t = &mut self.tasks[task as usize];
+            t.input_bytes = in_bytes;
+            t.locality = locality;
+            self.pending_chains.push(PendingChain {
+                task,
+                stage: stage_idx,
+                part,
+                node,
+                in_bytes,
+                in_records,
+                data,
+                speed,
+                stage_override: Some(rec_stage),
+            });
+        } else {
+            let (dur, out_bytes, out_records, out_data, snaps) =
+                run_narrow_chain(&rec_stage, in_bytes, in_records, None, speed);
+            let dur = dur.mul_f64(self.jitter(task)) + self.cfg.spark.task_overhead;
+            {
+                let t = &mut self.tasks[task as usize];
+                t.compute_dur = dur;
+                t.input_bytes = in_bytes;
+                t.output_bytes = out_bytes;
+                t.records_est = out_records;
+                t.records_out = out_data;
+                t.locality = locality;
+            }
+            for (r, bytes, records, snapshot) in snaps {
+                self.blockmgr
+                    .insert(r, part, node, bytes, records, snapshot);
+            }
+        }
+        self.issue_io_plan(now, task, node, in_bytes, io_plan, out);
         if !deferred {
             self.maybe_schedule_finish(now, task, out);
         }
@@ -1121,13 +1393,8 @@ impl SimWorld {
         let n = jobs.len();
         let threads = self.executor_threads.min(n);
         let eval = |j: &PendingChain| {
-            run_narrow_chain(
-                &plan.stages[j.stage],
-                j.in_bytes,
-                j.in_records,
-                j.data.clone(),
-                j.speed,
-            )
+            let stage = j.stage_override.as_deref().unwrap_or(&plan.stages[j.stage]);
+            run_narrow_chain(stage, j.in_bytes, j.in_records, j.data.clone(), j.speed)
         };
         let results: Vec<ChainOut> = if threads <= 1 {
             jobs.iter().map(eval).collect()
@@ -1198,6 +1465,7 @@ impl SimWorld {
                 let file = self.node_store_file(node);
                 if bytes > 0.0 {
                     let ssd = dev == StoreDevice::Ssd;
+                    let tag = self.io_tag(task);
                     let fs = if ssd {
                         &mut self.ssd_fs[node as usize]
                     } else {
@@ -1209,24 +1477,26 @@ impl SimWorld {
                          RAMDisk-backed store tops out at ~1.2 TB aggregate"
                     );
                     self.tasks[task as usize].pending_io += 1;
-                    fs.write(now, file, bytes, task as u64);
+                    fs.write(now, file, bytes, tag);
                     self.arm_fs(node, ssd, out);
                 }
             }
             ShuffleStore::LustreLocal | ShuffleStore::LustreShared => {
                 let file = self.node_lustre_file(node);
+                let tag = self.io_tag(task);
                 let wplan = self.lustre.append(NodeId(node), file, bytes);
                 self.tasks[task as usize].pending_io += 1;
-                self.lustre.submit_mds(now, wplan.mds_ops, task as u64);
+                self.lustre.submit_mds(now, wplan.mds_ops, tag);
                 self.arm_lustre(out);
                 if wplan.oss_bytes > 0.0 {
+                    let tag = self.net_tag(task);
                     self.tasks[task as usize].pending_io += 1;
                     let path = self
                         .fabric
                         .path(Endpoint::Node(NodeId(node)), Endpoint::Lustre);
                     let f = self.net.open_flow(now, path, true);
                     let wire = wplan.oss_bytes / self.lustre.config().write_efficiency;
-                    self.net.push_chunk(now, f, wire, NetTag::TaskIo { task });
+                    self.net.push_chunk(now, f, wire, tag);
                     self.arm_net(out);
                 }
             }
@@ -1327,11 +1597,12 @@ impl SimWorld {
                         continue;
                     }
                     let wire = inflate_for_requests(b * compress, req, oh);
+                    let tag = self.net_tag(task);
                     match self.cfg.shuffle {
                         ShuffleStore::Local(_) => {
                             self.tasks[task as usize].pending_io += 1;
                             let f = self.fetch_flow(now, i as u32, node, 0);
-                            self.net.push_chunk(now, f, wire, NetTag::TaskIo { task });
+                            self.net.push_chunk(now, f, wire, tag);
                         }
                         ShuffleStore::LustreLocal => {
                             let frac = self.job().shuffle_in.as_ref().unwrap().cached_frac[i];
@@ -1340,12 +1611,12 @@ impl SimWorld {
                             if cached > 0.0 {
                                 self.tasks[task as usize].pending_io += 1;
                                 let f = self.fetch_flow(now, i as u32, node, 0);
-                                self.net.push_chunk(now, f, cached, NetTag::TaskIo { task });
+                                self.net.push_chunk(now, f, cached, tag);
                             }
                             if oss > 0.0 {
                                 self.tasks[task as usize].pending_io += 1;
                                 let f = self.fetch_flow(now, i as u32, node, 1);
-                                self.net.push_chunk(now, f, oss, NetTag::TaskIo { task });
+                                self.net.push_chunk(now, f, oss, tag);
                             }
                         }
                         _ => unreachable!(),
@@ -1360,8 +1631,9 @@ impl SimWorld {
                 // mass flush (see `lustre_shared_transfer`).
                 let ops = workers as f64 * self.lustre.config().ops_lock
                     + self.lustre.config().ops_revoke;
+                let tag = self.io_tag(task);
                 self.tasks[task as usize].pending_io += 2; // mds + data
-                self.lustre.submit_mds(now, ops, task as u64);
+                self.lustre.submit_mds(now, ops, tag);
                 self.arm_lustre(out);
             }
         }
@@ -1430,16 +1702,39 @@ impl SimWorld {
 
     // ---------------- completion plumbing ----------------
 
-    fn task_io_done(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
+    /// Stale-completion filter shared by every completion path: drops events
+    /// from finished jobs, failed (relaunched) attempts, and cleared tasks.
+    fn completion_is_stale(&self, task: u32, attempt: u32, job: u32) -> bool {
+        if job & 0xffff != self.job_seq & 0xffff {
+            return true;
+        }
+        let Some(t) = self.tasks.get(task as usize) else {
+            return true;
+        };
+        t.state != TState::Running || t.attempt & 0xffff != attempt & 0xffff
+    }
+
+    fn task_io_done(
+        &mut self,
+        now: SimTime,
+        task: u32,
+        attempt: u32,
+        job: u32,
+        out: &mut Outbox<Ev>,
+    ) {
+        if self.completion_is_stale(task, attempt, job) {
+            return;
+        }
         let t = &mut self.tasks[task as usize];
         debug_assert!(t.pending_io > 0, "io done for task without pending io");
-        t.pending_io -= 1;
+        t.pending_io = t.pending_io.saturating_sub(1);
         if t.pending_io == 0 {
             self.maybe_schedule_finish(now, task, out);
         }
     }
 
     fn maybe_schedule_finish(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
+        let job = self.job_seq;
         let t = &mut self.tasks[task as usize];
         if t.state != TState::Running || t.finish_scheduled || t.pending_io > 0 {
             return;
@@ -1450,10 +1745,27 @@ impl SimWorld {
             now + t.compute_dur
         };
         t.finish_scheduled = true;
-        out.at(finish, Ev::TaskFinish { task });
+        out.at(
+            finish,
+            Ev::TaskFinish {
+                task,
+                attempt: t.attempt,
+                job,
+            },
+        );
     }
 
-    fn on_task_finish(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
+    fn on_task_finish(
+        &mut self,
+        now: SimTime,
+        task: u32,
+        attempt: u32,
+        job: u32,
+        out: &mut Outbox<Ev>,
+    ) {
+        if self.completion_is_stale(task, attempt, job) {
+            return;
+        }
         // Speculation: if this task's twin already finished, this copy lost —
         // just release the slot (the real Spark would have killed it).
         let lost = {
@@ -1462,11 +1774,17 @@ impl SimWorld {
                 .map(|tw| self.tasks[tw as usize].state == TState::Done)
                 .unwrap_or(false)
         };
-        let (node, stage, kind) = {
+        // An attempt doomed by the fault plan dies at the instant it would
+        // have completed: the full duration becomes wasted work and the task
+        // re-queues (or the job aborts at the attempt limit).
+        if !lost && self.tasks[task as usize].doomed == Some(attempt) {
+            self.fail_task(now, task, SimDuration::ZERO, true, out);
+            return;
+        }
+        let (node, stage, kind, ghost) = {
             let t = &mut self.tasks[task as usize];
-            debug_assert_eq!(t.state, TState::Running);
             t.state = TState::Done;
-            (t.node, t.stage, t.kind)
+            (t.node, t.stage, t.kind, t.ghost)
         };
         self.free_slots[node as usize] += 1;
         if lost {
@@ -1520,13 +1838,16 @@ impl SimWorld {
             });
         }
 
+        // Ghosts charge time for redone work but deposit nothing — the lost
+        // rows were already re-hosted when their node crashed.
         match kind {
-            TaskKind::Compute { .. } => self.producer_finished(task, node),
+            TaskKind::Compute { .. } if !ghost => self.producer_finished(task, node),
             TaskKind::Store { .. } => self.store_finished(now, task),
-            TaskKind::Fetch { reducer } => {
+            TaskKind::Fetch { reducer } if !ghost => {
                 self.fetch_aggregate(task, reducer);
                 self.producer_finished(task, node);
             }
+            _ => {}
         }
 
         let job = self.job_mut();
@@ -1655,7 +1976,17 @@ impl SimWorld {
         let producers = self.job().stage_tasks.clone();
         let mut created = Vec::new();
         for &p in &producers {
-            let node = self.tasks[p as usize].node;
+            // A flush is pinned to its producer's node; if that node died or
+            // was blacklisted since, the re-hosted rows flush at the
+            // replacement instead.
+            let mut node = self.tasks[p as usize].node;
+            if !self.node_up[node as usize] || self.blacklisted[node as usize] {
+                let Some(repl) = self.replacement_node() else {
+                    self.abort_job(now);
+                    return;
+                };
+                node = repl;
+            }
             let id = self.tasks.len() as u32;
             self.tasks.push(Task {
                 stage: stage_idx as u32,
@@ -1677,6 +2008,9 @@ impl SimWorld {
                 pinned: true,
                 twin: None,
                 is_speculative: false,
+                attempt: 0,
+                doomed: None,
+                ghost: false,
             });
             created.push(id);
         }
@@ -1776,7 +2110,8 @@ impl SimWorld {
             .fabric
             .path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
         let f = self.net.open_flow(start, path, true);
-        self.net.push_chunk(start, f, wire, NetTag::TaskIo { task });
+        let tag = self.net_tag(task);
+        self.net.push_chunk(start, f, wire, tag);
         self.arm_net(out);
     }
 
@@ -1796,6 +2131,406 @@ impl SimWorld {
             }
         }
         let _ = now;
+    }
+
+    // ---------------- fault handling & recovery ----------------
+
+    /// First live, non-blacklisted node: the deterministic re-host target
+    /// for pinned work and re-hosted shuffle rows.
+    fn replacement_node(&self) -> Option<u32> {
+        (0..self.spec.workers).find(|&n| self.node_up[n as usize] && !self.blacklisted[n as usize])
+    }
+
+    /// Fail a running attempt: account the wasted work, reset the task to
+    /// Pending with a bumped attempt number (orphaning any in-flight I/O and
+    /// finish events of the old attempt), then re-queue it — after `backoff`
+    /// if nonzero. `attribute` counts the failure against the node for
+    /// blacklisting; crash- and fetch-induced failures don't.
+    fn fail_task(
+        &mut self,
+        now: SimTime,
+        task: u32,
+        backoff: SimDuration,
+        attribute: bool,
+        out: &mut Outbox<Ev>,
+    ) {
+        let node = self.tasks[task as usize].node;
+        let wasted = now
+            .since(self.tasks[task as usize].launched_at)
+            .as_secs_f64();
+        {
+            let rec = &mut self.metrics.current.recovery;
+            rec.wasted_secs += wasted;
+            rec.tasks_retried += 1;
+        }
+        if self.node_up[node as usize] {
+            self.free_slots[node as usize] += 1;
+            // A failed flush abandons its partial output: reclaim the space.
+            if matches!(self.tasks[task as usize].kind, TaskKind::Store { .. }) {
+                if let ShuffleStore::Local(dev) = self.cfg.shuffle {
+                    let file = self
+                        .job
+                        .as_ref()
+                        .and_then(|j| j.shuffle_out.as_ref())
+                        .and_then(|sh| sh.local_files[node as usize]);
+                    if let Some(file) = file {
+                        let bytes = self.tasks[task as usize].output_bytes;
+                        let fs = if dev == StoreDevice::Ssd {
+                            &mut self.ssd_fs[node as usize]
+                        } else {
+                            &mut self.ram_fs[node as usize]
+                        };
+                        fs.truncate(file, bytes);
+                    }
+                }
+            }
+        }
+        {
+            let t = &mut self.tasks[task as usize];
+            t.state = TState::Pending;
+            t.node = u32::MAX;
+            t.attempt += 1;
+            t.doomed = None;
+            t.pending_io = 0;
+            t.finish_scheduled = false;
+            t.records_out = None;
+            t.compute_dur = SimDuration::ZERO;
+            t.queued_at = now;
+        }
+        if self.tasks[task as usize].attempt >= self.cfg.recovery.max_task_attempts {
+            self.abort_job(now);
+            return;
+        }
+        if attribute && self.node_up[node as usize] && !self.blacklisted[node as usize] {
+            self.node_fail_counts[node as usize] += 1;
+            if self.node_fail_counts[node as usize] >= self.cfg.recovery.blacklist_after {
+                self.blacklisted[node as usize] = true;
+                self.metrics.current.recovery.blacklisted_nodes += 1;
+                self.repin_pinned_off(node);
+            }
+        }
+        // Drop dead/blacklisted nodes from the task's preferences; a pinned
+        // task left with nowhere to go re-pins to the replacement.
+        let keep: Vec<u32> = self.tasks[task as usize]
+            .prefs
+            .iter()
+            .copied()
+            .filter(|&n| self.node_up[n as usize] && !self.blacklisted[n as usize])
+            .collect();
+        if self.tasks[task as usize].pinned && keep.is_empty() {
+            let Some(repl) = self.replacement_node() else {
+                self.abort_job(now);
+                return;
+            };
+            self.tasks[task as usize].prefs = vec![repl];
+        } else {
+            self.tasks[task as usize].prefs = keep;
+        }
+        if backoff > SimDuration::ZERO {
+            out.after(
+                backoff,
+                Ev::Requeue {
+                    task,
+                    job: self.job_seq,
+                },
+            );
+        } else {
+            self.enqueue_pending(&[task]);
+            out.immediately(Ev::Dispatch);
+        }
+    }
+
+    /// Re-pin pending pinned tasks away from a dead/blacklisted node. Their
+    /// queue entries on the old node are left behind; dispatch never visits
+    /// that node, and `pick` tolerates duplicates.
+    fn repin_pinned_off(&mut self, node: u32) {
+        let Some(repl) = self.replacement_node() else {
+            return;
+        };
+        let mut moved = Vec::new();
+        for (i, t) in self.tasks.iter_mut().enumerate() {
+            if t.state == TState::Pending && t.pinned && t.prefs.first() == Some(&node) {
+                t.prefs = vec![repl];
+                moved.push(i as u32);
+            }
+        }
+        for id in moved {
+            self.prefs_q[repl as usize].push_back(id);
+        }
+    }
+
+    /// Give up on the job: a task exhausted its attempt budget or no live
+    /// node remains. Mirrors Spark's job abort after repeated task failure.
+    fn abort_job(&mut self, now: SimTime) {
+        self.metrics.current.recovery.aborted_jobs += 1;
+        self.job = None;
+        self.last_output = Some(JobOutput {
+            count: 0,
+            records: None,
+            reduced: None,
+            aborted: true,
+        });
+        self.job_done = true;
+        self.tasks.clear();
+        self.prefs_q.iter_mut().for_each(|q| q.clear());
+        self.no_pref_q.clear();
+        self.waiting_q.clear();
+        self.pending_chains.clear();
+        let _ = now;
+    }
+
+    /// A node dies: its slots, running work, cached partitions and (for a
+    /// node-local store) deposited intermediate rows are gone. Running tasks
+    /// re-queue; lost rows are re-hosted at a replacement node and the work
+    /// that produced them is redone as time-only ghost tasks, so the job's
+    /// output matches a fault-free run while the recovery time is charged in
+    /// full.
+    fn node_crash(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        restart: Option<SimDuration>,
+        out: &mut Outbox<Ev>,
+    ) {
+        if !self.node_up[node as usize] {
+            return;
+        }
+        self.metrics.current.recovery.node_crashes += 1;
+        self.node_up[node as usize] = false;
+        let lost = self.blockmgr.drop_node(node);
+        self.metrics.current.recovery.blocks_lost += lost.len() as u64;
+        if let Some(d) = restart {
+            out.after(d, Ev::NodeRestart { node });
+        }
+        // Fail everything running there (node_up is already false, so
+        // fail_task won't hand slots back to the dead node).
+        let running: Vec<u32> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TState::Running && t.node == node)
+            .map(|(i, _)| i as u32)
+            .collect();
+        for id in running {
+            if self.job.is_none() {
+                break;
+            }
+            self.fail_task(now, id, SimDuration::ZERO, false, out);
+        }
+        self.free_slots[node as usize] = 0;
+        if self.job.is_none() {
+            return;
+        }
+        let Some(repl) = self.replacement_node() else {
+            self.abort_job(now);
+            return;
+        };
+        self.repin_pinned_off(node);
+        // Fetch tasks mid-pull from the dead node retry with backoff (the
+        // shared Lustre store serves every byte from the OSSes — nothing to
+        // retry there beyond the reducers that died with the node).
+        if !matches!(self.cfg.shuffle, ShuffleStore::LustreShared) {
+            self.fail_fetches_from(now, node, out);
+            if self.job.is_none() {
+                return;
+            }
+        }
+        let local_store = matches!(self.cfg.shuffle, ShuffleStore::Local(_));
+        {
+            let job = self.job.as_mut().expect("active job");
+            // Rows of the shuffle being produced live in executor memory or
+            // the node-local store: re-host them. Rows already consumed from
+            // Lustre survive the crash on the OSSes.
+            if let Some(sh) = job.shuffle_out.as_mut() {
+                Self::move_shuffle_rows(sh, node as usize, repl as usize);
+            }
+            if let Some(sh) = job.shuffle_in.as_mut() {
+                if local_store {
+                    Self::move_shuffle_rows(sh, node as usize, repl as usize);
+                } else {
+                    // Server page cache died with the node; refetches stream
+                    // from the OSSes instead.
+                    sh.cached_frac[node as usize] = 0.0;
+                }
+            }
+        }
+        self.intermediate[repl as usize] += self.intermediate[node as usize];
+        self.intermediate[node as usize] = 0.0;
+        self.spawn_crash_ghosts(now, node, repl, local_store);
+        out.immediately(Ev::Dispatch);
+    }
+
+    /// Fail every running fetch task currently pulling rows from `src`.
+    fn fail_fetches_from(&mut self, now: SimTime, src: u32, out: &mut Outbox<Ev>) {
+        let victims: Vec<u32> = {
+            let Some(job) = self.job.as_ref() else { return };
+            let Some(sh) = job.shuffle_in.as_ref() else {
+                return;
+            };
+            self.tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    t.state == TState::Running
+                        && matches!(t.kind, TaskKind::Fetch { reducer }
+                            if sh.node_bucket_bytes[src as usize][reducer as usize] > 0.0)
+                })
+                .map(|(i, _)| i as u32)
+                .collect()
+        };
+        for id in victims {
+            if self.job.is_none() {
+                return;
+            }
+            let att = self.tasks[id as usize].attempt.min(8);
+            let backoff = self
+                .cfg
+                .recovery
+                .fetch_backoff
+                .mul_f64(2f64.powi(att as i32));
+            {
+                let rec = &mut self.metrics.current.recovery;
+                rec.failed_fetches += 1;
+                rec.fetch_retries += 1;
+            }
+            self.fail_task(now, id, backoff, false, out);
+        }
+    }
+
+    /// Move every deposited row of `dead` to `repl` in one shuffle state:
+    /// recovery re-hosts the data, and ghost tasks recharge the time it took
+    /// to produce it. The dead node's store file is forgotten, so relaunched
+    /// fetches read from the replacement.
+    fn move_shuffle_rows(sh: &mut ShuffleState, dead: usize, repl: usize) {
+        let buckets = std::mem::replace(
+            &mut sh.node_bucket_bytes[dead],
+            vec![0.0; sh.reducers as usize],
+        );
+        for (b, bytes) in buckets.into_iter().enumerate() {
+            sh.node_bucket_bytes[repl][b] += bytes;
+        }
+        if let Some(real) = sh.node_real.as_mut() {
+            let moved = std::mem::replace(&mut real[dead], vec![Vec::new(); sh.reducers as usize]);
+            for (b, mut recs) in moved.into_iter().enumerate() {
+                real[repl][b].append(&mut recs);
+            }
+        }
+        sh.local_files[dead] = None;
+        sh.cached_frac[dead] = 0.0;
+    }
+
+    /// Redo the dead node's finished producer work as time-only ghosts
+    /// pinned to the replacement: recompute ghosts for its compute tasks of
+    /// the stage feeding the live shuffle, and re-flush ghosts for its store
+    /// tasks when the store died with the node.
+    fn spawn_crash_ghosts(&mut self, now: SimTime, node: u32, repl: u32, local_store: bool) {
+        let (producing_stage, has_shuffle_out) = {
+            let job = self.job.as_ref().expect("active job");
+            let producing = match job.phase {
+                RunPhase::Stage(idx) => {
+                    if job.plan.stages[idx].has_shuffle_output() {
+                        Some(idx as u32)
+                    } else if matches!(job.plan.stages[idx].input, StageInput::Shuffle(_))
+                        && idx > 0
+                    {
+                        // Fetch phase: the consumed rows came from stage idx-1.
+                        Some(idx as u32 - 1)
+                    } else {
+                        None
+                    }
+                }
+                RunPhase::Storing(idx) => Some(idx as u32),
+            };
+            (producing, job.shuffle_out.is_some())
+        };
+        let mut ghosts: Vec<(u32, TaskKind)> = Vec::new();
+        for t in &self.tasks {
+            if t.state != TState::Done || t.node != node {
+                continue;
+            }
+            match t.kind {
+                TaskKind::Compute { .. } if Some(t.stage) == producing_stage => {
+                    ghosts.push((t.stage, t.kind));
+                }
+                TaskKind::Store { .. } if has_shuffle_out && local_store => {
+                    ghosts.push((t.stage, t.kind));
+                }
+                _ => {}
+            }
+        }
+        if ghosts.is_empty() {
+            return;
+        }
+        let mut created = Vec::with_capacity(ghosts.len());
+        for (stage, kind) in ghosts {
+            if matches!(kind, TaskKind::Compute { .. }) {
+                self.metrics.current.recovery.recomputed_partitions += 1;
+            }
+            let id = self.tasks.len() as u32;
+            self.tasks.push(Task {
+                stage,
+                kind,
+                state: TState::Pending,
+                node: u32::MAX,
+                queued_at: now,
+                launched_at: now,
+                compute_dur: SimDuration::ZERO,
+                pipelined: true,
+                pending_io: 0,
+                finish_scheduled: false,
+                input_bytes: 0.0,
+                output_bytes: 0.0,
+                records_est: 0,
+                records_out: None,
+                locality: TaskLocality::Any,
+                prefs: vec![repl],
+                pinned: true,
+                twin: None,
+                is_speculative: false,
+                attempt: 0,
+                doomed: None,
+                ghost: true,
+            });
+            created.push(id);
+        }
+        self.job.as_mut().expect("active job").remaining += created.len();
+        self.enqueue_pending(&created);
+    }
+
+    /// Apply a scheduled fault-plan event.
+    fn apply_fault(&mut self, now: SimTime, idx: usize, out: &mut Outbox<Ev>) {
+        let Some(kind) = self
+            .cfg
+            .faults
+            .as_ref()
+            .and_then(|p| p.events.get(idx))
+            .map(|e| e.kind)
+        else {
+            return;
+        };
+        match kind {
+            FaultKind::NodeCrash { node, restart } => self.node_crash(now, node, restart, out),
+            FaultKind::BlockLoss { node } => {
+                // Executor memory loss: cached partitions evaporate, the
+                // node itself keeps running. Lineage rebuilds them on demand.
+                let lost = self.blockmgr.drop_node(node);
+                self.metrics.current.recovery.blocks_lost += lost.len() as u64;
+            }
+            FaultKind::SsdDegrade { node, factor } => {
+                self.metrics.current.recovery.ssd_degradations += 1;
+                self.ssd_fs[node as usize].degrade_device(now, factor);
+                self.arm_fs(node, true, out);
+                if let ShuffleStore::Local(StoreDevice::Ssd) = self.cfg.shuffle {
+                    let bw = effective_read_bw(&self.ssd_fs[node as usize], StoreDevice::Ssd);
+                    let link = self.store_read_links[node as usize];
+                    self.net.set_link_capacity(now, link, bw.max(1.0));
+                    self.arm_net(out);
+                }
+            }
+            FaultKind::FetchFail { src } => self.fail_fetches_from(now, src, out),
+            // Consumed at launch via `doomed_launches`.
+            FaultKind::TaskFail { .. } => {}
+        }
     }
 
     fn finish_job(&mut self, now: SimTime) {
@@ -1820,6 +2555,7 @@ impl SimWorld {
                 },
                 records: None,
                 reduced: None,
+                aborted: false,
             },
             Action::Collect => JobOutput {
                 count: if have_real {
@@ -1829,6 +2565,7 @@ impl SimWorld {
                 },
                 records: have_real.then_some(records),
                 reduced: None,
+                aborted: false,
             },
             Action::Reduce(f) => {
                 let reduced = have_real.then(|| {
@@ -1842,6 +2579,7 @@ impl SimWorld {
                     count,
                     records: None,
                     reduced,
+                    aborted: false,
                 }
             }
         };
@@ -1971,7 +2709,9 @@ impl Model for SimWorld {
                 let mut flushed = 0u32;
                 for d in delivered {
                     match d.tag {
-                        NetTag::TaskIo { task } => self.task_io_done(now, task, out),
+                        NetTag::TaskIo { task, attempt, job } => {
+                            self.task_io_done(now, task, attempt, job, out)
+                        }
                         NetTag::Flush => flushed += 1,
                     }
                 }
@@ -1996,7 +2736,8 @@ impl Model for SimWorld {
                 };
                 let done = fs.poll(now);
                 for d in done {
-                    self.task_io_done(now, d.tag as u32, out);
+                    let (task, attempt, job) = Self::unpack_io_tag(d.tag);
+                    self.task_io_done(now, task, attempt, job, out);
                 }
                 self.arm_fs(node, ssd, out);
                 // Keep the store-serving link in sync with SSD GC state.
@@ -2018,10 +2759,15 @@ impl Model for SimWorld {
                 }
                 let done = self.lustre.poll(now);
                 for tag in done {
-                    let task = tag as u32;
+                    let (task, attempt, job) = Self::unpack_io_tag(tag);
+                    // Guard before indexing: a stale completion may refer to
+                    // a task of an already-finished (or aborted) job.
+                    if self.completion_is_stale(task, attempt, job) {
+                        continue;
+                    }
                     let is_shared_fetch = matches!(self.cfg.shuffle, ShuffleStore::LustreShared)
                         && matches!(self.tasks[task as usize].kind, TaskKind::Fetch { .. });
-                    self.task_io_done(now, task, out);
+                    self.task_io_done(now, task, attempt, job, out);
                     if is_shared_fetch {
                         let ready = self
                             .job
@@ -2043,7 +2789,28 @@ impl Model for SimWorld {
                 }
                 self.arm_lustre(out);
             }
-            Ev::TaskFinish { task } => self.on_task_finish(now, task, out),
+            Ev::TaskFinish { task, attempt, job } => {
+                self.on_task_finish(now, task, attempt, job, out)
+            }
+            Ev::Requeue { task, job } => {
+                if job == self.job_seq
+                    && (task as usize) < self.tasks.len()
+                    && self.tasks[task as usize].state == TState::Pending
+                {
+                    self.enqueue_pending(&[task]);
+                    out.immediately(Ev::Dispatch);
+                }
+            }
+            Ev::Fault { idx } => self.apply_fault(now, idx, out),
+            Ev::NodeRestart { node } => {
+                if !self.node_up[node as usize] {
+                    self.node_up[node as usize] = true;
+                    self.free_slots[node as usize] = self.spec.cores_per_node;
+                    self.node_fail_counts[node as usize] = 0;
+                    self.metrics.current.recovery.node_restarts += 1;
+                    out.immediately(Ev::Dispatch);
+                }
+            }
             Ev::Dispatch | Ev::DispatchNode { .. } => self.dispatch(now, out),
             Ev::SpeedResample => {
                 self.speeds.resample();

@@ -308,8 +308,10 @@ fn job_output_shapes() {
         count,
         records,
         reduced,
+        aborted,
     } = out;
     assert!(count > 0);
+    assert!(!aborted);
     assert!(records.is_none(), "synthetic data cannot be collected");
     assert!(reduced.is_none());
 }

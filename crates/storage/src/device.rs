@@ -44,6 +44,10 @@ pub trait Device {
     fn current_read_bandwidth(&self) -> f64 {
         self.read_bandwidth()
     }
+    /// Permanently scale the device's bandwidth by `factor` in `(0, 1]` —
+    /// a fault-injection hook (worn flash, failing channel). Devices without
+    /// a degradation model ignore it.
+    fn degrade(&mut self, _now: SimTime, _factor: f64) {}
 }
 
 /// Two independent PS channels (read + write) with fixed capacities — the

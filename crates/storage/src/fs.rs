@@ -310,6 +310,32 @@ impl LocalFs {
         }
     }
 
+    /// Drop the last `bytes` of `file` — the abandoned output of a failed
+    /// writer. Frees capacity; any cache residency beyond the new size is a
+    /// small, harmless overstatement (pages of the dropped tail linger until
+    /// evicted).
+    pub fn truncate(&mut self, file: FileId, bytes: f64) {
+        if let Some(size) = self.files.get_mut(&file) {
+            let take = bytes.min(*size);
+            *size -= take;
+            self.used -= take;
+            if *size <= 1e-6 {
+                self.files.remove(&file);
+                if let Some(cache) = &mut self.cache {
+                    cache.drop_file(file);
+                }
+            }
+            self.gen.bump();
+        }
+    }
+
+    /// Fault-injection hook: permanently scale the backing device's
+    /// bandwidth by `factor` (see [`Device::degrade`]).
+    pub fn degrade_device(&mut self, now: SimTime, factor: f64) {
+        self.device.degrade(now, factor);
+        self.gen.bump();
+    }
+
     fn kick_flusher(&mut self, now: SimTime) {
         let Some(cache) = &mut self.cache else { return };
         if cache.flush_inflight.is_some() {
@@ -543,6 +569,33 @@ mod tests {
             }
         }
         assert_eq!(fs.dirty_bytes(), 0.0);
+    }
+
+    #[test]
+    fn truncate_frees_partial_capacity() {
+        let mut fs = LocalFs::new(Box::new(RamDisk::new(100.0, 100.0)), 150.0, None);
+        fs.write(SimTime::ZERO, FileId(1), 100.0, 1);
+        run_until_tag(&mut fs, 1);
+        fs.truncate(FileId(1), 30.0);
+        assert_eq!(fs.free(), 80.0);
+        assert_eq!(fs.file_size(FileId(1)), Some(70.0));
+        // Truncating everything removes the file.
+        fs.truncate(FileId(1), 1e9);
+        assert_eq!(fs.free(), 150.0);
+        assert_eq!(fs.file_size(FileId(1)), None);
+        // Truncating a missing file is a no-op.
+        fs.truncate(FileId(9), 10.0);
+        assert_eq!(fs.free(), 150.0);
+    }
+
+    #[test]
+    fn degrade_device_slows_uncached_writes() {
+        let mut fs = LocalFs::new(Box::new(Ssd::new(SsdConfig::test_small())), 1e9, None);
+        fs.degrade_device(SimTime::ZERO, 0.25);
+        // 40 bytes at a quarter of the 400/s accept rate: ~0.4 s.
+        fs.write(SimTime::ZERO, FileId(1), 40.0, 1);
+        let t = run_until_tag(&mut fs, 1);
+        assert!(t.as_secs_f64() > 0.3, "took {t}");
     }
 
     #[test]

@@ -262,6 +262,30 @@ impl Device for Ssd {
             self.cfg.read_bw
         }
     }
+
+    /// Degradation fault: scale every bandwidth parameter by `factor`. The
+    /// new rates apply immediately (channel capacities are reset here, not
+    /// just at the next model tick); buffer/pool *capacities* are unchanged.
+    fn degrade(&mut self, now: SimTime, factor: f64) {
+        let f = factor.clamp(1e-6, 1.0);
+        self.catch_up_ticks(now);
+        self.cfg.write_bw_clean *= f;
+        self.cfg.read_bw *= f;
+        self.cfg.read_bw_gc *= f;
+        self.cfg.buffer_accept_bw *= f;
+        self.cfg.gc_reclaim_idle *= f;
+        let depth = self.ch.write.load();
+        let accept = if self.buffer_fill >= self.cfg.buffer_bytes * 0.98 {
+            self.program_rate(depth)
+        } else {
+            self.cfg.buffer_accept_bw
+        };
+        self.ch.write.set_capacity(now, accept.max(1.0));
+        self.ch
+            .read
+            .set_capacity(now, self.current_read_bandwidth().max(1.0));
+        self.gen.bump();
+    }
 }
 
 #[cfg(test)]
@@ -370,5 +394,28 @@ mod tests {
         let cfg = SsdConfig::test_small();
         let ssd = Ssd::new(cfg);
         assert!(ssd.reclaim_rate(0) > ssd.reclaim_rate(10) * 3.0);
+    }
+
+    #[test]
+    fn degrade_scales_io_latency() {
+        let time_one_read = |ssd: &mut Ssd, start: SimTime| -> f64 {
+            ssd.submit(start, Op::Read, 100.0, 7);
+            loop {
+                let t = ssd.next_event().unwrap();
+                if ssd.poll(t).iter().any(|d| d.tag == 7) {
+                    break t.since(start).as_secs_f64();
+                }
+            }
+        };
+        let mut healthy = Ssd::new(SsdConfig::test_small());
+        let base = time_one_read(&mut healthy, SimTime::ZERO);
+        let mut degraded = Ssd::new(SsdConfig::test_small());
+        degraded.degrade(SimTime::ZERO, 0.5);
+        let slow = time_one_read(&mut degraded, SimTime::ZERO);
+        assert!(
+            (slow - base * 2.0).abs() < base * 0.1,
+            "halved bandwidth should double latency: base={base:.3}s slow={slow:.3}s"
+        );
+        assert!((degraded.write_bandwidth() - 50.0).abs() < 1e-9);
     }
 }

@@ -20,3 +20,9 @@ cargo run -q --release -p memres-bench --bin repro -- --smoke --json "$out" benc
 test -s "$out/bench.json" || { echo "bench.json missing or empty"; exit 1; }
 grep -q '"total_wall_s"' "$out/bench.json" || { echo "bench.json malformed"; exit 1; }
 echo "ok: $out/bench.json"
+
+echo "== fault smoke (JSON) =="
+cargo run -q --release -p memres-bench --bin repro -- --smoke --json "$out" faults >/dev/null
+test -s "$out/faults.json" || { echo "faults.json missing or empty"; exit 1; }
+grep -q '"tasks_retried"' "$out/faults.json" || { echo "faults.json malformed"; exit 1; }
+echo "ok: $out/faults.json"
