@@ -4,8 +4,10 @@
 //!   repro [--smoke] [--scale X] [--json DIR] `<target>`...
 //!   targets: table1 plans fig5a fig5b fig7a fig7b fig8a fig8b fig8c fig8d
 //!            fig9a fig9b fig10 fig12a fig12b fig13a fig13b fig14 ablations
-//!            baselines faults bench all
+//!            baselines faults faults-abort bench all
 //!
+//! Exit codes: 0 on success, 1 when any simulated job aborted (the tables
+//! printed are then not a faithful reproduction), 2 on usage errors.
 //! Unknown targets are rejected up front (exit 2) with the usage line, so a
 //! typo can't burn hours of experiments first.
 //!
@@ -44,13 +46,18 @@ const ALL_TARGETS: [&str; 21] = [
 ];
 
 fn valid_target(t: &str) -> bool {
-    t == "all" || t == "bench" || t == "fig14a" || t == "fig14b" || ALL_TARGETS.contains(&t)
+    t == "all"
+        || t == "bench"
+        || t == "fig14a"
+        || t == "fig14b"
+        || t == "faults-abort"
+        || ALL_TARGETS.contains(&t)
 }
 
 fn usage() -> String {
     format!(
         "usage: repro [--smoke] [--scale X] [--seed N] [--json DIR] <target>...\n\
-         targets: {} fig14a fig14b bench all",
+         targets: {} fig14a fig14b faults-abort bench all",
         ALL_TARGETS.join(" ")
     )
 }
@@ -113,7 +120,9 @@ fn main() {
         targets = ALL_TARGETS.iter().map(|s| s.to_string()).collect();
     }
 
-    let emit = |t: &Table, json_dir: &Option<String>| {
+    // Render a table (and its JSON, when requested); report whether any run
+    // inside it aborted so main can turn that into a non-zero exit code.
+    let emit = |t: &Table, json_dir: &Option<String>| -> bool {
         println!("{}", t.render());
         if let Some(dir) = json_dir {
             std::fs::create_dir_all(dir).expect("create json dir");
@@ -122,30 +131,38 @@ fn main() {
             let _ = writeln!(f, "{}", t.to_json());
             eprintln!("wrote {path}");
         }
+        t.try_column("aborted_jobs")
+            .is_some_and(|col| col.iter().any(|&v| v > 0.0))
     };
+
+    // An aborted job means the experiment did not actually reproduce the
+    // paper's result; the process must say so in its exit code, not just in
+    // a table cell nobody greps.
+    let mut job_aborted = false;
 
     for target in &targets {
         let start = std::time::Instant::now();
         match target.as_str() {
-            "table1" => emit(&ex::table1(), &json_dir),
+            "table1" => job_aborted |= emit(&ex::table1(), &json_dir),
             "plans" => println!("{}", ex::plans(setup)),
-            "fig5a" => emit(&ex::fig5a(setup), &json_dir),
-            "fig5b" => emit(&ex::fig5b(setup), &json_dir),
-            "fig7a" => emit(&ex::fig7a(setup), &json_dir),
-            "fig7b" => emit(&ex::fig7b(setup), &json_dir),
-            "fig8a" => emit(&ex::fig8a(setup), &json_dir),
-            "fig8b" => emit(&ex::fig8b(setup), &json_dir),
-            "fig8c" => emit(&ex::fig8c(setup), &json_dir),
-            "fig8d" => emit(&ex::fig8d(setup), &json_dir),
-            "fig9a" => emit(&ex::fig9a(setup), &json_dir),
-            "fig9b" => emit(&ex::fig9b(setup), &json_dir),
-            "fig10" => emit(&ex::fig10(setup), &json_dir),
-            "fig12a" => emit(&ex::fig12a(setup), &json_dir),
-            "fig12b" => emit(&ex::fig12b(setup), &json_dir),
-            "fig13a" => emit(&ex::fig13a(setup), &json_dir),
-            "fig13b" => emit(&ex::fig13b(setup), &json_dir),
-            "baselines" => emit(&ex::baseline_speculation(setup), &json_dir),
-            "faults" => emit(&ex::faults(setup), &json_dir),
+            "fig5a" => job_aborted |= emit(&ex::fig5a(setup), &json_dir),
+            "fig5b" => job_aborted |= emit(&ex::fig5b(setup), &json_dir),
+            "fig7a" => job_aborted |= emit(&ex::fig7a(setup), &json_dir),
+            "fig7b" => job_aborted |= emit(&ex::fig7b(setup), &json_dir),
+            "fig8a" => job_aborted |= emit(&ex::fig8a(setup), &json_dir),
+            "fig8b" => job_aborted |= emit(&ex::fig8b(setup), &json_dir),
+            "fig8c" => job_aborted |= emit(&ex::fig8c(setup), &json_dir),
+            "fig8d" => job_aborted |= emit(&ex::fig8d(setup), &json_dir),
+            "fig9a" => job_aborted |= emit(&ex::fig9a(setup), &json_dir),
+            "fig9b" => job_aborted |= emit(&ex::fig9b(setup), &json_dir),
+            "fig10" => job_aborted |= emit(&ex::fig10(setup), &json_dir),
+            "fig12a" => job_aborted |= emit(&ex::fig12a(setup), &json_dir),
+            "fig12b" => job_aborted |= emit(&ex::fig12b(setup), &json_dir),
+            "fig13a" => job_aborted |= emit(&ex::fig13a(setup), &json_dir),
+            "fig13b" => job_aborted |= emit(&ex::fig13b(setup), &json_dir),
+            "baselines" => job_aborted |= emit(&ex::baseline_speculation(setup), &json_dir),
+            "faults" => job_aborted |= emit(&ex::faults(setup), &json_dir),
+            "faults-abort" => job_aborted |= emit(&ex::faults_abort(setup), &json_dir),
             "bench" => {
                 let records = perf::suite(setup);
                 println!("{}", perf::table(&records).render());
@@ -158,18 +175,22 @@ fn main() {
                 }
             }
             "ablations" => {
-                emit(&ex::ablation_elb_threshold(setup), &json_dir);
-                emit(&ex::ablation_cad_step(setup), &json_dir);
-                emit(&ex::ablation_delay_wait(setup), &json_dir);
+                job_aborted |= emit(&ex::ablation_elb_threshold(setup), &json_dir);
+                job_aborted |= emit(&ex::ablation_cad_step(setup), &json_dir);
+                job_aborted |= emit(&ex::ablation_delay_wait(setup), &json_dir);
             }
             "fig14" | "fig14a" | "fig14b" => {
                 let (a, b) = ex::fig14(setup);
-                emit(&a, &json_dir);
-                emit(&b, &json_dir);
+                job_aborted |= emit(&a, &json_dir);
+                job_aborted |= emit(&b, &json_dir);
             }
             other => unreachable!("target '{other}' passed validation but has no handler"),
         }
         eprintln!("[{target} took {:.1}s]", start.elapsed().as_secs_f64());
+    }
+    if job_aborted {
+        eprintln!("error: a job aborted after exhausting task retries; results above are not a reproduction");
+        std::process::exit(1);
     }
 }
 

@@ -961,6 +961,7 @@ pub fn faults(setup: Setup) -> Table {
             "failed_fetches",
             "node_crashes",
             "wasted_s",
+            "aborted_jobs",
         ],
     );
     let spec = setup.cluster();
@@ -1040,6 +1041,7 @@ pub fn faults(setup: Setup) -> Table {
                 r.failed_fetches as f64,
                 r.node_crashes as f64,
                 r.wasted_secs,
+                r.aborted_jobs as f64,
             ],
         );
     }
@@ -1052,6 +1054,44 @@ pub fn faults(setup: Setup) -> Table {
          so Count matches while wall time absorbs the wasted work"
             .to_string(),
     );
+    t
+}
+
+/// Negative control for the recovery machinery: doom every task launch so
+/// one task exhausts `max_task_attempts` and the job *must* abort. Exercised
+/// by the `faults-abort` repro target, whose non-zero exit code CI asserts —
+/// an abort that slipped through as exit 0 would let a silently-failing run
+/// pass the reproduction gate.
+pub fn faults_abort(setup: Setup) -> Table {
+    let mut t = Table::new(
+        "faults_abort",
+        "GroupBy with every launch doomed: the job must abort, not hang or lie",
+        &["wall_s", "output_count", "tasks_retried", "aborted_jobs"],
+    );
+    let spec = setup.cluster();
+    let bytes = setup.bytes(0.5);
+    let gb = GroupBy::new(bytes).with_split(bytes / 8.0).with_reducers(4);
+    let rdd = gb.build_real(20_000, 500, setup.seed);
+    // Dooming launches 1..=10_000 covers every retry of every task at this
+    // scale, so the first task to burn through `max_task_attempts` aborts
+    // the job deterministically.
+    let mut plan = FaultPlan::new();
+    for nth in 1..=10_000u64 {
+        plan = plan.at(SimDuration::ZERO, FaultKind::TaskFail { nth_launch: nth });
+    }
+    let mut d = Driver::new(spec, setup.hdfs_cfg_replicated().with_faults(plan));
+    let (out, m) = d.run(&rdd, gb.action());
+    let r = &m.recovery;
+    t.row(
+        "all-launches-doomed".to_string(),
+        vec![
+            m.job_time(),
+            out.count as f64,
+            r.tasks_retried as f64,
+            r.aborted_jobs as f64,
+        ],
+    );
+    t.note("aborted_jobs must be 1 and repro must exit non-zero".to_string());
     t
 }
 

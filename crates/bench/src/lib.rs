@@ -46,12 +46,15 @@ impl Table {
 
     /// Column values by header name.
     pub fn column(&self, name: &str) -> Vec<f64> {
-        let idx = self
-            .columns
-            .iter()
-            .position(|c| c == name)
-            .unwrap_or_else(|| panic!("no column {name} in {}", self.id));
-        self.rows.iter().map(|(_, v)| v[idx]).collect()
+        self.try_column(name)
+            .unwrap_or_else(|| panic!("no column {name} in {}", self.id))
+    }
+
+    /// Column values by header name; `None` when the table has no such
+    /// column (for callers probing tables of mixed shapes).
+    pub fn try_column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|(_, v)| v[idx]).collect())
     }
 
     pub fn render(&self) -> String {

@@ -1,0 +1,59 @@
+//! Exit-code contract of the `repro` binary (built by Cargo for us via
+//! `CARGO_BIN_EXE_repro`): 0 on a faithful reproduction, 1 when a simulated
+//! job aborted, 2 on usage errors. CI scripts branch on these codes, so they
+//! are part of the public interface, not an implementation detail.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn clean_target_exits_zero() {
+    let out = repro(&["--smoke", "table1"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("table1"));
+}
+
+#[test]
+fn aborted_job_exits_one() {
+    let out = repro(&["--smoke", "faults-abort"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("aborted_jobs"), "stdout: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("aborted after exhausting task retries"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_target_exits_two_before_running_anything() {
+    let out = repro(&["--smoke", "table1", "bogus-target"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown target 'bogus-target'"));
+    // Nothing ran: the valid target listed first produced no table.
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("table1"));
+}
+
+#[test]
+fn no_targets_exits_two_with_usage() {
+    let out = repro(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: repro"));
+}

@@ -12,7 +12,7 @@
 
 use crate::rdd::RddId;
 use crate::value::Record;
-use std::collections::HashMap;
+use memres_des::{DetMap, DetSet};
 use std::sync::Arc;
 
 /// (bytes, records, data, home node) of one cached partition.
@@ -30,9 +30,9 @@ pub struct CachedPart {
 
 #[derive(Default)]
 pub struct BlockMgr {
-    entries: HashMap<RddId, Vec<Option<CachedPart>>>,
+    entries: DetMap<RddId, Vec<Option<CachedPart>>>,
     /// Bytes cached per node (framework-memory accounting).
-    node_used: HashMap<u32, f64>,
+    node_used: DetMap<u32, f64>,
 }
 
 impl BlockMgr {
@@ -58,10 +58,13 @@ impl BlockMgr {
         if parts.len() <= part as usize {
             parts.resize(part as usize + 1, None);
         }
-        if let Some(Some(old)) = parts.get(part as usize) {
+        let slot = parts
+            .get_mut(part as usize)
+            .expect("slot exists: resized above");
+        if let Some(old) = slot {
             *self.node_used.entry(old.node).or_insert(0.0) -= old.bytes;
         }
-        parts[part as usize] = Some(CachedPart {
+        *slot = Some(CachedPart {
             node,
             bytes,
             records,
@@ -72,7 +75,7 @@ impl BlockMgr {
 
     /// RDDs whose every partition is materialized (usable for lineage
     /// truncation).
-    pub fn materialized(&self) -> std::collections::HashSet<RddId> {
+    pub fn materialized(&self) -> DetSet<RddId> {
         self.entries
             .iter()
             .filter(|(_, parts)| !parts.is_empty() && parts.iter().all(Option::is_some))

@@ -332,6 +332,7 @@ impl EngineConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)] // terse literal indexing is fine in tests
 mod tests {
     use super::*;
 

@@ -14,8 +14,13 @@
 //! the plan is truncated to start from the cached partitions — that is the
 //! memory-resident reuse LR exploits across iterations.
 
+// Lineage chains are dense arenas indexed by `RddId`s this module mints
+// root-first; as in world.rs, `arr[id]` is the idiom and a miss is an engine
+// bug. The crate-level `indexing_slicing` warning is waived for this file.
+#![allow(clippy::indexing_slicing)]
+
 use crate::rdd::{Action, Dataset, NarrowStep, Rdd, RddId, RddOp, ShuffleAgg};
-use std::collections::{HashMap, HashSet};
+use memres_des::{DetMap, DetSet};
 use std::sync::Arc;
 
 /// Shuffle parameters feeding a downstream stage.
@@ -87,12 +92,12 @@ pub struct JobPlan {
     /// truncated at, keyed by cached RDD. Only shuffle-free (Dataset-rooted)
     /// prefixes are recoverable per-partition; a cache downstream of a
     /// shuffle has no such recipe and its loss is unrecoverable.
-    pub recovery: HashMap<RddId, RecoverySpec>,
+    pub recovery: DetMap<RddId, RecoverySpec>,
 }
 
 /// Build a [`JobPlan`] for `action` on `rdd`. `materialized` is the set of
 /// cache points the block managers already hold.
-pub fn build_plan(rdd: &Rdd, action: Action, materialized: &HashSet<RddId>) -> JobPlan {
+pub fn build_plan(rdd: &Rdd, action: Action, materialized: &DetSet<RddId>) -> JobPlan {
     // Root-to-leaf chain (the engine supports linear lineages; branching
     // DAGs — joins/unions — are out of the reproduction's scope).
     let mut chain: Vec<Rdd> = Vec::new();
@@ -114,7 +119,7 @@ pub fn build_plan(rdd: &Rdd, action: Action, materialized: &HashSet<RddId>) -> J
 
     let mut stages: Vec<StagePlan> = Vec::new();
     let mut current: Option<StagePlan> = None;
-    let mut recovery: HashMap<RddId, RecoverySpec> = HashMap::new();
+    let mut recovery: DetMap<RddId, RecoverySpec> = DetMap::new();
     for node in &chain {
         match &node.0.op {
             RddOp::Source(ds) => {
@@ -127,7 +132,7 @@ pub fn build_plan(rdd: &Rdd, action: Action, materialized: &HashSet<RddId>) -> J
             RddOp::Narrow { step, .. } => {
                 current
                     .as_mut()
-                    .expect("narrow op without upstream stage")
+                    .expect("narrow op without upstream stage") // lint:allow(panic): lineage chains are built root-first; a narrow op always follows its parent stage
                     .steps
                     .push(step.clone());
             }
@@ -138,7 +143,7 @@ pub fn build_plan(rdd: &Rdd, action: Action, materialized: &HashSet<RddId>) -> J
                 out_factor,
                 ..
             } => {
-                let mut up = current.take().expect("shuffle without upstream stage");
+                let mut up = current.take().expect("shuffle without upstream stage"); // lint:allow(panic): lineage chains are built root-first; a shuffle always follows its upstream stage
                 up.shuffle_out = Some(*reducers);
                 stages.push(up);
                 current = Some(StagePlan::new(StageInput::Shuffle(ShuffleInSpec {
@@ -171,13 +176,13 @@ pub fn build_plan(rdd: &Rdd, action: Action, materialized: &HashSet<RddId>) -> J
                     stages.clear();
                     current = Some(StagePlan::new(StageInput::Cached { rdd: node.id() }));
                 } else {
-                    let cur = current.as_mut().expect("cache without upstream stage");
+                    let cur = current.as_mut().expect("cache without upstream stage"); // lint:allow(panic): lineage chains are built root-first; a cache marker always follows its upstream stage
                     cur.cache_points.push((cur.steps.len(), node.id()));
                 }
             }
         }
     }
-    stages.push(current.expect("empty lineage"));
+    stages.push(current.expect("empty lineage")); // lint:allow(panic): the chain holds at least the root Source node, so a stage is always open
     JobPlan {
         stages,
         action,
@@ -225,7 +230,7 @@ mod tests {
     #[test]
     fn map_only_job_is_single_stage() {
         let rdd = src().map("m", SizeModel::scan(), |r| r);
-        let plan = build_plan(&rdd, Action::Count, &HashSet::new());
+        let plan = build_plan(&rdd, Action::Count, &DetSet::new());
         assert_eq!(plan.stages.len(), 1);
         assert_eq!(plan.stages[0].steps.len(), 1);
         assert!(!plan.stages[0].has_shuffle_output());
@@ -237,7 +242,7 @@ mod tests {
         let rdd = src()
             .map("genKV", SizeModel::scan(), |r| r)
             .group_by_key(Some(8), 1e9);
-        let plan = build_plan(&rdd, Action::Count, &HashSet::new());
+        let plan = build_plan(&rdd, Action::Count, &DetSet::new());
         assert_eq!(plan.stages.len(), 2);
         assert!(plan.stages[0].has_shuffle_output());
         assert_eq!(plan.stages[0].shuffle_out, Some(Some(8)));
@@ -254,7 +259,7 @@ mod tests {
             .flat_map("flatMap", SizeModel::scan(), |r| vec![r])
             .group_by_key(None, 1e9)
             .map("map", SizeModel::scan(), |r| r);
-        let plan = build_plan(&rdd, Action::Collect, &HashSet::new());
+        let plan = build_plan(&rdd, Action::Collect, &DetSet::new());
         assert_eq!(plan.stages.len(), 2);
         assert_eq!(plan.stages[0].steps.len(), 2);
         assert_eq!(plan.stages[1].steps.len(), 1);
@@ -263,7 +268,7 @@ mod tests {
     #[test]
     fn unmaterialized_cache_records_a_cache_point() {
         let rdd = src().map("parse", SizeModel::scan(), |r| r).cache();
-        let plan = build_plan(&rdd, Action::Count, &HashSet::new());
+        let plan = build_plan(&rdd, Action::Count, &DetSet::new());
         assert_eq!(plan.stages.len(), 1);
         assert_eq!(plan.stages[0].cache_points.len(), 1);
         assert_eq!(plan.stages[0].cache_points[0].0, 1);
@@ -273,7 +278,7 @@ mod tests {
     fn materialized_cache_truncates_lineage() {
         let cached = src().map("parse", SizeModel::scan(), |r| r).cache();
         let rdd = cached.map("gradient", SizeModel::scan(), |r| r);
-        let mut mat = HashSet::new();
+        let mut mat = DetSet::new();
         mat.insert(cached.id());
         let plan = build_plan(&rdd, Action::Reduce(Arc::new(|a, _| a)), &mat);
         assert_eq!(plan.stages.len(), 1);
@@ -287,7 +292,7 @@ mod tests {
     fn truncation_records_recovery_spec() {
         let cached = src().map("parse", SizeModel::scan(), |r| r).cache();
         let rdd = cached.map("gradient", SizeModel::scan(), |r| r);
-        let mut mat = HashSet::new();
+        let mut mat = DetSet::new();
         mat.insert(cached.id());
         let plan = build_plan(&rdd, Action::Count, &mat);
         let spec = plan
@@ -300,7 +305,7 @@ mod tests {
         // A cache downstream of a shuffle is not per-partition recoverable.
         let cached2 = src().group_by_key(Some(4), 1e9).cache();
         let rdd2 = cached2.map("m", SizeModel::scan(), |r| r);
-        let mut mat2 = HashSet::new();
+        let mut mat2 = DetSet::new();
         mat2.insert(cached2.id());
         let plan2 = build_plan(&rdd2, Action::Count, &mat2);
         assert!(plan2.recovery.is_empty());
@@ -311,7 +316,7 @@ mod tests {
         let rdd = src()
             .flat_map("flatMap", SizeModel::scan(), |r| vec![r])
             .group_by_key(None, 1e9);
-        let plan = build_plan(&rdd, Action::Count, &HashSet::new());
+        let plan = build_plan(&rdd, Action::Count, &DetSet::new());
         let s = render_plan(&plan);
         assert!(s.contains("Stage 1"));
         assert!(s.contains("Stage 2"));
@@ -325,7 +330,7 @@ mod tests {
             .group_by_key(Some(4), 1e9)
             .map("m", SizeModel::scan(), |r| r)
             .group_by_key(Some(2), 1e9);
-        let plan = build_plan(&rdd, Action::Count, &HashSet::new());
+        let plan = build_plan(&rdd, Action::Count, &DetSet::new());
         assert_eq!(plan.stages.len(), 3);
         assert!(plan.stages[0].has_shuffle_output());
         assert!(plan.stages[1].has_shuffle_output());

@@ -179,6 +179,7 @@ impl Default for RecoveryConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)] // terse literal indexing is fine in tests
 mod tests {
     use super::*;
 

@@ -152,7 +152,9 @@ impl JobMetrics {
     pub fn tasks_per_node(&self, phase: Phase, workers: u32) -> Vec<u32> {
         let mut v = vec![0u32; workers as usize];
         for t in self.tasks_in(phase) {
-            v[t.node as usize] += 1;
+            if let Some(n) = v.get_mut(t.node as usize) {
+                *n += 1;
+            }
         }
         v
     }
@@ -161,7 +163,9 @@ impl JobMetrics {
     pub fn intermediate_per_node(&self, workers: u32) -> Vec<f64> {
         let mut v = vec![0.0; workers as usize];
         for t in self.tasks_in(Phase::Compute) {
-            v[t.node as usize] += t.output_bytes;
+            if let Some(n) = v.get_mut(t.node as usize) {
+                *n += t.output_bytes;
+            }
         }
         v
     }

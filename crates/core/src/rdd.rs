@@ -338,7 +338,10 @@ impl Dataset {
         assert!(partitions > 0);
         let mut parts: Vec<Vec<Record>> = (0..partitions).map(|_| Vec::new()).collect();
         for (i, r) in records.into_iter().enumerate() {
-            parts[i % partitions].push(r);
+            parts
+                .get_mut(i % partitions)
+                .expect("in range: modulo by partitions")
+                .push(r);
         }
         Dataset {
             partitions: parts
@@ -382,6 +385,7 @@ impl Action {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)] // terse literal indexing is fine in tests
 mod tests {
     use super::*;
 
@@ -457,6 +461,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::indexing_slicing)] // terse literal indexing is fine in tests
 mod sugar_tests {
     use super::*;
 

@@ -19,6 +19,14 @@
 //! fabric, per-node `LocalFs` mounts (RAMDisk and SSD), the Lustre model
 //! with its DLM, and the HDFS block map.
 
+// The engine state is a set of dense arenas (stages, tasks, flows, nodes)
+// whose indices are minted by this module and never escape it; `arr[id]` is
+// the idiom throughout and each out-of-range access would be an engine bug,
+// not a recoverable condition. Bounds-checked alternatives at ~190 sites
+// would bury the scheduling logic, so the crate-level `indexing_slicing`
+// warning is waived for this file only.
+#![allow(clippy::indexing_slicing)]
+
 use crate::blockmgr::BlockMgr;
 use crate::config::{EngineConfig, InputSource, SchedulerKind, ShuffleStore, StoreDevice};
 use crate::dag::{JobPlan, ShuffleInSpec, StageInput, StagePlan};
@@ -29,11 +37,12 @@ use crate::value::{record_bytes, Record, Value};
 use memres_cluster::{ClusterSpec, NodeId, SpeedModel, SpeedSampler};
 use memres_des::sim::{Gen, Model, Outbox};
 use memres_des::time::{SimDuration, SimTime};
+use memres_des::DetMap;
 use memres_hdfs::{BlockId, Hdfs, HdfsConfig, HdfsFile, Locality};
 use memres_lustre::{Lustre, LustreConfig, LustreFile};
 use memres_net::{inflate_for_requests, Endpoint, Fabric, FlowId, FlowNet, LinkId};
 use memres_storage::{CacheConfig, FileId, LocalFs, RamDisk, Ssd, SsdConfig};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// File-id name spaces on the per-node filesystems / Lustre.
@@ -157,7 +166,7 @@ struct ShuffleState {
     /// Fetch tasks whose MDS op finished while flushes were outstanding.
     waiting_for_flush: Vec<u32>,
     /// (src,dst,kind 0=store/cached,1=oss-path) → persistent fetch flow.
-    fetch_flows: HashMap<(u32, u32, u8), FlowId>,
+    fetch_flows: DetMap<(u32, u32, u8), FlowId>,
 }
 
 impl ShuffleState {
@@ -173,7 +182,7 @@ impl ShuffleState {
             flush_pending: 0,
             flush_done: false,
             waiting_for_flush: Vec::new(),
-            fetch_flows: HashMap::new(),
+            fetch_flows: DetMap::new(),
         }
     }
 }
@@ -292,8 +301,8 @@ pub struct SimWorld {
     cad_ref_avg: Option<f64>,
     cad_window: VecDeque<f64>,
     /// Dataset placements by source RDD id.
-    placed: HashMap<RddId, Vec<PlacedPart>>,
-    hdfs_files: HashMap<RddId, HdfsFile>,
+    placed: DetMap<RddId, Vec<PlacedPart>>,
+    hdfs_files: DetMap<RddId, HdfsFile>,
     pub blockmgr: BlockMgr,
     next_shuffle_file: u64,
     /// Real-partition chains launched this dispatch round, evaluated (maybe
@@ -337,7 +346,7 @@ fn parse_threads(var: Option<&str>) -> Option<usize> {
 
 impl SimWorld {
     pub fn new(spec: ClusterSpec, cfg: EngineConfig) -> Self {
-        spec.validate().expect("invalid cluster spec");
+        spec.validate().expect("invalid cluster spec"); // lint:allow(panic): construction-time config validation; fails fast before any simulation starts
         let mut net = FlowNet::new();
         let fabric = Fabric::build(&mut net, &spec);
         let workers = spec.workers as usize;
@@ -407,8 +416,8 @@ impl SimWorld {
             cad_wake_at: vec![SimTime::ZERO; workers],
             cad_ref_avg: None,
             cad_window: VecDeque::new(),
-            placed: HashMap::new(),
-            hdfs_files: HashMap::new(),
+            placed: DetMap::new(),
+            hdfs_files: DetMap::new(),
             blockmgr: BlockMgr::default(),
             next_shuffle_file: SHUFFLE_FILE_BASE,
             pending_chains: Vec::new(),
@@ -466,11 +475,11 @@ impl SimWorld {
     }
 
     fn job(&self) -> &JobRun {
-        self.job.as_ref().expect("no active job")
+        self.job.as_ref().expect("no active job") // lint:allow(panic): completions are stale-filtered (completion_is_stale) before dereferencing, so a live event implies an active job
     }
 
     fn job_mut(&mut self) -> &mut JobRun {
-        self.job.as_mut().expect("no active job")
+        self.job.as_mut().expect("no active job") // lint:allow(panic): completions are stale-filtered (completion_is_stale) before dereferencing, so a live event implies an active job
     }
 
     fn plan(&self) -> Arc<JobPlan> {
@@ -644,7 +653,7 @@ impl SimWorld {
                     }
                     locs.dedup();
                     let b = self.hdfs.place_block_at(
-                        hdfs_file.expect("hdfs file"),
+                        hdfs_file.expect("hdfs file"), // lint:allow(panic): the HdfsRamDisk arm above created this file before placing blocks
                         p.bytes,
                         locs.clone(),
                     );
@@ -688,7 +697,7 @@ impl SimWorld {
                 self.placed[rdd].len()
             }
             StageInput::Cached { rdd } => self.blockmgr.partition_count(*rdd),
-            StageInput::Shuffle(_) => self.job().shuffle_in.as_ref().unwrap().reducers as usize,
+            StageInput::Shuffle(_) => self.job().shuffle_in.as_ref().unwrap().reducers as usize, // lint:allow(panic): build_plan emits a Shuffle input only after a shuffle-out stage, which installed shuffle_in at the phase switch
         };
         assert!(nparts > 0, "stage with zero partitions");
 
@@ -709,7 +718,7 @@ impl SimWorld {
                 }
                 StageInput::Cached { rdd } => self.blockmgr.is_real(*rdd),
                 StageInput::Shuffle(_) => {
-                    self.job().shuffle_in.as_ref().unwrap().node_real.is_some()
+                    self.job().shuffle_in.as_ref().unwrap().node_real.is_some() // lint:allow(panic): build_plan emits a Shuffle input only after a shuffle-out stage, which installed shuffle_in at the phase switch
                 }
             };
             let workers = self.spec.workers as usize;
@@ -1305,6 +1314,7 @@ impl SimWorld {
         let stage_idx = self.tasks[task as usize].stage as usize;
         let stage = &plan.stages[stage_idx];
         let Some(spec) = plan.recovery.get(&rdd) else {
+            // lint:allow(panic): unrecoverable by design: a cache below a shuffle has no per-partition lineage; dying loudly beats silently wrong output
             panic!(
                 "cached partition {part} of {rdd:?} lost with no lineage recipe — \
                  a cache fed through a shuffle cannot be rebuilt in this model"
@@ -1411,6 +1421,7 @@ impl SimWorld {
                             break;
                         }
                         let r = eval(&jobs[i]);
+                        // lint:allow(panic): a poisoned slot means a UDF panicked on a worker thread; propagating is the only sound option
                         *slots[i].lock().expect("chain slot poisoned") = Some(r);
                     });
                 }
@@ -1419,8 +1430,8 @@ impl SimWorld {
                 .into_iter()
                 .map(|m| {
                     m.into_inner()
-                        .expect("chain slot poisoned")
-                        .expect("chain evaluated")
+                        .expect("chain slot poisoned") // lint:allow(panic): a poisoned slot means a UDF panicked on a worker thread; propagating is the only sound option
+                        .expect("chain evaluated") // lint:allow(panic): every chain launched this round was evaluated before the launch-order commit
                 })
                 .collect()
         };
@@ -1509,10 +1520,10 @@ impl SimWorld {
         let sh = self
             .job
             .as_mut()
-            .unwrap()
+            .unwrap() // lint:allow(panic): the storing phase runs strictly inside a job
             .shuffle_out
             .as_mut()
-            .expect("store without produced shuffle");
+            .expect("store without produced shuffle"); // lint:allow(panic): a storing task exists only for a stage that produced a shuffle
         *sh.local_files[node as usize].get_or_insert_with(|| {
             let f = FileId(*next);
             *next += 1;
@@ -1525,10 +1536,10 @@ impl SimWorld {
         let sh = self
             .job
             .as_mut()
-            .unwrap()
+            .unwrap() // lint:allow(panic): the storing phase runs strictly inside a job
             .shuffle_out
             .as_mut()
-            .expect("store without produced shuffle");
+            .expect("store without produced shuffle"); // lint:allow(panic): a storing task exists only for a stage that produced a shuffle
         *sh.lustre_files[node as usize].get_or_insert_with(|| {
             let f = LustreFile(*next);
             *next += 1;
@@ -1562,7 +1573,7 @@ impl SimWorld {
                 .job()
                 .shuffle_in
                 .as_ref()
-                .expect("fetch without shuffle");
+                .expect("fetch without shuffle"); // lint:allow(panic): fetch tasks are launched from a stage whose input is that shuffle
             let per: Vec<f64> = (0..workers as usize)
                 .map(|i| sh.node_bucket_bytes[i][reducer as usize])
                 .collect();
@@ -1605,7 +1616,7 @@ impl SimWorld {
                             self.net.push_chunk(now, f, wire, tag);
                         }
                         ShuffleStore::LustreLocal => {
-                            let frac = self.job().shuffle_in.as_ref().unwrap().cached_frac[i];
+                            let frac = self.job().shuffle_in.as_ref().unwrap().cached_frac[i]; // lint:allow(panic): fetch completions only arrive for stages whose input is that shuffle
                             let cached = wire * frac;
                             let oss = wire - cached;
                             if cached > 0.0 {
@@ -1646,7 +1657,7 @@ impl SimWorld {
             .job()
             .shuffle_in
             .as_ref()
-            .unwrap()
+            .unwrap() // lint:allow(panic): fetch_flow is reached only from fetch paths, which require shuffle_in
             .fetch_flows
             .get(&key)
         {
@@ -1694,7 +1705,7 @@ impl SimWorld {
         self.job_mut()
             .shuffle_in
             .as_mut()
-            .unwrap()
+            .unwrap() // lint:allow(panic): fetch_flow is reached only from fetch paths, which require shuffle_in
             .fetch_flows
             .insert(key, f);
         f
@@ -1796,7 +1807,7 @@ impl SimWorld {
         if self.tasks[task as usize].is_speculative {
             let orig = self.tasks[task as usize]
                 .twin
-                .expect("duplicate without twin");
+                .expect("duplicate without twin"); // lint:allow(panic): duplicate (speculative) tasks are always created with their twin recorded
             let job = self.job_mut();
             for slot in job.stage_tasks.iter_mut().chain(job.final_tasks.iter_mut()) {
                 if *slot == orig {
@@ -1873,7 +1884,7 @@ impl SimWorld {
             .job_mut()
             .shuffle_out
             .as_mut()
-            .expect("producer without shuffle");
+            .expect("producer without shuffle"); // lint:allow(panic): producer completions only arrive for stages with a produced shuffle
         let r = sh.reducers as usize;
         match (records, &mut sh.node_real) {
             (Some(recs), Some(real)) => {
@@ -1943,7 +1954,7 @@ impl SimWorld {
             }
             gathered
         };
-        let agg = self.job().shuffle_in.as_ref().unwrap().spec.agg.clone();
+        let agg = self.job().shuffle_in.as_ref().unwrap().spec.agg.clone(); // lint:allow(panic): fetch finish runs on a stage whose input is that shuffle
         let mut recs = apply_agg(&agg, gathered);
         for step in &plan.stages[stage_idx].steps {
             recs = step.apply(recs);
@@ -2047,11 +2058,12 @@ impl SimWorld {
                     .job()
                     .shuffle_out
                     .as_ref()
-                    .unwrap()
+                    .unwrap() // lint:allow(panic): the LustreLocal flush runs while the producing stage's shuffle_out exists
                     .lustre_files
                     .clone();
                 for (n, f) in files.iter().enumerate() {
                     let frac = f.map(|lf| self.lustre.cached_fraction(lf)).unwrap_or(0.0);
+                    // lint:allow(panic): the LustreLocal flush runs while the producing stage's shuffle_out exists
                     self.job_mut().shuffle_out.as_mut().unwrap().cached_frac[n] = frac;
                 }
             }
@@ -2062,7 +2074,7 @@ impl SimWorld {
                     .job()
                     .shuffle_out
                     .as_ref()
-                    .unwrap()
+                    .unwrap() // lint:allow(panic): the LustreLocal flush runs while the producing stage's shuffle_out exists
                     .lustre_files
                     .iter()
                     .enumerate()
@@ -2081,7 +2093,7 @@ impl SimWorld {
                         self.net.push_chunk(now, f, wire, NetTag::Flush);
                     }
                 }
-                let sh = self.job_mut().shuffle_out.as_mut().unwrap();
+                let sh = self.job_mut().shuffle_out.as_mut().unwrap(); // lint:allow(panic): the LustreLocal flush runs while the producing stage's shuffle_out exists
                 sh.flush_pending = pending;
                 sh.flush_done = pending == 0;
                 self.arm_net(out);
@@ -2337,10 +2349,10 @@ impl SimWorld {
         }
         let local_store = matches!(self.cfg.shuffle, ShuffleStore::Local(_));
         {
-            let job = self.job.as_mut().expect("active job");
-            // Rows of the shuffle being produced live in executor memory or
-            // the node-local store: re-host them. Rows already consumed from
-            // Lustre survive the crash on the OSSes.
+            let job = self.job.as_mut().expect("active job"); // lint:allow(panic): node crashes are handled only while a job is live; faults after completion are dropped
+                                                              // Rows of the shuffle being produced live in executor memory or
+                                                              // the node-local store: re-host them. Rows already consumed from
+                                                              // Lustre survive the crash on the OSSes.
             if let Some(sh) = job.shuffle_out.as_mut() {
                 Self::move_shuffle_rows(sh, node as usize, repl as usize);
             }
@@ -2425,7 +2437,7 @@ impl SimWorld {
     /// tasks when the store died with the node.
     fn spawn_crash_ghosts(&mut self, now: SimTime, node: u32, repl: u32, local_store: bool) {
         let (producing_stage, has_shuffle_out) = {
-            let job = self.job.as_ref().expect("active job");
+            let job = self.job.as_ref().expect("active job"); // lint:allow(panic): crash ghosts are spawned from the crash handler, which requires a live job
             let producing = match job.phase {
                 RunPhase::Stage(idx) => {
                     if job.plan.stages[idx].has_shuffle_output() {
@@ -2493,7 +2505,7 @@ impl SimWorld {
             });
             created.push(id);
         }
-        self.job.as_mut().expect("active job").remaining += created.len();
+        self.job.as_mut().expect("active job").remaining += created.len(); // lint:allow(panic): recovery tasks are created mid-job by the crash handler
         self.enqueue_pending(&created);
     }
 
@@ -2534,7 +2546,7 @@ impl SimWorld {
     }
 
     fn finish_job(&mut self, now: SimTime) {
-        let job = self.job.take().expect("no job to finish");
+        let job = self.job.take().expect("no job to finish"); // lint:allow(panic): finish_job fires exactly once, from the last completion of the final stage
         let mut count = 0u64;
         let mut records: Vec<Record> = Vec::new();
         let mut have_real = true;
@@ -2689,7 +2701,7 @@ fn apply_agg(agg: &ShuffleAgg, records: Vec<Record>) -> Vec<Record> {
                 let folded = vs
                     .into_iter()
                     .reduce(|a, b| f(a, b))
-                    .expect("nonempty group");
+                    .expect("nonempty group"); // lint:allow(panic): group_by_key materializes at least one row per emitted key by construction
                 (k, folded)
             })
             .collect(),
@@ -2781,7 +2793,7 @@ impl Model for SimWorld {
                             self.job_mut()
                                 .shuffle_in
                                 .as_mut()
-                                .unwrap()
+                                .unwrap() // lint:allow(panic): flush gating runs only during a fetch stage, which has shuffle_in
                                 .waiting_for_flush
                                 .push(task);
                         }

@@ -1,6 +1,8 @@
 //! End-to-end engine tests: real UDF execution, shuffle correctness across
 //! storage strategies, caching, scheduling policies, and determinism.
 
+#![allow(clippy::indexing_slicing)] // terse literal indexing is fine in tests
+
 use memres_cluster::tiny;
 use memres_core::prelude::*;
 use memres_core::world::JobOutput;

@@ -9,6 +9,8 @@
 //! shuffle rows at a replacement node, which preserves the multiset of
 //! records but may permute the order of values inside a group.
 
+#![allow(clippy::indexing_slicing)] // terse literal indexing is fine in tests
+
 use memres_cluster::tiny;
 use memres_core::export;
 use memres_core::prelude::*;

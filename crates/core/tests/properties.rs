@@ -4,6 +4,8 @@
 //! assert conservation and determinism properties that must hold for every
 //! configuration, not just the calibrated ones.
 
+#![allow(clippy::indexing_slicing)] // terse literal indexing is fine in tests
+
 use memres_cluster::tiny;
 use memres_core::prelude::*;
 use proptest::prelude::*;

@@ -10,13 +10,18 @@
 //!   insertion order, so runs are bit-for-bit reproducible.
 //! * Components that must retract scheduled events use the *stale-event*
 //!   idiom with [`Gen`] generation counters instead of calendar surgery.
+//! * Simulation-visible keyed state lives in [`DetMap`]/[`DetSet`] —
+//!   insertion-ordered containers whose iteration order is a pure function
+//!   of the operation sequence, never of hash salts (DESIGN.md §4.10 R1).
 
+pub mod det;
 pub mod ps;
 pub mod queue;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use det::{DetMap, DetSet};
 pub use ps::{JobKey, PsResource};
 pub use queue::EventQueue;
 pub use sim::{Gen, Model, Outbox, Simulation};

@@ -12,9 +12,9 @@
 //! answers returned here.
 
 use memres_cluster::{split_bytes, ClusterSpec, NodeId};
+use memres_des::DetMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u64);
@@ -59,8 +59,8 @@ struct BlockInfo {
 pub struct Hdfs {
     cfg: HdfsConfig,
     cluster: ClusterSpec,
-    blocks: HashMap<BlockId, BlockInfo>,
-    files: HashMap<HdfsFile, Vec<BlockId>>,
+    blocks: DetMap<BlockId, BlockInfo>,
+    files: DetMap<HdfsFile, Vec<BlockId>>,
     node_used: Vec<f64>,
     node_capacity: f64,
     next_block: u64,
@@ -74,8 +74,8 @@ impl Hdfs {
         Hdfs {
             cfg,
             cluster,
-            blocks: HashMap::new(),
-            files: HashMap::new(),
+            blocks: DetMap::new(),
+            files: DetMap::new(),
             node_used: vec![0.0; workers],
             node_capacity,
             next_block: 0,

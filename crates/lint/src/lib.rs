@@ -1,0 +1,982 @@
+//! # memres-lint — the workspace determinism linter
+//!
+//! The engine promises byte-identical results across executor thread counts
+//! and under seeded fault plans. That promise dies the moment someone
+//! iterates a salted hash map into an event order, reads the host clock
+//! inside the simulation, or lets a recovery path panic without a recorded
+//! reason. `memres-lint` turns those conventions into machine-checked rules
+//! (DESIGN.md §4.10):
+//!
+//! * **R1 `hash-order`** — no `HashMap`/`HashSet` in simulation-visible
+//!   crates (`core`, `des`, `net`, `storage`, `hdfs`, `lustre`, `cluster`,
+//!   `workloads`): hash order is salted per instance and leaks into event
+//!   order and float-accumulation order. Use `memres_des::{DetMap, DetSet}`.
+//! * **R2 `wall-clock`** — no wall-clock or host entropy (`Instant`,
+//!   `SystemTime`, `std::time`, `thread_rng`, …) outside the `bench`
+//!   measurement layer. Simulated time is `SimTime`; randomness is seeded.
+//! * **R3 `io`** — no filesystem or network access (`std::fs`, `std::net`)
+//!   outside the designated `bench` and `scripts` layers.
+//! * **R4 `panic`** — `unwrap()`/`expect()`/`panic!` in the recovery/fault
+//!   paths (`world.rs`, `faults.rs`, `dag.rs`) must justify why the
+//!   invariant holds via a `lint:allow` annotation.
+//!
+//! Escapes use the annotation grammar
+//! `// lint:allow(<rule>): <reason>` — trailing on the offending line or on
+//! the line directly above it. Every allow must name a known rule and carry
+//! a non-empty reason; a malformed or unused allow is itself a violation,
+//! so escapes cannot rot silently.
+//!
+//! The scanner is a hand-rolled Rust tokenizer (in the spirit of the
+//! vendored `rand`/`proptest` stubs: offline, zero dependencies). It skips
+//! comments, strings and char literals — so prose mentioning `HashMap`
+//! never fires — and skips `#[cfg(test)]` items, `tests/` and `benches/`
+//! trees entirely: test assertions may hash-index fixture data freely.
+
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------- rules
+
+/// Canonical rule names, used in diagnostics and `lint:allow(<rule>)`.
+pub const RULE_HASH: &str = "hash-order";
+pub const RULE_CLOCK: &str = "wall-clock";
+pub const RULE_IO: &str = "io";
+pub const RULE_PANIC: &str = "panic";
+
+pub const ALL_RULES: [&str; 4] = [RULE_HASH, RULE_CLOCK, RULE_IO, RULE_PANIC];
+
+/// Which rules apply to one file (decided from its workspace-relative path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    pub hash: bool,
+    pub clock: bool,
+    pub io: bool,
+    pub panic: bool,
+}
+
+impl RuleSet {
+    pub fn none() -> RuleSet {
+        RuleSet::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        *self == RuleSet::default()
+    }
+}
+
+/// Crates whose code is simulation-visible: anything here that iterates in
+/// hash order perturbs event order and float sums (rule R1).
+pub const SIM_CRATES: [&str; 8] = [
+    "core",
+    "des",
+    "net",
+    "storage",
+    "hdfs",
+    "lustre",
+    "cluster",
+    "workloads",
+];
+
+/// Recovery/fault paths where a bare panic turns an injected fault into a
+/// crashed process (rule R4).
+pub const PANIC_GUARDED_FILES: [&str; 3] = ["world.rs", "faults.rs", "dag.rs"];
+
+/// Decide which rules govern `rel` (a `/`-separated path relative to the
+/// workspace root). The layer map:
+///
+/// * `vendor/`, `crates/bench/`, `crates/lint/` — exempt (vendored stubs,
+///   the measurement layer that *must* read the host clock and write JSON,
+///   and this tool itself).
+/// * `tests/`, `benches/` anywhere — exempt (test code may index fixtures).
+/// * `crates/<sim>/src/` — R1 + R2 + R3; plus R4 for the recovery-path
+///   files in `memres-core`.
+/// * umbrella `src/` and `examples/` — R2 + R3 (not simulation-visible,
+///   but still deterministic-by-default).
+pub fn rules_for(rel: &str) -> RuleSet {
+    if !rel.ends_with(".rs") {
+        return RuleSet::none();
+    }
+    if rel.starts_with("vendor/")
+        || rel.starts_with("crates/bench/")
+        || rel.starts_with("crates/lint/")
+        || rel.starts_with("target/")
+    {
+        return RuleSet::none();
+    }
+    if rel.split('/').any(|seg| seg == "tests" || seg == "benches") {
+        return RuleSet::none();
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (krate, tail) = match rest.split_once('/') {
+            Some(x) => x,
+            None => return RuleSet::none(),
+        };
+        if !tail.starts_with("src/") {
+            return RuleSet::none();
+        }
+        if SIM_CRATES.contains(&krate) {
+            let file = rel.rsplit('/').next().unwrap_or("");
+            return RuleSet {
+                hash: true,
+                clock: true,
+                io: true,
+                panic: krate == "core" && PANIC_GUARDED_FILES.contains(&file),
+            };
+        }
+        return RuleSet::none();
+    }
+    if rel.starts_with("src/") || rel.starts_with("examples/") {
+        return RuleSet {
+            hash: false,
+            clock: true,
+            io: true,
+            panic: false,
+        };
+    }
+    RuleSet::none()
+}
+
+// ---------------------------------------------------------- diagnostics
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    /// Rule name (one of [`ALL_RULES`]) or the meta-rules `bad-allow` /
+    /// `unused-allow`.
+    pub rule: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render diagnostics as a JSON array (stable field order, one object per
+/// finding) for editor and CI integration.
+pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            json_escape(&d.rule),
+            json_escape(&d.message)
+        );
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+// ------------------------------------------------------------ tokenizer
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TokKind {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Clone, Debug)]
+struct Tok {
+    kind: TokKind,
+    line: u32,
+    col: u32,
+}
+
+/// A parsed `lint:allow` annotation.
+#[derive(Clone, Debug)]
+struct Allow {
+    line: u32,
+    rule: String,
+    /// Set when some violation on `line` or `line + 1` consumed it.
+    used: bool,
+}
+
+struct Lexed {
+    tokens: Vec<Tok>,
+    allows: Vec<Allow>,
+    /// Lines holding a comment that contains `lint:allow` but does not parse
+    /// under the grammar (reported as `bad-allow`).
+    bad_allows: Vec<(u32, String)>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parse the comment body of one line for the allow grammar
+/// `lint:allow(<rule>): <reason>`. Returns `Ok(None)` when the marker is
+/// absent, `Err(why)` when present but malformed.
+fn parse_allow(comment: &str) -> Result<Option<(String, String)>, String> {
+    let Some(pos) = comment.find("lint:allow") else {
+        return Ok(None);
+    };
+    let rest = &comment[pos + "lint:allow".len()..];
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `lint:allow(<rule>): <reason>`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed rule name in lint:allow".to_string());
+    };
+    let rule = rest[..close].trim().to_string();
+    if !ALL_RULES.contains(&rule.as_str()) {
+        return Err(format!(
+            "unknown rule `{rule}` in lint:allow (known: {})",
+            ALL_RULES.join(", ")
+        ));
+    }
+    let after = &rest[close + 1..];
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err("lint:allow must carry a reason: `lint:allow(<rule>): <reason>`".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("empty reason in lint:allow".to_string());
+    }
+    Ok(Some((rule, reason.to_string())))
+}
+
+/// Tokenize `src`: identifiers and punctuation with positions, comments and
+/// string/char literals skipped, `lint:allow` annotations collected.
+fn lex(src: &str) -> Lexed {
+    let mut tokens = Vec::new();
+    let mut allows = Vec::new();
+    let mut bad_allows = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Line comment (plain, doc, inner-doc) — scan for the allow marker.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            let at_line = line;
+            while i < n && chars[i] != '\n' {
+                bump!();
+            }
+            let body: String = chars[start..i].iter().collect();
+            match parse_allow(&body) {
+                Ok(Some((rule, _reason))) => allows.push(Allow {
+                    line: at_line,
+                    rule,
+                    used: false,
+                }),
+                Ok(None) => {}
+                Err(why) => bad_allows.push((at_line, why)),
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            bump!();
+            bump!();
+            let mut depth = 1u32;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (raw_at, is_raw) = if c == 'r' {
+                (i + 1, true)
+            } else if chars[i + 1] == 'r' {
+                (i + 2, i + 2 < n)
+            } else {
+                (0, false)
+            };
+            if is_raw {
+                let mut j = raw_at;
+                let mut hashes = 0usize;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    // Consume up to and including the opening quote.
+                    while i <= j {
+                        bump!();
+                    }
+                    // Scan for `"` followed by `hashes` hashes.
+                    'raw: while i < n {
+                        if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                for _ in 0..=hashes {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        bump!();
+                    }
+                    continue;
+                }
+            }
+        }
+        // Regular string (or byte string — the `b` lexes as an ident first,
+        // which is harmless for our rules).
+        if c == '"' {
+            bump!();
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    bump!();
+                    bump!();
+                } else if chars[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: `'x'` / `'\n'` are literals, `'a` is a
+        // lifetime (no closing quote).
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                bump!();
+                bump!();
+                bump!();
+                while i < n && chars[i] != '\'' {
+                    bump!();
+                }
+                if i < n {
+                    bump!();
+                }
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                bump!();
+                bump!();
+                bump!();
+                continue;
+            }
+            // Lifetime: skip the quote, the ident lexes next.
+            bump!();
+            continue;
+        }
+        if is_ident_start(c) {
+            let (l, co) = (line, col);
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                bump!();
+            }
+            tokens.push(Tok {
+                kind: TokKind::Ident(chars[start..i].iter().collect()),
+                line: l,
+                col: co,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // Numbers (with suffixes/underscores) carry no rule signal.
+            while i < n && (is_ident_continue(chars[i]) || chars[i] == '.') {
+                // Stop before a method call on a literal: `1.0.sqrt()` is
+                // rare; `..` ranges must not be swallowed.
+                if chars[i] == '.' && i + 1 < n && chars[i + 1] == '.' {
+                    break;
+                }
+                bump!();
+            }
+            continue;
+        }
+        if !c.is_whitespace() {
+            tokens.push(Tok {
+                kind: TokKind::Punct(c),
+                line,
+                col,
+            });
+        }
+        bump!();
+    }
+
+    Lexed {
+        tokens,
+        allows,
+        bad_allows,
+    }
+}
+
+// ------------------------------------------------------ test-region mask
+
+fn ident_is(t: &Tok, s: &str) -> bool {
+    matches!(&t.kind, TokKind::Ident(id) if id == s)
+}
+
+fn punct_is(t: &Tok, c: char) -> bool {
+    matches!(&t.kind, TokKind::Punct(p) if *p == c)
+}
+
+/// Mark every token covered by a `#[cfg(test)]` item (the attribute, any
+/// stacked attributes after it, and the item body through its matching
+/// close brace or terminating semicolon).
+fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = i + 6 < tokens.len()
+            && punct_is(&tokens[i], '#')
+            && punct_is(&tokens[i + 1], '[')
+            && ident_is(&tokens[i + 2], "cfg")
+            && punct_is(&tokens[i + 3], '(')
+            && ident_is(&tokens[i + 4], "test")
+            && punct_is(&tokens[i + 5], ')')
+            && punct_is(&tokens[i + 6], ']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        i += 7;
+        // Skip any further attributes on the same item.
+        while i + 1 < tokens.len() && punct_is(&tokens[i], '#') && punct_is(&tokens[i + 1], '[') {
+            let mut depth = 0i32;
+            i += 1;
+            while i < tokens.len() {
+                if punct_is(&tokens[i], '[') {
+                    depth += 1;
+                } else if punct_is(&tokens[i], ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        // Consume the item: to the matching `}` of its first brace block, or
+        // to a `;` if none opens first.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if punct_is(&tokens[i], '{') {
+                depth += 1;
+            } else if punct_is(&tokens[i], '}') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            } else if punct_is(&tokens[i], ';') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        for m in mask.iter_mut().take(i).skip(start) {
+            *m = true;
+        }
+    }
+    mask
+}
+
+// --------------------------------------------------------------- scanner
+
+/// Wall-clock / host-entropy identifiers (rule R2).
+const CLOCK_IDENTS: [&str; 6] = [
+    "Instant",
+    "SystemTime",
+    "UNIX_EPOCH",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+];
+
+/// Network-type identifiers (rule R3; `std::fs` / `std::net` paths are
+/// matched structurally).
+const NET_IDENTS: [&str; 3] = ["TcpStream", "TcpListener", "UdpSocket"];
+
+/// Scan one file's source under `rules`. `file` is the diagnostic label
+/// (workspace-relative path).
+pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
+    let Lexed {
+        tokens: toks,
+        mut allows,
+        bad_allows,
+    } = lex(src);
+    let mask = test_mask(&toks);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    for (line, why) in &bad_allows {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line: *line,
+            col: 1,
+            rule: "bad-allow".to_string(),
+            message: why.clone(),
+        });
+    }
+
+    let fire = |allows: &mut [Allow], rule: &str, tok: &Tok, message: String| {
+        // Consume a matching allow: trailing on the same line, or standalone
+        // on the line directly above.
+        // Same-line allows win over line-above allows, so consecutive
+        // annotated lines each consume their own escape.
+        for probe in [0u32, 1] {
+            if let Some(a) = allows
+                .iter_mut()
+                .find(|a| a.rule == rule && a.line + probe == tok.line)
+            {
+                a.used = true;
+                return None;
+            }
+        }
+        Some(Diagnostic {
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule: rule.to_string(),
+            message,
+        })
+    };
+
+    for i in 0..toks.len() {
+        if mask[i] {
+            continue;
+        }
+        let tok = &toks[i];
+        let TokKind::Ident(id) = &tok.kind else {
+            // R4: `panic!` (ident handled below); bare punct carries nothing.
+            continue;
+        };
+        if rules.hash && (id == "HashMap" || id == "HashSet") {
+            let d = fire(
+                &mut allows,
+                RULE_HASH,
+                tok,
+                format!(
+                    "`{id}` in simulation-visible code: hash order is salted per instance \
+                     and leaks into event order; use memres_des::{}",
+                    if id == "HashMap" { "DetMap" } else { "DetSet" }
+                ),
+            );
+            diags.extend(d);
+        }
+        if rules.clock {
+            if CLOCK_IDENTS.contains(&id.as_str()) {
+                let d = fire(
+                    &mut allows,
+                    RULE_CLOCK,
+                    tok,
+                    format!(
+                        "`{id}` reads the host clock/entropy inside deterministic code; \
+                         use SimTime / seeded rngs (measurement belongs in crates/bench)"
+                    ),
+                );
+                diags.extend(d);
+            }
+            // `std :: time` path.
+            if id == "std"
+                && i + 3 < toks.len()
+                && punct_is(&toks[i + 1], ':')
+                && punct_is(&toks[i + 2], ':')
+                && ident_is(&toks[i + 3], "time")
+            {
+                let d = fire(
+                    &mut allows,
+                    RULE_CLOCK,
+                    tok,
+                    "`std::time` in deterministic code; simulated time is memres_des::SimTime"
+                        .to_string(),
+                );
+                diags.extend(d);
+            }
+        }
+        if rules.io {
+            if NET_IDENTS.contains(&id.as_str()) {
+                let d = fire(
+                    &mut allows,
+                    RULE_IO,
+                    tok,
+                    format!("`{id}`: network access outside the bench/scripts layers"),
+                );
+                diags.extend(d);
+            }
+            if id == "std"
+                && i + 3 < toks.len()
+                && punct_is(&toks[i + 1], ':')
+                && punct_is(&toks[i + 2], ':')
+                && (ident_is(&toks[i + 3], "fs") || ident_is(&toks[i + 3], "net"))
+            {
+                let what = match &toks[i + 3].kind {
+                    TokKind::Ident(w) => w.clone(),
+                    TokKind::Punct(_) => unreachable!("guarded by ident_is"),
+                };
+                let d = fire(
+                    &mut allows,
+                    RULE_IO,
+                    tok,
+                    format!(
+                        "`std::{what}` outside the bench/scripts layers: simulation code \
+                         must not touch the host filesystem or network"
+                    ),
+                );
+                diags.extend(d);
+            }
+        }
+        if rules.panic {
+            // `. unwrap (` / `. expect (`
+            if (id == "unwrap" || id == "expect")
+                && i > 0
+                && punct_is(&toks[i - 1], '.')
+                && i + 1 < toks.len()
+                && punct_is(&toks[i + 1], '(')
+            {
+                let d = fire(
+                    &mut allows,
+                    RULE_PANIC,
+                    tok,
+                    format!(
+                        "`.{id}()` on a recovery/fault path: justify the invariant with \
+                         `// lint:allow(panic): <reason>` or handle the None/Err case"
+                    ),
+                );
+                diags.extend(d);
+            }
+            // `panic !`
+            if id == "panic" && i + 1 < toks.len() && punct_is(&toks[i + 1], '!') {
+                let d = fire(
+                    &mut allows,
+                    RULE_PANIC,
+                    tok,
+                    "`panic!` on a recovery/fault path: justify the invariant with \
+                     `// lint:allow(panic): <reason>`"
+                        .to_string(),
+                );
+                diags.extend(d);
+            }
+        }
+    }
+
+    // Hygiene: an allow that matched nothing is stale and must go. Allows
+    // inside test regions are exempt (the rules themselves skip test code).
+    let masked_lines: Vec<(u32, u32)> = {
+        let mut spans = Vec::new();
+        let mut j = 0usize;
+        while j < toks.len() {
+            if mask[j] {
+                let start = toks[j].line;
+                while j < toks.len() && mask[j] {
+                    j += 1;
+                }
+                let end = if j > 0 { toks[j - 1].line } else { start };
+                spans.push((start, end));
+            } else {
+                j += 1;
+            }
+        }
+        spans
+    };
+    for a in &allows {
+        let in_test = masked_lines
+            .iter()
+            .any(|&(s, e)| a.line >= s && a.line <= e);
+        if !a.used && !in_test {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: a.line,
+                col: 1,
+                rule: "unused-allow".to_string(),
+                message: format!(
+                    "lint:allow({}) matches no violation on this or the next line; remove it",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_rules() -> RuleSet {
+        RuleSet {
+            hash: true,
+            clock: true,
+            io: true,
+            panic: false,
+        }
+    }
+
+    fn panic_rules() -> RuleSet {
+        RuleSet {
+            hash: true,
+            clock: true,
+            io: true,
+            panic: true,
+        }
+    }
+
+    // ------------------------------------------------ known-bad fixtures
+
+    #[test]
+    fn bad_hashmap_use_fires() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let d = scan_source("x.rs", src, sim_rules());
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == RULE_HASH));
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn bad_hashset_fires() {
+        let src = "fn f(s: &std::collections::HashSet<u8>) {}\n";
+        let d = scan_source("x.rs", src, sim_rules());
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("DetSet"));
+    }
+
+    #[test]
+    fn bad_instant_and_std_time_fire() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let d = scan_source("x.rs", src, sim_rules());
+        assert!(d.iter().any(|d| d.rule == RULE_CLOCK));
+        let names: Vec<&str> = d.iter().map(|d| d.rule.as_str()).collect();
+        assert!(names.contains(&RULE_CLOCK), "{names:?}");
+    }
+
+    #[test]
+    fn bad_entropy_fires() {
+        for src in [
+            "fn f() { let r = rand::rngs::SmallRng::from_entropy(); }\n",
+            "fn f() { let r = rand::thread_rng(); }\n",
+            "fn f() { let t = SystemTime::now(); }\n",
+        ] {
+            let d = scan_source("x.rs", src, sim_rules());
+            assert_eq!(d.len(), 1, "{src}");
+            assert_eq!(d[0].rule, RULE_CLOCK);
+        }
+    }
+
+    #[test]
+    fn bad_fs_and_net_fire() {
+        let src = "fn f() { std::fs::write(\"/tmp/x\", b\"y\").unwrap(); }\n";
+        let d = scan_source("x.rs", src, sim_rules());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_IO);
+        let src = "use std::net::TcpStream;\n";
+        let d = scan_source("x.rs", src, sim_rules());
+        assert_eq!(d.len(), 2, "path + type ident: {d:?}");
+        assert!(d.iter().all(|d| d.rule == RULE_IO));
+    }
+
+    #[test]
+    fn bad_panic_paths_fire() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+        let d = scan_source("world.rs", src, panic_rules());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_PANIC);
+        let src = "fn f(x: Option<u8>) { x.expect(\"set\"); }\n";
+        assert_eq!(scan_source("w.rs", src, panic_rules()).len(), 1);
+        let src = "fn f() { panic!(\"boom\"); }\n";
+        assert_eq!(scan_source("w.rs", src, panic_rules()).len(), 1);
+    }
+
+    #[test]
+    fn bad_allow_without_reason_fires() {
+        let src = "fn f() {} // lint:allow(panic):   \n";
+        let d = scan_source("x.rs", src, sim_rules());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "bad-allow");
+        assert!(d[0].message.contains("empty reason"));
+    }
+
+    #[test]
+    fn bad_allow_unknown_rule_fires() {
+        let src = "fn f() {} // lint:allow(everything): because\n";
+        let d = scan_source("x.rs", src, sim_rules());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "bad-allow");
+        assert!(d[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_allow_fires() {
+        let src = "// lint:allow(hash-order): stale escape\nfn f() {}\n";
+        let d = scan_source("x.rs", src, sim_rules());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unused-allow");
+    }
+
+    // ----------------------------------------------- known-good fixtures
+
+    #[test]
+    fn good_detmap_is_clean() {
+        let src = "use memres_des::{DetMap, DetSet};\nfn f() { let m: DetMap<u32, u32> = DetMap::new(); }\n";
+        assert!(scan_source("x.rs", src, sim_rules()).is_empty());
+    }
+
+    #[test]
+    fn good_comments_and_strings_never_fire() {
+        let src = "// A HashMap would break determinism; Instant::now too.\n\
+                   /* std::fs::write(\"x\") in a block comment */\n\
+                   fn f() -> &'static str { \"HashMap Instant std::time panic!\" }\n\
+                   fn g() { let s = r#\"HashSet SystemTime\"#; let _ = s; }\n";
+        let d = scan_source("x.rs", src, panic_rules());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn good_allowed_line_is_clean_and_allow_is_consumed() {
+        let src = "use std::collections::HashMap; // lint:allow(hash-order): index probed by key, never iterated\n";
+        assert!(scan_source("x.rs", src, sim_rules()).is_empty());
+        let src = "// lint:allow(panic): completions are pre-filtered, job must exist\n\
+                   fn f(x: Option<u8>) { x.unwrap(); }\n";
+        assert!(scan_source("w.rs", src, panic_rules()).is_empty());
+    }
+
+    #[test]
+    fn good_stacked_allows_each_consume_their_own() {
+        // Two violating lines in a row, each with its own trailing allow:
+        // neither may steal the other's escape (same-line wins).
+        let src = "fn f(a: Option<u8>, b: Option<u8>) {\n\
+                   \x20   a.unwrap(); // lint:allow(panic): a is checked by the caller\n\
+                   \x20   b.unwrap(); // lint:allow(panic): b is checked by the caller\n\
+                   }\n";
+        let d = scan_source("w.rs", src, panic_rules());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn good_cfg_test_region_is_skipped() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashMap;\n\
+                       #[test]\n\
+                       fn t() { let m: HashMap<u8, u8> = HashMap::new(); m.iter(); panic!(); }\n\
+                   }\n";
+        let d = scan_source("x.rs", src, panic_rules());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn good_cfg_test_single_item_is_skipped_but_rest_scans() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\n\
+                   fn f(s: &std::collections::HashSet<u8>) {}\n";
+        let d = scan_source("x.rs", src, sim_rules());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn good_lifetimes_and_char_literals_lex() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\nfn g() -> char { '\\n' }\n";
+        assert!(scan_source("x.rs", src, panic_rules()).is_empty());
+    }
+
+    #[test]
+    fn good_unwrap_or_variants_do_not_fire() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        let d = scan_source("w.rs", src, panic_rules());
+        assert!(d.is_empty(), "unwrap_or is not unwrap: {d:?}");
+    }
+
+    // --------------------------------------------------- layer map tests
+
+    #[test]
+    fn rules_scope_by_layer() {
+        let r = rules_for("crates/core/src/world.rs");
+        assert!(r.hash && r.clock && r.io && r.panic);
+        let r = rules_for("crates/core/src/metrics.rs");
+        assert!(r.hash && !r.panic);
+        let r = rules_for("crates/des/src/det.rs");
+        assert!(r.hash && !r.panic);
+        assert!(rules_for("crates/bench/src/perf.rs").is_empty());
+        assert!(rules_for("crates/lint/src/lib.rs").is_empty());
+        assert!(rules_for("vendor/rand/src/lib.rs").is_empty());
+        assert!(rules_for("crates/core/tests/engine.rs").is_empty());
+        assert!(rules_for("tests/correctness.rs").is_empty());
+        let r = rules_for("examples/quickstart.rs");
+        assert!(!r.hash && r.clock && r.io);
+        let r = rules_for("src/lib.rs");
+        assert!(!r.hash && r.clock && r.io);
+        assert!(rules_for("README.md").is_empty());
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let d = vec![Diagnostic {
+            file: "a.rs".to_string(),
+            line: 3,
+            col: 7,
+            rule: RULE_HASH.to_string(),
+            message: "say \"no\"".to_string(),
+        }];
+        let j = diagnostics_json(&d);
+        assert!(j.contains("\"file\": \"a.rs\""));
+        assert!(j.contains("\"line\": 3"));
+        assert!(j.contains("\\\"no\\\""));
+        assert_eq!(diagnostics_json(&[]), "[]\n");
+    }
+}

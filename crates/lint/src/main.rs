@@ -1,0 +1,152 @@
+//! `memres-lint` — scan the workspace for determinism-rule violations.
+//!
+//! Usage:
+//!   memres-lint [--json] [--root DIR] [FILE...]
+//!
+//! With no `FILE` operands the whole workspace is scanned (every `.rs` file
+//! under `crates/`, `src/`, and `examples/`; the layer map in
+//! `memres_lint::rules_for` decides which rules govern which file). With
+//! operands, only those files are scanned — still classified by their
+//! workspace-relative path, so `memres-lint crates/core/src/world.rs` checks
+//! the same rules the full run would.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use memres_lint::{diagnostics_json, rules_for, scan_source, Diagnostic};
+use std::path::{Path, PathBuf};
+
+fn usage() -> &'static str {
+    "usage: memres-lint [--json] [--root DIR] [FILE...]"
+}
+
+/// Find the workspace root: `--root` wins, else walk up from the current
+/// directory to the first `Cargo.toml` declaring `[workspace]`.
+fn find_root(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(r) = explicit {
+        if !r.join("Cargo.toml").is_file() {
+            return Err(format!("--root {}: no Cargo.toml there", r.display()));
+        }
+        return Ok(r);
+    }
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory".to_string());
+        }
+    }
+}
+
+/// Every `.rs` file under the scanned trees, workspace-relative with `/`
+/// separators, sorted for stable output.
+fn workspace_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "examples"] {
+        walk(&root.join(top), root, &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, root, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => root_arg = Some(PathBuf::from(d)),
+                    None => {
+                        eprintln!("error: --root takes a directory\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag '{flag}'\n{}", usage());
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+
+    let root = match find_root(root_arg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if files.is_empty() {
+        files = workspace_files(&root);
+    }
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut scanned = 0usize;
+    for rel in &files {
+        let rules = rules_for(rel);
+        if rules.is_empty() {
+            continue;
+        }
+        let src = match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {rel}: {e}");
+                std::process::exit(2);
+            }
+        };
+        scanned += 1;
+        diags.extend(scan_source(rel, &src, rules));
+    }
+
+    if json {
+        print!("{}", diagnostics_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+    }
+    eprintln!(
+        "memres-lint: {scanned} files scanned, {} violation{}",
+        diags.len(),
+        if diags.len() == 1 { "" } else { "s" }
+    );
+    std::process::exit(if diags.is_empty() { 0 } else { 1 });
+}

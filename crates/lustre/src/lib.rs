@@ -20,10 +20,10 @@
 //! metadata operations to issue.
 
 use memres_cluster::NodeId;
+use memres_des::det::DetMap;
 use memres_des::ps::PsResource;
 use memres_des::sim::Gen;
 use memres_des::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// A file stored in Lustre.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -143,9 +143,9 @@ pub struct ReadPlan {
 pub struct Lustre {
     cfg: LustreConfig,
     mds: PsResource<u64>,
-    files: HashMap<LustreFile, LFile>,
+    files: DetMap<LustreFile, LFile>,
     /// Dirty + clean cached bytes per client (for the grant limit).
-    client_cache_used: HashMap<NodeId, f64>,
+    client_cache_used: DetMap<NodeId, f64>,
     gen: Gen,
 }
 
@@ -155,8 +155,8 @@ impl Lustre {
         Lustre {
             cfg,
             mds,
-            files: HashMap::new(),
-            client_cache_used: HashMap::new(),
+            files: DetMap::new(),
+            client_cache_used: DetMap::new(),
             gen: Gen::default(),
         }
     }

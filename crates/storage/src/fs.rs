@@ -18,7 +18,8 @@ use crate::device::{Device, IoDone, Op};
 use memres_des::ps::PsResource;
 use memres_des::sim::Gen;
 use memres_des::time::SimTime;
-use std::collections::{HashMap, VecDeque};
+use memres_des::DetMap;
+use std::collections::VecDeque;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u64);
@@ -59,7 +60,7 @@ struct CachedFile {
 
 struct PageCache {
     cfg: CacheConfig,
-    files: HashMap<FileId, CachedFile>,
+    files: DetMap<FileId, CachedFile>,
     lru: VecDeque<FileId>,
     resident_total: f64,
     dirty_total: f64,
@@ -73,7 +74,7 @@ impl PageCache {
     fn new(cfg: CacheConfig) -> Self {
         PageCache {
             cfg,
-            files: HashMap::new(),
+            files: DetMap::new(),
             lru: VecDeque::new(),
             resident_total: 0.0,
             dirty_total: 0.0,
@@ -158,12 +159,12 @@ pub struct LocalFs {
     mem: PsResource<(u64, Op)>,
     capacity: f64,
     used: f64,
-    files: HashMap<FileId, f64>,
+    files: DetMap<FileId, f64>,
     /// Device-tag -> suboperation bookkeeping.
-    subs: HashMap<u64, SubOp>,
+    subs: DetMap<u64, SubOp>,
     next_sub: u64,
     /// user read tag -> outstanding part count.
-    read_join: HashMap<u64, u8>,
+    read_join: DetMap<u64, u8>,
     done: Vec<FsDone>,
     gen: Gen,
 }
@@ -177,10 +178,10 @@ impl LocalFs {
             mem: PsResource::new(mem_bw),
             capacity,
             used: 0.0,
-            files: HashMap::new(),
-            subs: HashMap::new(),
+            files: DetMap::new(),
+            subs: DetMap::new(),
             next_sub: 0,
-            read_join: HashMap::new(),
+            read_join: DetMap::new(),
             done: Vec::new(),
             gen: Gen::default(),
         }

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
+echo "== memres-lint (determinism rules, DESIGN.md 4.10) =="
+cargo run -q -p memres-lint
+
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
