@@ -4,7 +4,8 @@
 //!   repro [--smoke] [--scale X] [--json DIR] `<target>`...
 //!   targets: table1 plans fig5a fig5b fig7a fig7b fig8a fig8b fig8c fig8d
 //!            fig9a fig9b fig10 fig12a fig12b fig13a fig13b fig14 ablations
-//!            baselines faults faults-abort bench all
+//!            baselines faults faults-abort bench trace `<cell>`
+//!            explain `<cell>` all
 //!
 //! Exit codes: 0 on success, 1 when any simulated job aborted (the tables
 //! printed are then not a faithful reproduction), 2 on usage errors.
@@ -15,9 +16,15 @@
 //! Fig 7a/8a cells and, with `--json DIR`, writes `DIR/bench.json` — the
 //! machine-readable before/after record used by performance PRs. It runs
 //! at paper scale (100 nodes) by default; pass `--smoke` for a quick CI run.
+//!
+//! `trace <cell>` re-runs one bench cell with full event tracing and, with
+//! `--json DIR`, writes `DIR/<cell>.trace.json` (Chrome trace-event form,
+//! loadable in Perfetto) plus `DIR/<cell>.events.jsonl` (compact log).
+//! `explain <cell>` prints the critical-path attribution table and the
+//! top straggler attempts instead (see DESIGN.md §4.11).
 
 use memres_bench::experiments as ex;
-use memres_bench::{perf, Table};
+use memres_bench::{perf, trace, Table};
 use std::io::Write;
 
 /// Every runnable target, in `all` order (`bench` is opt-in, not in `all`).
@@ -57,8 +64,10 @@ fn valid_target(t: &str) -> bool {
 fn usage() -> String {
     format!(
         "usage: repro [--smoke] [--scale X] [--seed N] [--json DIR] <target>...\n\
-         targets: {} fig14a fig14b faults-abort bench all",
-        ALL_TARGETS.join(" ")
+         targets: {} fig14a fig14b faults-abort bench all\n\
+         \u{20}        trace <cell> | explain <cell>, cell one of: {}",
+        ALL_TARGETS.join(" "),
+        perf::CELL_NAMES.join(" ")
     )
 }
 
@@ -78,9 +87,22 @@ fn main() {
     let mut setup = ex::Setup::paper();
     let mut json_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
+    // `(subcommand, cell)` pairs for `trace <cell>` / `explain <cell>`.
+    let mut cell_cmds: Vec<(String, String)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            cmd @ ("trace" | "explain") => {
+                let cmd = cmd.to_string();
+                i += 1;
+                let cell = operand(&args, i, &cmd, "a cell name").to_string();
+                if !perf::CELL_NAMES.contains(&cell.as_str()) {
+                    eprintln!("error: unknown cell '{cell}'");
+                    eprintln!("{}", usage());
+                    std::process::exit(2);
+                }
+                cell_cmds.push((cmd, cell));
+            }
             "--smoke" => setup = ex::Setup::smoke(),
             "--scale" => {
                 i += 1;
@@ -102,7 +124,7 @@ fn main() {
         }
         i += 1;
     }
-    if targets.is_empty() {
+    if targets.is_empty() && cell_cmds.is_empty() {
         eprintln!("{}", usage());
         std::process::exit(2);
     }
@@ -187,6 +209,26 @@ fn main() {
             other => unreachable!("target '{other}' passed validation but has no handler"),
         }
         eprintln!("[{target} took {:.1}s]", start.elapsed().as_secs_f64());
+    }
+
+    for (cmd, cell) in &cell_cmds {
+        let start = std::time::Instant::now();
+        let run = trace::run_cell(setup, cell).expect("cell validated above");
+        println!("{}", trace::report(&run, 5));
+        if cmd == "trace" {
+            if let Some(dir) = &json_dir {
+                std::fs::create_dir_all(dir).expect("create json dir");
+                let tj = format!("{dir}/{cell}.trace.json");
+                std::fs::write(&tj, run.chrome_json()).expect("write trace json");
+                eprintln!("wrote {tj}");
+                let jl = format!("{dir}/{cell}.events.jsonl");
+                std::fs::write(&jl, run.events_jsonl()).expect("write events jsonl");
+                eprintln!("wrote {jl}");
+            } else {
+                eprintln!("hint: pass --json DIR to write {cell}.trace.json (Perfetto) and {cell}.events.jsonl");
+            }
+        }
+        eprintln!("[{cmd} {cell} took {:.1}s]", start.elapsed().as_secs_f64());
     }
     if job_aborted {
         eprintln!("error: a job aborted after exhausting task retries; results above are not a reproduction");

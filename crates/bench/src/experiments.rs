@@ -665,14 +665,17 @@ fn fig12(setup: Setup, data: bool) -> Table {
             }
         };
         let m = run(spec, cfg, &gb.build(), gb.action());
+        // Drop the trailing overflow bucket: the CDF is over real nodes.
         let values: Vec<f64> = if data {
             m.intermediate_per_node(workers)
                 .iter()
+                .take(workers as usize)
                 .map(|b| b / GB)
                 .collect()
         } else {
             m.tasks_per_node(Phase::Compute, workers)
                 .iter()
+                .take(workers as usize)
                 .map(|&c| c as f64)
                 .collect()
         };

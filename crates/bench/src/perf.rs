@@ -15,86 +15,120 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// One timed run: host wall-clock seconds plus the simulated job time (the
-/// latter is a determinism check — optimizations must not change it).
+/// latter is a determinism check — optimizations must not change it), plus
+/// engine self-profiling counters (events processed, rough peak heap).
 #[derive(Clone, Debug)]
 pub struct PerfRecord {
     pub name: &'static str,
     pub wall_s: f64,
     pub sim_s: f64,
+    /// Simulation events processed end to end.
+    pub events: u64,
+    /// Rough peak-heap estimate (arena capacities; see `heap_estimate_bytes`).
+    pub heap_bytes: u64,
+}
+
+impl PerfRecord {
+    /// Engine throughput: simulation events per host wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The benchmark (and `repro trace` / `repro explain`) cell names, in suite
+/// order: the mid-size Fig 7a / Fig 8a GroupBy cells.
+pub const CELL_NAMES: [&str; 5] = [
+    "fig7a_400gb_ramdisk",
+    "fig7a_400gb_lustre_local",
+    "fig7a_400gb_lustre_shared",
+    "fig8a_600gb_ramdisk",
+    "fig8a_600gb_ssd",
+];
+
+/// Resolve one named cell to its engine inputs (cluster spec, config,
+/// workload); `None` for an unknown name. `suite`, `repro trace`, and
+/// `repro explain` all construct cells through here so they cannot drift.
+pub fn cell(
+    setup: Setup,
+    name: &str,
+) -> Option<(
+    memres_cluster::ClusterSpec,
+    EngineConfig,
+    memres_workloads::GroupBy,
+)> {
+    let (gb, shuffle) = match name {
+        "fig7a_400gb_ramdisk" => (400.0, ShuffleStore::Local(StoreDevice::RamDisk)),
+        "fig7a_400gb_lustre_local" => (400.0, ShuffleStore::LustreLocal),
+        "fig7a_400gb_lustre_shared" => (400.0, ShuffleStore::LustreShared),
+        "fig8a_600gb_ramdisk" => (600.0, ShuffleStore::Local(StoreDevice::RamDisk)),
+        "fig8a_600gb_ssd" => (600.0, ShuffleStore::Local(StoreDevice::Ssd)),
+        _ => return None,
+    };
+    let cfg = EngineConfig {
+        input: InputSource::Lustre,
+        shuffle,
+        scheduler: SchedulerKind::Fifo,
+        seed: setup.seed,
+        ..EngineConfig::default()
+    };
+    Some((
+        setup.cluster(),
+        cfg,
+        memres_workloads::GroupBy::new(setup.bytes(gb)),
+    ))
 }
 
 fn time_run(
+    name: &'static str,
     spec: memres_cluster::ClusterSpec,
     cfg: EngineConfig,
     gb: &memres_workloads::GroupBy,
-) -> (f64, f64) {
+) -> PerfRecord {
     let t0 = Instant::now();
     let mut d = Driver::new(spec, cfg);
     let m = d.run_for_metrics(&gb.build(), gb.action());
-    (t0.elapsed().as_secs_f64(), m.job_time())
+    PerfRecord {
+        name,
+        wall_s: t0.elapsed().as_secs_f64(),
+        sim_s: m.job_time(),
+        events: d.engine_steps(),
+        heap_bytes: d.heap_estimate_bytes(),
+    }
 }
 
 /// The mid-size Fig 7a / Fig 8a cells (400 GB and 600 GB paper-scale,
 /// shrunk by `setup.scale` like every other experiment).
 pub fn suite(setup: Setup) -> Vec<PerfRecord> {
-    use memres_workloads::GroupBy;
-    let spec = setup.cluster();
-    let mut out = Vec::new();
-
-    let gb7 = GroupBy::new(setup.bytes(400.0));
-    for (name, shuffle) in [
-        (
-            "fig7a_400gb_ramdisk",
-            ShuffleStore::Local(StoreDevice::RamDisk),
-        ),
-        ("fig7a_400gb_lustre_local", ShuffleStore::LustreLocal),
-        ("fig7a_400gb_lustre_shared", ShuffleStore::LustreShared),
-    ] {
-        let cfg = EngineConfig {
-            input: InputSource::Lustre,
-            shuffle,
-            scheduler: SchedulerKind::Fifo,
-            seed: setup.seed,
-            ..EngineConfig::default()
-        };
-        let (wall, sim) = time_run(spec.clone(), cfg, &gb7);
-        out.push(PerfRecord {
-            name,
-            wall_s: wall,
-            sim_s: sim,
-        });
-    }
-
-    let gb8 = GroupBy::new(setup.bytes(600.0));
-    for (name, dev) in [
-        ("fig8a_600gb_ramdisk", StoreDevice::RamDisk),
-        ("fig8a_600gb_ssd", StoreDevice::Ssd),
-    ] {
-        let cfg = EngineConfig {
-            input: InputSource::Lustre,
-            shuffle: ShuffleStore::Local(dev),
-            scheduler: SchedulerKind::Fifo,
-            seed: setup.seed,
-            ..EngineConfig::default()
-        };
-        let (wall, sim) = time_run(spec.clone(), cfg, &gb8);
-        out.push(PerfRecord {
-            name,
-            wall_s: wall,
-            sim_s: sim,
-        });
-    }
-    out
+    CELL_NAMES
+        .iter()
+        .map(|name| {
+            let (spec, cfg, gb) = cell(setup, name).expect("suite cell must resolve");
+            time_run(name, spec, cfg, &gb)
+        })
+        .collect()
 }
 
 pub fn table(records: &[PerfRecord]) -> Table {
     let mut t = Table::new(
         "bench",
         "engine wall-clock (host seconds) on mid-size Fig 7a/8a cells",
-        &["wall_s", "sim_job_s"],
+        &["wall_s", "sim_job_s", "events", "events_per_s", "heap_mb"],
     );
     for r in records {
-        t.row(r.name, vec![r.wall_s, r.sim_s]);
+        t.row(
+            r.name,
+            vec![
+                r.wall_s,
+                r.sim_s,
+                r.events as f64,
+                r.events_per_sec(),
+                r.heap_bytes as f64 / (1024.0 * 1024.0),
+            ],
+        );
     }
     let total: f64 = records.iter().map(|r| r.wall_s).sum();
     t.note(format!("total wall-clock {total:.3}s"));
@@ -115,10 +149,13 @@ pub fn to_json(setup: Setup, records: &[PerfRecord]) -> String {
         }
         let _ = write!(
             out,
-            "\n    {{\"name\": \"{}\", \"wall_s\": {}, \"sim_job_s\": {}}}",
+            "\n    {{\"name\": \"{}\", \"wall_s\": {}, \"sim_job_s\": {}, \"events\": {}, \"events_per_s\": {}, \"heap_bytes\": {}}}",
             escape(r.name),
             num(r.wall_s),
-            num(r.sim_s)
+            num(r.sim_s),
+            r.events,
+            num(r.events_per_sec()),
+            r.heap_bytes
         );
     }
     if !records.is_empty() {
@@ -141,11 +178,15 @@ mod tests {
                 name: "a",
                 wall_s: 0.25,
                 sim_s: 100.0,
+                events: 1000,
+                heap_bytes: 2 * 1024 * 1024,
             },
             PerfRecord {
                 name: "b",
                 wall_s: 0.75,
                 sim_s: 200.0,
+                events: 3000,
+                heap_bytes: 1024,
             },
         ];
         let j = to_json(
@@ -156,9 +197,22 @@ mod tests {
             &recs,
         );
         assert!(j.contains("\"total_wall_s\": 1.0"));
-        assert!(j.contains("{\"name\": \"a\", \"wall_s\": 0.25, \"sim_job_s\": 100.0}"));
+        assert!(j.contains(
+            "{\"name\": \"a\", \"wall_s\": 0.25, \"sim_job_s\": 100.0, \"events\": 1000, \"events_per_s\": 4000.0, \"heap_bytes\": 2097152}"
+        ));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         let t = table(&recs);
         assert_eq!(t.column("wall_s"), vec![0.25, 0.75]);
+        assert_eq!(t.column("events_per_s"), vec![4000.0, 4000.0]);
+        assert_eq!(t.column("heap_mb"), vec![2.0, 1024.0 / (1024.0 * 1024.0)]);
+    }
+
+    #[test]
+    fn every_cell_name_resolves() {
+        let setup = Setup::smoke();
+        for name in CELL_NAMES {
+            assert!(cell(setup, name).is_some(), "cell {name} must resolve");
+        }
+        assert!(cell(setup, "fig99_bogus").is_none());
     }
 }

@@ -57,3 +57,54 @@ fn no_targets_exits_two_with_usage() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage: repro"));
 }
+
+#[test]
+fn explain_prints_attribution_and_stragglers() {
+    let out = repro(&["--smoke", "explain", "fig7a_400gb_ramdisk"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("== explain fig7a_400gb_ramdisk =="),
+        "{stdout}"
+    );
+    assert!(stdout.contains("compute"), "{stdout}");
+    assert!(stdout.contains("straggler"), "{stdout}");
+}
+
+#[test]
+fn trace_writes_timeline_files() {
+    let dir = std::env::temp_dir().join("memres-repro-trace-cli-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro(&[
+        "--smoke",
+        "--json",
+        dir.to_str().unwrap(),
+        "trace",
+        "fig8a_600gb_ssd",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let tj = std::fs::read_to_string(dir.join("fig8a_600gb_ssd.trace.json")).expect("trace.json");
+    assert!(tj.starts_with("{\"traceEvents\":["));
+    let jl = std::fs::read_to_string(dir.join("fig8a_600gb_ssd.events.jsonl")).expect("jsonl");
+    assert!(jl
+        .lines()
+        .next()
+        .unwrap_or("")
+        .contains("\"type\":\"job_start\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_cell_exits_two() {
+    let out = repro(&["--smoke", "explain", "not_a_cell"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown cell 'not_a_cell'"));
+}

@@ -190,6 +190,10 @@ pub struct EngineConfig {
     pub faults: Option<FaultPlan>,
     /// Retry/backoff/blacklist policy for the recovery engine.
     pub recovery: RecoveryConfig,
+    /// Structured event tracing (DESIGN.md §4.11). Off by default: the
+    /// engine then holds no sink at all and emission sites cost one
+    /// `Option` test.
+    pub trace: memres_trace::TraceConfig,
 }
 
 impl Default for EngineConfig {
@@ -210,6 +214,7 @@ impl Default for EngineConfig {
             executor_threads: None,
             faults: None,
             recovery: RecoveryConfig::default(),
+            trace: memres_trace::TraceConfig::off(),
         }
     }
 }
@@ -256,6 +261,18 @@ impl EngineConfig {
     /// Override the recovery policy (attempt caps, backoff, blacklisting).
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Record a full structured event trace of the run (DESIGN.md §4.11).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = memres_trace::TraceConfig::full();
+        self
+    }
+
+    /// Record tracing at an explicit level.
+    pub fn with_trace_level(mut self, level: memres_trace::TraceLevel) -> Self {
+        self.trace = memres_trace::TraceConfig { level };
         self
     }
 

@@ -93,4 +93,26 @@ impl Driver {
     pub fn run_for_metrics(&mut self, rdd: &Rdd, action: Action) -> JobMetrics {
         self.run(rdd, action).1
     }
+
+    /// Events processed by the simulation engine so far (self-profiling).
+    pub fn engine_steps(&self) -> u64 {
+        self.sim.steps()
+    }
+
+    /// Drain the structured event log accumulated so far (empty when
+    /// tracing is off). See DESIGN.md §4.11.
+    pub fn take_trace(&mut self) -> Vec<memres_trace::TimedEvent> {
+        self.sim.model.take_trace()
+    }
+
+    /// Number of trace events buffered (without draining them).
+    pub fn trace_len(&self) -> usize {
+        self.sim.model.trace_len()
+    }
+
+    /// Rough peak-heap estimate for engine self-profiling (arena capacities
+    /// plus trace log plus shuffle accounting; not an allocator hook).
+    pub fn heap_estimate_bytes(&self) -> u64 {
+        self.sim.model.heap_estimate_bytes()
+    }
 }

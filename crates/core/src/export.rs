@@ -11,12 +11,12 @@ use std::path::Path;
 pub fn tasks_csv(metrics: &JobMetrics) -> String {
     let mut out = String::from(
         "job,stage,phase,index,node,queued_at,launched_at,finished_at,duration,\
-         input_bytes,output_bytes,locality\n",
+         input_bytes,output_bytes,locality,queue_delay\n",
     );
     for t in &metrics.tasks {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.0},{:.0},{:?}",
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.0},{:.0},{:?},{:.6}",
             t.job,
             t.stage,
             phase_name(t.phase),
@@ -29,6 +29,7 @@ pub fn tasks_csv(metrics: &JobMetrics) -> String {
             t.input_bytes,
             t.output_bytes,
             t.locality,
+            t.queue_delay(),
         );
     }
     out
@@ -73,6 +74,11 @@ pub fn job_json(metrics: &JobMetrics) -> String {
     let _ = writeln!(out, "  \"job\": {},", metrics.job);
     let _ = writeln!(out, "  \"started_at\": {},", json_f64(metrics.started_at));
     let _ = writeln!(out, "  \"finished_at\": {},", json_f64(metrics.finished_at));
+    let _ = writeln!(
+        out,
+        "  \"queue_delay_mean\": {},",
+        json_f64(metrics.mean_queue_delay())
+    );
     out.push_str("  \"tasks\": [");
     for (i, t) in metrics.tasks.iter().enumerate() {
         if i > 0 {
@@ -205,8 +211,12 @@ mod tests {
         let csv = tasks_csv(&sample());
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("job,stage,phase"));
+        assert!(csv.lines().next().unwrap().ends_with(",queue_delay"));
         assert!(csv.contains("compute"));
         assert!(csv.contains("storing"));
+        // First task queued at 0.0, launched at 0.5: delay in the last column.
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.ends_with(",0.500000"), "{row}");
     }
 
     #[test]
@@ -236,6 +246,8 @@ mod tests {
         assert!(j.contains("\"phase\": \"Compute\""));
         assert!(j.contains("\"locality\": \"NodeLocal\""));
         assert!(j.contains("\"finished_at\": 10.0"));
+        // Queue-delay rollup: (0.5 + 0.0) / 2.
+        assert!(j.contains("\"queue_delay_mean\": 0.25"));
         // Floats always carry a decimal point so they parse back as floats.
         assert!(j.contains("\"queued_at\": 0.0"));
         // Recovery counters are always present (zeros on a clean run).

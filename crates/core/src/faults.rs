@@ -51,6 +51,31 @@ pub enum FaultKind {
     FetchFail { src: u32 },
 }
 
+impl FaultKind {
+    /// Stable machine name (trace `fault_injected` payload).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash { .. } => "node_crash",
+            FaultKind::TaskFail { .. } => "task_fail",
+            FaultKind::BlockLoss { .. } => "block_loss",
+            FaultKind::SsdDegrade { .. } => "ssd_degrade",
+            FaultKind::FetchFail { .. } => "fetch_fail",
+        }
+    }
+
+    /// The node the fault targets, if it targets one (`TaskFail` is keyed
+    /// by launch ordinal, not node).
+    pub fn node(&self) -> Option<u32> {
+        match *self {
+            FaultKind::NodeCrash { node, .. } => Some(node),
+            FaultKind::BlockLoss { node } => Some(node),
+            FaultKind::SsdDegrade { node, .. } => Some(node),
+            FaultKind::FetchFail { src } => Some(src),
+            FaultKind::TaskFail { .. } => None,
+        }
+    }
+}
+
 /// A scheduled fault: `kind` fires `after` the first job submission.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultEvent {

@@ -54,6 +54,10 @@ pub use rdd::{Action, Dataset, Rdd, RddId, SizeModel};
 pub use value::{Record, Value};
 pub use world::{JobOutput, SimWorld};
 
+// Re-exported so applications configure tracing without naming the trace
+// crate directly.
+pub use memres_trace::{TimedEvent, TraceConfig, TraceEvent, TraceLevel};
+
 /// Everything a typical application needs.
 pub mod prelude {
     pub use crate::config::{
@@ -65,4 +69,5 @@ pub mod prelude {
     pub use crate::rdd::{Action, Dataset, Rdd, SizeModel};
     pub use crate::value::{Record, Value};
     pub use crate::world::JobOutput;
+    pub use memres_trace::{TraceConfig, TraceLevel};
 }

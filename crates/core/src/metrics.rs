@@ -49,6 +49,11 @@ impl TaskMetric {
     pub fn duration(&self) -> f64 {
         self.finished_at - self.launched_at
     }
+
+    /// Time spent waiting in the scheduler queue before launch.
+    pub fn queue_delay(&self) -> f64 {
+        self.launched_at - self.queued_at
+    }
 }
 
 /// What the recovery engine did during a job (DESIGN.md §4.9). All zeros on
@@ -148,11 +153,21 @@ impl JobMetrics {
         (min, mean, max)
     }
 
-    /// Tasks per node for a phase (Fig 12a).
+    /// Tasks per node for a phase (Fig 12a). The returned vector has
+    /// `workers + 1` entries: index `workers` is a trailing overflow bucket
+    /// collecting any out-of-range node id, so bad records are visible in
+    /// the rollup instead of silently dropped (and assert in debug builds).
     pub fn tasks_per_node(&self, phase: Phase, workers: u32) -> Vec<u32> {
-        let mut v = vec![0u32; workers as usize];
+        let mut v = vec![0u32; workers as usize + 1];
         for t in self.tasks_in(phase) {
-            if let Some(n) = v.get_mut(t.node as usize) {
+            debug_assert!(
+                (t.node as usize) < workers as usize,
+                "task node {} out of range for {} workers",
+                t.node,
+                workers
+            );
+            let slot = (t.node as usize).min(workers as usize);
+            if let Some(n) = v.get_mut(slot) {
                 *n += 1;
             }
         }
@@ -160,14 +175,37 @@ impl JobMetrics {
     }
 
     /// Intermediate bytes deposited per node by compute tasks (Fig 12b).
+    /// Same shape as [`JobMetrics::tasks_per_node`]: trailing overflow
+    /// bucket for out-of-range node ids.
     pub fn intermediate_per_node(&self, workers: u32) -> Vec<f64> {
-        let mut v = vec![0.0; workers as usize];
+        let mut v = vec![0.0; workers as usize + 1];
         for t in self.tasks_in(Phase::Compute) {
-            if let Some(n) = v.get_mut(t.node as usize) {
+            debug_assert!(
+                (t.node as usize) < workers as usize,
+                "task node {} out of range for {} workers",
+                t.node,
+                workers
+            );
+            let slot = (t.node as usize).min(workers as usize);
+            if let Some(n) = v.get_mut(slot) {
                 *n += t.output_bytes;
             }
         }
         v
+    }
+
+    /// Queue delays (seconds waiting for a slot) of a phase's tasks.
+    pub fn queue_delays(&self, phase: Phase) -> Vec<f64> {
+        self.tasks_in(phase).map(|t| t.queue_delay()).collect()
+    }
+
+    /// Mean queue delay across every task of the job (0.0 when empty) — the
+    /// scheduler-pressure rollup surfaced in job.json and tasks.csv.
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        self.tasks.iter().map(|t| t.queue_delay()).sum::<f64>() / self.tasks.len() as f64
     }
 
     pub fn node_cdf(&self, values: &[f64]) -> Cdf {
@@ -274,8 +312,27 @@ mod tests {
         let (min, mean, max) = jm.duration_spread(Phase::Compute);
         assert_eq!((min, max), (1.0, 4.0));
         assert!((mean - 7.0 / 3.0).abs() < 1e-12);
-        assert_eq!(jm.tasks_per_node(Phase::Compute, 2), vec![2, 1]);
-        assert_eq!(jm.intermediate_per_node(2), vec![10.0, 30.0]);
+        // Trailing overflow bucket (empty here: all nodes in range).
+        assert_eq!(jm.tasks_per_node(Phase::Compute, 2), vec![2, 1, 0]);
+        assert_eq!(jm.intermediate_per_node(2), vec![10.0, 30.0, 0.0]);
+    }
+
+    #[test]
+    fn queue_delay_rollup() {
+        let mut a = mk(Phase::Compute, 0, 2.0, 3.0, 0.0);
+        a.queued_at = 0.0; // waited 2 s for a slot
+        let b = mk(Phase::Storing, 1, 3.0, 4.0, 0.0); // launched instantly
+        let jm = JobMetrics {
+            job: 0,
+            started_at: 0.0,
+            finished_at: 4.0,
+            tasks: vec![a, b],
+            recovery: RecoveryCounters::default(),
+        };
+        assert_eq!(jm.queue_delays(Phase::Compute), vec![2.0]);
+        assert_eq!(jm.queue_delays(Phase::Storing), vec![0.0]);
+        assert!((jm.mean_queue_delay() - 1.0).abs() < 1e-12);
+        assert_eq!(JobMetrics::default().mean_queue_delay(), 0.0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use memres_hdfs::{BlockId, Hdfs, HdfsConfig, HdfsFile, Locality};
 use memres_lustre::{Lustre, LustreConfig, LustreFile};
 use memres_net::{inflate_for_requests, Endpoint, Fabric, FlowId, FlowNet, LinkId};
 use memres_storage::{CacheConfig, FileId, LocalFs, RamDisk, Ssd, SsdConfig};
+use memres_trace::TraceEvent as TE;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -324,6 +325,10 @@ pub struct SimWorld {
     doomed_launches: Vec<u64>,
     /// The fault plan is armed once, at the first job submission.
     faults_armed: bool,
+
+    /// Structured event log (DESIGN.md §4.11). `None` when tracing is off,
+    /// so every emission site costs one `Option` test and nothing else.
+    tracer: Option<memres_trace::SharedSink>,
 }
 
 /// Worker threads for real-partition execution: explicit config wins, then
@@ -402,7 +407,8 @@ impl SimWorld {
             SpeedModel::Homogeneous
         };
         let speeds = SpeedSampler::new(speed_model, spec.workers, cfg.seed);
-        SimWorld {
+        let tracer = cfg.trace.enabled().then(|| memres_trace::shared(cfg.trace));
+        let mut w = SimWorld {
             free_slots: vec![spec.cores_per_node; workers],
             prefs_q: (0..workers).map(|_| VecDeque::new()).collect(),
             no_pref_q: VecDeque::new(),
@@ -428,6 +434,7 @@ impl SimWorld {
             launch_count: 0,
             doomed_launches: Vec::new(),
             faults_armed: false,
+            tracer,
             spec,
             cfg,
             net,
@@ -444,7 +451,65 @@ impl SimWorld {
             job_seq: 0,
             job_done: false,
             last_output: None,
+        };
+        if let Some(t) = &w.tracer {
+            w.net.set_tracer(t.clone());
+            w.lustre.set_tracer(t.clone());
+            for (n, fs) in w.ssd_fs.iter_mut().enumerate() {
+                fs.set_tracer(n as u32, t.clone());
+            }
         }
+        w
+    }
+
+    // ---------------- tracing ----------------
+
+    /// Emit one trace event; a single `Option` test when tracing is off.
+    #[inline]
+    fn trace(&self, at: SimTime, ev: memres_trace::TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().emit(at, ev);
+        }
+    }
+
+    fn trace_class(kind: TaskKind) -> memres_trace::TaskClass {
+        match kind {
+            TaskKind::Compute { .. } => memres_trace::TaskClass::Compute,
+            TaskKind::Store { .. } => memres_trace::TaskClass::Store,
+            TaskKind::Fetch { .. } => memres_trace::TaskClass::Fetch,
+        }
+    }
+
+    /// Drain the recorded trace (empty when tracing is off).
+    pub fn take_trace(&mut self) -> Vec<memres_trace::TimedEvent> {
+        self.tracer
+            .as_ref()
+            .map(|t| t.borrow_mut().take())
+            .unwrap_or_default()
+    }
+
+    /// Number of trace events currently held (0 when off).
+    pub fn trace_len(&self) -> usize {
+        self.tracer.as_ref().map(|t| t.borrow().len()).unwrap_or(0)
+    }
+
+    /// Rough engine heap footprint: the dense arenas that grow with the job
+    /// (tasks, trace log, shuffle bucket matrices). Self-profiling only —
+    /// not a substitute for a real allocator hook.
+    pub fn heap_estimate_bytes(&self) -> u64 {
+        let tasks = self.tasks.capacity() * std::mem::size_of::<Task>();
+        let trace = self
+            .tracer
+            .as_ref()
+            .map(|t| t.borrow().len() * std::mem::size_of::<memres_trace::TimedEvent>())
+            .unwrap_or(0);
+        let shuffle = self
+            .job
+            .as_ref()
+            .and_then(|j| j.shuffle_out.as_ref().or(j.shuffle_in.as_ref()))
+            .map(|s| s.node_bucket_bytes.len() * s.reducers as usize * 8)
+            .unwrap_or(0);
+        (tasks + trace + shuffle) as u64
     }
 
     pub fn take_output(&mut self) -> Option<JobOutput> {
@@ -556,6 +621,7 @@ impl SimWorld {
         self.job_seq += 1;
         self.job_done = false;
         self.metrics.begin_job(self.job_seq, now);
+        self.trace(now, TE::JobStart { job: self.job_seq });
         self.intermediate.iter_mut().for_each(|x| *x = 0.0);
         self.cad_interval = SimDuration::ZERO;
         self.cad_allowed.iter_mut().for_each(|t| *t = SimTime::ZERO);
@@ -770,6 +836,24 @@ impl SimWorld {
             });
             created.push(id);
         }
+        self.trace(
+            now,
+            TE::StageStart {
+                stage: idx as u32,
+                tasks: created.len() as u32,
+            },
+        );
+        for &id in &created {
+            self.trace(
+                now,
+                TE::TaskQueued {
+                    task: id,
+                    stage: idx as u32,
+                    class: Self::trace_class(self.tasks[id as usize].kind),
+                    attempt: 0,
+                },
+            );
+        }
         {
             let job = self.job_mut();
             job.phase = RunPhase::Stage(idx);
@@ -925,6 +1009,7 @@ impl SimWorld {
                         continue;
                     }
                     if self.elb_declines(node) {
+                        self.trace(now, TE::ElbDecline { node });
                         blocked[node as usize] = true;
                         continue;
                     }
@@ -933,6 +1018,13 @@ impl SimWorld {
                         if now < allowed {
                             if self.cad_wake_at[node as usize] != allowed {
                                 self.cad_wake_at[node as usize] = allowed;
+                                self.trace(
+                                    now,
+                                    TE::CadGate {
+                                        node,
+                                        until_ns: allowed.0,
+                                    },
+                                );
                                 out.at(allowed, Ev::DispatchNode { node });
                             }
                             blocked[node as usize] = true;
@@ -962,6 +1054,13 @@ impl SimWorld {
                         }
                         Err(retry) => {
                             if let Some(r) = retry {
+                                self.trace(
+                                    now,
+                                    TE::DelayWait {
+                                        node,
+                                        until_ns: r.0,
+                                    },
+                                );
                                 earliest_retry =
                                     Some(earliest_retry.map_or(r, |e: SimTime| e.min(r)));
                             }
@@ -1060,6 +1159,22 @@ impl SimWorld {
             ghost: false,
         });
         self.tasks[straggler as usize].twin = Some(dup);
+        self.trace(
+            now,
+            TE::Speculate {
+                task: straggler,
+                twin: dup,
+            },
+        );
+        self.trace(
+            now,
+            TE::TaskQueued {
+                task: dup,
+                stage,
+                class: Self::trace_class(kind),
+                attempt: 0,
+            },
+        );
         self.launch(now, dup, node, out);
         true
     }
@@ -1082,6 +1197,20 @@ impl SimWorld {
             if doomed {
                 t.doomed = Some(t.attempt);
             }
+        }
+        {
+            let t = &self.tasks[task as usize];
+            self.trace(
+                now,
+                TE::TaskLaunched {
+                    task,
+                    node,
+                    class: Self::trace_class(t.kind),
+                    attempt: t.attempt,
+                    queue_delay_ns: now.since(t.queued_at).0,
+                    speculative: t.is_speculative,
+                },
+            );
         }
         match self.tasks[task as usize].kind {
             TaskKind::Compute { part } => self.launch_compute(now, task, node, part, out),
@@ -1265,7 +1394,7 @@ impl SimWorld {
             }
             IoPlan::LustreRead { file } => {
                 let tag = self.io_tag(task);
-                let rplan = self.lustre.read(NodeId(node), file, in_bytes);
+                let rplan = self.lustre.read(now, NodeId(node), file, in_bytes);
                 self.tasks[task as usize].pending_io += 1;
                 self.lustre.submit_mds(now, rplan.mds_ops, tag);
                 self.arm_lustre(out);
@@ -1495,7 +1624,7 @@ impl SimWorld {
             ShuffleStore::LustreLocal | ShuffleStore::LustreShared => {
                 let file = self.node_lustre_file(node);
                 let tag = self.io_tag(task);
-                let wplan = self.lustre.append(NodeId(node), file, bytes);
+                let wplan = self.lustre.append(now, NodeId(node), file, bytes);
                 self.tasks[task as usize].pending_io += 1;
                 self.lustre.submit_mds(now, wplan.mds_ops, tag);
                 self.arm_lustre(out);
@@ -1799,9 +1928,31 @@ impl SimWorld {
         };
         self.free_slots[node as usize] += 1;
         if lost {
+            // The losing speculation copy: its whole duration was duplicated
+            // work, so the trace marks it ghost (retry-waste in attribution).
+            self.trace(
+                now,
+                TE::TaskFinished {
+                    task,
+                    node,
+                    class: Self::trace_class(kind),
+                    attempt,
+                    ghost: true,
+                },
+            );
             out.immediately(Ev::Dispatch);
             return;
         }
+        self.trace(
+            now,
+            TE::TaskFinished {
+                task,
+                node,
+                class: Self::trace_class(kind),
+                attempt,
+                ghost,
+            },
+        );
         // If a speculative copy won, it replaces the original everywhere the
         // job refers to it (storing pins, final-task outputs).
         if self.tasks[task as usize].is_speculative {
@@ -2025,6 +2176,17 @@ impl SimWorld {
             });
             created.push(id);
         }
+        for &id in &created {
+            self.trace(
+                now,
+                TE::TaskQueued {
+                    task: id,
+                    stage: stage_idx as u32,
+                    class: memres_trace::TaskClass::Store,
+                    attempt: 0,
+                },
+            );
+        }
         let job = self.job_mut();
         job.phase = RunPhase::Storing(stage_idx);
         job.remaining = created.len();
@@ -2082,7 +2244,7 @@ impl SimWorld {
                     .collect();
                 let mut pending = 0;
                 for (n, lf) in files {
-                    let dirty = self.lustre.revoke(lf);
+                    let dirty = self.lustre.revoke(now, lf);
                     if dirty > 0.0 {
                         pending += 1;
                         let path = self
@@ -2118,6 +2280,13 @@ impl SimWorld {
         );
         // The revocation round trip delays the read start.
         let start = now + self.lustre.config().revoke_latency;
+        self.trace(
+            now,
+            TE::LockWaitFor {
+                task,
+                dur_ns: self.lustre.config().revoke_latency.0,
+            },
+        );
         let path = self
             .fabric
             .path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
@@ -2139,10 +2308,10 @@ impl SimWorld {
             sh.flush_done = true;
             let waiting = std::mem::take(&mut sh.waiting_for_flush);
             for task in waiting {
+                self.trace(now, TE::LockWaitEnd { task });
                 self.lustre_shared_transfer(now, task, out);
             }
         }
-        let _ = now;
     }
 
     // ---------------- fault handling & recovery ----------------
@@ -2175,6 +2344,16 @@ impl SimWorld {
             rec.wasted_secs += wasted;
             rec.tasks_retried += 1;
         }
+        self.trace(
+            now,
+            TE::TaskRetried {
+                task,
+                node,
+                attempt: self.tasks[task as usize].attempt,
+                wasted_ns: now.since(self.tasks[task as usize].launched_at).0,
+                backoff_ns: backoff.0,
+            },
+        );
         if self.node_up[node as usize] {
             self.free_slots[node as usize] += 1;
             // A failed flush abandons its partial output: reclaim the space.
@@ -2218,6 +2397,7 @@ impl SimWorld {
             if self.node_fail_counts[node as usize] >= self.cfg.recovery.blacklist_after {
                 self.blacklisted[node as usize] = true;
                 self.metrics.current.recovery.blacklisted_nodes += 1;
+                self.trace(now, TE::Blacklisted { node });
                 self.repin_pinned_off(node);
             }
         }
@@ -2238,6 +2418,15 @@ impl SimWorld {
         } else {
             self.tasks[task as usize].prefs = keep;
         }
+        self.trace(
+            now,
+            TE::TaskQueued {
+                task,
+                stage: self.tasks[task as usize].stage,
+                class: Self::trace_class(self.tasks[task as usize].kind),
+                attempt: self.tasks[task as usize].attempt,
+            },
+        );
         if backoff > SimDuration::ZERO {
             out.after(
                 backoff,
@@ -2275,6 +2464,13 @@ impl SimWorld {
     /// node remains. Mirrors Spark's job abort after repeated task failure.
     fn abort_job(&mut self, now: SimTime) {
         self.metrics.current.recovery.aborted_jobs += 1;
+        self.trace(
+            now,
+            TE::JobEnd {
+                job: self.job_seq,
+                aborted: true,
+            },
+        );
         self.job = None;
         self.last_output = Some(JobOutput {
             count: 0,
@@ -2309,8 +2505,18 @@ impl SimWorld {
         }
         self.metrics.current.recovery.node_crashes += 1;
         self.node_up[node as usize] = false;
+        self.trace(now, TE::NodeDown { node });
         let lost = self.blockmgr.drop_node(node);
         self.metrics.current.recovery.blocks_lost += lost.len() as u64;
+        if !lost.is_empty() {
+            self.trace(
+                now,
+                TE::BlocksLost {
+                    node,
+                    blocks: lost.len() as u64,
+                },
+            );
+        }
         if let Some(d) = restart {
             out.after(d, Ev::NodeRestart { node });
         }
@@ -2368,6 +2574,13 @@ impl SimWorld {
         }
         self.intermediate[repl as usize] += self.intermediate[node as usize];
         self.intermediate[node as usize] = 0.0;
+        self.trace(
+            now,
+            TE::Rehost {
+                from: node,
+                to: repl,
+            },
+        );
         self.spawn_crash_ghosts(now, node, repl, local_store);
         out.immediately(Ev::Dispatch);
     }
@@ -2505,6 +2718,24 @@ impl SimWorld {
             });
             created.push(id);
         }
+        self.trace(
+            now,
+            TE::GhostsSpawned {
+                node,
+                count: created.len() as u32,
+            },
+        );
+        for &id in &created {
+            self.trace(
+                now,
+                TE::TaskQueued {
+                    task: id,
+                    stage: self.tasks[id as usize].stage,
+                    class: Self::trace_class(self.tasks[id as usize].kind),
+                    attempt: 0,
+                },
+            );
+        }
         self.job.as_mut().expect("active job").remaining += created.len(); // lint:allow(panic): recovery tasks are created mid-job by the crash handler
         self.enqueue_pending(&created);
     }
@@ -2520,6 +2751,13 @@ impl SimWorld {
         else {
             return;
         };
+        self.trace(
+            now,
+            TE::FaultInjected {
+                kind: kind.label(),
+                node: kind.node().unwrap_or(u32::MAX),
+            },
+        );
         match kind {
             FaultKind::NodeCrash { node, restart } => self.node_crash(now, node, restart, out),
             FaultKind::BlockLoss { node } => {
@@ -2546,6 +2784,13 @@ impl SimWorld {
     }
 
     fn finish_job(&mut self, now: SimTime) {
+        self.trace(
+            now,
+            TE::JobEnd {
+                job: self.job_seq,
+                aborted: false,
+            },
+        );
         let job = self.job.take().expect("no job to finish"); // lint:allow(panic): finish_job fires exactly once, from the last completion of the final stage
         let mut count = 0u64;
         let mut records: Vec<Record> = Vec::new();
@@ -2790,6 +3035,7 @@ impl Model for SimWorld {
                         if ready {
                             self.lustre_shared_transfer(now, task, out);
                         } else {
+                            self.trace(now, TE::LockWaitStart { task });
                             self.job_mut()
                                 .shuffle_in
                                 .as_mut()
@@ -2820,6 +3066,7 @@ impl Model for SimWorld {
                     self.free_slots[node as usize] = self.spec.cores_per_node;
                     self.node_fail_counts[node as usize] = 0;
                     self.metrics.current.recovery.node_restarts += 1;
+                    self.trace(now, TE::NodeUp { node });
                     out.immediately(Ev::Dispatch);
                 }
             }

@@ -34,7 +34,11 @@ fn run_once(cfg: EngineConfig) -> (u64, String, String) {
     let (rdd, action) = workload();
     let mut d = Driver::new(memres_cluster::tiny(6), cfg);
     let (out, metrics) = d.run(&rdd, action);
-    (out.count, export::job_json(&metrics), export::tasks_csv(&metrics))
+    (
+        out.count,
+        export::job_json(&metrics),
+        export::tasks_csv(&metrics),
+    )
 }
 
 #[test]
@@ -44,8 +48,73 @@ fn double_run_exports_are_byte_identical() {
     let (count_b, json_b, csv_b) = run_once(cfg());
     assert_eq!(count_a, count_b);
     assert_eq!(count_a, 37, "one output group per distinct word");
-    assert_eq!(json_a, json_b, "job.json must be byte-identical across runs");
+    assert_eq!(
+        json_a, json_b,
+        "job.json must be byte-identical across runs"
+    );
     assert_eq!(csv_a, csv_b, "tasks.csv must be byte-identical across runs");
+}
+
+/// One fresh *traced* engine run, rendered to the two trace export forms.
+fn run_traced(cfg: EngineConfig) -> (u64, String, String) {
+    let (rdd, action) = workload();
+    let mut d = Driver::new(memres_cluster::tiny(6), cfg);
+    let (out, _) = d.run(&rdd, action);
+    let events = d.take_trace();
+    assert!(!events.is_empty(), "traced run must record events");
+    (
+        out.count,
+        memres_trace::export::events_jsonl(&events),
+        memres_trace::export::chrome_trace_json(&events),
+    )
+}
+
+#[test]
+fn trace_bytes_identical_across_executor_threads_and_runs() {
+    // The trace log is simulation-visible state: a single event out of
+    // order — from hash iteration, host-thread races, or wall-clock leakage
+    // — changes the exported bytes. Faults are on so retry/recovery events
+    // are exercised too.
+    let cfg = |threads| {
+        EngineConfig::default()
+            .homogeneous()
+            .with_executor_threads(threads)
+            .with_faults(FaultPlan::seeded(7, 6, 3, SimDuration::from_secs(60)))
+            .with_trace()
+    };
+    let (count_1, jsonl_1, chrome_1) = run_traced(cfg(1));
+    let (count_4, jsonl_4, chrome_4) = run_traced(cfg(4));
+    let (count_r, jsonl_r, chrome_r) = run_traced(cfg(1));
+    assert_eq!(count_1, count_4);
+    assert_eq!(count_1, count_r);
+    assert_eq!(
+        jsonl_1, jsonl_4,
+        "events.jsonl must not depend on executor thread count"
+    );
+    assert_eq!(
+        chrome_1, chrome_4,
+        "trace.json must not depend on executor thread count"
+    );
+    assert_eq!(
+        jsonl_1, jsonl_r,
+        "double-run events.jsonl must be identical"
+    );
+    assert_eq!(
+        chrome_1, chrome_r,
+        "double-run trace.json must be identical"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_simulated_outcomes() {
+    // Turning the tracer on must be pure observation: the exported metrics
+    // (job.json / tasks.csv) are byte-identical with tracing off and on.
+    let base = || EngineConfig::default().homogeneous();
+    let (count_off, json_off, csv_off) = run_once(base());
+    let (count_on, json_on, csv_on) = run_once(base().with_trace());
+    assert_eq!(count_off, count_on);
+    assert_eq!(json_off, json_on, "tracing must not perturb job.json");
+    assert_eq!(csv_off, csv_on, "tracing must not perturb tasks.csv");
 }
 
 #[test]

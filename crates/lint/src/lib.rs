@@ -65,7 +65,7 @@ impl RuleSet {
 
 /// Crates whose code is simulation-visible: anything here that iterates in
 /// hash order perturbs event order and float sums (rule R1).
-pub const SIM_CRATES: [&str; 8] = [
+pub const SIM_CRATES: [&str; 9] = [
     "core",
     "des",
     "net",
@@ -74,6 +74,7 @@ pub const SIM_CRATES: [&str; 8] = [
     "lustre",
     "cluster",
     "workloads",
+    "trace",
 ];
 
 /// Recovery/fault paths where a bare panic turns an injected fault into a
@@ -952,6 +953,8 @@ mod tests {
         assert!(r.hash && !r.panic);
         let r = rules_for("crates/des/src/det.rs");
         assert!(r.hash && !r.panic);
+        let r = rules_for("crates/trace/src/analyze.rs");
+        assert!(r.hash && r.clock && r.io && !r.panic);
         assert!(rules_for("crates/bench/src/perf.rs").is_empty());
         assert!(rules_for("crates/lint/src/lib.rs").is_empty());
         assert!(rules_for("vendor/rand/src/lib.rs").is_empty());

@@ -147,6 +147,9 @@ pub struct Lustre {
     /// Dirty + clean cached bytes per client (for the grant limit).
     client_cache_used: DetMap<NodeId, f64>,
     gen: Gen,
+    /// Optional trace sink: DLM lock grants, revocations and releases are
+    /// reported to it (DESIGN.md §4.11). `None` costs nothing.
+    tracer: Option<memres_trace::SharedSink>,
 }
 
 impl Lustre {
@@ -158,6 +161,19 @@ impl Lustre {
             files: DetMap::new(),
             client_cache_used: DetMap::new(),
             gen: Gen::default(),
+            tracer: None,
+        }
+    }
+
+    /// Attach a trace sink; DLM lock transitions are reported to it.
+    pub fn set_tracer(&mut self, sink: memres_trace::SharedSink) {
+        self.tracer = Some(sink);
+    }
+
+    #[inline]
+    fn trace(&self, at: SimTime, ev: memres_trace::TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().emit(at, ev);
         }
     }
 
@@ -201,7 +217,13 @@ impl Lustre {
     /// Matching observed Lustre behaviour, as much of the write as fits the
     /// client's dirty-pages grant stays cached (and dirty) locally; the rest
     /// streams through to the OSSes.
-    pub fn write(&mut self, writer: NodeId, file: LustreFile, bytes: f64) -> WritePlan {
+    pub fn write(
+        &mut self,
+        now: SimTime,
+        writer: NodeId,
+        file: LustreFile,
+        bytes: f64,
+    ) -> WritePlan {
         assert!(bytes >= 0.0);
         assert!(
             !self.files.contains_key(&file),
@@ -220,6 +242,13 @@ impl Lustre {
                 dirty: cached,
             },
         );
+        self.trace(
+            now,
+            memres_trace::TraceEvent::LockAcquire {
+                file: file.0,
+                client: writer.0,
+            },
+        );
         self.gen.bump();
         WritePlan {
             cached_bytes: cached,
@@ -231,10 +260,16 @@ impl Lustre {
     /// Append `bytes` to an existing file previously written by the same
     /// client (shuffle stores aggregate all ShuffleMapTask output of a node
     /// into one per-node file). Creates the file when absent.
-    pub fn append(&mut self, writer: NodeId, file: LustreFile, bytes: f64) -> WritePlan {
+    pub fn append(
+        &mut self,
+        now: SimTime,
+        writer: NodeId,
+        file: LustreFile,
+        bytes: f64,
+    ) -> WritePlan {
         assert!(bytes >= 0.0);
         if !self.files.contains_key(&file) {
-            return self.write(writer, file, bytes);
+            return self.write(now, writer, file, bytes);
         }
         let free = (self.cfg.client_cache_bytes - self.cache_used(writer)).max(0.0);
         let f = self.files.get_mut(&file).expect("checked above");
@@ -245,6 +280,13 @@ impl Lustre {
         f.cached += cached;
         f.dirty += cached;
         *self.client_cache_used.entry(writer).or_insert(0.0) += cached;
+        self.trace(
+            now,
+            memres_trace::TraceEvent::LockAcquire {
+                file: file.0,
+                client: writer.0,
+            },
+        );
         self.gen.bump();
         WritePlan {
             cached_bytes: cached,
@@ -275,7 +317,7 @@ impl Lustre {
     /// * Reader != writer (`Lustre-shared`): the DLM must revoke the writer's
     ///   write locks; all dirty bytes are flushed to the OSSes before the
     ///   read can be served, and the writer's cached copy is invalidated.
-    pub fn read(&mut self, reader: NodeId, file: LustreFile, bytes: f64) -> ReadPlan {
+    pub fn read(&mut self, now: SimTime, reader: NodeId, file: LustreFile, bytes: f64) -> ReadPlan {
         let ops_lock = self.cfg.ops_lock;
         let ops_revoke = self.cfg.ops_revoke;
         let revoke_latency = self.cfg.revoke_latency;
@@ -337,6 +379,22 @@ impl Lustre {
                 revoke_latency: SimDuration::ZERO,
             },
         };
+        for &(_, flush) in &plan.revocations {
+            self.trace(
+                now,
+                memres_trace::TraceEvent::LockRevoke {
+                    file: file.0,
+                    dirty_bytes: flush,
+                },
+            );
+        }
+        self.trace(
+            now,
+            memres_trace::TraceEvent::LockAcquire {
+                file: file.0,
+                client: reader.0,
+            },
+        );
         self.gen.bump();
         plan
     }
@@ -345,7 +403,7 @@ impl Lustre {
     /// when simultaneous fetch tasks force a mass flush): invalidates the
     /// writer's cached copy and returns the dirty bytes the caller must move
     /// writer→OSS. Idempotent.
-    pub fn revoke(&mut self, file: LustreFile) -> f64 {
+    pub fn revoke(&mut self, now: SimTime, file: LustreFile) -> f64 {
         let Some(f) = self.files.get_mut(&file) else {
             return 0.0;
         };
@@ -353,12 +411,23 @@ impl Lustre {
         let released = f.cached;
         f.dirty = 0.0;
         f.cached = 0.0;
+        let writer = f.writer;
         if released > 0.0 {
-            if let Some(w) = f.writer {
+            if let Some(w) = writer {
                 let used = self.client_cache_used.entry(w).or_insert(0.0);
                 *used = (*used - released).max(0.0);
             }
             self.gen.bump();
+        }
+        if released > 0.0 || dirty > 0.0 {
+            self.trace(
+                now,
+                memres_trace::TraceEvent::LockRevoke {
+                    file: file.0,
+                    dirty_bytes: dirty,
+                },
+            );
+            self.trace(now, memres_trace::TraceEvent::LockRelease { file: file.0 });
         }
         dirty
     }
@@ -426,7 +495,7 @@ mod tests {
     #[test]
     fn write_fitting_cache_stays_dirty_locally() {
         let mut l = lustre();
-        let plan = l.write(NodeId(0), LustreFile(1), 500.0);
+        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 500.0);
         assert_eq!(plan.cached_bytes, 500.0);
         assert_eq!(plan.oss_bytes, 0.0);
         assert!(plan.mds_ops >= 2.0);
@@ -436,8 +505,8 @@ mod tests {
     #[test]
     fn write_overflowing_cache_streams_to_oss() {
         let mut l = lustre();
-        l.write(NodeId(0), LustreFile(1), 800.0);
-        let plan = l.write(NodeId(0), LustreFile(2), 500.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 800.0);
+        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(2), 500.0);
         // 1000-byte grant: only 200 left.
         assert_eq!(plan.cached_bytes, 200.0);
         assert_eq!(plan.oss_bytes, 300.0);
@@ -446,8 +515,8 @@ mod tests {
     #[test]
     fn local_read_hits_writer_cache() {
         let mut l = lustre();
-        l.write(NodeId(3), LustreFile(1), 400.0);
-        let plan = l.read(NodeId(3), LustreFile(1), 400.0);
+        l.write(SimTime::ZERO, NodeId(3), LustreFile(1), 400.0);
+        let plan = l.read(SimTime::ZERO, NodeId(3), LustreFile(1), 400.0);
         assert_eq!(plan.cache_hit_bytes, 400.0);
         assert_eq!(plan.oss_bytes, 0.0);
         assert!(plan.revocations.is_empty());
@@ -456,14 +525,14 @@ mod tests {
     #[test]
     fn shared_read_forces_revocation_and_flush() {
         let mut l = lustre();
-        l.write(NodeId(0), LustreFile(1), 400.0);
-        let plan = l.read(NodeId(7), LustreFile(1), 400.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 400.0);
+        let plan = l.read(SimTime::ZERO, NodeId(7), LustreFile(1), 400.0);
         assert_eq!(plan.cache_hit_bytes, 0.0);
         assert_eq!(plan.oss_bytes, 400.0);
         assert_eq!(plan.revocations, vec![(NodeId(0), 400.0)]);
         assert!(plan.revoke_latency > SimDuration::ZERO);
         // Writer cache invalidated: a second shared read needs no revocation.
-        let plan2 = l.read(NodeId(8), LustreFile(1), 400.0);
+        let plan2 = l.read(SimTime::ZERO, NodeId(8), LustreFile(1), 400.0);
         assert!(plan2.revocations.is_empty());
         assert_eq!(plan2.oss_bytes, 400.0);
         assert_eq!(l.client_dirty(NodeId(0)), 0.0);
@@ -472,10 +541,10 @@ mod tests {
     #[test]
     fn revocation_releases_cache_grant() {
         let mut l = lustre();
-        l.write(NodeId(0), LustreFile(1), 1000.0); // grant exhausted
-        l.read(NodeId(5), LustreFile(1), 1000.0); // revoke
-                                                  // Grant is free again: a new write caches fully.
-        let plan = l.write(NodeId(0), LustreFile(2), 900.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 1000.0); // grant exhausted
+        l.read(SimTime::ZERO, NodeId(5), LustreFile(1), 1000.0); // revoke
+                                                                 // Grant is free again: a new write caches fully.
+        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(2), 900.0);
         assert_eq!(plan.cached_bytes, 900.0);
     }
 
@@ -484,7 +553,7 @@ mod tests {
         let mut l = lustre();
         l.create_external(LustreFile(9), 1234.0);
         assert_eq!(l.file_size(LustreFile(9)), Some(1234.0));
-        let plan = l.read(NodeId(2), LustreFile(9), 1000.0);
+        let plan = l.read(SimTime::ZERO, NodeId(2), LustreFile(9), 1000.0);
         assert_eq!(plan.oss_bytes, 1000.0);
         assert!(plan.revocations.is_empty());
         assert_eq!(plan.revoke_latency, SimDuration::ZERO);
@@ -506,9 +575,9 @@ mod tests {
     #[test]
     fn delete_releases_cache() {
         let mut l = lustre();
-        l.write(NodeId(0), LustreFile(1), 600.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 600.0);
         l.delete(LustreFile(1));
-        let plan = l.write(NodeId(0), LustreFile(2), 1000.0);
+        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(2), 1000.0);
         assert_eq!(plan.cached_bytes, 1000.0);
         assert_eq!(l.file_size(LustreFile(1)), None);
     }
@@ -526,7 +595,7 @@ mod tests {
     #[should_panic(expected = "write-once")]
     fn rewrite_rejected() {
         let mut l = lustre();
-        l.write(NodeId(0), LustreFile(1), 10.0);
-        l.write(NodeId(0), LustreFile(1), 10.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 10.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 10.0);
     }
 }

@@ -35,6 +35,10 @@ struct Flow<T> {
     rate: f64,
     /// Remove the flow automatically when its queue drains.
     auto_close: bool,
+    /// Trace bookkeeping: when the current active period began, and the
+    /// bytes queued during it (== bytes delivered once the queue drains).
+    active_since: SimTime,
+    period_bytes: f64,
 }
 
 struct Link {
@@ -77,6 +81,9 @@ pub struct FlowNet<T> {
     scratch_remaining: Vec<f64>,
     scratch_unfrozen: Vec<u32>,
     scratch_emptied: Vec<u64>,
+    /// Optional trace sink: flow activations/drains become `flow_start` /
+    /// `flow_end` events (DESIGN.md §4.11). `None` costs nothing.
+    tracer: Option<memres_trace::SharedSink>,
 }
 
 impl<T> Default for FlowNet<T> {
@@ -102,7 +109,13 @@ impl<T> FlowNet<T> {
             scratch_remaining: Vec::new(),
             scratch_unfrozen: Vec::new(),
             scratch_emptied: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// Attach a trace sink; flow activations and drains are reported to it.
+    pub fn set_tracer(&mut self, sink: memres_trace::SharedSink) {
+        self.tracer = Some(sink);
     }
 
     /// Defer rate recomputation across a burst of flow operations (e.g. a
@@ -206,6 +219,8 @@ impl<T> FlowNet<T> {
                 queue: VecDeque::new(),
                 rate: 0.0,
                 auto_close,
+                active_since: now,
+                period_bytes: 0.0,
             },
         );
         // An empty flow does not consume bandwidth; no recompute needed yet.
@@ -232,7 +247,15 @@ impl<T> FlowNet<T> {
             tag,
         });
         if was_idle {
+            f.active_since = now;
+            f.period_bytes = bytes;
             self.activate(flow.0);
+            if let Some(tr) = &self.tracer {
+                tr.borrow_mut()
+                    .emit(now, memres_trace::TraceEvent::FlowStart { flow: flow.0 });
+            }
+        } else {
+            f.period_bytes += bytes;
         }
         self.gen.bump();
     }
@@ -303,6 +326,16 @@ impl<T> FlowNet<T> {
         for &id in &emptied {
             let f = self.flows.get_mut(&id).expect("emptied flow exists");
             f.rate = 0.0;
+            if let Some(tr) = &self.tracer {
+                tr.borrow_mut().emit(
+                    self.last,
+                    memres_trace::TraceEvent::FlowEnd {
+                        flow: id,
+                        bytes: f.period_bytes,
+                        dur_ns: self.last.since(f.active_since).0,
+                    },
+                );
+            }
             let auto_close = f.auto_close;
             let links = std::mem::take(&mut f.links);
             Self::deactivate_indexed(&mut self.active, &mut self.flows_on_link, id, &links);

@@ -48,6 +48,9 @@ pub trait Device {
     /// a fault-injection hook (worn flash, failing channel). Devices without
     /// a degradation model ignore it.
     fn degrade(&mut self, _now: SimTime, _factor: f64) {}
+    /// Attach a trace sink, tagging emitted events with `node`. Devices with
+    /// no internal state transitions worth tracing ignore it.
+    fn set_tracer(&mut self, _node: u32, _sink: memres_trace::SharedSink) {}
 }
 
 /// Two independent PS channels (read + write) with fixed capacities — the

@@ -330,6 +330,12 @@ impl LocalFs {
         }
     }
 
+    /// Attach a trace sink to the backing device, stamping its events with
+    /// `node` (no-op for devices without traceable internal transitions).
+    pub fn set_tracer(&mut self, node: u32, sink: memres_trace::SharedSink) {
+        self.device.set_tracer(node, sink);
+    }
+
     /// Fault-injection hook: permanently scale the backing device's
     /// bandwidth by `factor` (see [`Device::degrade`]).
     pub fn degrade_device(&mut self, now: SimTime, factor: f64) {

@@ -100,6 +100,12 @@ pub struct Ssd {
     accepted_marker: f64,
     next_tick: SimTime,
     gen: Gen,
+    /// Trace sink plus the node id to stamp on events (DESIGN.md §4.11).
+    tracer: Option<(u32, memres_trace::SharedSink)>,
+    /// Last observed GC-active state, for edge-triggered GcStart/GcEnd.
+    gc_traced: bool,
+    /// Last observed buffer-full state, for edge-triggered BufFull/BufDrained.
+    buf_traced: bool,
 }
 
 impl Ssd {
@@ -114,6 +120,9 @@ impl Ssd {
             accepted_marker: 0.0,
             next_tick: SimTime::ZERO,
             gen: Gen::default(),
+            tracer: None,
+            gc_traced: false,
+            buf_traced: false,
         }
     }
 
@@ -185,6 +194,8 @@ impl Ssd {
         self.clean_bytes =
             (self.clean_bytes - consumed + reclaimed).clamp(0.0, self.cfg.clean_pool_bytes);
 
+        self.trace_transitions(now);
+
         // Re-derive channel capacities for the next interval.
         let accept = if self.buffer_fill >= self.cfg.buffer_bytes * 0.98 {
             self.program_rate(depth)
@@ -199,6 +210,37 @@ impl Ssd {
         };
         self.ch.read.set_capacity(now, read_bw);
         self.gen.bump();
+    }
+
+    /// Edge-triggered GC / buffer-fill trace events (called once per tick).
+    /// Buffer "full" uses the same 98% threshold that throttles host accepts;
+    /// "drained" fires once the buffer is essentially empty again.
+    fn trace_transitions(&mut self, now: SimTime) {
+        let Some((node, sink)) = &self.tracer else {
+            return;
+        };
+        let node = *node;
+        let gc = self.clean_fraction() < self.cfg.gc_watermark;
+        if gc != self.gc_traced {
+            let ev = if gc {
+                memres_trace::TraceEvent::GcStart { node }
+            } else {
+                memres_trace::TraceEvent::GcEnd { node }
+            };
+            sink.borrow_mut().emit(now, ev);
+            self.gc_traced = gc;
+        }
+        let full = self.buffer_fill >= self.cfg.buffer_bytes * 0.98;
+        let drained = self.buffer_fill <= 1.0;
+        if full && !self.buf_traced {
+            sink.borrow_mut()
+                .emit(now, memres_trace::TraceEvent::BufFull { node });
+            self.buf_traced = true;
+        } else if drained && self.buf_traced {
+            sink.borrow_mut()
+                .emit(now, memres_trace::TraceEvent::BufDrained { node });
+            self.buf_traced = false;
+        }
     }
 
     fn catch_up_ticks(&mut self, now: SimTime) {
@@ -285,6 +327,10 @@ impl Device for Ssd {
             .read
             .set_capacity(now, self.current_read_bandwidth().max(1.0));
         self.gen.bump();
+    }
+
+    fn set_tracer(&mut self, node: u32, sink: memres_trace::SharedSink) {
+        self.tracer = Some((node, sink));
     }
 }
 

@@ -1,0 +1,451 @@
+//! Critical-path attribution over a trace (DESIGN.md §4.11).
+//!
+//! The job window `[job_start, job_end]` is partitioned into elementary
+//! integer-nanosecond segments at every interval boundary; each segment is
+//! assigned to exactly one bucket by a fixed priority rule:
+//!
+//! `lock-wait > gc-stall > fetch > store > compute > retry-waste > other`
+//!
+//! Because the segments partition the window and the rule is total, the
+//! buckets sum to the job time *exactly* (integer arithmetic, no float
+//! accumulation) — the acceptance bar for `repro explain`.
+
+use crate::{TaskClass, TimedEvent, TraceEvent};
+use std::collections::BTreeMap;
+
+/// One task attempt reconstructed from launch/finish/retry events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Attempt {
+    pub task: u32,
+    pub class: TaskClass,
+    pub node: u32,
+    pub attempt: u32,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub outcome: Outcome,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Finished and its output was used.
+    Completed,
+    /// Failed (fault-doomed, crashed node, failed fetch): pure waste.
+    Failed,
+    /// Ghost recompute: recovery work redoing lost output.
+    Ghost,
+}
+
+impl Attempt {
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Reconstruct every task attempt interval from the event log. Attempts
+/// still open at the end of the log are closed at the last event time.
+pub fn attempts(events: &[TimedEvent]) -> Vec<Attempt> {
+    let mut open: BTreeMap<(u32, u32), (u64, u32, TaskClass, bool)> = BTreeMap::new();
+    let mut done: Vec<Attempt> = Vec::new();
+    let mut last = 0u64;
+    for e in events {
+        last = last.max(e.at.0);
+        match e.ev {
+            TraceEvent::TaskLaunched {
+                task,
+                node,
+                class,
+                attempt,
+                speculative,
+                ..
+            } => {
+                open.insert((task, attempt), (e.at.0, node, class, speculative));
+            }
+            TraceEvent::TaskFinished {
+                task,
+                attempt,
+                ghost,
+                ..
+            } => {
+                if let Some((start, node, class, _)) = open.remove(&(task, attempt)) {
+                    done.push(Attempt {
+                        task,
+                        class,
+                        node,
+                        attempt,
+                        start_ns: start,
+                        end_ns: e.at.0,
+                        outcome: if ghost {
+                            Outcome::Ghost
+                        } else {
+                            Outcome::Completed
+                        },
+                    });
+                }
+            }
+            TraceEvent::TaskRetried { task, attempt, .. } => {
+                if let Some((start, node, class, _)) = open.remove(&(task, attempt)) {
+                    done.push(Attempt {
+                        task,
+                        class,
+                        node,
+                        attempt,
+                        start_ns: start,
+                        end_ns: e.at.0,
+                        outcome: Outcome::Failed,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    for ((task, attempt), (start, node, class, _)) in open {
+        done.push(Attempt {
+            task,
+            class,
+            node,
+            attempt,
+            start_ns: start,
+            end_ns: last.max(start),
+            outcome: Outcome::Completed,
+        });
+    }
+    done.sort_by_key(|a| (a.start_ns, a.task, a.attempt));
+    done
+}
+
+/// End-to-end job-time attribution. All values are integer nanoseconds; the
+/// buckets partition `job_ns` exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Attribution {
+    pub job_ns: u64,
+    pub compute_ns: u64,
+    pub store_ns: u64,
+    pub fetch_ns: u64,
+    pub lock_wait_ns: u64,
+    pub gc_stall_ns: u64,
+    pub retry_waste_ns: u64,
+    pub other_ns: u64,
+}
+
+impl Attribution {
+    pub fn buckets(&self) -> [(&'static str, u64); 7] {
+        [
+            ("compute", self.compute_ns),
+            ("store", self.store_ns),
+            ("fetch", self.fetch_ns),
+            ("lock-wait", self.lock_wait_ns),
+            ("gc-stall", self.gc_stall_ns),
+            ("retry-waste", self.retry_waste_ns),
+            ("other", self.other_ns),
+        ]
+    }
+
+    /// Sum of all buckets — equals `job_ns` by construction.
+    pub fn sum_ns(&self) -> u64 {
+        self.buckets().iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// Sweep-line counter categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Cat {
+    Lock,
+    GcDevice,
+    Fetch,
+    Store,
+    Compute,
+    Waste,
+}
+
+pub fn attribute(events: &[TimedEvent]) -> Attribution {
+    let Some((job_start, job_end)) = job_window(events) else {
+        return Attribution::default();
+    };
+    let mut deltas: Vec<(u64, Cat, i64)> = Vec::new();
+    let mut span = |s: u64, e: u64, cat: Cat| {
+        let (s, e) = (s.clamp(job_start, job_end), e.clamp(job_start, job_end));
+        if e > s {
+            deltas.push((s, cat, 1));
+            deltas.push((e, cat, -1));
+        }
+    };
+
+    // Task attempts: successful ones count toward their phase; failed and
+    // ghost attempts are retry-waste. A retry backoff window is waste too.
+    for a in attempts(events) {
+        let cat = match a.outcome {
+            Outcome::Completed => match a.class {
+                TaskClass::Compute => Cat::Compute,
+                TaskClass::Store => Cat::Store,
+                TaskClass::Fetch => Cat::Fetch,
+            },
+            Outcome::Failed | Outcome::Ghost => Cat::Waste,
+        };
+        span(a.start_ns, a.end_ns, cat);
+    }
+
+    // Lock waits, retry backoffs, and SSD device stalls.
+    let mut lock_open: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut gc_open: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut buf_open: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in events {
+        let t = e.at.0;
+        match e.ev {
+            TraceEvent::TaskRetried { backoff_ns, .. } if backoff_ns > 0 => {
+                span(t, t.saturating_add(backoff_ns), Cat::Waste);
+            }
+            TraceEvent::LockWaitStart { task } => {
+                lock_open.insert(task, t);
+            }
+            TraceEvent::LockWaitEnd { task } => {
+                if let Some(s) = lock_open.remove(&task) {
+                    span(s, t, Cat::Lock);
+                }
+            }
+            TraceEvent::LockWaitFor { dur_ns, .. } => {
+                span(t, t.saturating_add(dur_ns), Cat::Lock);
+            }
+            TraceEvent::GcStart { node } => {
+                gc_open.entry(node).or_insert(t);
+            }
+            TraceEvent::GcEnd { node } => {
+                if let Some(s) = gc_open.remove(&node) {
+                    span(s, t, Cat::GcDevice);
+                }
+            }
+            TraceEvent::BufFull { node } => {
+                buf_open.entry(node).or_insert(t);
+            }
+            TraceEvent::BufDrained { node } => {
+                if let Some(s) = buf_open.remove(&node) {
+                    span(s, t, Cat::GcDevice);
+                }
+            }
+            _ => {}
+        }
+    }
+    for (_, s) in lock_open {
+        span(s, job_end, Cat::Lock);
+    }
+    for (_, s) in gc_open {
+        span(s, job_end, Cat::GcDevice);
+    }
+    for (_, s) in buf_open {
+        span(s, job_end, Cat::GcDevice);
+    }
+
+    // Sweep the elementary segments between boundary points.
+    let mut bounds: Vec<u64> = deltas.iter().map(|&(t, _, _)| t).collect();
+    bounds.push(job_start);
+    bounds.push(job_end);
+    bounds.sort_unstable();
+    bounds.dedup();
+    deltas.sort_by_key(|&(t, cat, d)| (t, cat, d));
+
+    let mut att = Attribution {
+        job_ns: job_end - job_start,
+        ..Attribution::default()
+    };
+    let mut counts = [0i64; 6]; // indexed by Cat order
+    let mut di = 0usize;
+    for w in bounds.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        while di < deltas.len() && deltas[di].0 <= a {
+            let (_, cat, d) = deltas[di];
+            counts[cat as usize] += d;
+            di += 1;
+        }
+        let len = b - a;
+        let active = |c: Cat| counts[c as usize] > 0;
+        let bucket = if active(Cat::Lock) {
+            &mut att.lock_wait_ns
+        } else if active(Cat::GcDevice) && active(Cat::Store) {
+            &mut att.gc_stall_ns
+        } else if active(Cat::Fetch) {
+            &mut att.fetch_ns
+        } else if active(Cat::Store) {
+            &mut att.store_ns
+        } else if active(Cat::Compute) {
+            &mut att.compute_ns
+        } else if active(Cat::Waste) {
+            &mut att.retry_waste_ns
+        } else {
+            &mut att.other_ns
+        };
+        *bucket += len;
+    }
+    att
+}
+
+/// `[first JobStart, last JobEnd]`, falling back to the full event span.
+fn job_window(events: &[TimedEvent]) -> Option<(u64, u64)> {
+    if events.is_empty() {
+        return None;
+    }
+    let mut start = None;
+    let mut end = None;
+    for e in events {
+        match e.ev {
+            TraceEvent::JobStart { .. } if start.is_none() => start = Some(e.at.0),
+            TraceEvent::JobEnd { .. } => end = Some(e.at.0),
+            _ => {}
+        }
+    }
+    let lo = start.unwrap_or_else(|| events.iter().map(|e| e.at.0).min().unwrap_or(0));
+    let hi = end.unwrap_or_else(|| events.iter().map(|e| e.at.0).max().unwrap_or(0));
+    (hi >= lo).then_some((lo, hi))
+}
+
+/// Top-K straggler attempts: the longest successfully-completed attempts,
+/// ties broken by (task, attempt) for determinism.
+pub fn stragglers(events: &[TimedEvent], k: usize) -> Vec<Attempt> {
+    let mut good: Vec<Attempt> = attempts(events)
+        .into_iter()
+        .filter(|a| a.outcome == Outcome::Completed)
+        .collect();
+    good.sort_by(|x, y| {
+        y.dur_ns()
+            .cmp(&x.dur_ns())
+            .then(x.task.cmp(&y.task))
+            .then(x.attempt.cmp(&y.attempt))
+    });
+    good.truncate(k);
+    good
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memres_des::time::SimTime;
+
+    fn ev(at_ns: u64, seq: u64, ev: TraceEvent) -> TimedEvent {
+        TimedEvent {
+            at: SimTime(at_ns),
+            seq,
+            ev,
+        }
+    }
+
+    fn launch(at: u64, seq: u64, task: u32, class: TaskClass, attempt: u32) -> TimedEvent {
+        ev(
+            at,
+            seq,
+            TraceEvent::TaskLaunched {
+                task,
+                node: 0,
+                class,
+                attempt,
+                queue_delay_ns: 0,
+                speculative: false,
+            },
+        )
+    }
+
+    fn finish(at: u64, seq: u64, task: u32, class: TaskClass, attempt: u32) -> TimedEvent {
+        ev(
+            at,
+            seq,
+            TraceEvent::TaskFinished {
+                task,
+                node: 0,
+                class,
+                attempt,
+                ghost: false,
+            },
+        )
+    }
+
+    #[test]
+    fn buckets_partition_job_time_exactly() {
+        // Job 0..100. Compute 10..40, store 40..60 with GC 50..70 on the
+        // store's node, fetch 60..90, lock wait 85..95.
+        let evs = vec![
+            ev(0, 0, TraceEvent::JobStart { job: 0 }),
+            launch(10, 1, 1, TaskClass::Compute, 0),
+            finish(40, 2, 1, TaskClass::Compute, 0),
+            launch(40, 3, 2, TaskClass::Store, 0),
+            ev(50, 4, TraceEvent::GcStart { node: 0 }),
+            finish(60, 5, 2, TaskClass::Store, 0),
+            launch(60, 6, 3, TaskClass::Fetch, 0),
+            ev(70, 7, TraceEvent::GcEnd { node: 0 }),
+            ev(85, 8, TraceEvent::LockWaitStart { task: 3 }),
+            finish(90, 9, 3, TaskClass::Fetch, 0),
+            ev(95, 10, TraceEvent::LockWaitEnd { task: 3 }),
+            ev(
+                100,
+                11,
+                TraceEvent::JobEnd {
+                    job: 0,
+                    aborted: false,
+                },
+            ),
+        ];
+        let att = attribute(&evs);
+        assert_eq!(att.job_ns, 100);
+        assert_eq!(att.sum_ns(), att.job_ns, "buckets must partition the job");
+        assert_eq!(att.compute_ns, 30);
+        assert_eq!(att.store_ns, 10); // 40..50 (GC takes 50..60)
+        assert_eq!(att.gc_stall_ns, 10); // GC active while store runs
+        assert_eq!(att.fetch_ns, 25); // 60..85 (lock wait takes 85..90)
+        assert_eq!(att.lock_wait_ns, 10); // 85..95
+        assert_eq!(att.retry_waste_ns, 0);
+        assert_eq!(att.other_ns, 15); // 0..10 and 95..100
+    }
+
+    #[test]
+    fn failed_attempts_and_backoff_are_waste() {
+        let evs = vec![
+            ev(0, 0, TraceEvent::JobStart { job: 0 }),
+            launch(0, 1, 1, TaskClass::Fetch, 0),
+            ev(
+                20,
+                2,
+                TraceEvent::TaskRetried {
+                    task: 1,
+                    node: 0,
+                    attempt: 0,
+                    wasted_ns: 20,
+                    backoff_ns: 10,
+                },
+            ),
+            launch(30, 3, 1, TaskClass::Fetch, 1),
+            finish(50, 4, 1, TaskClass::Fetch, 1),
+            ev(
+                50,
+                5,
+                TraceEvent::JobEnd {
+                    job: 0,
+                    aborted: false,
+                },
+            ),
+        ];
+        let att = attribute(&evs);
+        assert_eq!(att.sum_ns(), att.job_ns);
+        assert_eq!(att.retry_waste_ns, 30); // failed attempt + backoff
+        assert_eq!(att.fetch_ns, 20);
+        assert_eq!(att.other_ns, 0);
+    }
+
+    #[test]
+    fn stragglers_are_longest_completed_attempts() {
+        let evs = vec![
+            launch(0, 0, 1, TaskClass::Compute, 0),
+            launch(0, 1, 2, TaskClass::Compute, 0),
+            launch(0, 2, 3, TaskClass::Compute, 0),
+            finish(30, 3, 2, TaskClass::Compute, 0),
+            finish(10, 4, 1, TaskClass::Compute, 0),
+            finish(20, 5, 3, TaskClass::Compute, 0),
+        ];
+        let top = stragglers(&evs, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].task, 2);
+        assert_eq!(top[1].task, 3);
+    }
+
+    #[test]
+    fn empty_trace_attributes_nothing() {
+        let att = attribute(&[]);
+        assert_eq!(att.job_ns, 0);
+        assert_eq!(att.sum_ns(), 0);
+    }
+}

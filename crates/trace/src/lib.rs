@@ -1,0 +1,388 @@
+//! Deterministic structured event tracing (DESIGN.md §4.11).
+//!
+//! Every substrate of the simulator — scheduler, network flows, Lustre DLM,
+//! SSD write-buffer/GC, fault injection — can emit typed events into one
+//! [`TraceSink`], stamped with simulated time and an emission sequence
+//! number. The sink never touches the host: no clocks, no I/O, no hashing.
+//! Trace bytes are therefore a pure function of (workload, config, seed) and
+//! must be identical across executor-thread counts and repeated runs; the
+//! determinism tests in `memres-core` compare them byte for byte.
+//!
+//! The layers on top:
+//! * [`analyze`] — critical-path attribution of end-to-end job time into
+//!   compute / store / fetch / lock-wait / gc-stall / retry-waste buckets
+//!   (exact by construction: integer-nanosecond segments that partition the
+//!   job window), plus top-K straggler chains.
+//! * [`export`] — Chrome trace-event (Perfetto-loadable) JSON and a compact
+//!   `events.jsonl`, built as strings here and written to disk only by the
+//!   bench layer (the designated I/O seam).
+
+pub mod analyze;
+pub mod export;
+
+use memres_des::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How much to record. `Off` must cost near-zero: the engine holds no sink
+/// at all when tracing is off, so the guard is a single `Option` test.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    #[default]
+    Off,
+    /// Task/job/scheduler/fault lifecycle only.
+    Lifecycle,
+    /// Everything: flows, DLM locks, SSD GC state transitions.
+    Full,
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    pub level: TraceLevel,
+}
+
+impl TraceConfig {
+    pub fn off() -> TraceConfig {
+        TraceConfig::default()
+    }
+
+    pub fn lifecycle() -> TraceConfig {
+        TraceConfig {
+            level: TraceLevel::Lifecycle,
+        }
+    }
+
+    pub fn full() -> TraceConfig {
+        TraceConfig {
+            level: TraceLevel::Full,
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.level != TraceLevel::Off
+    }
+}
+
+/// Coarse task classification mirroring `Phase` in memres-core (kept
+/// separate so this crate depends only on memres-des).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TaskClass {
+    Compute,
+    Store,
+    Fetch,
+}
+
+impl TaskClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskClass::Compute => "compute",
+            TaskClass::Store => "store",
+            TaskClass::Fetch => "fetch",
+        }
+    }
+}
+
+/// The event taxonomy. Payloads are plain integers/floats chosen so the
+/// whole record serializes without any host-dependent state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    // ---- job / stage lifecycle ----
+    JobStart {
+        job: u32,
+    },
+    JobEnd {
+        job: u32,
+        aborted: bool,
+    },
+    StageStart {
+        stage: u32,
+        tasks: u32,
+    },
+    // ---- task lifecycle ----
+    TaskQueued {
+        task: u32,
+        stage: u32,
+        class: TaskClass,
+        attempt: u32,
+    },
+    TaskLaunched {
+        task: u32,
+        node: u32,
+        class: TaskClass,
+        attempt: u32,
+        queue_delay_ns: u64,
+        speculative: bool,
+    },
+    TaskFinished {
+        task: u32,
+        node: u32,
+        class: TaskClass,
+        attempt: u32,
+        ghost: bool,
+    },
+    TaskRetried {
+        task: u32,
+        node: u32,
+        attempt: u32,
+        wasted_ns: u64,
+        backoff_ns: u64,
+    },
+    // ---- scheduler decisions ----
+    DelayWait {
+        node: u32,
+        until_ns: u64,
+    },
+    ElbDecline {
+        node: u32,
+    },
+    CadGate {
+        node: u32,
+        until_ns: u64,
+    },
+    Speculate {
+        task: u32,
+        twin: u32,
+    },
+    // ---- network flows ----
+    FlowStart {
+        flow: u64,
+    },
+    FlowEnd {
+        flow: u64,
+        bytes: f64,
+        dur_ns: u64,
+    },
+    // ---- Lustre DLM ----
+    LockAcquire {
+        file: u64,
+        client: u32,
+    },
+    LockRelease {
+        file: u64,
+    },
+    LockRevoke {
+        file: u64,
+        dirty_bytes: f64,
+    },
+    LockWaitStart {
+        task: u32,
+    },
+    LockWaitEnd {
+        task: u32,
+    },
+    /// A fixed-latency lock wait known at emission time (revocation round
+    /// trip): covers `[at, at + dur_ns]`.
+    LockWaitFor {
+        task: u32,
+        dur_ns: u64,
+    },
+    // ---- SSD write buffer / GC ----
+    GcStart {
+        node: u32,
+    },
+    GcEnd {
+        node: u32,
+    },
+    BufFull {
+        node: u32,
+    },
+    BufDrained {
+        node: u32,
+    },
+    // ---- faults and recovery ----
+    FaultInjected {
+        kind: &'static str,
+        node: u32,
+    },
+    NodeDown {
+        node: u32,
+    },
+    NodeUp {
+        node: u32,
+    },
+    Blacklisted {
+        node: u32,
+    },
+    BlocksLost {
+        node: u32,
+        blocks: u64,
+    },
+    Rehost {
+        from: u32,
+        to: u32,
+    },
+    GhostsSpawned {
+        node: u32,
+        count: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable machine name of the variant (events.jsonl `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::JobStart { .. } => "job_start",
+            TraceEvent::JobEnd { .. } => "job_end",
+            TraceEvent::StageStart { .. } => "stage_start",
+            TraceEvent::TaskQueued { .. } => "task_queued",
+            TraceEvent::TaskLaunched { .. } => "task_launched",
+            TraceEvent::TaskFinished { .. } => "task_finished",
+            TraceEvent::TaskRetried { .. } => "task_retried",
+            TraceEvent::DelayWait { .. } => "delay_wait",
+            TraceEvent::ElbDecline { .. } => "elb_decline",
+            TraceEvent::CadGate { .. } => "cad_gate",
+            TraceEvent::Speculate { .. } => "speculate",
+            TraceEvent::FlowStart { .. } => "flow_start",
+            TraceEvent::FlowEnd { .. } => "flow_end",
+            TraceEvent::LockAcquire { .. } => "lock_acquire",
+            TraceEvent::LockRelease { .. } => "lock_release",
+            TraceEvent::LockRevoke { .. } => "lock_revoke",
+            TraceEvent::LockWaitStart { .. } => "lock_wait_start",
+            TraceEvent::LockWaitEnd { .. } => "lock_wait_end",
+            TraceEvent::LockWaitFor { .. } => "lock_wait_for",
+            TraceEvent::GcStart { .. } => "gc_start",
+            TraceEvent::GcEnd { .. } => "gc_end",
+            TraceEvent::BufFull { .. } => "buf_full",
+            TraceEvent::BufDrained { .. } => "buf_drained",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::NodeDown { .. } => "node_down",
+            TraceEvent::NodeUp { .. } => "node_up",
+            TraceEvent::Blacklisted { .. } => "blacklisted",
+            TraceEvent::BlocksLost { .. } => "blocks_lost",
+            TraceEvent::Rehost { .. } => "rehost",
+            TraceEvent::GhostsSpawned { .. } => "ghosts_spawned",
+        }
+    }
+
+    /// Does this event belong to the cheap `Lifecycle` level (vs `Full`)?
+    fn is_lifecycle(&self) -> bool {
+        !matches!(
+            self,
+            TraceEvent::FlowStart { .. }
+                | TraceEvent::FlowEnd { .. }
+                | TraceEvent::LockAcquire { .. }
+                | TraceEvent::LockRelease { .. }
+                | TraceEvent::LockRevoke { .. }
+                | TraceEvent::GcStart { .. }
+                | TraceEvent::GcEnd { .. }
+                | TraceEvent::BufFull { .. }
+                | TraceEvent::BufDrained { .. }
+        )
+    }
+}
+
+/// One recorded event: simulated instant + emission sequence number. The
+/// sequence number makes equal-time events totally ordered, so sorting the
+/// log is a no-op and serialization is reproducible.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    pub at: SimTime,
+    pub seq: u64,
+    pub ev: TraceEvent,
+}
+
+/// Append-only in-memory event log. No host I/O, no host clocks.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    level: TraceLevel,
+    seq: u64,
+    events: Vec<TimedEvent>,
+}
+
+impl TraceSink {
+    pub fn new(cfg: TraceConfig) -> TraceSink {
+        TraceSink {
+            level: cfg.level,
+            seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.level != TraceLevel::Off
+    }
+
+    pub fn emit(&mut self, at: SimTime, ev: TraceEvent) {
+        if self.level == TraceLevel::Off {
+            return;
+        }
+        if self.level == TraceLevel::Lifecycle && !ev.is_lifecycle() {
+            return;
+        }
+        self.events.push(TimedEvent {
+            at,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Drain the log (sequence numbering continues across takes).
+    pub fn take(&mut self) -> Vec<TimedEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// The sink as shared by every substrate of one engine. The simulation event
+/// loop is single-threaded (the parallel UDF pool never traces), so a
+/// single-threaded shared cell is sufficient and keeps emission cheap.
+pub type SharedSink = Rc<RefCell<TraceSink>>;
+
+pub fn shared(cfg: TraceConfig) -> SharedSink {
+    Rc::new(RefCell::new(TraceSink::new(cfg)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_sink_records_nothing() {
+        let mut s = TraceSink::new(TraceConfig::off());
+        assert!(!s.enabled());
+        s.emit(SimTime::ZERO, TraceEvent::JobStart { job: 0 });
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn lifecycle_level_drops_substrate_events() {
+        let mut s = TraceSink::new(TraceConfig::lifecycle());
+        s.emit(SimTime::ZERO, TraceEvent::JobStart { job: 0 });
+        s.emit(SimTime::ZERO, TraceEvent::FlowStart { flow: 1 });
+        s.emit(SimTime::ZERO, TraceEvent::GcStart { node: 0 });
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.events()[0].ev.kind(), "job_start");
+    }
+
+    #[test]
+    fn full_level_keeps_everything_in_emission_order() {
+        let mut s = TraceSink::new(TraceConfig::full());
+        s.emit(
+            SimTime::from_secs_f64(1.0),
+            TraceEvent::FlowStart { flow: 7 },
+        );
+        s.emit(
+            SimTime::from_secs_f64(1.0),
+            TraceEvent::LockAcquire { file: 3, client: 2 },
+        );
+        let evs = s.take();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 1);
+        assert!(s.is_empty());
+    }
+}

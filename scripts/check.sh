@@ -29,3 +29,27 @@ cargo run -q --release -p memres-bench --bin repro -- --smoke --json "$out" faul
 test -s "$out/faults.json" || { echo "faults.json missing or empty"; exit 1; }
 grep -q '"tasks_retried"' "$out/faults.json" || { echo "faults.json malformed"; exit 1; }
 echo "ok: $out/faults.json"
+
+echo "== trace smoke (Perfetto JSON, byte-deterministic) =="
+# One traced cell, run twice into separate dirs: the Perfetto JSON must
+# parse and both runs must produce byte-identical trace artifacts
+# (DESIGN.md 4.11 determinism contract, from the shell's point of view).
+cell="fig7a_400gb_ramdisk"
+run_a="$out/trace-a"; run_b="$out/trace-b"
+cargo run -q --release -p memres-bench --bin repro -- --smoke --json "$run_a" trace "$cell" >/dev/null
+cargo run -q --release -p memres-bench --bin repro -- --smoke --json "$run_b" trace "$cell" >/dev/null
+for d in "$run_a" "$run_b"; do
+  test -s "$d/$cell.trace.json" || { echo "$d/$cell.trace.json missing or empty"; exit 1; }
+  test -s "$d/$cell.events.jsonl" || { echo "$d/$cell.events.jsonl missing or empty"; exit 1; }
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents'], 'no trace events'" \
+    "$run_a/$cell.trace.json" || { echo "trace.json is not valid JSON"; exit 1; }
+else
+  echo "(python3 not found; skipping JSON parse validation)"
+fi
+cmp -s "$run_a/$cell.trace.json" "$run_b/$cell.trace.json" \
+  || { echo "trace.json differs between identical runs"; exit 1; }
+cmp -s "$run_a/$cell.events.jsonl" "$run_b/$cell.events.jsonl" \
+  || { echo "events.jsonl differs between identical runs"; exit 1; }
+echo "ok: $run_a/$cell.trace.json (deterministic)"
