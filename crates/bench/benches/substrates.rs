@@ -18,6 +18,32 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// 1e6-event push/pop through both queue implementations: the calendar
+/// (default) against the legacy binary heap it replaced. Pushes use a
+/// pseudo-random spread over a wide horizon, the access pattern the
+/// calendar's bucket sizing has to absorb.
+fn bench_event_queue_1m(c: &mut Criterion) {
+    const N: u64 = 1_000_000;
+    c.bench_function("calendar_push_pop_1m", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..N {
+                q.push(SimTime(i.wrapping_mul(6364136223846793005) % (N * 64)), i);
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    c.bench_function("heap_push_pop_1m", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::heap();
+            for i in 0..N {
+                q.push(SimTime(i.wrapping_mul(6364136223846793005) % (N * 64)), i);
+            }
+            while q.pop().is_some() {}
+        })
+    });
+}
+
 fn bench_ps(c: &mut Criterion) {
     c.bench_function("ps_resource_1k_jobs", |b| {
         b.iter(|| {
@@ -72,6 +98,7 @@ fn bench_ssd(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_event_queue_1m,
     bench_ps,
     bench_flownet,
     bench_ssd

@@ -24,7 +24,7 @@
 //! top straggler attempts instead (see DESIGN.md §4.11).
 
 use memres_bench::experiments as ex;
-use memres_bench::{perf, trace, Table};
+use memres_bench::{perf, scale, trace, Table};
 use std::io::Write;
 
 /// Every runnable target, in `all` order (`bench` is opt-in, not in `all`).
@@ -55,6 +55,7 @@ const ALL_TARGETS: [&str; 21] = [
 fn valid_target(t: &str) -> bool {
     t == "all"
         || t == "bench"
+        || t == "scale"
         || t == "fig14a"
         || t == "fig14b"
         || t == "faults-abort"
@@ -64,7 +65,7 @@ fn valid_target(t: &str) -> bool {
 fn usage() -> String {
     format!(
         "usage: repro [--smoke] [--scale X] [--seed N] [--json DIR] <target>...\n\
-         targets: {} fig14a fig14b faults-abort bench all\n\
+         targets: {} fig14a fig14b faults-abort bench scale all\n\
          \u{20}        trace <cell> | explain <cell>, cell one of: {}",
         ALL_TARGETS.join(" "),
         perf::CELL_NAMES.join(" ")
@@ -85,6 +86,8 @@ fn usage_error(flag: &str, what: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut setup = ex::Setup::paper();
+    let mut smoke = false;
+    let mut baseline = false;
     let mut json_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     // `(subcommand, cell)` pairs for `trace <cell>` / `explain <cell>`.
@@ -103,7 +106,11 @@ fn main() {
                 }
                 cell_cmds.push((cmd, cell));
             }
-            "--smoke" => setup = ex::Setup::smoke(),
+            "--smoke" => {
+                setup = ex::Setup::smoke();
+                smoke = true;
+            }
+            "--baseline" => baseline = true,
             "--scale" => {
                 i += 1;
                 setup.scale = operand(&args, i, "--scale", "a float")
@@ -185,12 +192,42 @@ fn main() {
             "baselines" => job_aborted |= emit(&ex::baseline_speculation(setup), &json_dir),
             "faults" => job_aborted |= emit(&ex::faults(setup), &json_dir),
             "faults-abort" => job_aborted |= emit(&ex::faults_abort(setup), &json_dir),
+            "scale" => {
+                // `--smoke` runs only the CI-sized cell; `--baseline` turns
+                // the scale optimizations off (where feasible) for the
+                // before/after record in BENCH_6.json.
+                let mut records = Vec::new();
+                for c in scale::selected(smoke) {
+                    if baseline && !scale::baseline_feasible(c.name) {
+                        eprintln!(
+                            "skipping {} baseline: per-node flows at {} nodes are \
+                             infeasible (see DESIGN.md, rack aggregation)",
+                            c.name, c.workers
+                        );
+                        continue;
+                    }
+                    let t0 = std::time::Instant::now();
+                    let r = scale::run(c, setup.seed, baseline);
+                    eprintln!("[{} took {:.1}s]", c.name, t0.elapsed().as_secs_f64());
+                    records.push(r);
+                }
+                println!("{}", scale::table(&records, baseline).render());
+                if let Some(dir) = &json_dir {
+                    std::fs::create_dir_all(dir).expect("create json dir");
+                    let suffix = if baseline { "scale_baseline" } else { "scale" };
+                    let path = format!("{dir}/{suffix}.json");
+                    let mut f = std::fs::File::create(&path).expect("create json file");
+                    let _ = writeln!(f, "{}", scale::to_json(setup.seed, baseline, &records));
+                    eprintln!("wrote {path}");
+                }
+            }
             "bench" => {
-                let records = perf::suite(setup);
+                let records = perf::suite_baseline(setup, baseline);
                 println!("{}", perf::table(&records).render());
                 if let Some(dir) = &json_dir {
                     std::fs::create_dir_all(dir).expect("create json dir");
-                    let path = format!("{dir}/bench.json");
+                    let suffix = if baseline { "bench_baseline" } else { "bench" };
+                    let path = format!("{dir}/{suffix}.json");
                     let mut f = std::fs::File::create(&path).expect("create json file");
                     let _ = writeln!(f, "{}", perf::to_json(setup, &records));
                     eprintln!("wrote {path}");
@@ -245,7 +282,7 @@ mod tests {
         for t in ALL_TARGETS {
             assert!(valid_target(t), "{t}");
         }
-        for t in ["all", "bench", "fig14a", "fig14b"] {
+        for t in ["all", "bench", "scale", "fig14a", "fig14b"] {
             assert!(valid_target(t), "{t}");
         }
     }
@@ -263,6 +300,6 @@ mod tests {
         for t in ALL_TARGETS {
             assert!(u.contains(t), "usage is missing {t}");
         }
-        assert!(u.contains("bench all"));
+        assert!(u.contains("bench scale all"));
     }
 }

@@ -10,6 +10,7 @@
 pub mod experiments;
 pub mod json;
 pub mod perf;
+pub mod scale;
 pub mod trace;
 
 use std::fmt::Write as _;

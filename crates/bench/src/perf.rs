@@ -103,10 +103,23 @@ fn time_run(
 /// The mid-size Fig 7a / Fig 8a cells (400 GB and 600 GB paper-scale,
 /// shrunk by `setup.scale` like every other experiment).
 pub fn suite(setup: Setup) -> Vec<PerfRecord> {
+    suite_baseline(setup, false)
+}
+
+/// Same cells with `baseline = true` re-running on the legacy binary-heap
+/// event queue with rack aggregation disabled — the before/after record in
+/// BENCH_6.json. (At 100 nodes the aggregation threshold is never crossed,
+/// so the paper cells isolate the queue swap.)
+pub fn suite_baseline(setup: Setup, baseline: bool) -> Vec<PerfRecord> {
     CELL_NAMES
         .iter()
         .map(|name| {
-            let (spec, cfg, gb) = cell(setup, name).expect("suite cell must resolve");
+            let (spec, mut cfg, gb) = cell(setup, name).expect("suite cell must resolve");
+            if baseline {
+                cfg = cfg
+                    .with_legacy_event_queue()
+                    .with_rack_agg_threshold(u32::MAX);
+            }
             time_run(name, spec, cfg, &gb)
         })
         .collect()
@@ -205,6 +218,21 @@ mod tests {
         assert_eq!(t.column("wall_s"), vec![0.25, 0.75]);
         assert_eq!(t.column("events_per_s"), vec![4000.0, 4000.0]);
         assert_eq!(t.column("heap_mb"), vec![2.0, 1024.0 / (1024.0 * 1024.0)]);
+    }
+
+    #[test]
+    fn zero_wall_clock_reports_zero_throughput() {
+        // Sub-resolution timers (or a clamped clock) must not divide by
+        // zero: events_per_sec is defined as 0 when no wall time elapsed.
+        let r = PerfRecord {
+            name: "instant",
+            wall_s: 0.0,
+            sim_s: 1.0,
+            events: 12345,
+            heap_bytes: 0,
+        };
+        assert_eq!(r.events_per_sec(), 0.0);
+        assert!(r.events_per_sec().is_finite());
     }
 
     #[test]

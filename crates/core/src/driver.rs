@@ -33,6 +33,9 @@ impl Driver {
         cfg.validate(spec.workers)?;
         let world = SimWorld::new(spec, cfg);
         let mut sim = Simulation::new(world);
+        if sim.model.cfg.legacy_event_queue {
+            sim.use_legacy_queue();
+        }
         sim.max_steps = 500_000_000;
         if sim.model.cfg.speed_sigma > 0.0 {
             let period = sim.model.cfg.speed_resample;

@@ -43,7 +43,7 @@ use memres_lustre::{Lustre, LustreConfig, LustreFile};
 use memres_net::{inflate_for_requests, Endpoint, Fabric, FlowId, FlowNet, LinkId};
 use memres_storage::{CacheConfig, FileId, LocalFs, RamDisk, Ssd, SsdConfig};
 use memres_trace::TraceEvent as TE;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// File-id name spaces on the per-node filesystems / Lustre.
@@ -102,6 +102,144 @@ struct Task {
     ghost: bool,
 }
 
+/// SoA task arena (DESIGN.md, scale-out engine): every per-task field lives
+/// in its own flat `Vec` indexed by task id. The hot scheduling scans
+/// (dispatch, crash handling, stale-completion filtering) each touch one or
+/// two fields of many tasks, so at 10⁶ tasks they walk dense homogeneous
+/// arrays instead of striding over ~130-byte task structs. [`Task`] survives
+/// as the push-site constructor — the arena scatters it on insert — and
+/// `Arc<[Record]>` payloads are shared exactly as before.
+#[derive(Default)]
+struct TaskArena {
+    stage: Vec<u32>,
+    kind: Vec<TaskKind>,
+    state: Vec<TState>,
+    node: Vec<u32>,
+    queued_at: Vec<SimTime>,
+    launched_at: Vec<SimTime>,
+    compute_dur: Vec<SimDuration>,
+    pipelined: Vec<bool>,
+    pending_io: Vec<u32>,
+    finish_scheduled: Vec<bool>,
+    input_bytes: Vec<f64>,
+    output_bytes: Vec<f64>,
+    records_est: Vec<u64>,
+    records_out: Vec<Option<Arc<[Record]>>>,
+    locality: Vec<TaskLocality>,
+    prefs: Vec<Vec<u32>>,
+    pinned: Vec<bool>,
+    twin: Vec<Option<u32>>,
+    is_speculative: Vec<bool>,
+    attempt: Vec<u32>,
+    doomed: Vec<Option<u32>>,
+    ghost: Vec<bool>,
+    /// Tasks currently in `TState::Pending` — dispatch early-exits on zero.
+    pending: usize,
+}
+
+impl TaskArena {
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        (id as usize) < self.state.len()
+    }
+
+    fn push(&mut self, t: Task) {
+        debug_assert_eq!(t.state, TState::Pending, "tasks are born pending");
+        self.stage.push(t.stage);
+        self.kind.push(t.kind);
+        self.state.push(t.state);
+        self.node.push(t.node);
+        self.queued_at.push(t.queued_at);
+        self.launched_at.push(t.launched_at);
+        self.compute_dur.push(t.compute_dur);
+        self.pipelined.push(t.pipelined);
+        self.pending_io.push(t.pending_io);
+        self.finish_scheduled.push(t.finish_scheduled);
+        self.input_bytes.push(t.input_bytes);
+        self.output_bytes.push(t.output_bytes);
+        self.records_est.push(t.records_est);
+        self.records_out.push(t.records_out);
+        self.locality.push(t.locality);
+        self.prefs.push(t.prefs);
+        self.pinned.push(t.pinned);
+        self.twin.push(t.twin);
+        self.is_speculative.push(t.is_speculative);
+        self.attempt.push(t.attempt);
+        self.doomed.push(t.doomed);
+        self.ghost.push(t.ghost);
+        self.pending += 1;
+    }
+
+    /// The only state-transition path: keeps the pending count exact.
+    fn set_state(&mut self, id: u32, s: TState) {
+        let cur = &mut self.state[id as usize];
+        self.pending -= (*cur == TState::Pending) as usize;
+        self.pending += (s == TState::Pending) as usize;
+        *cur = s;
+    }
+
+    fn clear(&mut self) {
+        self.stage.clear();
+        self.kind.clear();
+        self.state.clear();
+        self.node.clear();
+        self.queued_at.clear();
+        self.launched_at.clear();
+        self.compute_dur.clear();
+        self.pipelined.clear();
+        self.pending_io.clear();
+        self.finish_scheduled.clear();
+        self.input_bytes.clear();
+        self.output_bytes.clear();
+        self.records_est.clear();
+        self.records_out.clear();
+        self.locality.clear();
+        self.prefs.clear();
+        self.pinned.clear();
+        self.twin.clear();
+        self.is_speculative.clear();
+        self.attempt.clear();
+        self.doomed.clear();
+        self.ghost.clear();
+        self.pending = 0;
+    }
+
+    /// Heap charged to the arena's flat arrays (self-profiling).
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.stage.capacity() * size_of::<u32>()
+            + self.kind.capacity() * size_of::<TaskKind>()
+            + self.state.capacity() * size_of::<TState>()
+            + self.node.capacity() * size_of::<u32>()
+            + self.queued_at.capacity() * size_of::<SimTime>()
+            + self.launched_at.capacity() * size_of::<SimTime>()
+            + self.compute_dur.capacity() * size_of::<SimDuration>()
+            + self.pipelined.capacity()
+            + self.pending_io.capacity() * size_of::<u32>()
+            + self.finish_scheduled.capacity()
+            + self.input_bytes.capacity() * size_of::<f64>()
+            + self.output_bytes.capacity() * size_of::<f64>()
+            + self.records_est.capacity() * size_of::<u64>()
+            + self.records_out.capacity() * size_of::<Option<Arc<[Record]>>>()
+            + self.locality.capacity() * size_of::<TaskLocality>()
+            + self.prefs.capacity() * size_of::<Vec<u32>>()
+            + self
+                .prefs
+                .iter()
+                .map(|p| p.capacity() * size_of::<u32>())
+                .sum::<usize>()
+            + self.pinned.capacity()
+            + self.twin.capacity() * size_of::<Option<u32>>()
+            + self.is_speculative.capacity()
+            + self.attempt.capacity() * size_of::<u32>()
+            + self.doomed.capacity() * size_of::<Option<u32>>()
+            + self.ghost.capacity()
+    }
+}
+
 /// Network transfer tags.
 #[derive(Clone, Copy, Debug)]
 pub enum NetTag {
@@ -148,12 +286,112 @@ pub enum Ev {
     },
 }
 
+/// Deposited intermediate bytes, logically `[node][reducer]`. The dense
+/// matrix is exact and is used whenever real records flow or the matrix is
+/// small (paper cells: at most 2^20 entries, always dense, bit-identical to
+/// the historical `Vec<Vec<f64>>`). Huge synthetic shuffles switch to the
+/// uniform variant: hash partitioning spreads each producer's output evenly
+/// across reducers, so a per-node total loses nothing while cutting
+/// O(workers x reducers) heap to O(workers).
+enum ShuffleBuckets {
+    Dense {
+        reducers: u32,
+        m: Vec<Vec<f64>>,
+    },
+    Uniform {
+        reducers: u32,
+        node_totals: Vec<f64>,
+    },
+}
+
+impl ShuffleBuckets {
+    /// Largest node x reducer product that still gets the dense matrix.
+    const DENSE_LIMIT: usize = 1 << 20;
+
+    fn new(workers: usize, reducers: u32, real: bool) -> Self {
+        if real || workers.saturating_mul(reducers as usize) <= Self::DENSE_LIMIT {
+            ShuffleBuckets::Dense {
+                reducers,
+                m: vec![vec![0.0; reducers as usize]; workers],
+            }
+        } else {
+            ShuffleBuckets::Uniform {
+                reducers,
+                node_totals: vec![0.0; workers],
+            }
+        }
+    }
+
+    fn get(&self, node: usize, reducer: usize) -> f64 {
+        match self {
+            ShuffleBuckets::Dense { m, .. } => m[node][reducer],
+            ShuffleBuckets::Uniform {
+                reducers,
+                node_totals,
+            } => node_totals[node] / *reducers as f64,
+        }
+    }
+
+    /// Targeted deposit. Real-record hashing only happens in the dense arm
+    /// (the constructor forces dense when `real`); the uniform arm folds the
+    /// bytes into the node total, preserving conservation.
+    fn add(&mut self, node: usize, reducer: usize, bytes: f64) {
+        match self {
+            ShuffleBuckets::Dense { m, .. } => m[node][reducer] += bytes,
+            ShuffleBuckets::Uniform { node_totals, .. } => node_totals[node] += bytes,
+        }
+    }
+
+    /// Deposit `total` bytes spread evenly over every reducer (synthetic
+    /// producers model hash partitioning as a perfectly even split).
+    fn add_uniform(&mut self, node: usize, total: f64) {
+        match self {
+            ShuffleBuckets::Dense { reducers, m } => {
+                let per = total / *reducers as f64;
+                for b in m[node].iter_mut() {
+                    *b += per;
+                }
+            }
+            ShuffleBuckets::Uniform { node_totals, .. } => node_totals[node] += total,
+        }
+    }
+
+    /// Recovery re-hosting: move every deposited byte of `dead` onto `repl`.
+    fn move_node(&mut self, dead: usize, repl: usize) {
+        match self {
+            ShuffleBuckets::Dense { reducers, m } => {
+                let row = std::mem::replace(&mut m[dead], vec![0.0; *reducers as usize]);
+                for (b, bytes) in row.into_iter().enumerate() {
+                    m[repl][b] += bytes;
+                }
+            }
+            ShuffleBuckets::Uniform { node_totals, .. } => {
+                let moved = std::mem::take(&mut node_totals[dead]);
+                node_totals[repl] += moved;
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            ShuffleBuckets::Dense { m, .. } => {
+                m.iter().map(|r| r.capacity() * 8).sum::<usize>()
+                    + m.capacity() * std::mem::size_of::<Vec<f64>>()
+            }
+            ShuffleBuckets::Uniform { node_totals, .. } => node_totals.capacity() * 8,
+        }
+    }
+}
+
 /// Intermediate-data state between a producing stage and its fetch stage.
 struct ShuffleState {
     reducers: u32,
     spec: ShuffleInSpec,
     /// [node][reducer] → intermediate bytes deposited.
-    node_bucket_bytes: Vec<Vec<f64>>,
+    buckets: ShuffleBuckets,
+    /// Fetches ride rack-pair aggregate flows instead of per-node flows
+    /// (decided once at creation from `EngineConfig::rack_agg_threshold`).
+    aggregated: bool,
     /// Materialized buckets (real-data jobs): node → reducer → records.
     node_real: Option<Vec<Vec<Vec<Record>>>>,
     /// Per-node aggregated store file ids.
@@ -171,11 +409,18 @@ struct ShuffleState {
 }
 
 impl ShuffleState {
-    fn new(reducers: u32, spec: ShuffleInSpec, workers: usize, real: bool) -> Self {
+    fn new(
+        reducers: u32,
+        spec: ShuffleInSpec,
+        workers: usize,
+        real: bool,
+        aggregated: bool,
+    ) -> Self {
         ShuffleState {
             reducers,
             spec,
-            node_bucket_bytes: vec![vec![0.0; reducers as usize]; workers],
+            buckets: ShuffleBuckets::new(workers, reducers, real),
+            aggregated,
             node_real: real.then(|| vec![vec![Vec::new(); reducers as usize]; workers]),
             local_files: vec![None; workers],
             lustre_files: vec![None; workers],
@@ -273,7 +518,7 @@ pub struct SimWorld {
     speeds: SpeedSampler,
     pub metrics: MetricsSink,
 
-    tasks: Vec<Task>,
+    tasks: TaskArena,
     job: Option<JobRun>,
     job_seq: u32,
     pub job_done: bool,
@@ -281,6 +526,17 @@ pub struct SimWorld {
 
     // Scheduling state.
     free_slots: Vec<u32>,
+    /// Nodes currently able to accept a launch (up, not blacklisted, at
+    /// least one free slot). Kept in sync by `note_slot_change`; `dispatch`
+    /// walks this set instead of scanning every worker — the win that makes
+    /// 10k-node cells tractable. A `BTreeSet` keeps rotation order
+    /// deterministic.
+    avail: BTreeSet<u32>,
+    /// Per-node "blocked this pass" stamp; a node is blocked when its entry
+    /// equals `dispatch_round`. Replaces a fresh `vec![false; workers]`
+    /// allocation per dispatch phase.
+    blocked_stamp: Vec<u64>,
+    dispatch_round: u64,
     prefs_q: Vec<VecDeque<u32>>,
     no_pref_q: VecDeque<u32>,
     waiting_q: VecDeque<u32>,
@@ -410,6 +666,9 @@ impl SimWorld {
         let tracer = cfg.trace.enabled().then(|| memres_trace::shared(cfg.trace));
         let mut w = SimWorld {
             free_slots: vec![spec.cores_per_node; workers],
+            avail: (0..workers as u32).collect(),
+            blocked_stamp: vec![0; workers],
+            dispatch_round: 0,
             prefs_q: (0..workers).map(|_| VecDeque::new()).collect(),
             no_pref_q: VecDeque::new(),
             waiting_q: VecDeque::new(),
@@ -446,7 +705,7 @@ impl SimWorld {
             hdfs,
             speeds,
             metrics: MetricsSink::default(),
-            tasks: Vec::new(),
+            tasks: TaskArena::default(),
             job: None,
             job_seq: 0,
             job_done: false,
@@ -497,7 +756,7 @@ impl SimWorld {
     /// (tasks, trace log, shuffle bucket matrices). Self-profiling only —
     /// not a substitute for a real allocator hook.
     pub fn heap_estimate_bytes(&self) -> u64 {
-        let tasks = self.tasks.capacity() * std::mem::size_of::<Task>();
+        let tasks = self.tasks.heap_bytes();
         let trace = self
             .tracer
             .as_ref()
@@ -507,7 +766,7 @@ impl SimWorld {
             .job
             .as_ref()
             .and_then(|j| j.shuffle_out.as_ref().or(j.shuffle_in.as_ref()))
-            .map(|s| s.node_bucket_bytes.len() * s.reducers as usize * 8)
+            .map(|s| s.buckets.heap_bytes())
             .unwrap_or(0);
         (tasks + trace + shuffle) as u64
     }
@@ -591,7 +850,7 @@ impl SimWorld {
     /// the original request is still in flight, which cannot happen).
     fn io_tag(&self, task: u32) -> u64 {
         task as u64
-            | ((self.tasks[task as usize].attempt as u64 & 0xffff) << 32)
+            | ((self.tasks.attempt[task as usize] as u64 & 0xffff) << 32)
             | ((self.job_seq as u64 & 0xffff) << 48)
     }
 
@@ -607,7 +866,7 @@ impl SimWorld {
     fn net_tag(&self, task: u32) -> NetTag {
         NetTag::TaskIo {
             task,
-            attempt: self.tasks[task as usize].attempt,
+            attempt: self.tasks.attempt[task as usize],
             job: self.job_seq,
         }
     }
@@ -788,7 +1047,22 @@ impl SimWorld {
                 }
             };
             let workers = self.spec.workers as usize;
-            self.job_mut().shuffle_out = Some(ShuffleState::new(reducers, spec, workers, real));
+            // Rack aggregation kicks in when the per-rack-pair concurrent
+            // flow count (per_rack producers x per_rack consumers) exceeds
+            // the threshold; u32::MAX disables it outright. Only the
+            // store-served paths aggregate — LustreShared traffic already
+            // funnels through one pipe.
+            let aggregated = {
+                let per_rack = workers as u64 / self.spec.racks.max(1) as u64;
+                self.cfg.rack_agg_threshold != u32::MAX
+                    && matches!(
+                        self.cfg.shuffle,
+                        ShuffleStore::Local(_) | ShuffleStore::LustreLocal
+                    )
+                    && per_rack * per_rack > self.cfg.rack_agg_threshold as u64
+            };
+            self.job_mut().shuffle_out =
+                Some(ShuffleState::new(reducers, spec, workers, real, aggregated));
         }
 
         // Declare cache points so partially-cached RDDs are not reused.
@@ -849,7 +1123,7 @@ impl SimWorld {
                 TE::TaskQueued {
                     task: id,
                     stage: idx as u32,
-                    class: Self::trace_class(self.tasks[id as usize].kind),
+                    class: Self::trace_class(self.tasks.kind[id as usize]),
                     attempt: 0,
                 },
             );
@@ -892,15 +1166,15 @@ impl SimWorld {
 
     fn enqueue_pending(&mut self, ids: &[u32]) {
         for &id in ids {
-            let t = &self.tasks[id as usize];
-            if t.pinned {
-                self.prefs_q[t.prefs[0] as usize].push_back(id);
+            let prefs = &self.tasks.prefs[id as usize];
+            if self.tasks.pinned[id as usize] {
+                self.prefs_q[prefs[0] as usize].push_back(id);
                 continue;
             }
-            if t.prefs.is_empty() {
+            if prefs.is_empty() {
                 self.no_pref_q.push_back(id);
             } else {
-                for &n in &t.prefs {
+                for &n in prefs {
                     self.prefs_q[n as usize].push_back(id);
                 }
                 self.waiting_q.push_back(id);
@@ -944,14 +1218,14 @@ impl SimWorld {
     ) -> Result<Option<u32>, Option<SimTime>> {
         while let Some(&cand) = self.prefs_q[node as usize].front() {
             self.prefs_q[node as usize].pop_front();
-            if self.tasks[cand as usize].state == TState::Pending {
+            if self.tasks.state[cand as usize] == TState::Pending {
                 self.last_local_launch = now;
                 return Ok(Some(cand));
             }
         }
         while let Some(&cand) = self.no_pref_q.front() {
             self.no_pref_q.pop_front();
-            if self.tasks[cand as usize].state == TState::Pending {
+            if self.tasks.state[cand as usize] == TState::Pending {
                 return Ok(Some(cand));
             }
         }
@@ -962,7 +1236,7 @@ impl SimWorld {
             let Some(&cand) = self.waiting_q.front() else {
                 return Ok(None);
             };
-            if self.tasks[cand as usize].state != TState::Pending {
+            if self.tasks.state[cand as usize] != TState::Pending {
                 self.waiting_q.pop_front();
                 continue;
             }
@@ -985,8 +1259,27 @@ impl SimWorld {
         }
     }
 
+    /// Re-index `node` in the availability set after any change to its
+    /// free slots, liveness, or blacklist status. Every mutation site of
+    /// those three must call this, or `dispatch` will skip (or revisit) the
+    /// node.
+    fn note_slot_change(&mut self, node: u32) {
+        let i = node as usize;
+        if self.node_up[i] && !self.blacklisted[i] && self.free_slots[i] > 0 {
+            self.avail.insert(node);
+        } else {
+            self.avail.remove(&node);
+        }
+    }
+
     fn dispatch(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
         if self.job.is_none() {
+            return;
+        }
+        // Fast exit: with nothing pending and speculation off, no pass can
+        // launch anything (`pending_chains` is always empty between rounds),
+        // so the scan below would only re-derive "blocked" for every node.
+        if self.tasks.pending == 0 && self.cfg.speculation.is_none() {
             return;
         }
         let workers = self.spec.workers;
@@ -996,21 +1289,35 @@ impl SimWorld {
         // Two-phase rounds: first every node claims its locality-preferred
         // (or preference-free) tasks, one slot per pass; only then may the
         // FIFO path steal tasks that prefer other nodes.
+        // Rotation-ordered snapshot of nodes that can accept a launch.
+        // Availability only shrinks during a round (launches decrement
+        // slots; completions never interleave with dispatch), so the
+        // snapshot is a superset of what the full `0..workers` scan would
+        // visit — in the same order — and the in-loop guards skip the rest.
+        let start = self.rotate % workers;
+        let cands: Vec<u32> = self
+            .avail
+            .range(start..)
+            .chain(self.avail.range(..start))
+            .copied()
+            .collect();
         for allow_steal in [false, true] {
-            let mut blocked = vec![false; workers as usize];
+            self.dispatch_round += 1;
+            let round = self.dispatch_round;
             loop {
                 let mut launched_any = false;
-                for k in 0..workers {
-                    let node = (k + self.rotate) % workers;
+                for &node in &cands {
                     if !self.node_up[node as usize] || self.blacklisted[node as usize] {
                         continue;
                     }
-                    if blocked[node as usize] || self.free_slots[node as usize] == 0 {
+                    if self.blocked_stamp[node as usize] == round
+                        || self.free_slots[node as usize] == 0
+                    {
                         continue;
                     }
                     if self.elb_declines(node) {
                         self.trace(now, TE::ElbDecline { node });
-                        blocked[node as usize] = true;
+                        self.blocked_stamp[node as usize] = round;
                         continue;
                     }
                     if cad_on && self.cad_gates(node) {
@@ -1027,7 +1334,7 @@ impl SimWorld {
                                 );
                                 out.at(allowed, Ev::DispatchNode { node });
                             }
-                            blocked[node as usize] = true;
+                            self.blocked_stamp[node as usize] = round;
                             continue;
                         }
                     }
@@ -1042,14 +1349,14 @@ impl SimWorld {
                                     self.cad_wake_at[node as usize] = allowed;
                                     out.at(allowed, Ev::DispatchNode { node });
                                 }
-                                blocked[node as usize] = true; // one per interval
+                                self.blocked_stamp[node as usize] = round; // one per interval
                             }
                         }
                         Ok(None) => {
                             if allow_steal && self.maybe_speculate(now, node, out) {
                                 launched_any = true;
                             } else {
-                                blocked[node as usize] = true;
+                                self.blocked_stamp[node as usize] = round;
                             }
                         }
                         Err(retry) => {
@@ -1064,7 +1371,7 @@ impl SimWorld {
                                 earliest_retry =
                                     Some(earliest_retry.map_or(r, |e: SimTime| e.min(r)));
                             }
-                            blocked[node as usize] = true;
+                            self.blocked_stamp[node as usize] = round;
                         }
                     }
                 }
@@ -1114,15 +1421,15 @@ impl SimWorld {
         // Longest-elapsed running, unduplicated compute task not on `node`.
         let mut best: Option<(f64, u32)> = None;
         for &tid in &job.stage_tasks {
-            let t = &self.tasks[tid as usize];
-            if t.state != TState::Running
-                || t.twin.is_some()
-                || t.node == node
-                || !matches!(t.kind, TaskKind::Compute { .. })
+            let i = tid as usize;
+            if self.tasks.state[i] != TState::Running
+                || self.tasks.twin[i].is_some()
+                || self.tasks.node[i] == node
+                || !matches!(self.tasks.kind[i], TaskKind::Compute { .. })
             {
                 continue;
             }
-            let elapsed = now.since(t.launched_at).as_secs_f64();
+            let elapsed = now.since(self.tasks.launched_at[i]).as_secs_f64();
             if elapsed > threshold && best.is_none_or(|(e, _)| elapsed > e) {
                 best = Some((elapsed, tid));
             }
@@ -1131,9 +1438,8 @@ impl SimWorld {
             return false;
         };
         let dup = self.tasks.len() as u32;
-        let orig = &self.tasks[straggler as usize];
-        let kind = orig.kind;
-        let stage = orig.stage;
+        let kind = self.tasks.kind[straggler as usize];
+        let stage = self.tasks.stage[straggler as usize];
         self.tasks.push(Task {
             stage,
             kind,
@@ -1158,7 +1464,7 @@ impl SimWorld {
             doomed: None,
             ghost: false,
         });
-        self.tasks[straggler as usize].twin = Some(dup);
+        self.tasks.twin[straggler as usize] = Some(dup);
         self.trace(
             now,
             TE::Speculate {
@@ -1182,37 +1488,38 @@ impl SimWorld {
     // ---------------- task launch ----------------
 
     fn launch(&mut self, now: SimTime, task: u32, node: u32, out: &mut Outbox<Ev>) {
-        debug_assert_eq!(self.tasks[task as usize].state, TState::Pending);
+        debug_assert_eq!(self.tasks.state[task as usize], TState::Pending);
         self.launch_count += 1;
         let doomed = self
             .doomed_launches
             .binary_search(&self.launch_count)
             .is_ok();
         self.free_slots[node as usize] -= 1;
+        self.note_slot_change(node);
         {
-            let t = &mut self.tasks[task as usize];
-            t.state = TState::Running;
-            t.node = node;
-            t.launched_at = now;
+            let i = task as usize;
+            self.tasks.set_state(task, TState::Running);
+            self.tasks.node[i] = node;
+            self.tasks.launched_at[i] = now;
             if doomed {
-                t.doomed = Some(t.attempt);
+                self.tasks.doomed[i] = Some(self.tasks.attempt[i]);
             }
         }
         {
-            let t = &self.tasks[task as usize];
+            let i = task as usize;
             self.trace(
                 now,
                 TE::TaskLaunched {
                     task,
                     node,
-                    class: Self::trace_class(t.kind),
-                    attempt: t.attempt,
-                    queue_delay_ns: now.since(t.queued_at).0,
-                    speculative: t.is_speculative,
+                    class: Self::trace_class(self.tasks.kind[i]),
+                    attempt: self.tasks.attempt[i],
+                    queue_delay_ns: now.since(self.tasks.queued_at[i]).0,
+                    speculative: self.tasks.is_speculative[i],
                 },
             );
         }
-        match self.tasks[task as usize].kind {
+        match self.tasks.kind[task as usize] {
             TaskKind::Compute { part } => self.launch_compute(now, task, node, part, out),
             TaskKind::Store { producer } => self.launch_store(now, task, node, producer, out),
             TaskKind::Fetch { reducer } => self.launch_fetch(now, task, node, reducer, out),
@@ -1228,7 +1535,7 @@ impl SimWorld {
         out: &mut Outbox<Ev>,
     ) {
         let plan = self.plan();
-        let stage_idx = self.tasks[task as usize].stage as usize;
+        let stage_idx = self.tasks.stage[task as usize] as usize;
         let stage = &plan.stages[stage_idx];
 
         // Resolve input: bytes, records, data, the I/O to issue, locality.
@@ -1260,9 +1567,8 @@ impl SimWorld {
             // Real partition: the UDF chain is a pure function of the shared
             // input — defer it so the dispatch round can evaluate all such
             // chains on the worker pool, then commit in launch order.
-            let t = &mut self.tasks[task as usize];
-            t.input_bytes = in_bytes;
-            t.locality = locality;
+            self.tasks.input_bytes[task as usize] = in_bytes;
+            self.tasks.locality[task as usize] = locality;
             self.pending_chains.push(PendingChain {
                 task,
                 stage: stage_idx,
@@ -1280,13 +1586,13 @@ impl SimWorld {
                 run_narrow_chain(stage, in_bytes, in_records, None, speed);
             let dur = dur.mul_f64(self.jitter(task)) + self.cfg.spark.task_overhead;
             {
-                let t = &mut self.tasks[task as usize];
-                t.compute_dur = dur;
-                t.input_bytes = in_bytes;
-                t.output_bytes = out_bytes;
-                t.records_est = out_records;
-                t.records_out = out_data;
-                t.locality = locality;
+                let i = task as usize;
+                self.tasks.compute_dur[i] = dur;
+                self.tasks.input_bytes[i] = in_bytes;
+                self.tasks.output_bytes[i] = out_bytes;
+                self.tasks.records_est[i] = out_records;
+                self.tasks.records_out[i] = out_data;
+                self.tasks.locality[i] = locality;
             }
             for (rdd, bytes, records, snapshot) in snaps {
                 self.blockmgr
@@ -1378,12 +1684,12 @@ impl SimWorld {
                 let file = FileId(HDFS_BLOCK_BASE + block.0);
                 if src.0 == node {
                     let tag = self.io_tag(task);
-                    self.tasks[task as usize].pending_io += 1;
+                    self.tasks.pending_io[task as usize] += 1;
                     self.ram_fs[node as usize].read(now, file, in_bytes, tag);
                     self.arm_fs(node, false, out);
                 } else {
                     let tag = self.net_tag(task);
-                    self.tasks[task as usize].pending_io += 1;
+                    self.tasks.pending_io[task as usize] += 1;
                     let path = self
                         .fabric
                         .path(Endpoint::Node(src), Endpoint::Node(NodeId(node)));
@@ -1395,12 +1701,12 @@ impl SimWorld {
             IoPlan::LustreRead { file } => {
                 let tag = self.io_tag(task);
                 let rplan = self.lustre.read(now, NodeId(node), file, in_bytes);
-                self.tasks[task as usize].pending_io += 1;
+                self.tasks.pending_io[task as usize] += 1;
                 self.lustre.submit_mds(now, rplan.mds_ops, tag);
                 self.arm_lustre(out);
                 if rplan.oss_bytes > 0.0 {
                     let tag = self.net_tag(task);
-                    self.tasks[task as usize].pending_io += 1;
+                    self.tasks.pending_io[task as usize] += 1;
                     let path = self
                         .fabric
                         .path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
@@ -1412,7 +1718,7 @@ impl SimWorld {
             }
             IoPlan::NetOnly { src, bytes } => {
                 let tag = self.net_tag(task);
-                self.tasks[task as usize].pending_io += 1;
+                self.tasks.pending_io[task as usize] += 1;
                 let path = self
                     .fabric
                     .path(Endpoint::Node(NodeId(src)), Endpoint::Node(NodeId(node)));
@@ -1440,7 +1746,7 @@ impl SimWorld {
         out: &mut Outbox<Ev>,
     ) {
         let plan = self.plan();
-        let stage_idx = self.tasks[task as usize].stage as usize;
+        let stage_idx = self.tasks.stage[task as usize] as usize;
         let stage = &plan.stages[stage_idx];
         let Some(spec) = plan.recovery.get(&rdd) else {
             // lint:allow(panic): unrecoverable by design: a cache below a shuffle has no per-partition lineage; dying loudly beats silently wrong output
@@ -1476,9 +1782,8 @@ impl SimWorld {
         let speed = self.speed(node);
         let deferred = data.is_some();
         if deferred {
-            let t = &mut self.tasks[task as usize];
-            t.input_bytes = in_bytes;
-            t.locality = locality;
+            self.tasks.input_bytes[task as usize] = in_bytes;
+            self.tasks.locality[task as usize] = locality;
             self.pending_chains.push(PendingChain {
                 task,
                 stage: stage_idx,
@@ -1495,13 +1800,13 @@ impl SimWorld {
                 run_narrow_chain(&rec_stage, in_bytes, in_records, None, speed);
             let dur = dur.mul_f64(self.jitter(task)) + self.cfg.spark.task_overhead;
             {
-                let t = &mut self.tasks[task as usize];
-                t.compute_dur = dur;
-                t.input_bytes = in_bytes;
-                t.output_bytes = out_bytes;
-                t.records_est = out_records;
-                t.records_out = out_data;
-                t.locality = locality;
+                let i = task as usize;
+                self.tasks.compute_dur[i] = dur;
+                self.tasks.input_bytes[i] = in_bytes;
+                self.tasks.output_bytes[i] = out_bytes;
+                self.tasks.records_est[i] = out_records;
+                self.tasks.records_out[i] = out_data;
+                self.tasks.locality[i] = locality;
             }
             for (r, bytes, records, snapshot) in snaps {
                 self.blockmgr
@@ -1567,11 +1872,11 @@ impl SimWorld {
         for (j, (dur, out_bytes, out_records, out_data, snaps)) in jobs.iter().zip(results) {
             let dur = dur.mul_f64(self.jitter(j.task)) + self.cfg.spark.task_overhead;
             {
-                let t = &mut self.tasks[j.task as usize];
-                t.compute_dur = dur;
-                t.output_bytes = out_bytes;
-                t.records_est = out_records;
-                t.records_out = out_data;
+                let i = j.task as usize;
+                self.tasks.compute_dur[i] = dur;
+                self.tasks.output_bytes[i] = out_bytes;
+                self.tasks.records_est[i] = out_records;
+                self.tasks.records_out[i] = out_data;
             }
             for (rdd, bytes, records, snapshot) in snaps {
                 self.blockmgr
@@ -1589,16 +1894,16 @@ impl SimWorld {
         producer: u32,
         out: &mut Outbox<Ev>,
     ) {
-        let bytes = self.tasks[producer as usize].output_bytes;
+        let bytes = self.tasks.output_bytes[producer as usize];
         let speed = self.speed(node);
         // Partition + Java-serialization cost of the flush (Spark 0.7 era).
         let cpu = SimDuration::from_secs_f64(bytes / (300.0e6 * speed)).mul_f64(self.jitter(task))
             + self.cfg.spark.task_overhead;
         {
-            let t = &mut self.tasks[task as usize];
-            t.compute_dur = cpu;
-            t.input_bytes = bytes;
-            t.output_bytes = bytes;
+            let i = task as usize;
+            self.tasks.compute_dur[i] = cpu;
+            self.tasks.input_bytes[i] = bytes;
+            self.tasks.output_bytes[i] = bytes;
         }
         match self.cfg.shuffle {
             ShuffleStore::Local(dev) => {
@@ -1616,7 +1921,7 @@ impl SimWorld {
                         "shuffle store on node {node} out of space — the paper's \
                          RAMDisk-backed store tops out at ~1.2 TB aggregate"
                     );
-                    self.tasks[task as usize].pending_io += 1;
+                    self.tasks.pending_io[task as usize] += 1;
                     fs.write(now, file, bytes, tag);
                     self.arm_fs(node, ssd, out);
                 }
@@ -1625,12 +1930,12 @@ impl SimWorld {
                 let file = self.node_lustre_file(node);
                 let tag = self.io_tag(task);
                 let wplan = self.lustre.append(now, NodeId(node), file, bytes);
-                self.tasks[task as usize].pending_io += 1;
+                self.tasks.pending_io[task as usize] += 1;
                 self.lustre.submit_mds(now, wplan.mds_ops, tag);
                 self.arm_lustre(out);
                 if wplan.oss_bytes > 0.0 {
                     let tag = self.net_tag(task);
-                    self.tasks[task as usize].pending_io += 1;
+                    self.tasks.pending_io[task as usize] += 1;
                     let path = self
                         .fabric
                         .path(Endpoint::Node(NodeId(node)), Endpoint::Lustre);
@@ -1693,21 +1998,39 @@ impl SimWorld {
             1.0
         };
         let plan = self.plan();
-        let stage_idx = self.tasks[task as usize].stage as usize;
+        let stage_idx = self.tasks.stage[task as usize] as usize;
         let stage = &plan.stages[stage_idx];
 
-        // Bucket sizes and shuffle spec.
-        let (per_source, total, agg_rate, out_factor) = {
+        // Bucket sizes and shuffle spec. Above the rack-aggregation
+        // threshold, per-node deposits fold into per-source-rack totals and
+        // the fetch rides one aggregate flow per rack pair (indexed by rack
+        // in `per_source`); below it, exact per-node flows as always.
+        let racks = self.spec.racks as usize;
+        let (per_source, total, agg_rate, out_factor, aggregated) = {
             let sh = self
                 .job()
                 .shuffle_in
                 .as_ref()
                 .expect("fetch without shuffle"); // lint:allow(panic): fetch tasks are launched from a stage whose input is that shuffle
-            let per: Vec<f64> = (0..workers as usize)
-                .map(|i| sh.node_bucket_bytes[i][reducer as usize])
-                .collect();
+            let per: Vec<f64> = if sh.aggregated {
+                let mut rack_bytes = vec![0.0; racks];
+                for i in 0..workers as usize {
+                    rack_bytes[i % racks] += sh.buckets.get(i, reducer as usize);
+                }
+                rack_bytes
+            } else {
+                (0..workers as usize)
+                    .map(|i| sh.buckets.get(i, reducer as usize))
+                    .collect()
+            };
             let total: f64 = per.iter().sum();
-            (per, total, sh.spec.fetch_rate, sh.spec.out_factor)
+            (
+                per,
+                total,
+                sh.spec.fetch_rate,
+                sh.spec.out_factor,
+                sh.aggregated,
+            )
         };
 
         let speed = self.speed(node);
@@ -1722,14 +2045,60 @@ impl SimWorld {
         dur += chain_dur;
         let dur = dur.mul_f64(self.jitter(task)) + self.cfg.spark.task_overhead;
         {
-            let t = &mut self.tasks[task as usize];
-            t.compute_dur = dur;
-            t.input_bytes = total;
-            t.output_bytes = out_bytes;
-            t.records_est = out_records;
+            let i = task as usize;
+            self.tasks.compute_dur[i] = dur;
+            self.tasks.input_bytes[i] = total;
+            self.tasks.output_bytes[i] = out_bytes;
+            self.tasks.records_est[i] = out_records;
         }
 
         match self.cfg.shuffle {
+            ShuffleStore::Local(_) | ShuffleStore::LustreLocal if aggregated => {
+                self.net.start_batch();
+                let dst_rack = self.fabric.rack_index(NodeId(node)) as u32;
+                for (src_rack, &b) in per_source.iter().enumerate() {
+                    if b <= 0.0 {
+                        continue;
+                    }
+                    let tag = self.net_tag(task);
+                    match self.cfg.shuffle {
+                        ShuffleStore::Local(_) => {
+                            let wire = inflate_for_requests(b * compress, req, oh);
+                            self.tasks.pending_io[task as usize] += 1;
+                            let f = self.rack_fetch_flow(now, src_rack as u32, dst_rack, 0);
+                            self.net.push_chunk(now, f, wire, tag);
+                        }
+                        ShuffleStore::LustreLocal => {
+                            // Split the rack total by the byte-weighted
+                            // cached share of its member nodes.
+                            let cached_raw = {
+                                let sh = self.job().shuffle_in.as_ref().unwrap(); // lint:allow(panic): fetch completions only arrive for stages whose input is that shuffle
+                                (src_rack..workers as usize)
+                                    .step_by(racks)
+                                    .map(|i| {
+                                        sh.buckets.get(i, reducer as usize) * sh.cached_frac[i]
+                                    })
+                                    .sum::<f64>()
+                            };
+                            let cached = inflate_for_requests(cached_raw * compress, req, oh);
+                            let oss = inflate_for_requests((b - cached_raw) * compress, req, oh);
+                            if cached > 0.0 {
+                                self.tasks.pending_io[task as usize] += 1;
+                                let f = self.rack_fetch_flow(now, src_rack as u32, dst_rack, 0);
+                                self.net.push_chunk(now, f, cached, tag);
+                            }
+                            if oss > 0.0 {
+                                self.tasks.pending_io[task as usize] += 1;
+                                let f = self.rack_fetch_flow(now, src_rack as u32, dst_rack, 1);
+                                self.net.push_chunk(now, f, oss, tag);
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                self.net.end_batch();
+                self.arm_net(out);
+            }
             ShuffleStore::Local(_) | ShuffleStore::LustreLocal => {
                 self.net.start_batch();
                 for (i, &b) in per_source.iter().enumerate() {
@@ -1740,7 +2109,7 @@ impl SimWorld {
                     let tag = self.net_tag(task);
                     match self.cfg.shuffle {
                         ShuffleStore::Local(_) => {
-                            self.tasks[task as usize].pending_io += 1;
+                            self.tasks.pending_io[task as usize] += 1;
                             let f = self.fetch_flow(now, i as u32, node, 0);
                             self.net.push_chunk(now, f, wire, tag);
                         }
@@ -1749,12 +2118,12 @@ impl SimWorld {
                             let cached = wire * frac;
                             let oss = wire - cached;
                             if cached > 0.0 {
-                                self.tasks[task as usize].pending_io += 1;
+                                self.tasks.pending_io[task as usize] += 1;
                                 let f = self.fetch_flow(now, i as u32, node, 0);
                                 self.net.push_chunk(now, f, cached, tag);
                             }
                             if oss > 0.0 {
-                                self.tasks[task as usize].pending_io += 1;
+                                self.tasks.pending_io[task as usize] += 1;
                                 let f = self.fetch_flow(now, i as u32, node, 1);
                                 self.net.push_chunk(now, f, oss, tag);
                             }
@@ -1772,7 +2141,7 @@ impl SimWorld {
                 let ops = workers as f64 * self.lustre.config().ops_lock
                     + self.lustre.config().ops_revoke;
                 let tag = self.io_tag(task);
-                self.tasks[task as usize].pending_io += 2; // mds + data
+                self.tasks.pending_io[task as usize] += 2; // mds + data
                 self.lustre.submit_mds(now, ops, tag);
                 self.arm_lustre(out);
             }
@@ -1840,6 +2209,42 @@ impl SimWorld {
         f
     }
 
+    /// Persistent aggregate flow for all fetch traffic from `src_rack`
+    /// into `dst_rack`. Shares the `(src, dst, kind)` key space with
+    /// `fetch_flow`; an aggregated shuffle never opens per-node flows, so
+    /// the keys cannot collide. The flow is processor-shared: concurrent
+    /// reducers behind it split its bandwidth evenly — the split the
+    /// collapsed per-node flows would converge to under water-filling.
+    fn rack_fetch_flow(&mut self, now: SimTime, src_rack: u32, dst_rack: u32, kind: u8) -> FlowId {
+        let key = (src_rack, dst_rack, kind);
+        if let Some(&f) = self
+            .job()
+            .shuffle_in
+            .as_ref()
+            .unwrap() // lint:allow(panic): rack_fetch_flow is reached only from fetch paths, which require shuffle_in
+            .fetch_flows
+            .get(&key)
+        {
+            return f;
+        }
+        let mut path = self
+            .fabric
+            .rack_aggregate_path(src_rack as usize, dst_rack as usize);
+        if kind == 1 {
+            // OSS-served share: the Lustre pipe constrains it too.
+            path.insert(0, self.fabric.lustre_pipe());
+        }
+        path.dedup();
+        let f = self.net.open_shared_flow(now, path, false);
+        self.job_mut()
+            .shuffle_in
+            .as_mut()
+            .unwrap() // lint:allow(panic): rack_fetch_flow is reached only from fetch paths, which require shuffle_in
+            .fetch_flows
+            .insert(key, f);
+        f
+    }
+
     // ---------------- completion plumbing ----------------
 
     /// Stale-completion filter shared by every completion path: drops events
@@ -1848,10 +2253,11 @@ impl SimWorld {
         if job & 0xffff != self.job_seq & 0xffff {
             return true;
         }
-        let Some(t) = self.tasks.get(task as usize) else {
+        if !self.tasks.contains(task) {
             return true;
-        };
-        t.state != TState::Running || t.attempt & 0xffff != attempt & 0xffff
+        }
+        let i = task as usize;
+        self.tasks.state[i] != TState::Running || self.tasks.attempt[i] & 0xffff != attempt & 0xffff
     }
 
     fn task_io_done(
@@ -1865,31 +2271,37 @@ impl SimWorld {
         if self.completion_is_stale(task, attempt, job) {
             return;
         }
-        let t = &mut self.tasks[task as usize];
-        debug_assert!(t.pending_io > 0, "io done for task without pending io");
-        t.pending_io = t.pending_io.saturating_sub(1);
-        if t.pending_io == 0 {
+        let i = task as usize;
+        debug_assert!(
+            self.tasks.pending_io[i] > 0,
+            "io done for task without pending io"
+        );
+        self.tasks.pending_io[i] = self.tasks.pending_io[i].saturating_sub(1);
+        if self.tasks.pending_io[i] == 0 {
             self.maybe_schedule_finish(now, task, out);
         }
     }
 
     fn maybe_schedule_finish(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
         let job = self.job_seq;
-        let t = &mut self.tasks[task as usize];
-        if t.state != TState::Running || t.finish_scheduled || t.pending_io > 0 {
+        let i = task as usize;
+        if self.tasks.state[i] != TState::Running
+            || self.tasks.finish_scheduled[i]
+            || self.tasks.pending_io[i] > 0
+        {
             return;
         }
-        let finish = if t.pipelined {
-            (t.launched_at + t.compute_dur).max(now)
+        let finish = if self.tasks.pipelined[i] {
+            (self.tasks.launched_at[i] + self.tasks.compute_dur[i]).max(now)
         } else {
-            now + t.compute_dur
+            now + self.tasks.compute_dur[i]
         };
-        t.finish_scheduled = true;
+        self.tasks.finish_scheduled[i] = true;
         out.at(
             finish,
             Ev::TaskFinish {
                 task,
-                attempt: t.attempt,
+                attempt: self.tasks.attempt[i],
                 job,
             },
         );
@@ -1908,25 +2320,28 @@ impl SimWorld {
         }
         // Speculation: if this task's twin already finished, this copy lost —
         // just release the slot (the real Spark would have killed it).
-        let lost = {
-            let t = &self.tasks[task as usize];
-            t.twin
-                .map(|tw| self.tasks[tw as usize].state == TState::Done)
-                .unwrap_or(false)
-        };
+        let lost = self.tasks.twin[task as usize]
+            .map(|tw| self.tasks.state[tw as usize] == TState::Done)
+            .unwrap_or(false);
         // An attempt doomed by the fault plan dies at the instant it would
         // have completed: the full duration becomes wasted work and the task
         // re-queues (or the job aborts at the attempt limit).
-        if !lost && self.tasks[task as usize].doomed == Some(attempt) {
+        if !lost && self.tasks.doomed[task as usize] == Some(attempt) {
             self.fail_task(now, task, SimDuration::ZERO, true, out);
             return;
         }
         let (node, stage, kind, ghost) = {
-            let t = &mut self.tasks[task as usize];
-            t.state = TState::Done;
-            (t.node, t.stage, t.kind, t.ghost)
+            let i = task as usize;
+            self.tasks.set_state(task, TState::Done);
+            (
+                self.tasks.node[i],
+                self.tasks.stage[i],
+                self.tasks.kind[i],
+                self.tasks.ghost[i],
+            )
         };
         self.free_slots[node as usize] += 1;
+        self.note_slot_change(node);
         if lost {
             // The losing speculation copy: its whole duration was duplicated
             // work, so the trace marks it ghost (retry-waste in attribution).
@@ -1955,10 +2370,8 @@ impl SimWorld {
         );
         // If a speculative copy won, it replaces the original everywhere the
         // job refers to it (storing pins, final-task outputs).
-        if self.tasks[task as usize].is_speculative {
-            let orig = self.tasks[task as usize]
-                .twin
-                .expect("duplicate without twin"); // lint:allow(panic): duplicate (speculative) tasks are always created with their twin recorded
+        if self.tasks.is_speculative[task as usize] {
+            let orig = self.tasks.twin[task as usize].expect("duplicate without twin"); // lint:allow(panic): duplicate (speculative) tasks are always created with their twin recorded
             let job = self.job_mut();
             for slot in job.stage_tasks.iter_mut().chain(job.final_tasks.iter_mut()) {
                 if *slot == orig {
@@ -1968,7 +2381,7 @@ impl SimWorld {
         }
         if matches!(kind, TaskKind::Compute { .. }) {
             let d = now
-                .since(self.tasks[task as usize].launched_at)
+                .since(self.tasks.launched_at[task as usize])
                 .as_secs_f64();
             self.stage_durs.push(d);
         }
@@ -1979,7 +2392,7 @@ impl SimWorld {
             TaskKind::Fetch { .. } => Phase::Shuffling,
         };
         {
-            let t = &self.tasks[task as usize];
+            let i = task as usize;
             let index = match kind {
                 TaskKind::Compute { part } => part,
                 TaskKind::Store { producer } => producer,
@@ -1991,12 +2404,12 @@ impl SimWorld {
                 phase,
                 index,
                 node,
-                queued_at: t.queued_at.as_secs_f64(),
-                launched_at: t.launched_at.as_secs_f64(),
+                queued_at: self.tasks.queued_at[i].as_secs_f64(),
+                launched_at: self.tasks.launched_at[i].as_secs_f64(),
                 finished_at: now.as_secs_f64(),
-                input_bytes: t.input_bytes,
-                output_bytes: t.output_bytes,
-                locality: t.locality,
+                input_bytes: self.tasks.input_bytes[i],
+                output_bytes: self.tasks.output_bytes[i],
+                locality: self.tasks.locality[i],
             });
         }
 
@@ -2023,14 +2436,14 @@ impl SimWorld {
 
     /// A task that may deposit intermediate data for a produced shuffle.
     fn producer_finished(&mut self, task: u32, node: u32) {
-        let out_bytes = self.tasks[task as usize].output_bytes;
-        let stage_idx = self.tasks[task as usize].stage as usize;
+        let out_bytes = self.tasks.output_bytes[task as usize];
+        let stage_idx = self.tasks.stage[task as usize] as usize;
         let has_shuffle = self.job().plan.stages[stage_idx].has_shuffle_output();
         if !has_shuffle {
             return;
         }
         self.intermediate[node as usize] += out_bytes;
-        let records = self.tasks[task as usize].records_out.take();
+        let records = self.tasks.records_out[task as usize].take();
         let sh = self
             .job_mut()
             .shuffle_out
@@ -2041,15 +2454,12 @@ impl SimWorld {
             (Some(recs), Some(real)) => {
                 for rec in recs.iter() {
                     let bucket = (rec.0.stable_hash() % r as u64) as usize;
-                    sh.node_bucket_bytes[node as usize][bucket] += record_bytes(rec) as f64;
+                    sh.buckets
+                        .add(node as usize, bucket, record_bytes(rec) as f64);
                     real[node as usize][bucket].push(rec.clone());
                 }
             }
-            _ => {
-                for b in 0..r {
-                    sh.node_bucket_bytes[node as usize][b] += out_bytes / r as f64;
-                }
-            }
+            _ => sh.buckets.add_uniform(node as usize, out_bytes),
         }
     }
 
@@ -2063,7 +2473,7 @@ impl SimWorld {
     fn store_finished(&mut self, now: SimTime, task: u32) {
         let Some(cad) = self.cfg.cad else { return };
         let dur = now
-            .since(self.tasks[task as usize].launched_at)
+            .since(self.tasks.launched_at[task as usize])
             .as_secs_f64();
         self.cad_window.push_back(dur);
         if self.cad_window.len() > cad.window {
@@ -2093,7 +2503,7 @@ impl SimWorld {
     /// Real-data aggregation of a fetched bucket.
     fn fetch_aggregate(&mut self, task: u32, reducer: u32) {
         let plan = self.plan();
-        let stage_idx = self.tasks[task as usize].stage as usize;
+        let stage_idx = self.tasks.stage[task as usize] as usize;
         let gathered = {
             let job = self.job_mut();
             let Some(real) = job.shuffle_in.as_mut().and_then(|sh| sh.node_real.as_mut()) else {
@@ -2110,10 +2520,10 @@ impl SimWorld {
         for step in &plan.stages[stage_idx].steps {
             recs = step.apply(recs);
         }
-        let t = &mut self.tasks[task as usize];
-        t.records_est = recs.len() as u64;
-        t.output_bytes = recs.iter().map(record_bytes).sum::<u64>() as f64;
-        t.records_out = Some(recs.into());
+        let i = task as usize;
+        self.tasks.records_est[i] = recs.len() as u64;
+        self.tasks.output_bytes[i] = recs.iter().map(record_bytes).sum::<u64>() as f64;
+        self.tasks.records_out[i] = Some(recs.into());
     }
 
     fn advance_phase(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
@@ -2141,7 +2551,7 @@ impl SimWorld {
             // A flush is pinned to its producer's node; if that node died or
             // was blacklisted since, the re-hosted rows flush at the
             // replacement instead.
-            let mut node = self.tasks[p as usize].node;
+            let mut node = self.tasks.node[p as usize];
             if !self.node_up[node as usize] || self.blacklisted[node as usize] {
                 let Some(repl) = self.replacement_node() else {
                     self.abort_job(now);
@@ -2266,8 +2676,8 @@ impl SimWorld {
     /// A Lustre-shared fetch task is transfer-eligible (its MDS ops are done
     /// AND the mass flush finished): read from the OSSes.
     fn lustre_shared_transfer(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
-        let node = self.tasks[task as usize].node;
-        let total = self.tasks[task as usize].input_bytes;
+        let node = self.tasks.node[task as usize];
+        let total = self.tasks.input_bytes[task as usize];
         let compress = if self.cfg.spark.shuffle_compress {
             self.cfg.spark.shuffle_compress_ratio
         } else {
@@ -2335,9 +2745,9 @@ impl SimWorld {
         attribute: bool,
         out: &mut Outbox<Ev>,
     ) {
-        let node = self.tasks[task as usize].node;
+        let node = self.tasks.node[task as usize];
         let wasted = now
-            .since(self.tasks[task as usize].launched_at)
+            .since(self.tasks.launched_at[task as usize])
             .as_secs_f64();
         {
             let rec = &mut self.metrics.current.recovery;
@@ -2349,15 +2759,16 @@ impl SimWorld {
             TE::TaskRetried {
                 task,
                 node,
-                attempt: self.tasks[task as usize].attempt,
-                wasted_ns: now.since(self.tasks[task as usize].launched_at).0,
+                attempt: self.tasks.attempt[task as usize],
+                wasted_ns: now.since(self.tasks.launched_at[task as usize]).0,
                 backoff_ns: backoff.0,
             },
         );
         if self.node_up[node as usize] {
             self.free_slots[node as usize] += 1;
+            self.note_slot_change(node);
             // A failed flush abandons its partial output: reclaim the space.
-            if matches!(self.tasks[task as usize].kind, TaskKind::Store { .. }) {
+            if matches!(self.tasks.kind[task as usize], TaskKind::Store { .. }) {
                 if let ShuffleStore::Local(dev) = self.cfg.shuffle {
                     let file = self
                         .job
@@ -2365,7 +2776,7 @@ impl SimWorld {
                         .and_then(|j| j.shuffle_out.as_ref())
                         .and_then(|sh| sh.local_files[node as usize]);
                     if let Some(file) = file {
-                        let bytes = self.tasks[task as usize].output_bytes;
+                        let bytes = self.tasks.output_bytes[task as usize];
                         let fs = if dev == StoreDevice::Ssd {
                             &mut self.ssd_fs[node as usize]
                         } else {
@@ -2377,18 +2788,18 @@ impl SimWorld {
             }
         }
         {
-            let t = &mut self.tasks[task as usize];
-            t.state = TState::Pending;
-            t.node = u32::MAX;
-            t.attempt += 1;
-            t.doomed = None;
-            t.pending_io = 0;
-            t.finish_scheduled = false;
-            t.records_out = None;
-            t.compute_dur = SimDuration::ZERO;
-            t.queued_at = now;
+            let i = task as usize;
+            self.tasks.set_state(task, TState::Pending);
+            self.tasks.node[i] = u32::MAX;
+            self.tasks.attempt[i] += 1;
+            self.tasks.doomed[i] = None;
+            self.tasks.pending_io[i] = 0;
+            self.tasks.finish_scheduled[i] = false;
+            self.tasks.records_out[i] = None;
+            self.tasks.compute_dur[i] = SimDuration::ZERO;
+            self.tasks.queued_at[i] = now;
         }
-        if self.tasks[task as usize].attempt >= self.cfg.recovery.max_task_attempts {
+        if self.tasks.attempt[task as usize] >= self.cfg.recovery.max_task_attempts {
             self.abort_job(now);
             return;
         }
@@ -2396,6 +2807,7 @@ impl SimWorld {
             self.node_fail_counts[node as usize] += 1;
             if self.node_fail_counts[node as usize] >= self.cfg.recovery.blacklist_after {
                 self.blacklisted[node as usize] = true;
+                self.note_slot_change(node);
                 self.metrics.current.recovery.blacklisted_nodes += 1;
                 self.trace(now, TE::Blacklisted { node });
                 self.repin_pinned_off(node);
@@ -2403,28 +2815,27 @@ impl SimWorld {
         }
         // Drop dead/blacklisted nodes from the task's preferences; a pinned
         // task left with nowhere to go re-pins to the replacement.
-        let keep: Vec<u32> = self.tasks[task as usize]
-            .prefs
+        let keep: Vec<u32> = self.tasks.prefs[task as usize]
             .iter()
             .copied()
             .filter(|&n| self.node_up[n as usize] && !self.blacklisted[n as usize])
             .collect();
-        if self.tasks[task as usize].pinned && keep.is_empty() {
+        if self.tasks.pinned[task as usize] && keep.is_empty() {
             let Some(repl) = self.replacement_node() else {
                 self.abort_job(now);
                 return;
             };
-            self.tasks[task as usize].prefs = vec![repl];
+            self.tasks.prefs[task as usize] = vec![repl];
         } else {
-            self.tasks[task as usize].prefs = keep;
+            self.tasks.prefs[task as usize] = keep;
         }
         self.trace(
             now,
             TE::TaskQueued {
                 task,
-                stage: self.tasks[task as usize].stage,
-                class: Self::trace_class(self.tasks[task as usize].kind),
-                attempt: self.tasks[task as usize].attempt,
+                stage: self.tasks.stage[task as usize],
+                class: Self::trace_class(self.tasks.kind[task as usize]),
+                attempt: self.tasks.attempt[task as usize],
             },
         );
         if backoff > SimDuration::ZERO {
@@ -2449,9 +2860,12 @@ impl SimWorld {
             return;
         };
         let mut moved = Vec::new();
-        for (i, t) in self.tasks.iter_mut().enumerate() {
-            if t.state == TState::Pending && t.pinned && t.prefs.first() == Some(&node) {
-                t.prefs = vec![repl];
+        for i in 0..self.tasks.len() {
+            if self.tasks.state[i] == TState::Pending
+                && self.tasks.pinned[i]
+                && self.tasks.prefs[i].first() == Some(&node)
+            {
+                self.tasks.prefs[i] = vec![repl];
                 moved.push(i as u32);
             }
         }
@@ -2522,12 +2936,9 @@ impl SimWorld {
         }
         // Fail everything running there (node_up is already false, so
         // fail_task won't hand slots back to the dead node).
-        let running: Vec<u32> = self
-            .tasks
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.state == TState::Running && t.node == node)
-            .map(|(i, _)| i as u32)
+        let running: Vec<u32> = (0..self.tasks.len())
+            .filter(|&i| self.tasks.state[i] == TState::Running && self.tasks.node[i] == node)
+            .map(|i| i as u32)
             .collect();
         for id in running {
             if self.job.is_none() {
@@ -2536,6 +2947,7 @@ impl SimWorld {
             self.fail_task(now, id, SimDuration::ZERO, false, out);
         }
         self.free_slots[node as usize] = 0;
+        self.note_slot_change(node);
         if self.job.is_none() {
             return;
         }
@@ -2592,22 +3004,20 @@ impl SimWorld {
             let Some(sh) = job.shuffle_in.as_ref() else {
                 return;
             };
-            self.tasks
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| {
-                    t.state == TState::Running
-                        && matches!(t.kind, TaskKind::Fetch { reducer }
-                            if sh.node_bucket_bytes[src as usize][reducer as usize] > 0.0)
+            (0..self.tasks.len())
+                .filter(|&i| {
+                    self.tasks.state[i] == TState::Running
+                        && matches!(self.tasks.kind[i], TaskKind::Fetch { reducer }
+                            if sh.buckets.get(src as usize, reducer as usize) > 0.0)
                 })
-                .map(|(i, _)| i as u32)
+                .map(|i| i as u32)
                 .collect()
         };
         for id in victims {
             if self.job.is_none() {
                 return;
             }
-            let att = self.tasks[id as usize].attempt.min(8);
+            let att = self.tasks.attempt[id as usize].min(8);
             let backoff = self
                 .cfg
                 .recovery
@@ -2627,13 +3037,7 @@ impl SimWorld {
     /// to produce it. The dead node's store file is forgotten, so relaunched
     /// fetches read from the replacement.
     fn move_shuffle_rows(sh: &mut ShuffleState, dead: usize, repl: usize) {
-        let buckets = std::mem::replace(
-            &mut sh.node_bucket_bytes[dead],
-            vec![0.0; sh.reducers as usize],
-        );
-        for (b, bytes) in buckets.into_iter().enumerate() {
-            sh.node_bucket_bytes[repl][b] += bytes;
-        }
+        sh.buckets.move_node(dead, repl);
         if let Some(real) = sh.node_real.as_mut() {
             let moved = std::mem::replace(&mut real[dead], vec![Vec::new(); sh.reducers as usize]);
             for (b, mut recs) in moved.into_iter().enumerate() {
@@ -2669,16 +3073,16 @@ impl SimWorld {
             (producing, job.shuffle_out.is_some())
         };
         let mut ghosts: Vec<(u32, TaskKind)> = Vec::new();
-        for t in &self.tasks {
-            if t.state != TState::Done || t.node != node {
+        for i in 0..self.tasks.len() {
+            if self.tasks.state[i] != TState::Done || self.tasks.node[i] != node {
                 continue;
             }
-            match t.kind {
-                TaskKind::Compute { .. } if Some(t.stage) == producing_stage => {
-                    ghosts.push((t.stage, t.kind));
+            match self.tasks.kind[i] {
+                TaskKind::Compute { .. } if Some(self.tasks.stage[i]) == producing_stage => {
+                    ghosts.push((self.tasks.stage[i], self.tasks.kind[i]));
                 }
                 TaskKind::Store { .. } if has_shuffle_out && local_store => {
-                    ghosts.push((t.stage, t.kind));
+                    ghosts.push((self.tasks.stage[i], self.tasks.kind[i]));
                 }
                 _ => {}
             }
@@ -2730,8 +3134,8 @@ impl SimWorld {
                 now,
                 TE::TaskQueued {
                     task: id,
-                    stage: self.tasks[id as usize].stage,
-                    class: Self::trace_class(self.tasks[id as usize].kind),
+                    stage: self.tasks.stage[id as usize],
+                    class: Self::trace_class(self.tasks.kind[id as usize]),
                     attempt: 0,
                 },
             );
@@ -2796,9 +3200,9 @@ impl SimWorld {
         let mut records: Vec<Record> = Vec::new();
         let mut have_real = true;
         for &t in &job.final_tasks {
-            let task = &self.tasks[t as usize];
-            count += task.records_est;
-            match &task.records_out {
+            let i = t as usize;
+            count += self.tasks.records_est[i];
+            match &self.tasks.records_out[i] {
                 Some(r) => records.extend(r.iter().cloned()),
                 None => have_real = false,
             }
@@ -3023,7 +3427,7 @@ impl Model for SimWorld {
                         continue;
                     }
                     let is_shared_fetch = matches!(self.cfg.shuffle, ShuffleStore::LustreShared)
-                        && matches!(self.tasks[task as usize].kind, TaskKind::Fetch { .. });
+                        && matches!(self.tasks.kind[task as usize], TaskKind::Fetch { .. });
                     self.task_io_done(now, task, attempt, job, out);
                     if is_shared_fetch {
                         let ready = self
@@ -3053,7 +3457,7 @@ impl Model for SimWorld {
             Ev::Requeue { task, job } => {
                 if job == self.job_seq
                     && (task as usize) < self.tasks.len()
-                    && self.tasks[task as usize].state == TState::Pending
+                    && self.tasks.state[task as usize] == TState::Pending
                 {
                     self.enqueue_pending(&[task]);
                     out.immediately(Ev::Dispatch);
@@ -3064,6 +3468,7 @@ impl Model for SimWorld {
                 if !self.node_up[node as usize] {
                     self.node_up[node as usize] = true;
                     self.free_slots[node as usize] = self.spec.cores_per_node;
+                    self.note_slot_change(node);
                     self.node_fail_counts[node as usize] = 0;
                     self.metrics.current.recovery.node_restarts += 1;
                     self.trace(now, TE::NodeUp { node });

@@ -362,3 +362,69 @@ fn export_round_trip() {
     let json = memres_core::export::job_json(&m);
     assert!(json.contains("\"tasks\""));
 }
+
+#[test]
+fn rack_aggregation_preserves_results_and_collapses_flows() {
+    // Same synthetic GroupBy with aggregation forced on (threshold 0) and
+    // forced off (u32::MAX): counts and record totals must match exactly —
+    // the aggregate processor-shared flows change *when* bytes arrive, not
+    // how many. Timing may differ (that is the exactness boundary, see
+    // DESIGN.md §4.12), but both runs must complete all phases.
+    let base = EngineConfig {
+        input: InputSource::Lustre,
+        shuffle: ShuffleStore::Local(StoreDevice::RamDisk),
+        ..EngineConfig::default()
+    }
+    .homogeneous();
+    let wl = groupby_synthetic(256.0);
+
+    let mut d_agg = driver(base.clone().with_rack_agg_threshold(0));
+    let (out_agg, m_agg) = d_agg.run(&wl, Action::Count);
+    let mut d_exact = driver(base.with_rack_agg_threshold(u32::MAX));
+    let (out_exact, m_exact) = d_exact.run(&wl, Action::Count);
+
+    assert_eq!(out_agg.count, out_exact.count);
+    assert!(m_agg.phase_time(Phase::Shuffling) > 0.0);
+    assert!(m_exact.phase_time(Phase::Shuffling) > 0.0);
+    // Real-record jobs keep exact per-bucket accounting under aggregation.
+    let mut d_real = Driver::new(
+        tiny(4),
+        EngineConfig::default()
+            .homogeneous()
+            .with_rack_agg_threshold(0),
+    );
+    let rdd = Rdd::source(Dataset::from_records(wordcount_data(), 3))
+        .map("kv", SizeModel::scan(), |(_, v)| (v, Value::I64(1)))
+        .reduce_by_key(Some(2), 1e9, 1.0, |a, b| {
+            Value::I64(a.as_i64() + b.as_i64())
+        });
+    let (out, _) = d_real.run(&rdd, Action::Collect);
+    let counts: HashMap<String, i64> = out
+        .records
+        .expect("real data collects")
+        .into_iter()
+        .map(|(k, v)| (k.as_str().to_string(), v.as_i64()))
+        .collect();
+    assert_eq!(counts["the"], 3);
+    assert_eq!(counts.len(), 6);
+}
+
+#[test]
+fn legacy_event_queue_is_byte_identical() {
+    // The calendar queue's pop order is the heap's total order: identical
+    // simulated timings on an end-to-end job, not just in the differential
+    // proptest.
+    let mk = |legacy: bool| {
+        let mut cfg = EngineConfig::default().homogeneous();
+        if legacy {
+            cfg = cfg.with_legacy_event_queue();
+        }
+        let mut d = driver(cfg);
+        let m = d.run_for_metrics(&groupby_synthetic(128.0), Action::Count);
+        (m.job_time(), d.engine_steps())
+    };
+    let (t_cal, e_cal) = mk(false);
+    let (t_heap, e_heap) = mk(true);
+    assert_eq!(t_cal.to_bits(), t_heap.to_bits(), "sim time must not move");
+    assert_eq!(e_cal, e_heap, "event count must not move");
+}

@@ -1,8 +1,25 @@
 //! The event calendar: a time-ordered priority queue with FIFO tie-breaking.
+//!
+//! Two interchangeable implementations sit behind [`EventQueue`]:
+//!
+//! * **Calendar** (default) — a bucketed calendar queue: fixed-width time
+//!   buckets spanning one "year" of `nbuckets` slots, each bucket an
+//!   ascending `(time, seq)` run popped from the front, with a sorted
+//!   overflow tier (binary heap) for events beyond the current year. The
+//!   structure resizes itself on load factor and re-estimates its bucket
+//!   width from the inter-quartile spread of buffered event times, so both
+//!   dense same-instant storms and sparse far-future timers stay O(1)-ish.
+//! * **Heap** (legacy) — the original `BinaryHeap`, kept for baseline
+//!   benchmarking (`EngineConfig::legacy_event_queue`) and as the oracle the
+//!   calendar is differentially tested against.
+//!
+//! Both pop in exactly ascending `(time, seq)` order; events scheduled at
+//! the same instant pop in insertion order, which keeps simulations
+//! deterministic. The two implementations are pop-for-pop identical.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 struct Entry<E> {
     time: SimTime,
@@ -28,11 +45,210 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Smallest and largest bucket counts the calendar will resize between.
+const MIN_BUCKETS: usize = 64;
+const MAX_BUCKETS: usize = 1 << 20;
+
+/// The bucketed calendar tier. Invariants:
+///
+/// * every buffered entry has `slot(time) >= base_slot`;
+/// * entries with `slot(time) < year_limit` live in `buckets[slot & mask]`,
+///   the rest in `overflow`;
+/// * `year_limit - base-of-year == nbuckets`, so each bucket holds at most
+///   one distinct slot and its deque is ascending in `(time, seq)`.
+struct Calendar<E> {
+    buckets: Vec<VecDeque<Entry<E>>>,
+    mask: u64,
+    /// Nanoseconds per slot (>= 1).
+    width: u64,
+    /// Cursor: no buffered entry is earlier than this slot.
+    base_slot: u64,
+    /// First slot beyond the current year; fixed until the year drains.
+    year_limit: u64,
+    /// Entries currently in `buckets` (the rest are in `overflow`).
+    in_year: usize,
+    overflow: BinaryHeap<Entry<E>>,
+    len: usize,
+}
+
+impl<E> Calendar<E> {
+    fn new() -> Self {
+        Calendar {
+            buckets: (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect(),
+            mask: (MIN_BUCKETS - 1) as u64,
+            width: 1 << 10,
+            base_slot: 0,
+            year_limit: MIN_BUCKETS as u64,
+            in_year: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, t: SimTime) -> u64 {
+        t.0 / self.width
+    }
+
+    fn push(&mut self, entry: Entry<E>) {
+        let s = self.slot_of(entry.time);
+        if self.len == 0 {
+            // Re-anchor an empty calendar on the incoming event: cheap, and
+            // it makes backward time jumps after a full drain free.
+            self.base_slot = s;
+            self.year_limit = s + self.buckets.len() as u64;
+        }
+        self.len += 1;
+        if s < self.base_slot {
+            // An event earlier than the cursor (never produced by the
+            // simulation loop, which clamps to `now`, but the queue contract
+            // allows it). Re-anchor and redistribute everything.
+            self.insert(entry);
+            self.rebuild(self.buckets.len());
+            return;
+        }
+        self.insert(entry);
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild(self.buckets.len() * 2);
+        }
+    }
+
+    /// Place one entry in its tier. Requires `len` already counted.
+    fn insert(&mut self, entry: Entry<E>) {
+        let s = self.slot_of(entry.time);
+        if s < self.base_slot || s >= self.year_limit {
+            self.overflow.push(entry);
+            return;
+        }
+        let b = &mut self.buckets[(s & self.mask) as usize];
+        let key = (entry.time, entry.seq);
+        // Monotone (time, seq) pushes — the common case — land at the back.
+        if b.back().is_none_or(|e| (e.time, e.seq) < key) {
+            b.push_back(entry);
+        } else {
+            let at = b.partition_point(|e| (e.time, e.seq) < key);
+            b.insert(at, entry);
+        }
+        self.in_year += 1;
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.in_year == 0 {
+            self.start_year_at_overflow_min();
+        }
+        loop {
+            let b = &mut self.buckets[(self.base_slot & self.mask) as usize];
+            if let Some(e) = b.pop_front() {
+                self.in_year -= 1;
+                self.len -= 1;
+                if self.len * 8 < self.buckets.len() && self.buckets.len() > MIN_BUCKETS {
+                    // Popping never reorders, so rebuilding after the pop is
+                    // safe; it also re-estimates the width for the survivors.
+                    self.rebuild(self.buckets.len() / 2);
+                }
+                return Some(e);
+            }
+            // Empty bucket: advance the cursor. `in_year > 0` guarantees a
+            // nonempty bucket strictly before `year_limit`.
+            self.base_slot += 1;
+            debug_assert!(self.base_slot < self.year_limit, "year lost entries");
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.in_year == 0 {
+            return self.overflow.peek().map(|e| e.time);
+        }
+        let mut s = self.base_slot;
+        while s < self.year_limit {
+            if let Some(e) = self.buckets[(s & self.mask) as usize].front() {
+                return Some(e.time);
+            }
+            s += 1;
+        }
+        unreachable!("in_year > 0 but no bucket holds an entry");
+    }
+
+    /// All buckets drained: begin a new year at the earliest overflow event
+    /// and migrate everything that falls inside it.
+    fn start_year_at_overflow_min(&mut self) {
+        let first = self
+            .overflow
+            .peek()
+            .map(|e| self.slot_of(e.time))
+            .expect("len > 0 with empty buckets implies overflow entries");
+        self.base_slot = first;
+        self.year_limit = first + self.buckets.len() as u64;
+        while let Some(e) = self.overflow.peek() {
+            if self.slot_of(e.time) >= self.year_limit {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry exists");
+            // Heap pops ascend in (time, seq), so these land at bucket backs.
+            self.insert(e);
+        }
+    }
+
+    /// Redistribute everything across `new_nbuckets` buckets, re-anchoring
+    /// the cursor at the earliest entry and re-estimating the slot width
+    /// from the inter-quartile spread of buffered times.
+    fn rebuild(&mut self, new_nbuckets: usize) {
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.extend(b.drain(..));
+        }
+        all.extend(std::mem::take(&mut self.overflow).into_vec());
+        all.sort_unstable_by_key(|e| (e.time, e.seq));
+
+        let n = new_nbuckets.clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if self.buckets.len() != n {
+            self.buckets = (0..n).map(|_| VecDeque::new()).collect();
+            self.mask = (n - 1) as u64;
+        }
+        self.width = estimate_width(&all);
+        self.in_year = 0;
+        self.base_slot = all.first().map_or(0, |e| self.slot_of(e.time));
+        self.year_limit = self.base_slot + n as u64;
+        for e in all {
+            // Sorted order: in-bucket inserts are all back-pushes.
+            self.insert(e);
+        }
+    }
+}
+
+/// Slot width from the inter-quartile time spread: the central half of the
+/// events should occupy about half the buckets, leaving the rest of the year
+/// for the tails. Far-future sentinels (e.g. `SimTime::FAR_FUTURE` timers)
+/// sit outside the quartiles and fall to the overflow tier instead of
+/// stretching the width.
+fn estimate_width<E>(sorted: &[Entry<E>]) -> u64 {
+    let n = sorted.len();
+    if n < 4 {
+        return 1 << 10;
+    }
+    let q1 = sorted[n / 4].time.0;
+    let q3 = sorted[(3 * n) / 4].time.0;
+    let span = q3.saturating_sub(q1);
+    (span / (n as u64 / 2).max(1)).max(1)
+}
+
+enum Imp<E> {
+    Calendar(Calendar<E>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// Time-ordered event queue. Events scheduled at the same instant pop in
 /// insertion order, which keeps simulations deterministic.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    imp: Imp<E>,
     seq: u64,
+    len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -42,33 +258,59 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
+    /// The default calendar-queue implementation.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            imp: Imp::Calendar(Calendar::new()),
             seq: 0,
+            len: 0,
+        }
+    }
+
+    /// The legacy `BinaryHeap` implementation: the baseline for perf
+    /// comparisons and the oracle for differential tests. Pop order is
+    /// identical to [`EventQueue::new`].
+    pub fn heap() -> Self {
+        EventQueue {
+            imp: Imp::Heap(BinaryHeap::new()),
+            seq: 0,
+            len: 0,
         }
     }
 
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.len += 1;
+        let entry = Entry { time, seq, event };
+        match &mut self.imp {
+            Imp::Calendar(c) => c.push(entry),
+            Imp::Heap(h) => h.push(entry),
+        }
     }
 
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let e = match &mut self.imp {
+            Imp::Calendar(c) => c.pop(),
+            Imp::Heap(h) => h.pop(),
+        }?;
+        self.len -= 1;
+        Some((e.time, e.event))
     }
 
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.imp {
+            Imp::Calendar(c) => c.peek_time(),
+            Imp::Heap(h) => h.peek().map(|e| e.time),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -76,37 +318,92 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<&'static str>; 2] {
+        [EventQueue::new(), EventQueue::heap()]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime(30), "c");
-        q.push(SimTime(10), "a");
-        q.push(SimTime(20), "b");
-        assert_eq!(q.pop(), Some((SimTime(10), "a")));
-        assert_eq!(q.pop(), Some((SimTime(20), "b")));
-        assert_eq!(q.pop(), Some((SimTime(30), "c")));
-        assert_eq!(q.pop(), None);
+        for mut q in both() {
+            q.push(SimTime(30), "c");
+            q.push(SimTime(10), "a");
+            q.push(SimTime(20), "b");
+            assert_eq!(q.pop(), Some((SimTime(10), "a")));
+            assert_eq!(q.pop(), Some((SimTime(20), "b")));
+            assert_eq!(q.pop(), Some((SimTime(30), "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn fifo_among_equal_times() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(SimTime(5), i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        for imp in [EventQueue::new, EventQueue::heap] {
+            let mut q = imp();
+            for i in 0..100 {
+                q.push(SimTime(5), i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((SimTime(5), i)));
+            }
         }
     }
 
     #[test]
     fn peek_matches_pop() {
+        for imp in [EventQueue::new, EventQueue::heap] {
+            let mut q = imp();
+            q.push(SimTime(7), ());
+            assert_eq!(q.peek_time(), Some(SimTime(7)));
+            assert_eq!(q.len(), 1);
+            q.pop();
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+        }
+    }
+
+    #[test]
+    fn far_future_sentinels_stay_in_overflow() {
         let mut q = EventQueue::new();
-        q.push(SimTime(7), ());
-        assert_eq!(q.peek_time(), Some(SimTime(7)));
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
+        q.push(SimTime::FAR_FUTURE, u32::MAX);
+        for i in 0..1000u32 {
+            q.push(SimTime(i as u64 * 1_000_000), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(q.pop(), Some((SimTime(i as u64 * 1_000_000), i)));
+        }
+        assert_eq!(q.pop(), Some((SimTime::FAR_FUTURE, u32::MAX)));
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_load() {
+        let mut q = EventQueue::new();
+        // Enough events to force several calendar rebuilds both ways.
+        for i in 0..50_000u64 {
+            q.push(SimTime(i * 7919 % 65_536), i);
+        }
+        let mut last = (SimTime(0), 0u64);
+        let mut n = 0;
+        while let Some((t, v)) = q.pop() {
+            assert!((t, v) >= last || t > last.0, "order break at {n}");
+            last = (t, v);
+            n += 1;
+        }
+        assert_eq!(n, 50_000);
+    }
+
+    #[test]
+    fn backward_push_after_pops_still_orders() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(SimTime(1_000_000 + i), i);
+        }
+        for _ in 0..50 {
+            q.pop();
+        }
+        // Earlier than everything popped so far (legal per the contract).
+        q.push(SimTime(3), 999);
+        assert_eq!(q.pop(), Some((SimTime(3), 999)));
+        assert_eq!(q.pop(), Some((SimTime(1_000_050), 50)));
     }
 }
 
@@ -134,6 +431,41 @@ mod proptests {
                 last = t;
             }
             prop_assert!(seen.into_iter().all(|s| s));
+        }
+
+        /// Differential: the calendar queue pops in exactly the same order
+        /// as the legacy BinaryHeap on interleaved push/pop streams mixing
+        /// clustered, spread, and far-future times.
+        #[test]
+        fn calendar_matches_heap(
+            ops in proptest::collection::vec(
+                (0u64..5_000, 0u8..4, any::<bool>()), 1..400)
+        ) {
+            let mut cal = EventQueue::new();
+            let mut heap = EventQueue::heap();
+            for (i, &(t, scale, pop)) in ops.iter().enumerate() {
+                // Scale stretches times across regimes: same-instant storms,
+                // microsecond clusters, and far-future outliers.
+                let t = match scale {
+                    0 => t / 100,
+                    1 => t,
+                    2 => t * 1_000_003,
+                    _ => t.saturating_mul(u64::MAX / 5_000),
+                };
+                cal.push(SimTime(t), i);
+                heap.push(SimTime(t), i);
+                if pop {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+            }
+            loop {
+                let (a, b) = (cal.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if b.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
         }
     }
 }

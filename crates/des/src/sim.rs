@@ -83,6 +83,16 @@ impl<M: Model> Simulation<M> {
         }
     }
 
+    /// Swap in the legacy `BinaryHeap` event calendar (baseline mode for
+    /// perf comparisons). Must be called before any event is scheduled.
+    pub fn use_legacy_queue(&mut self) {
+        assert!(
+            self.queue.is_empty(),
+            "queue implementation must be chosen before scheduling events"
+        );
+        self.queue = EventQueue::heap();
+    }
+
     pub fn now(&self) -> SimTime {
         self.now
     }

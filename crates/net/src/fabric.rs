@@ -62,6 +62,34 @@ impl Fabric {
         (n.0 % self.racks as u32) as usize
     }
 
+    pub fn racks(&self) -> u16 {
+        self.racks
+    }
+
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+
+    /// Rack index of a node (round-robin striping, same as `ClusterSpec`).
+    pub fn rack_index(&self, n: NodeId) -> usize {
+        self.rack_of(n)
+    }
+
+    /// Links shared by *all* traffic from rack `src` into rack `dst`: the
+    /// path of a rack-level aggregate flow. Per-node NICs are deliberately
+    /// absent — above the aggregation threshold the collapsed transfer is
+    /// modeled as bottlenecked by the rack fabric, not by any single
+    /// endpoint (DESIGN.md, rack aggregation). Intra-rack aggregates share
+    /// the rack's switch capacity (modeled as its downlink).
+    pub fn rack_aggregate_path(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        assert!(src < self.racks as usize && dst < self.racks as usize);
+        if src == dst {
+            vec![self.rack_down[dst]]
+        } else {
+            vec![self.rack_up[src], self.rack_down[dst], self.core]
+        }
+    }
+
     pub fn node_egress(&self, n: NodeId) -> LinkId {
         self.egress[n.index()]
     }

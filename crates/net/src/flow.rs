@@ -25,6 +25,9 @@ pub struct LinkId(pub u32);
 pub struct FlowId(pub u64);
 
 struct Chunk<T> {
+    /// FIFO flows: undelivered bytes of this chunk. Shared (processor-
+    /// sharing) flows: the absolute virtual-time target — the value of the
+    /// flow's `ps_drained` accumulator at which this member completes.
     remaining: f64,
     tag: T,
 }
@@ -35,6 +38,18 @@ struct Flow<T> {
     rate: f64,
     /// Remove the flow automatically when its queue drains.
     auto_close: bool,
+    /// Processor-sharing semantics: the flow's allocated rate is divided
+    /// evenly among its queued chunks ("members") instead of draining FIFO.
+    /// Used for rack-level aggregate flows where each chunk stands for one
+    /// collapsed per-pair transfer (DESIGN.md, rack aggregation).
+    shared: bool,
+    /// Shared flows: cumulative per-member virtual bytes drained this active
+    /// period. A member inserted when the accumulator reads `v` completes
+    /// when it reaches `v + bytes`; advancing by `dt` at aggregate rate `R`
+    /// with `k` members adds `R*dt/k`. Exact-sum: the real bytes moved are
+    /// `k * Δaccumulator` summed piecewise, which telescopes to the pushed
+    /// byte total when the queue drains.
+    ps_drained: f64,
     /// Trace bookkeeping: when the current active period began, and the
     /// bytes queued during it (== bytes delivered once the queue drains).
     active_since: SimTime,
@@ -206,6 +221,29 @@ impl<T> FlowNet<T> {
     /// Open a flow along `links`. With `auto_close`, the flow disappears once
     /// its last chunk is delivered; otherwise it idles awaiting more chunks.
     pub fn open_flow(&mut self, now: SimTime, links: Vec<LinkId>, auto_close: bool) -> FlowId {
+        self.open_flow_inner(now, links, auto_close, false)
+    }
+
+    /// Open a *shared* (processor-sharing) flow: its allocated rate is split
+    /// evenly among queued chunks, each completing when its own bytes have
+    /// moved. This is the aggregate-flow primitive for rack-level collapse:
+    /// one flow per rack pair, one chunk per collapsed member transfer.
+    pub fn open_shared_flow(
+        &mut self,
+        now: SimTime,
+        links: Vec<LinkId>,
+        auto_close: bool,
+    ) -> FlowId {
+        self.open_flow_inner(now, links, auto_close, true)
+    }
+
+    fn open_flow_inner(
+        &mut self,
+        now: SimTime,
+        links: Vec<LinkId>,
+        auto_close: bool,
+        shared: bool,
+    ) -> FlowId {
         for l in &links {
             assert!((l.0 as usize) < self.links.len(), "unknown link {l:?}");
         }
@@ -219,6 +257,8 @@ impl<T> FlowNet<T> {
                 queue: VecDeque::new(),
                 rate: 0.0,
                 auto_close,
+                shared,
+                ps_drained: 0.0,
                 active_since: now,
                 period_bytes: 0.0,
             },
@@ -242,10 +282,28 @@ impl<T> FlowNet<T> {
             return;
         }
         let was_idle = f.queue.is_empty();
-        f.queue.push_back(Chunk {
-            remaining: bytes,
-            tag,
-        });
+        if f.shared {
+            if was_idle {
+                // Fresh active period: reset the virtual clock so targets
+                // stay small and float precision stays uniform per period.
+                f.ps_drained = 0.0;
+            }
+            // Member target in virtual time; sorted ascending, ties FIFO.
+            let target = f.ps_drained + bytes;
+            let at = f.queue.partition_point(|c| c.remaining <= target);
+            f.queue.insert(
+                at,
+                Chunk {
+                    remaining: target,
+                    tag,
+                },
+            );
+        } else {
+            f.queue.push_back(Chunk {
+                remaining: bytes,
+                tag,
+            });
+        }
         if was_idle {
             f.active_since = now;
             f.period_bytes = bytes;
@@ -301,22 +359,48 @@ impl<T> FlowNet<T> {
                 continue;
             }
             let mut budget = f.rate * dt;
-            while budget > 0.0 {
-                let Some(head) = f.queue.front_mut() else {
-                    break;
-                };
-                // Tolerance: a chunk whose remainder is within rounding noise
-                // of the budget counts as delivered.
-                if head.remaining <= budget + 1e-6 {
-                    budget -= head.remaining;
-                    let c = f.queue.pop_front().unwrap();
-                    self.delivered.push(Delivered {
-                        flow: FlowId(id),
-                        tag: c.tag,
-                    });
-                } else {
-                    head.remaining -= budget;
-                    budget = 0.0;
+            if f.shared {
+                // Processor sharing in virtual time: `k` members advance in
+                // lockstep at rate/k each, so moving the front member to its
+                // target costs `k * (target - ps_drained)` real bytes. Members
+                // tied at the same target all complete on the same budget, so
+                // keep draining zero-need heads even once the budget is spent.
+                while let Some(head) = f.queue.front() {
+                    let k = f.queue.len() as f64;
+                    let need = (head.remaining - f.ps_drained).max(0.0) * k;
+                    // Tolerance: a member whose remainder is within rounding
+                    // noise of the budget counts as delivered.
+                    if need <= budget + 1e-6 {
+                        budget = (budget - need).max(0.0);
+                        f.ps_drained = f.ps_drained.max(head.remaining);
+                        let c = f.queue.pop_front().expect("front() was Some");
+                        self.delivered.push(Delivered {
+                            flow: FlowId(id),
+                            tag: c.tag,
+                        });
+                    } else {
+                        f.ps_drained += budget / k;
+                        break;
+                    }
+                }
+            } else {
+                while budget > 0.0 {
+                    let Some(head) = f.queue.front_mut() else {
+                        break;
+                    };
+                    // Tolerance: a chunk whose remainder is within rounding noise
+                    // of the budget counts as delivered.
+                    if head.remaining <= budget + 1e-6 {
+                        budget -= head.remaining;
+                        let c = f.queue.pop_front().unwrap();
+                        self.delivered.push(Delivered {
+                            flow: FlowId(id),
+                            tag: c.tag,
+                        });
+                    } else {
+                        head.remaining -= budget;
+                        budget = 0.0;
+                    }
                 }
             }
             if f.queue.is_empty() {
@@ -415,7 +499,11 @@ impl<T> FlowNet<T> {
                 continue;
             }
             if let Some(head) = f.queue.front() {
-                let dt = head.remaining / f.rate;
+                let dt = if f.shared {
+                    (head.remaining - f.ps_drained).max(0.0) * f.queue.len() as f64 / f.rate
+                } else {
+                    head.remaining / f.rate
+                };
                 if best.is_none_or(|b| dt < b) {
                     best = Some(dt);
                 }
@@ -614,6 +702,76 @@ mod tests {
             base + 1,
             "same-instant arrivals must coalesce"
         );
+    }
+
+    #[test]
+    fn shared_flow_processor_shares_among_members() {
+        // 90 B/s link, members of 10/20/30 bytes: PS completes them at
+        // t = 1/3 (10B at 30 each), 5/9 (+10B at 45 each), 2/3 (+10B at 90).
+        let mut net = FlowNet::new();
+        let l = net.add_link(90.0);
+        let f = net.open_shared_flow(SimTime::ZERO, vec![l], false);
+        net.push_chunk(SimTime::ZERO, f, 10.0, 1u32);
+        net.push_chunk(SimTime::ZERO, f, 20.0, 2u32);
+        net.push_chunk(SimTime::ZERO, f, 30.0, 3u32);
+        let done = drain(&mut net);
+        assert_eq!(done.iter().map(|d| d.1).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!((done[0].0.as_secs_f64() - 1.0 / 3.0).abs() < 1e-6);
+        assert!((done[1].0.as_secs_f64() - 5.0 / 9.0).abs() < 1e-6);
+        // Work conservation: 60 bytes through 90 B/s.
+        assert!((done[2].0.as_secs_f64() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_flow_small_late_member_overtakes() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(100.0);
+        let f = net.open_shared_flow(SimTime::ZERO, vec![l], false);
+        net.push_chunk(SimTime::ZERO, f, 1000.0, 1u32);
+        // Joins at t=0.5 with 1 byte: at 50 B/s each it finishes long before
+        // the big member despite arriving later.
+        net.push_chunk(SimTime::from_secs_f64(0.5), f, 1.0, 2u32);
+        let done = drain(&mut net);
+        assert_eq!(done[0].1, 2);
+        assert!(done[0].0 < done[1].0);
+        // Total work conserved: 1001 bytes at 100 B/s.
+        assert!((done[1].0.as_secs_f64() - 10.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shared_flow_is_one_flow_to_the_waterfill() {
+        // Aggregate flow with 10 members + one plain flow on the same link:
+        // the aggregate gets half the capacity, not 10/11ths.
+        let mut net = FlowNet::new();
+        let l = net.add_link(100.0);
+        let agg = net.open_shared_flow(SimTime::ZERO, vec![l], false);
+        for i in 0..10u32 {
+            net.push_chunk(SimTime::ZERO, agg, 50.0, i);
+        }
+        let plain = net.open_flow(SimTime::ZERO, vec![l], true);
+        net.push_chunk(SimTime::ZERO, plain, 50.0, 99u32);
+        assert!((net.flow_rate(agg).unwrap() - 50.0).abs() < 1e-9);
+        assert!((net.flow_rate(plain).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_flow_equal_members_finish_together_fifo_tagged() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(30.0);
+        let f = net.open_shared_flow(SimTime::ZERO, vec![l], false);
+        for i in 0..3u32 {
+            net.push_chunk(SimTime::ZERO, f, 10.0, i);
+        }
+        let done = drain(&mut net);
+        // Same byte count -> same completion instant, insertion order kept.
+        assert_eq!(done.iter().map(|d| d.1).collect::<Vec<_>>(), vec![0, 1, 2]);
+        for (t, _) in &done {
+            assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+        }
+        // Idle afterwards; a new active period restarts the virtual clock.
+        net.push_chunk(SimTime::from_secs_f64(2.0), f, 30.0, 7u32);
+        let done = drain(&mut net);
+        assert!((done[0].0.as_secs_f64() - 3.0).abs() < 1e-6);
     }
 
     #[test]
@@ -820,6 +978,42 @@ mod proptests {
                     );
                 }
             }
+        }
+
+        /// Shared (processor-sharing) flows conserve work exactly: pushing
+        /// any member mix at t=0 over a dedicated link drains in exactly
+        /// sum(bytes)/capacity seconds, every member delivered once, and
+        /// completions are nondecreasing in time.
+        #[test]
+        fn shared_flow_conserves_work(
+            bytes in proptest::collection::vec(1.0f64..100.0, 1..40)
+        ) {
+            let mut net: FlowNet<u32> = FlowNet::new();
+            let l = net.add_link(100.0);
+            let f = net.open_shared_flow(SimTime::ZERO, vec![l], false);
+            for (i, &b) in bytes.iter().enumerate() {
+                net.push_chunk(SimTime::ZERO, f, b, i as u32);
+            }
+            let mut seen = vec![false; bytes.len()];
+            let mut last = SimTime::ZERO;
+            let mut end = SimTime::ZERO;
+            while let Some(t) = net.next_event() {
+                prop_assert!(t >= last);
+                last = t;
+                for d in net.poll(t) {
+                    prop_assert!(!seen[d.tag as usize]);
+                    seen[d.tag as usize] = true;
+                    end = t;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+            let want = bytes.iter().sum::<f64>() / 100.0;
+            prop_assert!(
+                (end.as_secs_f64() - want).abs() < 1e-4,
+                "drain time {} != total/capacity {}",
+                end.as_secs_f64(),
+                want
+            );
         }
 
         /// No link is ever oversubscribed, and every flow with queued bytes
