@@ -22,9 +22,16 @@
 //! loadable in Perfetto) plus `DIR/<cell>.events.jsonl` (compact log).
 //! `explain <cell>` prints the critical-path attribution table and the
 //! top straggler attempts instead (see DESIGN.md §4.11).
+//!
+//! `fuzz` is the differential fuzzer (DESIGN.md §4.13):
+//!   repro fuzz --seed-range A..B [--budget N] [--json DIR] [--inject-defect]
+//!   repro fuzz --replay '<spec>'
+//! Each seed deterministically generates a config/workload point and checks
+//! it against five independent oracles; failures are shrunk to a minimal
+//! reproducer and printed as a `--replay` line. Exit 1 on any failure.
 
 use memres_bench::experiments as ex;
-use memres_bench::{perf, scale, trace, Table};
+use memres_bench::{fuzz, perf, scale, trace, Table};
 use std::io::Write;
 
 /// Every runnable target, in `all` order (`bench` is opt-in, not in `all`).
@@ -66,10 +73,114 @@ fn usage() -> String {
     format!(
         "usage: repro [--smoke] [--scale X] [--seed N] [--json DIR] <target>...\n\
          targets: {} fig14a fig14b faults-abort bench scale all\n\
-         \u{20}        trace <cell> | explain <cell>, cell one of: {}",
+         \u{20}        trace <cell> | explain <cell>, cell one of: {}\n\
+         \u{20}      repro fuzz --seed-range A..B [--budget N] [--json DIR] [--inject-defect]\n\
+         \u{20}      repro fuzz --replay '<spec>'",
         ALL_TARGETS.join(" "),
         perf::CELL_NAMES.join(" ")
     )
+}
+
+/// `repro fuzz ...` — differential fuzzing against independent oracles.
+/// Returns the process exit code.
+fn fuzz_main(args: &[String]) -> i32 {
+    let mut seed_range: Option<(u64, u64)> = None;
+    let mut budget: u64 = 20_000_000;
+    let mut replay: Option<String> = None;
+    let mut json_dir: Option<String> = None;
+    let mut inject_defect = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed-range" => {
+                i += 1;
+                let v = operand(args, i, "--seed-range", "a range A..B");
+                let parsed = v
+                    .split_once("..")
+                    .and_then(|(a, b)| Some((a.parse::<u64>().ok()?, b.parse::<u64>().ok()?)));
+                match parsed {
+                    Some((a, b)) if a < b => seed_range = Some((a, b)),
+                    _ => usage_error("--seed-range", "a range A..B with A < B"),
+                }
+            }
+            "--budget" => {
+                i += 1;
+                budget = operand(args, i, "--budget", "an event count")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--budget", "an event count"));
+            }
+            "--replay" => {
+                i += 1;
+                replay = Some(operand(args, i, "--replay", "a spec line").to_string());
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(operand(args, i, "--json", "a directory").to_string());
+            }
+            "--inject-defect" => inject_defect = true,
+            other => {
+                eprintln!("error: unknown fuzz argument '{other}'");
+                eprintln!("{}", usage());
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(line) = replay {
+        let spec = match fuzz::FuzzSpec::parse(&line) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: bad spec: {e}");
+                return 2;
+            }
+        };
+        println!("replaying: {}", spec.encode());
+        return match fuzz::check(&spec, budget) {
+            Ok(()) => {
+                println!("PASS: all oracles hold");
+                0
+            }
+            Err(f) => {
+                println!("FAIL [{}]: {}", f.oracle, f.message);
+                1
+            }
+        };
+    }
+
+    let Some((start, end)) = seed_range else {
+        eprintln!("error: fuzz needs --seed-range A..B or --replay '<spec>'");
+        eprintln!("{}", usage());
+        return 2;
+    };
+    let t0 = std::time::Instant::now();
+    let outcomes = fuzz::run_range(start, end, budget, inject_defect, |o| {
+        if let Some(f) = &o.failure {
+            println!("seed {}: FAIL [{}] {}", o.seed, f.oracle, f.message);
+            println!("  spec:      {}", o.spec.encode());
+            if let Some(m) = &o.minimized {
+                println!("  minimized: {}", m.replay_line());
+            }
+        }
+    });
+    let failures = outcomes.iter().filter(|o| o.failure.is_some()).count();
+    println!(
+        "fuzz: {} seeds, {} failures ({:.1}s)",
+        outcomes.len(),
+        failures,
+        t0.elapsed().as_secs_f64()
+    );
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/fuzz.json");
+        std::fs::write(&path, fuzz::to_json(&outcomes, budget)).expect("write fuzz json");
+        eprintln!("wrote {path}");
+    }
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
 }
 
 fn operand<'a>(args: &'a [String], i: usize, flag: &str, what: &str) -> &'a str {
@@ -85,6 +196,9 @@ fn usage_error(flag: &str, what: &str) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        std::process::exit(fuzz_main(&args[1..]));
+    }
     let mut setup = ex::Setup::paper();
     let mut smoke = false;
     let mut baseline = false;

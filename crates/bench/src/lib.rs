@@ -8,6 +8,7 @@
 //! Criterion benches.
 
 pub mod experiments;
+pub mod fuzz;
 pub mod json;
 pub mod perf;
 pub mod scale;

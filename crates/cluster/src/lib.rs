@@ -83,16 +83,29 @@ impl ClusterSpec {
         if self.racks == 0 {
             return Err("cluster needs at least one rack".into());
         }
+        if self.racks as u32 > self.workers {
+            // Round-robin striping would leave 0-node racks, whose uplinks
+            // carry no flows but whose indices the fabric still hands out.
+            return Err(format!(
+                "{} racks but only {} workers (would create empty racks)",
+                self.racks, self.workers
+            ));
+        }
         for (name, v) in [
             ("framework_mem", self.framework_mem),
+            ("ramdisk_capacity", self.ramdisk_capacity),
+            ("ssd_capacity", self.ssd_capacity),
             ("nic_bandwidth", self.nic_bandwidth),
             ("rack_uplink", self.rack_uplink),
             ("lustre_bandwidth", self.lustre_bandwidth),
             ("mds_ops_per_sec", self.mds_ops_per_sec),
         ] {
-            if v <= 0.0 || v.is_nan() {
-                return Err(format!("{name} must be positive (got {v})"));
+            if v <= 0.0 || !v.is_finite() {
+                return Err(format!("{name} must be positive and finite (got {v})"));
             }
+        }
+        if self.lustre_oss_count == 0 {
+            return Err("cluster needs at least one Lustre OSS".into());
         }
         Ok(())
     }
@@ -173,6 +186,25 @@ mod tests {
         assert_eq!(c.total_slots(), 1600);
         assert_eq!(c.racks, 2);
         assert!((c.lustre_bandwidth / GB - 47.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_topologies() {
+        let err = |mutate: fn(&mut ClusterSpec)| -> String {
+            let mut c = hyperion();
+            mutate(&mut c);
+            c.validate().expect_err("should be rejected")
+        };
+        // More racks than workers ⇒ round-robin striping leaves empty racks.
+        assert!(err(|c| c.racks = 200).contains("empty racks"));
+        // Zero-capacity links and stores are structured errors, not NaN rates
+        // or divide-by-zero panics deep inside the simulation.
+        assert!(err(|c| c.nic_bandwidth = 0.0).contains("nic_bandwidth"));
+        assert!(err(|c| c.rack_uplink = -1.0).contains("rack_uplink"));
+        assert!(err(|c| c.ramdisk_capacity = 0.0).contains("ramdisk_capacity"));
+        assert!(err(|c| c.ssd_capacity = f64::NAN).contains("ssd_capacity"));
+        assert!(err(|c| c.lustre_bandwidth = f64::INFINITY).contains("lustre_bandwidth"));
+        assert!(err(|c| c.lustre_oss_count = 0).contains("OSS"));
     }
 
     #[test]

@@ -157,6 +157,19 @@ impl Default for SpeculationConfig {
     }
 }
 
+/// A deliberately injectable engine defect. Each variant genuinely corrupts
+/// one accounting path deep in the engine, so the differential-fuzz oracles
+/// (DESIGN.md §4.13) can be demonstrated — in tests and in CI — to catch a
+/// real bug, shrink it, and replay it. Never set outside fuzz harnesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Defect {
+    /// Drop the last source rack's bytes when folding per-node shuffle
+    /// buckets into rack-aggregated fetch totals: bytes vanish between map
+    /// output and reduce input, tripping the conservation oracle (only in
+    /// runs where the shuffle actually aggregates).
+    DropAggBytes,
+}
+
 /// Everything a simulated run needs.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -205,6 +218,9 @@ pub struct EngineConfig {
     /// max–min-fair flow, so paper-scale cells stay byte-identical.
     /// `u32::MAX` disables aggregation entirely.
     pub rack_agg_threshold: u32,
+    /// Deliberate defect injection for fuzz-oracle demonstrations
+    /// (DESIGN.md §4.13). `None` — always, outside fuzz harnesses.
+    pub defect: Option<Defect>,
 }
 
 impl Default for EngineConfig {
@@ -228,6 +244,7 @@ impl Default for EngineConfig {
             trace: memres_trace::TraceConfig::off(),
             legacy_event_queue: false,
             rack_agg_threshold: 4096,
+            defect: None,
         }
     }
 }
@@ -301,6 +318,12 @@ impl EngineConfig {
         self
     }
 
+    /// Inject a deliberate engine defect (fuzz-oracle demonstrations only).
+    pub fn with_defect(mut self, defect: Defect) -> Self {
+        self.defect = Some(defect);
+        self
+    }
+
     /// Validate the configuration against a cluster of `workers` nodes.
     /// Returns a descriptive error instead of letting a bad knob panic (or
     /// silently misbehave) deep inside the simulation.
@@ -334,6 +357,29 @@ impl EngineConfig {
         }
         if self.executor_threads == Some(0) {
             return Err("executor_threads must be at least 1".to_string());
+        }
+        if self.spark.reducer_max_bytes_in_flight <= 0.0
+            || !self.spark.reducer_max_bytes_in_flight.is_finite()
+        {
+            return Err(format!(
+                "spark.reducer_max_bytes_in_flight must be positive and finite, got {}",
+                self.spark.reducer_max_bytes_in_flight
+            ));
+        }
+        if self.spark.per_request_overhead_bytes < 0.0
+            || !self.spark.per_request_overhead_bytes.is_finite()
+        {
+            return Err(format!(
+                "spark.per_request_overhead_bytes must be non-negative and finite, got {}",
+                self.spark.per_request_overhead_bytes
+            ));
+        }
+        let ratio = self.spark.shuffle_compress_ratio;
+        if ratio.is_nan() || ratio <= 0.0 || ratio > 1.0 {
+            return Err(format!(
+                "spark.shuffle_compress_ratio must be in (0, 1], got {}",
+                self.spark.shuffle_compress_ratio
+            ));
         }
         if self.recovery.max_task_attempts == 0 {
             return Err("recovery.max_task_attempts must be at least 1".to_string());

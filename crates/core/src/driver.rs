@@ -30,6 +30,7 @@ impl Driver {
     /// Build a driver after validating `cfg` against the cluster shape;
     /// returns a descriptive error instead of simulating a nonsense cluster.
     pub fn try_new(spec: ClusterSpec, cfg: EngineConfig) -> Result<Driver, String> {
+        spec.validate()?;
         cfg.validate(spec.workers)?;
         let world = SimWorld::new(spec, cfg);
         let mut sim = Simulation::new(world);
@@ -95,6 +96,73 @@ impl Driver {
     /// Convenience: run and return only the metrics.
     pub fn run_for_metrics(&mut self, rdd: &Rdd, action: Action) -> JobMetrics {
         self.run(rdd, action).1
+    }
+
+    /// Run `action` on `rdd` like [`Driver::run`], but built to survive a
+    /// misbehaving engine: calendar drain and event-budget exhaustion come
+    /// back as `Err` instead of panicking, and every `audit_every` processed
+    /// events the live engine state is cross-checked against independent
+    /// reimplementations ([`SimWorld::audit_invariants`]) — the fuzz
+    /// harness's entry point (DESIGN.md §4.13). `audit_every == 0` disables
+    /// the periodic audits but keeps the non-panicking error paths.
+    pub fn run_audited(
+        &mut self,
+        rdd: &Rdd,
+        action: Action,
+        audit_every: u64,
+    ) -> Result<(JobOutput, JobMetrics), String> {
+        let plan = self.plan(rdd, action);
+        let start = self.sim.now();
+        let mut out = memres_des::Outbox::standalone(start);
+        self.sim.model.submit_job(start, plan, &mut out);
+        for (t, e) in out.into_items() {
+            self.sim.schedule(t, e);
+        }
+        let mut since_audit = 0u64;
+        while !self.sim.model.job_done {
+            match self.sim.try_step() {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err("simulation drained before job completion (deadlock?)".to_string())
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "event budget exhausted (max_steps={}) before job completion",
+                        e.max_steps
+                    ))
+                }
+            }
+            since_audit += 1;
+            if audit_every > 0 && since_audit >= audit_every {
+                since_audit = 0;
+                self.sim.model.audit_invariants().map_err(|e| {
+                    format!(
+                        "audit failed at t={:.6}s: {e}",
+                        self.sim.now().as_secs_f64()
+                    )
+                })?;
+            }
+        }
+        if audit_every > 0 {
+            self.sim
+                .model
+                .audit_invariants()
+                .map_err(|e| format!("audit failed at job end: {e}"))?;
+        }
+        let metrics = self.sim.model.metrics.finish_job(self.sim.now());
+        let output = self
+            .sim
+            .model
+            .take_output()
+            .ok_or_else(|| "job finished without output".to_string())?;
+        Ok((output, metrics))
+    }
+
+    /// Cap the event budget for subsequent runs (the fuzz harness lowers
+    /// this from the 500M default so runaway specs fail fast as an `Err`
+    /// from [`Driver::run_audited`] instead of burning CI minutes).
+    pub fn set_max_steps(&mut self, max_steps: u64) {
+        self.sim.max_steps = max_steps;
     }
 
     /// Events processed by the simulation engine so far (self-profiling).

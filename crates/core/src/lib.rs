@@ -44,8 +44,8 @@ pub mod value;
 pub mod world;
 
 pub use config::{
-    CadConfig, ElbConfig, EngineConfig, InputSource, SchedulerKind, ShuffleStore, SparkConfig,
-    SpeculationConfig, StoreDevice,
+    CadConfig, Defect, ElbConfig, EngineConfig, InputSource, SchedulerKind, ShuffleStore,
+    SparkConfig, SpeculationConfig, StoreDevice,
 };
 pub use driver::Driver;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryConfig};

@@ -28,7 +28,7 @@
 #![allow(clippy::indexing_slicing)]
 
 use crate::blockmgr::BlockMgr;
-use crate::config::{EngineConfig, InputSource, SchedulerKind, ShuffleStore, StoreDevice};
+use crate::config::{Defect, EngineConfig, InputSource, SchedulerKind, ShuffleStore, StoreDevice};
 use crate::dag::{JobPlan, ShuffleInSpec, StageInput, StagePlan};
 use crate::faults::FaultKind;
 use crate::metrics::{MetricsSink, Phase, TaskLocality, TaskMetric};
@@ -773,6 +773,14 @@ impl SimWorld {
 
     pub fn take_output(&mut self) -> Option<JobOutput> {
         self.last_output.take()
+    }
+
+    /// Cheap cross-checks of live engine state against independent
+    /// reimplementations, for the differential-fuzz harness (DESIGN.md
+    /// §4.13). Currently: the incremental water-filling allocation vs a
+    /// from-scratch progressive-filling pass over the same active flows.
+    pub fn audit_invariants(&mut self) -> Result<(), String> {
+        self.net.audit_waterfill()
     }
 
     /// Final CAD dispatch interval (diagnostics).
@@ -2016,6 +2024,13 @@ impl SimWorld {
                 let mut rack_bytes = vec![0.0; racks];
                 for i in 0..workers as usize {
                     rack_bytes[i % racks] += sh.buckets.get(i, reducer as usize);
+                }
+                if self.cfg.defect == Some(Defect::DropAggBytes) {
+                    // Injected defect (fuzz-oracle demo, DESIGN.md §4.13):
+                    // lose the last rack's fold entirely.
+                    if let Some(b) = rack_bytes.last_mut() {
+                        *b = 0.0;
+                    }
                 }
                 rack_bytes
             } else {

@@ -428,3 +428,57 @@ fn legacy_event_queue_is_byte_identical() {
     assert_eq!(t_cal.to_bits(), t_heap.to_bits(), "sim time must not move");
     assert_eq!(e_cal, e_heap, "event count must not move");
 }
+
+#[test]
+fn try_new_rejects_degenerate_spec_and_config() {
+    // Degenerate topologies the fuzz generator can emit must be structured
+    // errors at construction, never mid-sim panics.
+    let mut spec = tiny(4);
+    spec.racks = 7; // more racks than workers -> empty racks
+    let err = Driver::try_new(spec, EngineConfig::default())
+        .map(|_| ())
+        .expect_err("empty racks");
+    assert!(err.contains("empty racks"), "unexpected error: {err}");
+
+    let mut spec = tiny(4);
+    spec.nic_bandwidth = 0.0;
+    let err = Driver::try_new(spec, EngineConfig::default())
+        .map(|_| ())
+        .expect_err("dead link");
+    assert!(err.contains("nic_bandwidth"), "unexpected error: {err}");
+
+    // Fault targets beyond the node count are caught by the same gate.
+    let plan = FaultPlan::new().at(
+        SimDuration::from_secs(1),
+        FaultKind::NodeCrash {
+            node: 99,
+            restart: None,
+        },
+    );
+    let err = Driver::try_new(tiny(4), EngineConfig::default().with_faults(plan))
+        .map(|_| ())
+        .expect_err("fault target out of range");
+    assert!(err.contains("out of range"), "unexpected error: {err}");
+}
+
+#[test]
+fn run_audited_matches_run_and_passes_waterfill_audit() {
+    let data: Vec<Record> = (0..500)
+        .map(|i| (Value::I64(i % 37), Value::I64(1)))
+        .collect();
+    let build = || {
+        Rdd::source(Dataset::from_records(data.clone(), 8))
+            .map("kv", SizeModel::scan(), |(k, v)| (k, v))
+            .reduce_by_key(Some(5), 1e9, 1.0, |a, b| {
+                Value::I64(a.as_i64() + b.as_i64())
+            })
+    };
+    let mut d = driver(EngineConfig::default().homogeneous());
+    let (out_a, m_a) = d.run(&build(), Action::Count);
+    let mut d = driver(EngineConfig::default().homogeneous());
+    let (out_b, m_b) = d
+        .run_audited(&build(), Action::Count, 64)
+        .expect("audited run must pass");
+    assert_eq!(out_a.count, out_b.count);
+    assert_eq!(m_a.job_time().to_bits(), m_b.job_time().to_bits());
+}

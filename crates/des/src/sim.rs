@@ -110,18 +110,33 @@ impl<M: Model> Simulation<M> {
     }
 
     /// Process a single event. Returns `false` when the calendar is empty.
+    /// Panics if the `max_steps` budget is exhausted; harnesses that must
+    /// survive runaway models use [`Simulation::try_step`] instead.
     pub fn step(&mut self) -> bool {
+        match self.try_step() {
+            Ok(progressed) => progressed,
+            Err(e) => panic!(
+                "simulation exceeded max_steps={} (event storm?)",
+                e.max_steps
+            ),
+        }
+    }
+
+    /// Like [`Simulation::step`], but reports an exhausted event budget as an
+    /// error instead of panicking, so a fuzz harness can turn a runaway event
+    /// storm into an ordinary oracle failure (DESIGN.md §4.13).
+    pub fn try_step(&mut self) -> Result<bool, BudgetExhausted> {
         let Some((time, event)) = self.queue.pop() else {
-            return false;
+            return Ok(false);
         };
         debug_assert!(time >= self.now, "time went backwards");
         self.now = time;
         self.steps += 1;
-        assert!(
-            self.steps <= self.max_steps,
-            "simulation exceeded max_steps={} (event storm?)",
-            self.max_steps
-        );
+        if self.steps > self.max_steps {
+            return Err(BudgetExhausted {
+                max_steps: self.max_steps,
+            });
+        }
         let mut out = Outbox {
             now: self.now,
             items: Vec::new(),
@@ -130,7 +145,7 @@ impl<M: Model> Simulation<M> {
         for (t, e) in out.items {
             self.queue.push(t, e);
         }
-        true
+        Ok(true)
     }
 
     /// Run until the calendar drains. Returns the final clock value.
@@ -149,6 +164,12 @@ impl<M: Model> Simulation<M> {
         }
         self.now
     }
+}
+
+/// The event budget (`max_steps`) was exhausted before the calendar drained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    pub max_steps: u64,
 }
 
 /// Generation counter for the stale-event idiom.

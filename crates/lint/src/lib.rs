@@ -17,8 +17,10 @@
 //! * **R3 `io`** — no filesystem or network access (`std::fs`, `std::net`)
 //!   outside the designated `bench` and `scripts` layers.
 //! * **R4 `panic`** — `unwrap()`/`expect()`/`panic!` in the recovery/fault
-//!   paths (`world.rs`, `faults.rs`, `dag.rs`) must justify why the
-//!   invariant holds via a `lint:allow` annotation.
+//!   paths (`core`: `world.rs`, `faults.rs`, `dag.rs`) and the fuzz-driven
+//!   substrate hot paths (`net/flow.rs`, `storage/device.rs`,
+//!   `lustre/lib.rs`) must justify why the invariant holds via a
+//!   `lint:allow` annotation.
 //!
 //! Escapes use the annotation grammar
 //! `// lint:allow(<rule>): <reason>` — trailing on the offending line or on
@@ -77,9 +79,19 @@ pub const SIM_CRATES: [&str; 9] = [
     "trace",
 ];
 
-/// Recovery/fault paths where a bare panic turns an injected fault into a
-/// crashed process (rule R4).
-pub const PANIC_GUARDED_FILES: [&str; 3] = ["world.rs", "faults.rs", "dag.rs"];
+/// `(crate, file)` pairs where a bare panic turns an injected fault or a
+/// hot-loop bookkeeping slip into a crashed process (rule R4): the
+/// recovery/fault paths of `memres-core`, plus the substrate hot paths the
+/// differential fuzzer drives hardest (flow bookkeeping, device queues,
+/// the Lustre lock/cache state machine).
+pub const PANIC_GUARDED_FILES: [(&str, &str); 6] = [
+    ("core", "world.rs"),
+    ("core", "faults.rs"),
+    ("core", "dag.rs"),
+    ("net", "flow.rs"),
+    ("storage", "device.rs"),
+    ("lustre", "lib.rs"),
+];
 
 /// Decide which rules govern `rel` (a `/`-separated path relative to the
 /// workspace root). The layer map:
@@ -120,7 +132,7 @@ pub fn rules_for(rel: &str) -> RuleSet {
                 hash: true,
                 clock: true,
                 io: true,
-                panic: krate == "core" && PANIC_GUARDED_FILES.contains(&file),
+                panic: PANIC_GUARDED_FILES.contains(&(krate, file)),
             };
         }
         return RuleSet::none();
@@ -951,6 +963,14 @@ mod tests {
         assert!(r.hash && r.clock && r.io && r.panic);
         let r = rules_for("crates/core/src/metrics.rs");
         assert!(r.hash && !r.panic);
+        let r = rules_for("crates/net/src/flow.rs");
+        assert!(r.hash && r.panic);
+        let r = rules_for("crates/storage/src/device.rs");
+        assert!(r.hash && r.panic);
+        let r = rules_for("crates/lustre/src/lib.rs");
+        assert!(r.hash && r.panic);
+        let r = rules_for("crates/net/src/lib.rs");
+        assert!(r.hash && !r.panic, "only flow.rs is panic-guarded in net");
         let r = rules_for("crates/des/src/det.rs");
         assert!(r.hash && !r.panic);
         let r = rules_for("crates/trace/src/analyze.rs");

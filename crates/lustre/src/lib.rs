@@ -272,6 +272,7 @@ impl Lustre {
             return self.write(now, writer, file, bytes);
         }
         let free = (self.cfg.client_cache_bytes - self.cache_used(writer)).max(0.0);
+        // lint:allow(panic): contains_key checked at the top of append.
         let f = self.files.get_mut(&file).expect("checked above");
         assert_eq!(f.writer, Some(writer), "append by non-writer of {file:?}");
         let cached = bytes.min(free);
@@ -324,6 +325,9 @@ impl Lustre {
         let f = self
             .files
             .get_mut(&file)
+            // Readers pass files the engine previously created via
+            // write(); a miss means the map-output registry is corrupt.
+            // lint:allow(panic): files are registered by write() before any read
             .unwrap_or_else(|| panic!("read of unknown {file:?}"));
         assert!(
             bytes <= f.size * (1.0 + 1e-9) + 1.0,

@@ -275,6 +275,9 @@ impl<T> FlowNet<T> {
         let f = self
             .flows
             .get_mut(&flow.0)
+            // Callers hold a FlowId from open_flow; close_flow invalidates
+            // it. A miss is engine corruption, not recoverable state.
+            // lint:allow(panic): FlowId handles come from open_flow
             .expect("push_chunk on unknown flow");
         if bytes == 0.0 {
             self.delivered.push(Delivered { flow, tag });
@@ -354,6 +357,7 @@ impl<T> FlowNet<T> {
         emptied.clear();
         for i in 0..self.active.len() {
             let id = self.active[i];
+            // lint:allow(panic): `active` ids are inserted/removed in lockstep with `flows`
             let f = self.flows.get_mut(&id).expect("active flow exists");
             if f.rate <= 0.0 {
                 continue;
@@ -373,6 +377,7 @@ impl<T> FlowNet<T> {
                     if need <= budget + 1e-6 {
                         budget = (budget - need).max(0.0);
                         f.ps_drained = f.ps_drained.max(head.remaining);
+                        // lint:allow(panic): front_mut() matched just above.
                         let c = f.queue.pop_front().expect("front() was Some");
                         self.delivered.push(Delivered {
                             flow: FlowId(id),
@@ -392,6 +397,7 @@ impl<T> FlowNet<T> {
                     // of the budget counts as delivered.
                     if head.remaining <= budget + 1e-6 {
                         budget -= head.remaining;
+                        // lint:allow(panic): front_mut() matched just above.
                         let c = f.queue.pop_front().unwrap();
                         self.delivered.push(Delivered {
                             flow: FlowId(id),
@@ -408,6 +414,7 @@ impl<T> FlowNet<T> {
             }
         }
         for &id in &emptied {
+            // lint:allow(panic): `emptied` collected from `flows` this call.
             let f = self.flows.get_mut(&id).expect("emptied flow exists");
             f.rate = 0.0;
             if let Some(tr) = &self.tracer {
@@ -426,6 +433,7 @@ impl<T> FlowNet<T> {
             if auto_close {
                 self.flows.remove(&id);
             } else {
+                // lint:allow(panic): same entry the take() above came from.
                 self.flows.get_mut(&id).unwrap().links = links;
             }
         }
@@ -450,6 +458,7 @@ impl<T> FlowNet<T> {
         // water-filling pass freezes them.
         for i in 0..self.active.len() {
             let id = self.active[i];
+            // lint:allow(panic): `active` ids mirror `flows` membership.
             self.flows.get_mut(&id).expect("active flow exists").rate = -1.0;
         }
         // Each iteration saturates at least one link, so <= nl iterations;
@@ -474,6 +483,7 @@ impl<T> FlowNet<T> {
             // (ascending flow id, like the pre-index implementation).
             for idx in 0..self.flows_on_link[bottleneck].len() {
                 let id = self.flows_on_link[bottleneck][idx];
+                // lint:allow(panic): flows_on_link mirrors `flows` via activate/deactivate_indexed
                 let f = self.flows.get_mut(&id).expect("indexed flow exists");
                 if f.rate >= 0.0 {
                     continue;
@@ -532,6 +542,63 @@ impl<T> FlowNet<T> {
     pub fn flow_rate(&mut self, flow: FlowId) -> Option<f64> {
         self.settle();
         self.flows.get(&flow.0).map(|f| f.rate)
+    }
+
+    /// Differential audit: recompute the whole allocation by textbook
+    /// progressive filling — no per-link index, no scratch reuse, no
+    /// incremental state — and compare against the incremental solver's
+    /// current rates. Max–min fair rates are unique, so any disagreement
+    /// beyond float noise is an engine bug. Returns a description of the
+    /// first mismatch (fuzz oracle 1; see DESIGN.md §4.13).
+    pub fn audit_waterfill(&mut self) -> Result<(), String> {
+        self.settle();
+        let caps: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
+        let mut remaining = caps.clone();
+        let mut count = vec![0u32; caps.len()];
+        for &id in &self.active {
+            for l in &self.flows[&id].links {
+                count[l.0 as usize] += 1;
+            }
+        }
+        let mut want: BTreeMap<u64, f64> = self.active.iter().map(|&id| (id, -1.0)).collect();
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..caps.len() {
+                if count[i] == 0 {
+                    continue;
+                }
+                let share = remaining[i].max(0.0) / count[i] as f64;
+                if best.is_none_or(|(_, s)| share < s) {
+                    best = Some((i, share));
+                }
+            }
+            let Some((bottleneck, share)) = best else {
+                break;
+            };
+            for (&id, rate) in want.iter_mut() {
+                let path = &self.flows[&id].links;
+                if *rate >= 0.0 || !path.iter().any(|l| l.0 as usize == bottleneck) {
+                    continue;
+                }
+                *rate = share;
+                for l in path {
+                    remaining[l.0 as usize] -= share;
+                    count[l.0 as usize] -= 1;
+                }
+            }
+        }
+        for (&id, &w) in &want {
+            let got = self.flows[&id].rate;
+            if (got - w).abs() > 1e-9 * w.max(1.0) {
+                return Err(format!(
+                    "waterfill mismatch: flow {id} incremental rate {got} \
+                     vs from-scratch {w} ({} active flows, {} links)",
+                    self.active.len(),
+                    caps.len()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

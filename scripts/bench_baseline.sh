@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_6.json: before/after engine-throughput evidence for the
-# scale-out work (calendar queue + rack aggregation + SoA arenas).
+# Regenerate BENCH_7.json: before/after engine-throughput evidence for the
+# scale-out work (calendar queue + rack aggregation + SoA arenas), re-baselined
+# after the differential-fuzz PR (audited run paths, validation hardening).
 #
 #   scripts/bench_baseline.sh [OUT_JSON]
 #
@@ -20,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -52,7 +53,7 @@ smoke_before = load("smoke/scale_baseline.json")
 before = load("scale_baseline.json")
 
 doc = {
-    "issue": 6,
+    "issue": 7,
     "note": "engine throughput before/after the scale-out work; "
             "'before' = legacy binary-heap event queue + per-node fetch "
             "flows (rack aggregation off). Missing 'before' rows are "
