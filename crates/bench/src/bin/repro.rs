@@ -4,8 +4,13 @@
 //!   repro [--smoke] [--scale X] [--json DIR] `<target>`...
 //!   targets: table1 plans fig5a fig5b fig7a fig7b fig8a fig8b fig8c fig8d
 //!            fig9a fig9b fig10 fig12a fig12b fig13a fig13b fig14 ablations
-//!            baselines faults faults-abort bench trace `<cell>`
+//!            baselines faults faults-abort tenants bench trace `<cell>`
 //!            explain `<cell>` all
+//!
+//! `tenants` runs the multi-tenant job-stream cells (DESIGN.md §4.14): two
+//! tenants under a seeded arrival process with per-tenant queueing delay,
+//! p50/p99 latency and slowdown-vs-isolated, plus the ELB-under-
+//! interleaving and CAD-starvation revisits of Fig 13/14.
 //!
 //! Exit codes: 0 on success, 1 when any simulated job aborted (the tables
 //! printed are then not a faithful reproduction), 2 on usage errors.
@@ -27,15 +32,15 @@
 //!   repro fuzz --seed-range A..B [--budget N] [--json DIR] [--inject-defect]
 //!   repro fuzz --replay '<spec>'
 //! Each seed deterministically generates a config/workload point and checks
-//! it against five independent oracles; failures are shrunk to a minimal
+//! it against six independent oracles; failures are shrunk to a minimal
 //! reproducer and printed as a `--replay` line. Exit 1 on any failure.
 
 use memres_bench::experiments as ex;
-use memres_bench::{fuzz, perf, scale, trace, Table};
+use memres_bench::{fuzz, perf, scale, tenants, trace, Table};
 use std::io::Write;
 
 /// Every runnable target, in `all` order (`bench` is opt-in, not in `all`).
-const ALL_TARGETS: [&str; 21] = [
+const ALL_TARGETS: [&str; 22] = [
     "table1",
     "plans",
     "fig5a",
@@ -57,6 +62,7 @@ const ALL_TARGETS: [&str; 21] = [
     "ablations",
     "baselines",
     "faults",
+    "tenants",
 ];
 
 fn valid_target(t: &str) -> bool {
@@ -351,6 +357,11 @@ fn main() {
                 job_aborted |= emit(&ex::ablation_elb_threshold(setup), &json_dir);
                 job_aborted |= emit(&ex::ablation_cad_step(setup), &json_dir);
                 job_aborted |= emit(&ex::ablation_delay_wait(setup), &json_dir);
+            }
+            "tenants" => {
+                job_aborted |= emit(&tenants::policies(setup), &json_dir);
+                job_aborted |= emit(&tenants::elb_interleaved(setup), &json_dir);
+                job_aborted |= emit(&tenants::cad_starvation(setup), &json_dir);
             }
             "fig14" | "fig14a" | "fig14b" => {
                 let (a, b) = ex::fig14(setup);

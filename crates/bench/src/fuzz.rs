@@ -5,7 +5,7 @@
 //! space: cluster topology, workload shape, store/scheduler/queue choices,
 //! fault plan and executor threading. [`FuzzSpec::generate`] derives one
 //! deterministically from a seed; [`check`] runs it and holds the engine to
-//! five cheap independently-implemented oracles:
+//! six cheap independently-implemented oracles:
 //!
 //! 1. **waterfill** — the incremental max–min solver's rates equal a
 //!    from-scratch progressive-filling pass, audited live during the run
@@ -19,6 +19,11 @@
 //!    to the fault-free run (lineage recovery is lossless).
 //! 5. **export-determinism** — `job_json`/`tasks_csv` are byte-identical
 //!    across 1-vs-N executor threads and calendar-vs-legacy event queue.
+//! 6. **stream-isolation / stream-conserve** — a two-tenant job stream
+//!    derived from the same spec (DESIGN.md §4.14) retires every arrival,
+//!    each job's output equals its isolated single-job run (concurrent
+//!    residency shares slots, never data), and bytes are conserved across
+//!    every shuffle of every resident job.
 //!
 //! On failure, [`minimize`] greedily shrinks the spec (fewer nodes, rows,
 //! faults; simpler store/scheduler/workload) while the same oracle keeps
@@ -32,11 +37,22 @@
 use memres_cluster::ClusterSpec;
 use memres_core::export;
 use memres_core::prelude::*;
-use memres_core::{Defect, TimedEvent};
+use memres_core::{
+    ArrivalProcess, Defect, FinishedJob, InterJobPolicy, StreamSpec, TenantSpec, TimedEvent,
+};
 use memres_des::time::SimDuration;
 use memres_des::units::MB;
 use memres_workloads::{Grep, GroupBy, WordCount};
 use std::fmt::Write as _;
+
+/// Jobs per tenant in the stream oracle's two-tenant mix.
+const STREAM_JOBS: u32 = 2;
+
+/// Data seed for tenant `t`, stream job `k`: distinct per job so every job
+/// has a distinct correct answer, deterministic so isolated replays match.
+fn stream_data_seed(seed: u64, t: u32, k: u32) -> u64 {
+    seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(((t as u64) << 32) | (k as u64 + 1))
+}
 
 /// Spec-encoding version; bump on any grammar change so stale corpus files
 /// fail loudly instead of silently re-interpreting.
@@ -242,22 +258,81 @@ impl FuzzSpec {
     /// Build the workload's lineage graph. Rebuilt fresh for every run —
     /// shared `Rdd` handles would hide instance-keyed nondeterminism.
     pub fn build_rdd(&self) -> (Rdd, Action) {
+        self.build_rdd_seeded(self.seed)
+    }
+
+    /// [`FuzzSpec::build_rdd`] with an explicit data seed: the stream
+    /// oracle gives every job in a tenant's stream distinct data (and
+    /// therefore a distinct correct answer).
+    pub fn build_rdd_seeded(&self, seed: u64) -> (Rdd, Action) {
         match self.wl {
             WorkloadKind::GroupBy => {
                 let g = GroupBy::new(self.parts as f64 * 256.0 * MB).with_reducers(self.reducers);
-                (g.build_real(self.rows, self.keys, self.seed), Action::Count)
+                (g.build_real(self.rows, self.keys, seed), Action::Count)
             }
             WorkloadKind::Grep => {
                 let mut g = Grep::new(self.parts as f64 * 32.0 * MB);
                 g.reducers = Some(self.reducers);
-                (g.build_real(self.rows, "the", self.seed), Action::Count)
+                (g.build_real(self.rows, "the", seed), Action::Count)
             }
             WorkloadKind::WordCount => {
                 let mut w = WordCount::new(self.parts as f64 * 128.0 * MB);
                 w.reducers = Some(self.reducers);
-                (w.build_real(self.rows, self.seed), Action::Count)
+                (w.build_real(self.rows, seed), Action::Count)
             }
         }
+    }
+
+    /// The two tenant workload factories of the stream oracle: tenant 0
+    /// replays the spec's own workload (data re-seeded per job), tenant 1
+    /// runs a small fixed WordCount so the resident mix crosses workload
+    /// shapes. Exposed so the oracle replays each job in isolation.
+    pub fn stream_factories(&self) -> [memres_core::JobFactory; 2] {
+        let own = self.clone();
+        let tenant0: memres_core::JobFactory =
+            std::sync::Arc::new(move |k| own.build_rdd_seeded(stream_data_seed(own.seed, 0, k)));
+        let seed = self.seed;
+        let tenant1: memres_core::JobFactory = std::sync::Arc::new(move |k| {
+            let mut w = WordCount::new(2.0 * 128.0 * MB);
+            w.reducers = Some(2);
+            (
+                w.build_real(120, stream_data_seed(seed, 1, k)),
+                Action::Count,
+            )
+        });
+        [tenant0, tenant1]
+    }
+
+    /// The two-tenant stream the multi-job oracle runs. Arrivals are
+    /// near-simultaneous so residency genuinely overlaps; the inter-job
+    /// policy is derived from the seed so the fuzzer sweeps all three.
+    pub fn stream(&self) -> StreamSpec {
+        let [tenant0, tenant1] = self.stream_factories();
+        let policy = match self.seed % 3 {
+            0 => InterJobPolicy::Fifo,
+            1 => InterJobPolicy::FairShare,
+            _ => InterJobPolicy::Capacity {
+                guarantees: vec![1, 1],
+            },
+        };
+        StreamSpec::new(
+            vec![
+                TenantSpec::new(
+                    "own",
+                    STREAM_JOBS,
+                    ArrivalProcess::Periodic { period_secs: 0.05 },
+                    tenant0,
+                ),
+                TenantSpec::new(
+                    "wordcount",
+                    STREAM_JOBS,
+                    ArrivalProcess::OpenExp { mean_secs: 0.1 },
+                    tenant1,
+                ),
+            ],
+            policy,
+            self.seed,
+        )
     }
 
     /// One-line `key=value` encoding — the replay and corpus format.
@@ -562,6 +637,59 @@ pub fn check(spec: &FuzzSpec, budget: u64) -> Result<(), Failure> {
             return Err(Failure::new(
                 "export-determinism",
                 format!("{what}: exports differ"),
+            ));
+        }
+    }
+
+    // Oracle 6: a two-tenant stream derived from the spec retires every
+    // arrival; each job's output equals the same job run alone on a fresh
+    // cluster, and bytes are conserved across every shuffle of every
+    // resident job (concurrent residency shares slots, never data).
+    let mut d = Driver::try_new(spec.cluster(), spec.config())
+        .map_err(|e| Failure::new("stream-isolation", e))?;
+    d.set_max_steps(budget);
+    let finished = d
+        .run_stream_audited(spec.stream(), AUDIT_EVERY)
+        .map_err(|e| Failure::new("stream-isolation", e))?;
+    let want = 2 * STREAM_JOBS as usize;
+    if finished.len() != want {
+        return Err(Failure::new(
+            "stream-isolation",
+            format!("stream retired {} of {want} jobs", finished.len()),
+        ));
+    }
+    // Per tenant, stream job `k` is the k-th admission (admission is FIFO
+    // per tenant), so sort by admission to recover each job's factory index.
+    let mut by_admission: Vec<&FinishedJob> = finished.iter().collect();
+    by_admission.sort_by(|a, b| a.admitted.cmp(&b.admitted).then(a.id.cmp(&b.id)));
+    let factories = spec.stream_factories();
+    let mut seen = [0u32; 2];
+    for j in by_admission {
+        let t = j.tenant as usize;
+        let k = seen[t];
+        seen[t] += 1;
+        if j.output.aborted {
+            return Err(Failure::new(
+                "stream-isolation",
+                format!("tenant {t} job {k} aborted in a fault-free stream"),
+            ));
+        }
+        check_conservation(&j.metrics)
+            .map_err(|e| Failure::new("stream-conserve", format!("tenant {t} job {k}: {e}")))?;
+        let (rdd, action) = factories[t](k);
+        let mut iso = Driver::try_new(spec.cluster(), spec.config())
+            .map_err(|e| Failure::new("stream-isolation", e))?;
+        iso.set_max_steps(budget);
+        let (iso_out, _) = iso
+            .run_audited(&rdd, action, 0)
+            .map_err(|e| Failure::new("stream-isolation", format!("isolated replay: {e}")))?;
+        if format!("{:?}", j.output) != format!("{iso_out:?}") {
+            return Err(Failure::new(
+                "stream-isolation",
+                format!(
+                    "tenant {t} job {k}: stream output {:?} != isolated output {iso_out:?}",
+                    j.output
+                ),
             ));
         }
     }

@@ -12,6 +12,7 @@ pub mod fuzz;
 pub mod json;
 pub mod perf;
 pub mod scale;
+pub mod tenants;
 pub mod trace;
 
 use std::fmt::Write as _;

@@ -8,6 +8,7 @@ use crate::config::EngineConfig;
 use crate::dag::{build_plan, render_plan, JobPlan};
 use crate::metrics::JobMetrics;
 use crate::rdd::{Action, Rdd};
+use crate::tenancy::{FinishedJob, StreamSpec};
 use crate::world::{Ev, JobOutput, SimWorld};
 use memres_cluster::ClusterSpec;
 use memres_des::sim::Simulation;
@@ -84,18 +85,85 @@ impl Driver {
                 "simulation drained before job completion (deadlock?)"
             );
         }
-        let metrics = self.sim.model.metrics.finish_job(self.sim.now());
-        let output = self
+        let fin = self
             .sim
             .model
-            .take_output()
-            .expect("job finished without output");
-        (output, metrics)
+            .take_finished()
+            .expect("job finished without result");
+        (fin.output, fin.metrics)
+    }
+
+    /// Run a multi-tenant job stream to completion: seed the arrival
+    /// process, drive the simulation until every arrival has been admitted,
+    /// executed and retired, and return the finished jobs in completion
+    /// order. Feed the result to [`crate::tenancy::TenantSlo::compute`] for
+    /// per-tenant queueing-delay / latency / slowdown summaries.
+    pub fn run_stream(&mut self, spec: StreamSpec) -> Vec<FinishedJob> {
+        let start = self.sim.now();
+        let mut out = memres_des::Outbox::standalone(start);
+        self.sim.model.start_stream(start, spec, &mut out);
+        for (t, e) in out.into_items() {
+            self.sim.schedule(t, e);
+        }
+        while !self.sim.model.job_done {
+            assert!(
+                self.sim.step(),
+                "simulation drained before stream completion (deadlock?)"
+            );
+        }
+        self.sim.model.drain_finished()
     }
 
     /// Convenience: run and return only the metrics.
     pub fn run_for_metrics(&mut self, rdd: &Rdd, action: Action) -> JobMetrics {
         self.run(rdd, action).1
+    }
+
+    /// [`Driver::run_stream`] with the fuzz harness's error discipline:
+    /// calendar drain and event-budget exhaustion come back as `Err`, and
+    /// every `audit_every` events the live engine state is cross-checked
+    /// against independent reimplementations. The multi-job fuzz oracles
+    /// (DESIGN.md §4.13/§4.14) drive streams through this entry point so a
+    /// misbehaving scheduler cannot panic the fuzzer.
+    pub fn run_stream_audited(
+        &mut self,
+        spec: StreamSpec,
+        audit_every: u64,
+    ) -> Result<Vec<FinishedJob>, String> {
+        let start = self.sim.now();
+        let mut out = memres_des::Outbox::standalone(start);
+        self.sim.model.start_stream(start, spec, &mut out);
+        for (t, e) in out.into_items() {
+            self.sim.schedule(t, e);
+        }
+        let mut since_audit = 0u64;
+        while !self.sim.model.job_done {
+            match self.sim.try_step() {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err(
+                        "simulation drained before stream completion (deadlock?)".to_string()
+                    )
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "event budget exhausted (max_steps={}) before stream completion",
+                        e.max_steps
+                    ))
+                }
+            }
+            since_audit += 1;
+            if audit_every > 0 && since_audit >= audit_every {
+                since_audit = 0;
+                self.sim.model.audit_invariants().map_err(|e| {
+                    format!(
+                        "audit failed at t={:.6}s: {e}",
+                        self.sim.now().as_secs_f64()
+                    )
+                })?;
+            }
+        }
+        Ok(self.sim.model.drain_finished())
     }
 
     /// Run `action` on `rdd` like [`Driver::run`], but built to survive a
@@ -149,13 +217,12 @@ impl Driver {
                 .audit_invariants()
                 .map_err(|e| format!("audit failed at job end: {e}"))?;
         }
-        let metrics = self.sim.model.metrics.finish_job(self.sim.now());
-        let output = self
+        let fin = self
             .sim
             .model
-            .take_output()
-            .ok_or_else(|| "job finished without output".to_string())?;
-        Ok((output, metrics))
+            .take_finished()
+            .ok_or_else(|| "job finished without result".to_string())?;
+        Ok((fin.output, fin.metrics))
     }
 
     /// Cap the event budget for subsequent runs (the fuzz harness lowers

@@ -3,6 +3,7 @@
 //! works from files rather than from Rust structs.
 
 use crate::metrics::{JobMetrics, Phase};
+use crate::tenancy::{FinishedJob, TenantSlo};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -140,6 +141,85 @@ pub fn write_all(metrics: &JobMetrics, dir: impl AsRef<Path>) -> io::Result<()> 
     Ok(())
 }
 
+/// Per-job lifecycle rows of a finished multi-tenant stream (DESIGN.md
+/// §4.14): one row per job in completion order.
+pub fn stream_jobs_csv(jobs: &[FinishedJob]) -> String {
+    let mut out =
+        String::from("job,tenant,arrived,admitted,finished,queue_delay,latency,aborted\n");
+    for j in jobs {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{}",
+            j.id,
+            j.tenant,
+            j.arrived.as_secs_f64(),
+            j.admitted.as_secs_f64(),
+            j.finished.as_secs_f64(),
+            j.queue_delay(),
+            j.latency(),
+            j.output.aborted,
+        );
+    }
+    out
+}
+
+/// Per-tenant SLO rollup as CSV. `slowdown[t]` is the tenant's mean latency
+/// over its isolated single-job latency; callers without a baseline pass an
+/// empty slice (rendered as 1.0).
+pub fn tenant_slo_csv(slos: &[TenantSlo], names: &[String], slowdown: &[f64]) -> String {
+    let mut out = String::from(
+        "tenant,name,jobs,aborted,mean_queue_delay,mean_latency,p50_latency,p99_latency,\
+         slowdown_vs_isolated\n",
+    );
+    for (i, s) in slos.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            s.tenant,
+            names.get(i).map(|n| n.as_str()).unwrap_or(""),
+            s.jobs,
+            s.aborted,
+            s.mean_queue_delay,
+            s.mean_latency,
+            s.p50_latency,
+            s.p99_latency,
+            slowdown.get(i).copied().unwrap_or(1.0),
+        );
+    }
+    out
+}
+
+/// Per-tenant SLO rollup as a JSON array (same fields as
+/// [`tenant_slo_csv`], hand-rolled like every exporter here).
+pub fn tenant_slo_json(slos: &[TenantSlo], names: &[String], slowdown: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in slos.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"tenant\": {}, \"name\": \"{}\", \"jobs\": {}, \"aborted\": {}, \
+             \"mean_queue_delay\": {}, \"mean_latency\": {}, \"p50_latency\": {}, \
+             \"p99_latency\": {}, \"slowdown_vs_isolated\": {}}}",
+            s.tenant,
+            names.get(i).map(|n| n.as_str()).unwrap_or(""),
+            s.jobs,
+            s.aborted,
+            json_f64(s.mean_queue_delay),
+            json_f64(s.mean_latency),
+            json_f64(s.p50_latency),
+            json_f64(s.p99_latency),
+            json_f64(slowdown.get(i).copied().unwrap_or(1.0)),
+        );
+    }
+    if !slos.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
 fn phase_name(p: Phase) -> &'static str {
     match p {
         Phase::Compute => "compute",
@@ -259,6 +339,64 @@ mod tests {
     #[test]
     fn json_identical_for_identical_metrics() {
         assert_eq!(job_json(&sample()), job_json(&sample()));
+    }
+
+    #[test]
+    fn tenant_slo_exports_render_all_tenants() {
+        let slos = vec![
+            TenantSlo {
+                tenant: 0,
+                jobs: 3,
+                aborted: 1,
+                mean_queue_delay: 0.5,
+                mean_latency: 4.0,
+                p50_latency: 3.0,
+                p99_latency: 9.0,
+            },
+            TenantSlo {
+                tenant: 1,
+                ..TenantSlo::default()
+            },
+        ];
+        let names = vec!["etl".to_string(), "adhoc".to_string()];
+        let csv = tenant_slo_csv(&slos, &names, &[2.0]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,etl,3,1,"));
+        // Missing slowdown entries fall back to 1.0.
+        assert!(csv.lines().nth(2).unwrap().ends_with(",1.000000"));
+        let json = tenant_slo_json(&slos, &names, &[2.0]);
+        assert_eq!(json.matches('{').count(), 2);
+        assert!(json.contains("\"name\": \"adhoc\""));
+        assert!(json.contains("\"slowdown_vs_isolated\": 2.0"));
+        assert!(json.contains("\"p99_latency\": 9.0"));
+        assert_eq!(tenant_slo_json(&[], &[], &[]), "[]");
+    }
+
+    #[test]
+    fn stream_jobs_csv_rows() {
+        use crate::world::JobOutput;
+        use memres_des::time::SimTime;
+        let j = FinishedJob {
+            id: 7,
+            tenant: 1,
+            arrived: SimTime::from_secs_f64(1.0),
+            admitted: SimTime::from_secs_f64(1.5),
+            finished: SimTime::from_secs_f64(4.0),
+            output: JobOutput {
+                count: 0,
+                records: None,
+                reduced: None,
+                aborted: false,
+            },
+            metrics: JobMetrics::default(),
+        };
+        let csv = stream_jobs_csv(&[j]);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("7,1,1.000000,1.500000,4.000000,0.500000,3.000000,false"));
     }
 
     #[test]

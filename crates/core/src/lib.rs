@@ -40,6 +40,7 @@ pub mod export;
 pub mod faults;
 pub mod metrics;
 pub mod rdd;
+pub mod tenancy;
 pub mod value;
 pub mod world;
 
@@ -51,6 +52,9 @@ pub use driver::Driver;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, RecoveryConfig};
 pub use metrics::{JobMetrics, Phase, RecoveryCounters, TaskLocality, TaskMetric};
 pub use rdd::{Action, Dataset, Rdd, RddId, SizeModel};
+pub use tenancy::{
+    ArrivalProcess, FinishedJob, InterJobPolicy, JobFactory, StreamSpec, TenantSlo, TenantSpec,
+};
 pub use value::{Record, Value};
 pub use world::{JobOutput, SimWorld};
 

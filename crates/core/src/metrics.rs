@@ -226,30 +226,68 @@ impl JobMetrics {
     }
 }
 
-/// Collects task records during a run.
+/// Collects task records during a run. Multi-job aware (DESIGN.md §4.14):
+/// every concurrently resident job owns an in-progress [`JobMetrics`]; task
+/// events route by job id, and cluster-wide faults broadcast to every active
+/// job (each resident job experienced the crash). Events referring to a job
+/// that already departed drop silently — the same observable behaviour the
+/// old single-slot sink had between jobs.
 #[derive(Default)]
 pub struct MetricsSink {
-    pub current: JobMetrics,
+    active: Vec<JobMetrics>,
 }
 
 impl MetricsSink {
     pub fn begin_job(&mut self, job: u32, now: SimTime) {
-        self.current = JobMetrics {
+        self.active.push(JobMetrics {
             job,
             started_at: now.as_secs_f64(),
             finished_at: now.as_secs_f64(),
             tasks: Vec::new(),
             recovery: RecoveryCounters::default(),
-        };
+        });
+    }
+
+    fn job_mut(&mut self, job: u32) -> Option<&mut JobMetrics> {
+        self.active.iter_mut().find(|m| m.job == job)
     }
 
     pub fn record(&mut self, m: TaskMetric) {
-        self.current.tasks.push(m);
+        if let Some(jm) = self.job_mut(m.job) {
+            jm.tasks.push(m);
+        }
     }
 
-    pub fn finish_job(&mut self, now: SimTime) -> JobMetrics {
-        self.current.finished_at = now.as_secs_f64();
-        std::mem::take(&mut self.current)
+    /// Recovery counters of one active job, for task-attributed events
+    /// (retries, blacklisting, recomputes). `None` if the job departed.
+    pub fn recovery(&mut self, job: u32) -> Option<&mut RecoveryCounters> {
+        self.job_mut(job).map(|m| &mut m.recovery)
+    }
+
+    /// Apply a cluster-wide recovery event (node crash/restart, block loss,
+    /// SSD degradation) to every active job.
+    pub fn recovery_all(&mut self, f: impl Fn(&mut RecoveryCounters)) {
+        for m in self.active.iter_mut() {
+            f(&mut m.recovery);
+        }
+    }
+
+    /// Close out `job`'s metrics and remove it from the active set.
+    pub fn finish_job(&mut self, job: u32, now: SimTime) -> JobMetrics {
+        let mut m = match self.active.iter().position(|m| m.job == job) {
+            Some(i) => self.active.remove(i),
+            None => JobMetrics {
+                job,
+                ..JobMetrics::default()
+            },
+        };
+        m.finished_at = now.as_secs_f64();
+        m
+    }
+
+    /// Number of jobs currently collecting metrics.
+    pub fn active_jobs(&self) -> usize {
+        self.active.len()
     }
 }
 
@@ -356,11 +394,41 @@ mod tests {
     fn sink_lifecycle() {
         let mut sink = MetricsSink::default();
         sink.begin_job(3, SimTime::from_secs_f64(1.0));
-        sink.record(mk(Phase::Compute, 0, 1.0, 2.0, 0.0));
-        let jm = sink.finish_job(SimTime::from_secs_f64(5.0));
+        let mut m = mk(Phase::Compute, 0, 1.0, 2.0, 0.0);
+        m.job = 3;
+        sink.record(m);
+        let jm = sink.finish_job(3, SimTime::from_secs_f64(5.0));
         assert_eq!(jm.job, 3);
         assert_eq!(jm.tasks.len(), 1);
         assert!((jm.job_time() - 4.0).abs() < 1e-12);
-        assert!(sink.current.tasks.is_empty());
+        assert_eq!(sink.active_jobs(), 0);
+    }
+
+    #[test]
+    fn sink_routes_by_job_and_broadcasts_faults() {
+        let mut sink = MetricsSink::default();
+        sink.begin_job(1, SimTime::ZERO);
+        sink.begin_job(2, SimTime::from_secs_f64(1.0));
+        let mut m = mk(Phase::Compute, 0, 1.0, 2.0, 0.0);
+        m.job = 2;
+        sink.record(m);
+        // Task event belonging to a departed job drops silently.
+        let mut stale = mk(Phase::Compute, 0, 1.0, 2.0, 0.0);
+        stale.job = 9;
+        sink.record(stale);
+        if let Some(rec) = sink.recovery(1) {
+            rec.tasks_retried += 1;
+        }
+        sink.recovery_all(|r| r.node_crashes += 1);
+        let a = sink.finish_job(1, SimTime::from_secs_f64(2.0));
+        let b = sink.finish_job(2, SimTime::from_secs_f64(3.0));
+        assert_eq!(a.tasks.len(), 0);
+        assert_eq!(b.tasks.len(), 1);
+        assert_eq!(a.recovery.tasks_retried, 1);
+        assert_eq!(b.recovery.tasks_retried, 0);
+        assert_eq!(a.recovery.node_crashes, 1);
+        assert_eq!(b.recovery.node_crashes, 1);
+        // Finishing an unknown job yields an empty record, not a panic.
+        assert_eq!(sink.finish_job(9, SimTime::ZERO).tasks.len(), 0);
     }
 }

@@ -29,10 +29,12 @@
 
 use crate::blockmgr::BlockMgr;
 use crate::config::{Defect, EngineConfig, InputSource, SchedulerKind, ShuffleStore, StoreDevice};
+use crate::dag::build_plan;
 use crate::dag::{JobPlan, ShuffleInSpec, StageInput, StagePlan};
 use crate::faults::FaultKind;
 use crate::metrics::{MetricsSink, Phase, TaskLocality, TaskMetric};
 use crate::rdd::{Action, Dataset, RddId, ShuffleAgg};
+use crate::tenancy::{FinishedJob, InterJobPolicy, StreamSpec};
 use crate::value::{record_bytes, Record, Value};
 use memres_cluster::{ClusterSpec, NodeId, SpeedModel, SpeedSampler};
 use memres_des::sim::{Gen, Model, Outbox};
@@ -66,6 +68,8 @@ enum TState {
 }
 
 struct Task {
+    /// Owning job id (multi-tenant streams keep several jobs resident).
+    job: u32,
     stage: u32,
     kind: TaskKind,
     state: TState,
@@ -111,6 +115,7 @@ struct Task {
 /// `Arc<[Record]>` payloads are shared exactly as before.
 #[derive(Default)]
 struct TaskArena {
+    job: Vec<u32>,
     stage: Vec<u32>,
     kind: Vec<TaskKind>,
     state: Vec<TState>,
@@ -148,6 +153,7 @@ impl TaskArena {
 
     fn push(&mut self, t: Task) {
         debug_assert_eq!(t.state, TState::Pending, "tasks are born pending");
+        self.job.push(t.job);
         self.stage.push(t.stage);
         self.kind.push(t.kind);
         self.state.push(t.state);
@@ -182,6 +188,7 @@ impl TaskArena {
     }
 
     fn clear(&mut self) {
+        self.job.clear();
         self.stage.clear();
         self.kind.clear();
         self.state.clear();
@@ -210,7 +217,8 @@ impl TaskArena {
     /// Heap charged to the arena's flat arrays (self-profiling).
     fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.stage.capacity() * size_of::<u32>()
+        self.job.capacity() * size_of::<u32>()
+            + self.stage.capacity() * size_of::<u32>()
             + self.kind.capacity() * size_of::<TaskKind>()
             + self.state.capacity() * size_of::<TState>()
             + self.node.capacity() * size_of::<u32>()
@@ -283,6 +291,21 @@ pub enum Ev {
     /// A transiently-crashed node comes back (empty memory, disk intact).
     NodeRestart {
         node: u32,
+    },
+    /// Stream mode: tenant `tenant`'s `k`-th job arrives.
+    JobArrival {
+        tenant: u32,
+        k: u32,
+    },
+    /// Lustre-shared OSS read start, one revocation round trip after the
+    /// task became transfer-eligible. Deferred via an event so the flow
+    /// network is only ever mutated at the current sim time — opening the
+    /// flow eagerly at `now + revoke_latency` would run its clock ahead of
+    /// any other resident job's traffic in that window.
+    LustreSharedRead {
+        task: u32,
+        attempt: u32,
+        job: u32,
     },
 }
 
@@ -440,6 +463,12 @@ enum RunPhase {
 }
 
 struct JobRun {
+    /// Job id (minted from `job_seq` at arrival/submission).
+    id: u32,
+    /// Owning tenant (0 for single-job runs).
+    tenant: u32,
+    arrived: SimTime,
+    admitted: SimTime,
     plan: Arc<JobPlan>,
     phase: RunPhase,
     remaining: usize,
@@ -451,6 +480,40 @@ struct JobRun {
     /// Shuffle being produced by the current stage.
     shuffle_out: Option<ShuffleState>,
     final_tasks: Vec<u32>,
+    /// Delay scheduling state: instant of this job's last locality-preferred
+    /// launch. Per-job so one tenant's local progress never suppresses (or
+    /// unlocks) another tenant's steal decisions.
+    last_local_launch: SimTime,
+    /// Completed compute-task durations of this job's current stage
+    /// (speculation baseline's straggler threshold).
+    stage_durs: Vec<f64>,
+    /// Per-node intermediate bytes deposited by this job (ELB signal).
+    intermediate: Vec<f64>,
+    // Per-job pending-task queues: the inter-job scheduler picks which job a
+    // free slot serves; these serve the intra-job pick exactly as before.
+    prefs_q: Vec<VecDeque<u32>>,
+    no_pref_q: VecDeque<u32>,
+    waiting_q: VecDeque<u32>,
+}
+
+/// One arrived-but-not-yet-admitted job in a multi-tenant stream.
+struct PendingAdmission {
+    id: u32,
+    tenant: u32,
+    k: u32,
+    arrived: SimTime,
+}
+
+/// Multi-tenant stream bookkeeping (DESIGN.md §4.14).
+struct StreamState {
+    spec: StreamSpec,
+    /// Arrivals scheduled (or chained, for closed-loop) but not yet fired.
+    outstanding_arrivals: usize,
+    /// Arrived jobs waiting for an admission slot, FIFO.
+    queued: VecDeque<PendingAdmission>,
+    /// Per-tenant count of arrivals scheduled so far (closed-loop tenants
+    /// chain the next one at job departure).
+    fired: Vec<u32>,
 }
 
 struct PlacedPart {
@@ -470,6 +533,9 @@ struct PlacedPart {
 /// a pure function of this struct.
 struct PendingChain {
     task: u32,
+    /// The owning job's plan, captured at launch — chain evaluation happens
+    /// on worker threads where `SimWorld` cannot be borrowed.
+    plan: Arc<JobPlan>,
     stage: usize,
     part: u32,
     node: u32,
@@ -519,10 +585,15 @@ pub struct SimWorld {
     pub metrics: MetricsSink,
 
     tasks: TaskArena,
-    job: Option<JobRun>,
+    /// Concurrently resident jobs, in admission order.
+    jobs: Vec<JobRun>,
     job_seq: u32,
     pub job_done: bool,
     last_output: Option<JobOutput>,
+    /// Multi-tenant stream state (`None` for single-job submissions).
+    stream: Option<StreamState>,
+    /// Completed/aborted jobs awaiting collection by the driver.
+    finished: VecDeque<FinishedJob>,
 
     // Scheduling state.
     free_slots: Vec<u32>,
@@ -537,19 +608,12 @@ pub struct SimWorld {
     /// allocation per dispatch phase.
     blocked_stamp: Vec<u64>,
     dispatch_round: u64,
-    prefs_q: Vec<VecDeque<u32>>,
-    no_pref_q: VecDeque<u32>,
-    waiting_q: VecDeque<u32>,
     rotate: u32,
-    /// Delay scheduling state: instant of the last locality-preferred task
-    /// launch. Spark's delay scheduler only degrades to remote launches
-    /// after `wait` elapses with no local progress.
-    last_local_launch: SimTime,
-    /// Per-node intermediate bytes deposited in the current job (ELB signal).
-    intermediate: Vec<f64>,
-    /// Completed compute-task durations of the current stage (speculation
-    /// baseline's straggler threshold).
-    stage_durs: Vec<f64>,
+    /// True when the last dispatch pass found pending tasks but zero
+    /// available nodes and no delay-retry wake scheduled; the next
+    /// slot-freeing or node-recovery event must re-issue `Dispatch` or the
+    /// job wedges (DESIGN.md §4.14 bugfix).
+    dispatch_starved: bool,
     // CAD state.
     cad_interval: SimDuration,
     cad_allowed: Vec<SimTime>,
@@ -669,13 +733,8 @@ impl SimWorld {
             avail: (0..workers as u32).collect(),
             blocked_stamp: vec![0; workers],
             dispatch_round: 0,
-            prefs_q: (0..workers).map(|_| VecDeque::new()).collect(),
-            no_pref_q: VecDeque::new(),
-            waiting_q: VecDeque::new(),
             rotate: 0,
-            last_local_launch: SimTime::ZERO,
-            stage_durs: Vec::new(),
-            intermediate: vec![0.0; workers],
+            dispatch_starved: false,
             cad_interval: SimDuration::ZERO,
             cad_allowed: vec![SimTime::ZERO; workers],
             cad_wake_at: vec![SimTime::ZERO; workers],
@@ -706,10 +765,12 @@ impl SimWorld {
             speeds,
             metrics: MetricsSink::default(),
             tasks: TaskArena::default(),
-            job: None,
+            jobs: Vec::new(),
             job_seq: 0,
             job_done: false,
             last_output: None,
+            stream: None,
+            finished: VecDeque::new(),
         };
         if let Some(t) = &w.tracer {
             w.net.set_tracer(t.clone());
@@ -762,17 +823,33 @@ impl SimWorld {
             .as_ref()
             .map(|t| t.borrow().len() * std::mem::size_of::<memres_trace::TimedEvent>())
             .unwrap_or(0);
-        let shuffle = self
-            .job
-            .as_ref()
-            .and_then(|j| j.shuffle_out.as_ref().or(j.shuffle_in.as_ref()))
+        let shuffle: usize = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.shuffle_out.as_ref().or(j.shuffle_in.as_ref()))
             .map(|s| s.buckets.heap_bytes())
-            .unwrap_or(0);
+            .sum();
         (tasks + trace + shuffle) as u64
     }
 
     pub fn take_output(&mut self) -> Option<JobOutput> {
         self.last_output.take()
+    }
+
+    /// Pop the oldest completed job (stream mode collects these as they
+    /// finish; single-job runs stash exactly one).
+    pub fn take_finished(&mut self) -> Option<FinishedJob> {
+        self.finished.pop_front()
+    }
+
+    /// Drain every completed job collected so far, in completion order.
+    pub fn drain_finished(&mut self) -> Vec<FinishedJob> {
+        self.finished.drain(..).collect()
+    }
+
+    /// Number of jobs currently resident (admitted, not finished).
+    pub fn resident_jobs(&self) -> usize {
+        self.jobs.len()
     }
 
     /// Cheap cross-checks of live engine state against independent
@@ -806,16 +883,28 @@ impl SimWorld {
         1.0 - j + 2.0 * j * u
     }
 
-    fn job(&self) -> &JobRun {
-        self.job.as_ref().expect("no active job") // lint:allow(panic): completions are stale-filtered (completion_is_stale) before dereferencing, so a live event implies an active job
+    /// Resident-set index of the job owning `task`. Completions are
+    /// stale-filtered (`completion_is_stale`) before dereferencing, so a
+    /// live event implies the owning job is resident.
+    fn job_index_of(&self, task: u32) -> usize {
+        let id = self.tasks.job[task as usize];
+        self.jobs
+            .iter()
+            .position(|j| j.id == id)
+            .expect("task of non-resident job") // lint:allow(panic): stale-filtered above
     }
 
-    fn job_mut(&mut self) -> &mut JobRun {
-        self.job.as_mut().expect("no active job") // lint:allow(panic): completions are stale-filtered (completion_is_stale) before dereferencing, so a live event implies an active job
+    fn job_of(&self, task: u32) -> &JobRun {
+        &self.jobs[self.job_index_of(task)]
     }
 
-    fn plan(&self) -> Arc<JobPlan> {
-        self.job().plan.clone()
+    fn job_of_mut(&mut self, task: u32) -> &mut JobRun {
+        let ji = self.job_index_of(task);
+        &mut self.jobs[ji]
+    }
+
+    fn plan_of(&self, task: u32) -> Arc<JobPlan> {
+        self.job_of(task).plan.clone()
     }
 
     // ---------------- wake plumbing ----------------
@@ -859,7 +948,7 @@ impl SimWorld {
     fn io_tag(&self, task: u32) -> u64 {
         task as u64
             | ((self.tasks.attempt[task as usize] as u64 & 0xffff) << 32)
-            | ((self.job_seq as u64 & 0xffff) << 48)
+            | ((self.tasks.job[task as usize] as u64 & 0xffff) << 48)
     }
 
     fn unpack_io_tag(tag: u64) -> (u32, u32, u32) {
@@ -875,7 +964,7 @@ impl SimWorld {
         NetTag::TaskIo {
             task,
             attempt: self.tasks.attempt[task as usize],
-            job: self.job_seq,
+            job: self.tasks.job[task as usize],
         }
     }
 
@@ -883,27 +972,201 @@ impl SimWorld {
 
     /// Begin executing a plan. Drive the simulation until `job_done`.
     pub fn submit_job(&mut self, now: SimTime, plan: JobPlan, out: &mut Outbox<Ev>) {
-        assert!(self.job.is_none(), "one job at a time (stages serialize)");
-        self.arm_faults(now, out);
+        assert!(self.jobs.is_empty(), "one job at a time (stages serialize)");
         self.job_seq += 1;
+        let id = self.job_seq;
+        self.admit_job(now, id, 0, now, Arc::new(plan), out);
+    }
+
+    /// Install a job into the resident set and start its first stage.
+    /// Single-job submissions and stream admissions share this path.
+    fn admit_job(
+        &mut self,
+        now: SimTime,
+        id: u32,
+        tenant: u32,
+        arrived: SimTime,
+        plan: Arc<JobPlan>,
+        out: &mut Outbox<Ev>,
+    ) {
+        self.arm_faults(now, out);
         self.job_done = false;
-        self.metrics.begin_job(self.job_seq, now);
-        self.trace(now, TE::JobStart { job: self.job_seq });
-        self.intermediate.iter_mut().for_each(|x| *x = 0.0);
-        self.cad_interval = SimDuration::ZERO;
-        self.cad_allowed.iter_mut().for_each(|t| *t = SimTime::ZERO);
-        self.cad_ref_avg = None;
-        self.cad_window.clear();
-        self.job = Some(JobRun {
-            plan: Arc::new(plan),
+        self.metrics.begin_job(id, now);
+        self.trace(now, TE::JobStart { job: id });
+        if self.jobs.is_empty() {
+            // CAD's congestion estimate is a cluster-wide signal; reset it
+            // only when the cluster goes from idle to busy, not when a job
+            // joins an already-loaded resident set.
+            self.cad_interval = SimDuration::ZERO;
+            self.cad_allowed.iter_mut().for_each(|t| *t = SimTime::ZERO);
+            self.cad_ref_avg = None;
+            self.cad_window.clear();
+        }
+        let workers = self.spec.workers as usize;
+        self.jobs.push(JobRun {
+            id,
+            tenant,
+            arrived,
+            admitted: now,
+            plan,
             phase: RunPhase::Stage(0),
             remaining: 0,
             stage_tasks: Vec::new(),
             shuffle_in: None,
             shuffle_out: None,
             final_tasks: Vec::new(),
+            last_local_launch: now,
+            stage_durs: Vec::new(),
+            intermediate: vec![0.0; workers],
+            prefs_q: (0..workers).map(|_| VecDeque::new()).collect(),
+            no_pref_q: VecDeque::new(),
+            waiting_q: VecDeque::new(),
         });
-        self.start_stage(now, 0, out);
+        let ji = self.jobs.len() - 1;
+        self.start_stage(now, ji, 0, out);
+    }
+
+    // ---------------- multi-tenant streams (DESIGN.md §4.14) ----------------
+
+    /// Begin a multi-tenant job stream. Open-loop and trace arrivals are
+    /// scheduled upfront (cumulative gaps from `now`); closed-loop tenants
+    /// fire their first arrival immediately and chain the next one `think`
+    /// after each job departs. Admission is FIFO under `max_concurrent`;
+    /// the configured [`InterJobPolicy`] orders *dispatch*, not admission.
+    pub fn start_stream(&mut self, now: SimTime, spec: StreamSpec, out: &mut Outbox<Ev>) {
+        assert!(
+            self.jobs.is_empty() && self.stream.is_none(),
+            "a stream starts on an idle world"
+        );
+        let mut outstanding = 0usize;
+        let mut fired = vec![0u32; spec.tenants.len()];
+        for (t, ts) in spec.tenants.iter().enumerate() {
+            let tenant = t as u32;
+            match &ts.arrival {
+                crate::tenancy::ArrivalProcess::Trace(offsets) => {
+                    let n = (ts.jobs as usize).min(offsets.len());
+                    for k in 0..n {
+                        let off = ts
+                            .arrival
+                            .trace_offset(k as u32)
+                            .expect("trace offset in range"); // lint:allow(panic): k < trace length by construction
+                        out.at(
+                            now + off,
+                            Ev::JobArrival {
+                                tenant,
+                                k: k as u32,
+                            },
+                        );
+                    }
+                    fired[t] = n as u32;
+                    outstanding += n;
+                }
+                crate::tenancy::ArrivalProcess::Closed { .. } => {
+                    if ts.jobs > 0 {
+                        out.at(now, Ev::JobArrival { tenant, k: 0 });
+                        fired[t] = 1;
+                        outstanding += 1;
+                    }
+                }
+                _ => {
+                    let mut at = now;
+                    for k in 0..ts.jobs {
+                        let gap = ts
+                            .arrival
+                            .open_gap(spec.seed, tenant, k)
+                            .expect("open-loop arrival gap"); // lint:allow(panic): open-loop arms always yield a gap
+                        at += gap;
+                        out.at(at, Ev::JobArrival { tenant, k });
+                    }
+                    fired[t] = ts.jobs;
+                    outstanding += ts.jobs as usize;
+                }
+            }
+        }
+        self.job_done = outstanding == 0;
+        self.stream = Some(StreamState {
+            spec,
+            outstanding_arrivals: outstanding,
+            queued: VecDeque::new(),
+            fired,
+        });
+    }
+
+    fn on_job_arrival(&mut self, now: SimTime, tenant: u32, k: u32, out: &mut Outbox<Ev>) {
+        if self.stream.is_none() {
+            return; // stale arrival after the stream was torn down
+        }
+        self.job_seq += 1;
+        let id = self.job_seq;
+        self.trace(now, TE::JobArrived { job: id, tenant });
+        let stream = self.stream.as_mut().expect("stream checked above"); // lint:allow(panic): guarded at function entry
+        stream.outstanding_arrivals = stream.outstanding_arrivals.saturating_sub(1);
+        stream.queued.push_back(PendingAdmission {
+            id,
+            tenant,
+            k,
+            arrived: now,
+        });
+        self.try_admissions(now, out);
+    }
+
+    /// Admit queued jobs FIFO while under the concurrency cap. The job's
+    /// plan is built at admission time so cached RDDs materialized by
+    /// earlier jobs are visible, exactly as sequential submission sees them.
+    fn try_admissions(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
+        loop {
+            let Some(stream) = self.stream.as_ref() else {
+                return;
+            };
+            let cap = stream.spec.max_concurrent.unwrap_or(usize::MAX);
+            if self.jobs.len() >= cap || stream.queued.is_empty() {
+                return;
+            }
+            let pa = self
+                .stream
+                .as_mut()
+                .and_then(|s| s.queued.pop_front())
+                .expect("non-empty admit queue"); // lint:allow(panic): emptiness checked above
+            self.trace(
+                now,
+                TE::JobAdmitted {
+                    job: pa.id,
+                    tenant: pa.tenant,
+                },
+            );
+            let make = self
+                .stream
+                .as_ref()
+                .map(|s| s.spec.tenants[pa.tenant as usize].make.clone())
+                .expect("stream present"); // lint:allow(panic): guarded at loop entry
+            let (rdd, action) = make(pa.k);
+            let plan = build_plan(&rdd, action, &self.blockmgr.materialized());
+            self.admit_job(now, pa.id, pa.tenant, pa.arrived, Arc::new(plan), out);
+        }
+    }
+
+    /// Stream bookkeeping when a job finishes or aborts: chain the owning
+    /// tenant's next closed-loop arrival and pull in queued admissions.
+    fn on_job_departure(&mut self, now: SimTime, tenant: u32, out: &mut Outbox<Ev>) {
+        if let Some(stream) = self.stream.as_mut() {
+            let ts = &stream.spec.tenants[tenant as usize];
+            if let Some(think) = ts.arrival.think() {
+                let k = stream.fired[tenant as usize];
+                if k < ts.jobs {
+                    stream.fired[tenant as usize] += 1;
+                    stream.outstanding_arrivals += 1;
+                    out.at(now + think, Ev::JobArrival { tenant, k });
+                }
+            }
+        }
+        self.try_admissions(now, out);
+    }
+
+    /// True when no further jobs can arrive or be admitted.
+    fn stream_drained(&self) -> bool {
+        self.stream
+            .as_ref()
+            .is_none_or(|s| s.outstanding_arrivals == 0 && s.queued.is_empty())
     }
 
     /// Schedule every fault of the configured plan, once, relative to the
@@ -1006,14 +1269,14 @@ impl SimWorld {
         self.placed.insert(rdd, parts);
     }
 
-    fn start_stage(&mut self, now: SimTime, idx: usize, out: &mut Outbox<Ev>) {
-        let plan = self.plan();
+    fn start_stage(&mut self, now: SimTime, ji: usize, idx: usize, out: &mut Outbox<Ev>) {
+        let plan = self.jobs[ji].plan.clone();
         let stage = &plan.stages[idx];
         let is_last = idx + 1 == plan.stages.len();
 
         // Move the produced shuffle (if any) into consuming position.
         {
-            let job = self.job_mut();
+            let job = &mut self.jobs[ji];
             if matches!(stage.input, StageInput::Shuffle(_)) {
                 job.shuffle_in = job.shuffle_out.take();
                 assert!(
@@ -1030,7 +1293,9 @@ impl SimWorld {
                 self.placed[rdd].len()
             }
             StageInput::Cached { rdd } => self.blockmgr.partition_count(*rdd),
-            StageInput::Shuffle(_) => self.job().shuffle_in.as_ref().unwrap().reducers as usize, // lint:allow(panic): build_plan emits a Shuffle input only after a shuffle-out stage, which installed shuffle_in at the phase switch
+            StageInput::Shuffle(_) => {
+                self.jobs[ji].shuffle_in.as_ref().unwrap().reducers as usize // lint:allow(panic): build_plan emits a Shuffle input only after a shuffle-out stage, which installed shuffle_in at the phase switch
+            }
         };
         assert!(nparts > 0, "stage with zero partitions");
 
@@ -1051,7 +1316,13 @@ impl SimWorld {
                 }
                 StageInput::Cached { rdd } => self.blockmgr.is_real(*rdd),
                 StageInput::Shuffle(_) => {
-                    self.job().shuffle_in.as_ref().unwrap().node_real.is_some() // lint:allow(panic): build_plan emits a Shuffle input only after a shuffle-out stage, which installed shuffle_in at the phase switch
+                    self.jobs[ji]
+                        .shuffle_in
+                        .as_ref()
+                        // lint:allow(panic): build_plan emits a Shuffle input only after a shuffle-out stage, which installed shuffle_in at the phase switch
+                        .unwrap()
+                        .node_real
+                        .is_some()
                 }
             };
             let workers = self.spec.workers as usize;
@@ -1069,7 +1340,7 @@ impl SimWorld {
                     )
                     && per_rack * per_rack > self.cfg.rack_agg_threshold as u64
             };
-            self.job_mut().shuffle_out =
+            self.jobs[ji].shuffle_out =
                 Some(ShuffleState::new(reducers, spec, workers, real, aggregated));
         }
 
@@ -1093,6 +1364,7 @@ impl SimWorld {
                 )
             };
             self.tasks.push(Task {
+                job: self.jobs[ji].id,
                 stage: idx as u32,
                 kind,
                 state: TState::Pending,
@@ -1137,17 +1409,17 @@ impl SimWorld {
             );
         }
         {
-            let job = self.job_mut();
+            let job = &mut self.jobs[ji];
             job.phase = RunPhase::Stage(idx);
             job.remaining = created.len();
             job.stage_tasks = created.clone();
             if is_last {
                 job.final_tasks = created.clone();
             }
+            job.last_local_launch = now;
+            job.stage_durs.clear();
         }
-        self.last_local_launch = now;
-        self.stage_durs.clear();
-        self.enqueue_pending(&created);
+        self.enqueue_pending(ji, &created);
         self.rotate = self.rotate.wrapping_add(1);
         out.immediately(Ev::Dispatch);
     }
@@ -1172,20 +1444,22 @@ impl SimWorld {
         }
     }
 
-    fn enqueue_pending(&mut self, ids: &[u32]) {
+    fn enqueue_pending(&mut self, ji: usize, ids: &[u32]) {
+        let tasks = &self.tasks;
+        let job = &mut self.jobs[ji];
         for &id in ids {
-            let prefs = &self.tasks.prefs[id as usize];
-            if self.tasks.pinned[id as usize] {
-                self.prefs_q[prefs[0] as usize].push_back(id);
+            let prefs = &tasks.prefs[id as usize];
+            if tasks.pinned[id as usize] {
+                job.prefs_q[prefs[0] as usize].push_back(id);
                 continue;
             }
             if prefs.is_empty() {
-                self.no_pref_q.push_back(id);
+                job.no_pref_q.push_back(id);
             } else {
                 for &n in prefs {
-                    self.prefs_q[n as usize].push_back(id);
+                    job.prefs_q[n as usize].push_back(id);
                 }
-                self.waiting_q.push_back(id);
+                job.waiting_q.push_back(id);
             }
         }
     }
@@ -1195,23 +1469,24 @@ impl SimWorld {
     /// ELB (§VI-A): while a stage is depositing intermediate data, stop
     /// assigning tasks to nodes holding more than `threshold ×` the cluster
     /// average.
-    fn elb_declines(&self, node: u32) -> bool {
+    fn elb_declines(&self, ji: usize, node: u32) -> bool {
         let Some(elb) = self.cfg.elb else {
             return false;
         };
-        let depositing = match self.job.as_ref().map(|j| j.phase) {
-            Some(RunPhase::Stage(idx)) => self.job().plan.stages[idx].has_shuffle_output(),
+        let job = &self.jobs[ji];
+        let depositing = match job.phase {
+            RunPhase::Stage(idx) => job.plan.stages[idx].has_shuffle_output(),
             _ => false,
         };
         if !depositing {
             return false;
         }
-        let total: f64 = self.intermediate.iter().sum();
+        let total: f64 = job.intermediate.iter().sum();
         if total <= 0.0 {
             return false;
         }
         let avg = total / self.spec.workers as f64;
-        self.intermediate[node as usize] > avg * elb.threshold
+        job.intermediate[node as usize] > avg * elb.threshold
     }
 
     /// Pick the next task for a free slot on `node`; `Err(retry)` when delay
@@ -1221,19 +1496,22 @@ impl SimWorld {
     fn pick(
         &mut self,
         now: SimTime,
+        ji: usize,
         node: u32,
         allow_steal: bool,
     ) -> Result<Option<u32>, Option<SimTime>> {
-        while let Some(&cand) = self.prefs_q[node as usize].front() {
-            self.prefs_q[node as usize].pop_front();
-            if self.tasks.state[cand as usize] == TState::Pending {
-                self.last_local_launch = now;
+        let tasks = &self.tasks;
+        let job = &mut self.jobs[ji];
+        while let Some(&cand) = job.prefs_q[node as usize].front() {
+            job.prefs_q[node as usize].pop_front();
+            if tasks.state[cand as usize] == TState::Pending {
+                job.last_local_launch = now;
                 return Ok(Some(cand));
             }
         }
-        while let Some(&cand) = self.no_pref_q.front() {
-            self.no_pref_q.pop_front();
-            if self.tasks.state[cand as usize] == TState::Pending {
+        while let Some(&cand) = job.no_pref_q.front() {
+            job.no_pref_q.pop_front();
+            if tasks.state[cand as usize] == TState::Pending {
                 return Ok(Some(cand));
             }
         }
@@ -1241,24 +1519,26 @@ impl SimWorld {
             return Ok(None);
         }
         loop {
-            let Some(&cand) = self.waiting_q.front() else {
+            let Some(&cand) = job.waiting_q.front() else {
                 return Ok(None);
             };
-            if self.tasks.state[cand as usize] != TState::Pending {
-                self.waiting_q.pop_front();
+            if tasks.state[cand as usize] != TState::Pending {
+                job.waiting_q.pop_front();
                 continue;
             }
             match self.cfg.scheduler {
                 SchedulerKind::Fifo => {
-                    self.waiting_q.pop_front();
+                    job.waiting_q.pop_front();
                     return Ok(Some(cand));
                 }
                 SchedulerKind::Delay { wait } => {
                     // Spark semantics: go remote only after `wait` with no
-                    // locality-preferred launch anywhere in the stage.
-                    let expires = self.last_local_launch + wait;
+                    // locality-preferred launch anywhere in this job's stage
+                    // (per-job: another tenant's local launches must not
+                    // reset this job's delay clock).
+                    let expires = job.last_local_launch + wait;
                     if now >= expires {
-                        self.waiting_q.pop_front();
+                        job.waiting_q.pop_front();
                         return Ok(Some(cand));
                     }
                     return Err(Some(expires));
@@ -1280,8 +1560,58 @@ impl SimWorld {
         }
     }
 
+    /// Inter-job dispatch order (DESIGN.md §4.14). Single-job runs and the
+    /// FIFO policy serve jobs in admission order; fair-share orders by
+    /// fewest running tasks; capacity first serves tenants still below
+    /// their guaranteed slot count.
+    fn job_order(&self) -> Vec<usize> {
+        let n = self.jobs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        if n <= 1 {
+            return order;
+        }
+        let Some(policy) = self.stream.as_ref().map(|s| s.spec.policy.clone()) else {
+            return order;
+        };
+        match policy {
+            InterJobPolicy::Fifo => order,
+            InterJobPolicy::FairShare | InterJobPolicy::Capacity { .. } => {
+                // Running-task counts per resident job, by arena scan (the
+                // arena only ever holds the resident set's tasks).
+                let mut running = vec![0u32; n];
+                for i in 0..self.tasks.len() {
+                    if self.tasks.state[i] == TState::Running {
+                        let id = self.tasks.job[i];
+                        if let Some(ji) = self.jobs.iter().position(|j| j.id == id) {
+                            running[ji] += 1;
+                        }
+                    }
+                }
+                if let InterJobPolicy::Capacity { guarantees } = &policy {
+                    let mut tenant_running: Vec<u32> = Vec::new();
+                    for (ji, j) in self.jobs.iter().enumerate() {
+                        let t = j.tenant as usize;
+                        if tenant_running.len() <= t {
+                            tenant_running.resize(t + 1, 0);
+                        }
+                        tenant_running[t] += running[ji];
+                    }
+                    order.sort_by_key(|&ji| {
+                        let t = self.jobs[ji].tenant as usize;
+                        let g = guarantees.get(t).copied().unwrap_or(0);
+                        let deficit = tenant_running.get(t).copied().unwrap_or(0) < g;
+                        (!deficit, running[ji], ji)
+                    });
+                } else {
+                    order.sort_by_key(|&ji| (running[ji], ji));
+                }
+                order
+            }
+        }
+    }
+
     fn dispatch(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
-        if self.job.is_none() {
+        if self.jobs.is_empty() {
             return;
         }
         // Fast exit: with nothing pending and speculation off, no pass can
@@ -1291,9 +1621,11 @@ impl SimWorld {
             return;
         }
         let workers = self.spec.workers;
-        let storing = matches!(self.job().phase, RunPhase::Storing(_));
-        let cad_on = storing && self.cfg.cad.is_some();
+        let cad_some = self.cfg.cad.is_some();
         let mut earliest_retry: Option<SimTime> = None;
+        // The inter-job policy orders which resident job a free slot serves;
+        // within a job, pick() is unchanged.
+        let order = self.job_order();
         // Two-phase rounds: first every node claims its locality-preferred
         // (or preference-free) tasks, one slot per pass; only then may the
         // FIFO path steal tasks that prefer other nodes.
@@ -1323,64 +1655,75 @@ impl SimWorld {
                     {
                         continue;
                     }
-                    if self.elb_declines(node) {
-                        self.trace(now, TE::ElbDecline { node });
-                        self.blocked_stamp[node as usize] = round;
-                        continue;
-                    }
-                    if cad_on && self.cad_gates(node) {
-                        let allowed = self.cad_allowed[node as usize];
-                        if now < allowed {
-                            if self.cad_wake_at[node as usize] != allowed {
-                                self.cad_wake_at[node as usize] = allowed;
-                                self.trace(
-                                    now,
-                                    TE::CadGate {
-                                        node,
-                                        until_ns: allowed.0,
-                                    },
-                                );
-                                out.at(allowed, Ev::DispatchNode { node });
-                            }
-                            self.blocked_stamp[node as usize] = round;
-                            continue;
+                    let mut node_launched = false;
+                    for &ji in &order {
+                        let storing = matches!(self.jobs[ji].phase, RunPhase::Storing(_));
+                        let cad_on = storing && cad_some;
+                        if self.elb_declines(ji, node) {
+                            self.trace(now, TE::ElbDecline { node });
+                            continue; // another job may still use this node
                         }
-                    }
-                    match self.pick(now, node, allow_steal) {
-                        Ok(Some(task)) => {
-                            self.launch(now, task, node, out);
-                            launched_any = true;
-                            if cad_on && self.cad_interval > SimDuration::ZERO {
-                                let allowed = now + self.cad_interval;
-                                self.cad_allowed[node as usize] = allowed;
+                        if cad_on && self.cad_gates(node) {
+                            let allowed = self.cad_allowed[node as usize];
+                            if now < allowed {
                                 if self.cad_wake_at[node as usize] != allowed {
                                     self.cad_wake_at[node as usize] = allowed;
+                                    self.trace(
+                                        now,
+                                        TE::CadGate {
+                                            node,
+                                            until_ns: allowed.0,
+                                        },
+                                    );
                                     out.at(allowed, Ev::DispatchNode { node });
                                 }
-                                self.blocked_stamp[node as usize] = round; // one per interval
+                                continue;
                             }
                         }
-                        Ok(None) => {
-                            if allow_steal && self.maybe_speculate(now, node, out) {
-                                launched_any = true;
-                            } else {
-                                self.blocked_stamp[node as usize] = round;
+                        match self.pick(now, ji, node, allow_steal) {
+                            Ok(Some(task)) => {
+                                self.launch(now, task, node, out);
+                                node_launched = true;
+                                if cad_on && self.cad_interval > SimDuration::ZERO {
+                                    let allowed = now + self.cad_interval;
+                                    self.cad_allowed[node as usize] = allowed;
+                                    if self.cad_wake_at[node as usize] != allowed {
+                                        self.cad_wake_at[node as usize] = allowed;
+                                        out.at(allowed, Ev::DispatchNode { node });
+                                    }
+                                    self.blocked_stamp[node as usize] = round; // one per interval
+                                }
+                                break;
+                            }
+                            Ok(None) => {
+                                if allow_steal && self.maybe_speculate(now, ji, node, out) {
+                                    node_launched = true;
+                                    break;
+                                }
+                                // This job has nothing for the node; the next
+                                // job in policy order may.
+                            }
+                            Err(retry) => {
+                                if let Some(r) = retry {
+                                    self.trace(
+                                        now,
+                                        TE::DelayWait {
+                                            node,
+                                            until_ns: r.0,
+                                        },
+                                    );
+                                    earliest_retry =
+                                        Some(earliest_retry.map_or(r, |e: SimTime| e.min(r)));
+                                }
+                                // Delay scheduling holds only this job's
+                                // steals; another job may still launch here.
                             }
                         }
-                        Err(retry) => {
-                            if let Some(r) = retry {
-                                self.trace(
-                                    now,
-                                    TE::DelayWait {
-                                        node,
-                                        until_ns: r.0,
-                                    },
-                                );
-                                earliest_retry =
-                                    Some(earliest_retry.map_or(r, |e: SimTime| e.min(r)));
-                            }
-                            self.blocked_stamp[node as usize] = round;
-                        }
+                    }
+                    if node_launched {
+                        launched_any = true;
+                    } else {
+                        self.blocked_stamp[node as usize] = round;
                     }
                 }
                 if !launched_any {
@@ -1392,6 +1735,11 @@ impl SimWorld {
         if let Some(r) = earliest_retry {
             out.at(r, Ev::Dispatch);
         }
+        // Bugfix (DESIGN.md §4.14): with pending work, an empty availability
+        // snapshot, and no delay-retry wake, nothing re-arms dispatch. Flag
+        // it so the next slot-freeing or node-recovery event re-dispatches.
+        self.dispatch_starved =
+            self.tasks.pending > 0 && cands.is_empty() && earliest_retry.is_none();
     }
 
     /// CAD only gates nodes whose store device actually shows congestion
@@ -1411,20 +1759,24 @@ impl SimWorld {
     /// LATE-style speculation (baseline, §VIII related work): when a slot
     /// idles and a running compute task has exceeded `multiplier` × the
     /// median completed duration, launch a duplicate here; first copy wins.
-    fn maybe_speculate(&mut self, now: SimTime, node: u32, out: &mut Outbox<Ev>) -> bool {
+    fn maybe_speculate(
+        &mut self,
+        now: SimTime,
+        ji: usize,
+        node: u32,
+        out: &mut Outbox<Ev>,
+    ) -> bool {
         let Some(spec) = self.cfg.speculation else {
             return false;
         };
-        let Some(job) = self.job.as_ref() else {
-            return false;
-        };
+        let job = &self.jobs[ji];
         if !matches!(job.phase, RunPhase::Stage(_)) {
             return false;
         }
-        if self.stage_durs.len() < spec.min_completed {
+        if job.stage_durs.len() < spec.min_completed {
             return false;
         }
-        let median = memres_des::stats::median(&self.stage_durs);
+        let median = memres_des::stats::median(&job.stage_durs);
         let threshold = median * spec.multiplier;
         // Longest-elapsed running, unduplicated compute task not on `node`.
         let mut best: Option<(f64, u32)> = None;
@@ -1449,6 +1801,7 @@ impl SimWorld {
         let kind = self.tasks.kind[straggler as usize];
         let stage = self.tasks.stage[straggler as usize];
         self.tasks.push(Task {
+            job: self.tasks.job[straggler as usize],
             stage,
             kind,
             state: TState::Pending,
@@ -1542,7 +1895,7 @@ impl SimWorld {
         part: u32,
         out: &mut Outbox<Ev>,
     ) {
-        let plan = self.plan();
+        let plan = self.plan_of(task);
         let stage_idx = self.tasks.stage[task as usize] as usize;
         let stage = &plan.stages[stage_idx];
 
@@ -1579,6 +1932,7 @@ impl SimWorld {
             self.tasks.locality[task as usize] = locality;
             self.pending_chains.push(PendingChain {
                 task,
+                plan: plan.clone(),
                 stage: stage_idx,
                 part,
                 node,
@@ -1753,7 +2107,7 @@ impl SimWorld {
         rdd: RddId,
         out: &mut Outbox<Ev>,
     ) {
-        let plan = self.plan();
+        let plan = self.plan_of(task);
         let stage_idx = self.tasks.stage[task as usize] as usize;
         let stage = &plan.stages[stage_idx];
         let Some(spec) = plan.recovery.get(&rdd) else {
@@ -1763,7 +2117,9 @@ impl SimWorld {
                  a cache fed through a shuffle cannot be rebuilt in this model"
             );
         };
-        self.metrics.current.recovery.recomputed_partitions += 1;
+        if let Some(r) = self.metrics.recovery(self.tasks.job[task as usize]) {
+            r.recomputed_partitions += 1;
+        }
 
         // Combined chain: recipe steps, the cache point, then the stage's
         // own steps (stage cache points shift past the recipe prefix).
@@ -1794,6 +2150,7 @@ impl SimWorld {
             self.tasks.locality[task as usize] = locality;
             self.pending_chains.push(PendingChain {
                 task,
+                plan: plan.clone(),
                 stage: stage_idx,
                 part,
                 node,
@@ -1841,11 +2198,13 @@ impl SimWorld {
             return;
         }
         let jobs = std::mem::take(&mut self.pending_chains);
-        let plan = self.plan();
         let n = jobs.len();
         let threads = self.executor_threads.min(n);
         let eval = |j: &PendingChain| {
-            let stage = j.stage_override.as_deref().unwrap_or(&plan.stages[j.stage]);
+            let stage = j
+                .stage_override
+                .as_deref()
+                .unwrap_or(&j.plan.stages[j.stage]);
             run_narrow_chain(stage, j.in_bytes, j.in_records, j.data.clone(), j.speed)
         };
         let results: Vec<ChainOut> = if threads <= 1 {
@@ -1915,7 +2274,7 @@ impl SimWorld {
         }
         match self.cfg.shuffle {
             ShuffleStore::Local(dev) => {
-                let file = self.node_store_file(node);
+                let file = self.node_store_file(task, node);
                 if bytes > 0.0 {
                     let ssd = dev == StoreDevice::Ssd;
                     let tag = self.io_tag(task);
@@ -1935,7 +2294,7 @@ impl SimWorld {
                 }
             }
             ShuffleStore::LustreLocal | ShuffleStore::LustreShared => {
-                let file = self.node_lustre_file(node);
+                let file = self.node_lustre_file(task, node);
                 let tag = self.io_tag(task);
                 let wplan = self.lustre.append(now, NodeId(node), file, bytes);
                 self.tasks.pending_io[task as usize] += 1;
@@ -1957,12 +2316,10 @@ impl SimWorld {
         self.maybe_schedule_finish(now, task, out);
     }
 
-    fn node_store_file(&mut self, node: u32) -> FileId {
+    fn node_store_file(&mut self, task: u32, node: u32) -> FileId {
+        let ji = self.job_index_of(task);
         let next = &mut self.next_shuffle_file;
-        let sh = self
-            .job
-            .as_mut()
-            .unwrap() // lint:allow(panic): the storing phase runs strictly inside a job
+        let sh = self.jobs[ji]
             .shuffle_out
             .as_mut()
             .expect("store without produced shuffle"); // lint:allow(panic): a storing task exists only for a stage that produced a shuffle
@@ -1973,12 +2330,10 @@ impl SimWorld {
         })
     }
 
-    fn node_lustre_file(&mut self, node: u32) -> LustreFile {
+    fn node_lustre_file(&mut self, task: u32, node: u32) -> LustreFile {
+        let ji = self.job_index_of(task);
         let next = &mut self.next_shuffle_file;
-        let sh = self
-            .job
-            .as_mut()
-            .unwrap() // lint:allow(panic): the storing phase runs strictly inside a job
+        let sh = self.jobs[ji]
             .shuffle_out
             .as_mut()
             .expect("store without produced shuffle"); // lint:allow(panic): a storing task exists only for a stage that produced a shuffle
@@ -2005,7 +2360,7 @@ impl SimWorld {
         } else {
             1.0
         };
-        let plan = self.plan();
+        let plan = self.plan_of(task);
         let stage_idx = self.tasks.stage[task as usize] as usize;
         let stage = &plan.stages[stage_idx];
 
@@ -2016,7 +2371,7 @@ impl SimWorld {
         let racks = self.spec.racks as usize;
         let (per_source, total, agg_rate, out_factor, aggregated) = {
             let sh = self
-                .job()
+                .job_of(task)
                 .shuffle_in
                 .as_ref()
                 .expect("fetch without shuffle"); // lint:allow(panic): fetch tasks are launched from a stage whose input is that shuffle
@@ -2080,14 +2435,14 @@ impl SimWorld {
                         ShuffleStore::Local(_) => {
                             let wire = inflate_for_requests(b * compress, req, oh);
                             self.tasks.pending_io[task as usize] += 1;
-                            let f = self.rack_fetch_flow(now, src_rack as u32, dst_rack, 0);
+                            let f = self.rack_fetch_flow(now, task, src_rack as u32, dst_rack, 0);
                             self.net.push_chunk(now, f, wire, tag);
                         }
                         ShuffleStore::LustreLocal => {
                             // Split the rack total by the byte-weighted
                             // cached share of its member nodes.
                             let cached_raw = {
-                                let sh = self.job().shuffle_in.as_ref().unwrap(); // lint:allow(panic): fetch completions only arrive for stages whose input is that shuffle
+                                let sh = self.job_of(task).shuffle_in.as_ref().unwrap(); // lint:allow(panic): fetch completions only arrive for stages whose input is that shuffle
                                 (src_rack..workers as usize)
                                     .step_by(racks)
                                     .map(|i| {
@@ -2099,12 +2454,14 @@ impl SimWorld {
                             let oss = inflate_for_requests((b - cached_raw) * compress, req, oh);
                             if cached > 0.0 {
                                 self.tasks.pending_io[task as usize] += 1;
-                                let f = self.rack_fetch_flow(now, src_rack as u32, dst_rack, 0);
+                                let f =
+                                    self.rack_fetch_flow(now, task, src_rack as u32, dst_rack, 0);
                                 self.net.push_chunk(now, f, cached, tag);
                             }
                             if oss > 0.0 {
                                 self.tasks.pending_io[task as usize] += 1;
-                                let f = self.rack_fetch_flow(now, src_rack as u32, dst_rack, 1);
+                                let f =
+                                    self.rack_fetch_flow(now, task, src_rack as u32, dst_rack, 1);
                                 self.net.push_chunk(now, f, oss, tag);
                             }
                         }
@@ -2125,21 +2482,22 @@ impl SimWorld {
                     match self.cfg.shuffle {
                         ShuffleStore::Local(_) => {
                             self.tasks.pending_io[task as usize] += 1;
-                            let f = self.fetch_flow(now, i as u32, node, 0);
+                            let f = self.fetch_flow(now, task, i as u32, node, 0);
                             self.net.push_chunk(now, f, wire, tag);
                         }
                         ShuffleStore::LustreLocal => {
-                            let frac = self.job().shuffle_in.as_ref().unwrap().cached_frac[i]; // lint:allow(panic): fetch completions only arrive for stages whose input is that shuffle
+                            let frac =
+                                self.job_of(task).shuffle_in.as_ref().unwrap().cached_frac[i]; // lint:allow(panic): fetch completions only arrive for stages whose input is that shuffle
                             let cached = wire * frac;
                             let oss = wire - cached;
                             if cached > 0.0 {
                                 self.tasks.pending_io[task as usize] += 1;
-                                let f = self.fetch_flow(now, i as u32, node, 0);
+                                let f = self.fetch_flow(now, task, i as u32, node, 0);
                                 self.net.push_chunk(now, f, cached, tag);
                             }
                             if oss > 0.0 {
                                 self.tasks.pending_io[task as usize] += 1;
-                                let f = self.fetch_flow(now, i as u32, node, 1);
+                                let f = self.fetch_flow(now, task, i as u32, node, 1);
                                 self.net.push_chunk(now, f, oss, tag);
                             }
                         }
@@ -2164,10 +2522,10 @@ impl SimWorld {
         self.maybe_schedule_finish(now, task, out);
     }
 
-    fn fetch_flow(&mut self, now: SimTime, src: u32, dst: u32, kind: u8) -> FlowId {
+    fn fetch_flow(&mut self, now: SimTime, task: u32, src: u32, dst: u32, kind: u8) -> FlowId {
         let key = (src, dst, kind);
         if let Some(&f) = self
-            .job()
+            .job_of(task)
             .shuffle_in
             .as_ref()
             .unwrap() // lint:allow(panic): fetch_flow is reached only from fetch paths, which require shuffle_in
@@ -2215,7 +2573,7 @@ impl SimWorld {
             path = vec![self.store_read_links[src as usize]];
         }
         let f = self.net.open_flow(now, path, false);
-        self.job_mut()
+        self.job_of_mut(task)
             .shuffle_in
             .as_mut()
             .unwrap() // lint:allow(panic): fetch_flow is reached only from fetch paths, which require shuffle_in
@@ -2230,10 +2588,17 @@ impl SimWorld {
     /// the keys cannot collide. The flow is processor-shared: concurrent
     /// reducers behind it split its bandwidth evenly — the split the
     /// collapsed per-node flows would converge to under water-filling.
-    fn rack_fetch_flow(&mut self, now: SimTime, src_rack: u32, dst_rack: u32, kind: u8) -> FlowId {
+    fn rack_fetch_flow(
+        &mut self,
+        now: SimTime,
+        task: u32,
+        src_rack: u32,
+        dst_rack: u32,
+        kind: u8,
+    ) -> FlowId {
         let key = (src_rack, dst_rack, kind);
         if let Some(&f) = self
-            .job()
+            .job_of(task)
             .shuffle_in
             .as_ref()
             .unwrap() // lint:allow(panic): rack_fetch_flow is reached only from fetch paths, which require shuffle_in
@@ -2251,7 +2616,7 @@ impl SimWorld {
         }
         path.dedup();
         let f = self.net.open_shared_flow(now, path, false);
-        self.job_mut()
+        self.job_of_mut(task)
             .shuffle_in
             .as_mut()
             .unwrap() // lint:allow(panic): rack_fetch_flow is reached only from fetch paths, which require shuffle_in
@@ -2265,13 +2630,15 @@ impl SimWorld {
     /// Stale-completion filter shared by every completion path: drops events
     /// from finished jobs, failed (relaunched) attempts, and cleared tasks.
     fn completion_is_stale(&self, task: u32, attempt: u32, job: u32) -> bool {
-        if job & 0xffff != self.job_seq & 0xffff {
-            return true;
-        }
         if !self.tasks.contains(task) {
             return true;
         }
         let i = task as usize;
+        // A reused task id after `tasks.clear()` belongs to a different job;
+        // the 16-bit job mask in the tag tells them apart.
+        if job & 0xffff != self.tasks.job[i] & 0xffff {
+            return true;
+        }
         self.tasks.state[i] != TState::Running || self.tasks.attempt[i] & 0xffff != attempt & 0xffff
     }
 
@@ -2298,7 +2665,7 @@ impl SimWorld {
     }
 
     fn maybe_schedule_finish(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
-        let job = self.job_seq;
+        let job = self.tasks.job[task as usize];
         let i = task as usize;
         if self.tasks.state[i] != TState::Running
             || self.tasks.finish_scheduled[i]
@@ -2387,7 +2754,7 @@ impl SimWorld {
         // job refers to it (storing pins, final-task outputs).
         if self.tasks.is_speculative[task as usize] {
             let orig = self.tasks.twin[task as usize].expect("duplicate without twin"); // lint:allow(panic): duplicate (speculative) tasks are always created with their twin recorded
-            let job = self.job_mut();
+            let job = self.job_of_mut(task);
             for slot in job.stage_tasks.iter_mut().chain(job.final_tasks.iter_mut()) {
                 if *slot == orig {
                     *slot = task;
@@ -2398,7 +2765,7 @@ impl SimWorld {
             let d = now
                 .since(self.tasks.launched_at[task as usize])
                 .as_secs_f64();
-            self.stage_durs.push(d);
+            self.job_of_mut(task).stage_durs.push(d);
         }
 
         let phase = match kind {
@@ -2414,7 +2781,7 @@ impl SimWorld {
                 TaskKind::Fetch { reducer } => reducer,
             };
             self.metrics.record(TaskMetric {
-                job: self.job_seq,
+                job: self.tasks.job[i],
                 stage,
                 phase,
                 index,
@@ -2440,10 +2807,11 @@ impl SimWorld {
             _ => {}
         }
 
-        let job = self.job_mut();
+        let ji = self.job_index_of(task);
+        let job = &mut self.jobs[ji];
         job.remaining -= 1;
         if job.remaining == 0 {
-            self.advance_phase(now, out);
+            self.advance_phase(now, ji, out);
         } else {
             out.immediately(Ev::Dispatch);
         }
@@ -2453,17 +2821,14 @@ impl SimWorld {
     fn producer_finished(&mut self, task: u32, node: u32) {
         let out_bytes = self.tasks.output_bytes[task as usize];
         let stage_idx = self.tasks.stage[task as usize] as usize;
-        let has_shuffle = self.job().plan.stages[stage_idx].has_shuffle_output();
+        let has_shuffle = self.job_of(task).plan.stages[stage_idx].has_shuffle_output();
         if !has_shuffle {
             return;
         }
-        self.intermediate[node as usize] += out_bytes;
         let records = self.tasks.records_out[task as usize].take();
-        let sh = self
-            .job_mut()
-            .shuffle_out
-            .as_mut()
-            .expect("producer without shuffle"); // lint:allow(panic): producer completions only arrive for stages with a produced shuffle
+        let job = self.job_of_mut(task);
+        job.intermediate[node as usize] += out_bytes;
+        let sh = job.shuffle_out.as_mut().expect("producer without shuffle"); // lint:allow(panic): producer completions only arrive for stages with a produced shuffle
         let r = sh.reducers as usize;
         match (records, &mut sh.node_real) {
             (Some(recs), Some(real)) => {
@@ -2517,10 +2882,10 @@ impl SimWorld {
 
     /// Real-data aggregation of a fetched bucket.
     fn fetch_aggregate(&mut self, task: u32, reducer: u32) {
-        let plan = self.plan();
+        let plan = self.plan_of(task);
         let stage_idx = self.tasks.stage[task as usize] as usize;
         let gathered = {
-            let job = self.job_mut();
+            let job = self.job_of_mut(task);
             let Some(real) = job.shuffle_in.as_mut().and_then(|sh| sh.node_real.as_mut()) else {
                 return;
             };
@@ -2530,7 +2895,15 @@ impl SimWorld {
             }
             gathered
         };
-        let agg = self.job().shuffle_in.as_ref().unwrap().spec.agg.clone(); // lint:allow(panic): fetch finish runs on a stage whose input is that shuffle
+        let agg = self
+            .job_of(task)
+            .shuffle_in
+            .as_ref()
+            // lint:allow(panic): fetch finish runs on a stage whose input is that shuffle
+            .unwrap()
+            .spec
+            .agg
+            .clone();
         let mut recs = apply_agg(&agg, gathered);
         for step in &plan.stages[stage_idx].steps {
             recs = step.apply(recs);
@@ -2541,26 +2914,27 @@ impl SimWorld {
         self.tasks.records_out[i] = Some(recs.into());
     }
 
-    fn advance_phase(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
-        let phase = self.job().phase;
+    fn advance_phase(&mut self, now: SimTime, ji: usize, out: &mut Outbox<Ev>) {
+        let phase = self.jobs[ji].phase;
         match phase {
             RunPhase::Stage(idx) => {
-                let has_shuffle = self.job().plan.stages[idx].has_shuffle_output();
+                let has_shuffle = self.jobs[ji].plan.stages[idx].has_shuffle_output();
                 if has_shuffle {
-                    self.start_storing(now, idx, out);
+                    self.start_storing(now, ji, idx, out);
                 } else {
-                    self.finish_job(now);
+                    self.finish_job(now, ji, out);
                 }
             }
             RunPhase::Storing(idx) => {
-                self.prepare_fetch_serving(now, out);
-                self.start_stage(now, idx + 1, out);
+                self.prepare_fetch_serving(now, ji, out);
+                self.start_stage(now, ji, idx + 1, out);
             }
         }
     }
 
-    fn start_storing(&mut self, now: SimTime, stage_idx: usize, out: &mut Outbox<Ev>) {
-        let producers = self.job().stage_tasks.clone();
+    fn start_storing(&mut self, now: SimTime, ji: usize, stage_idx: usize, out: &mut Outbox<Ev>) {
+        let producers = self.jobs[ji].stage_tasks.clone();
+        let job_id = self.jobs[ji].id;
         let mut created = Vec::new();
         for &p in &producers {
             // A flush is pinned to its producer's node; if that node died or
@@ -2569,13 +2943,14 @@ impl SimWorld {
             let mut node = self.tasks.node[p as usize];
             if !self.node_up[node as usize] || self.blacklisted[node as usize] {
                 let Some(repl) = self.replacement_node() else {
-                    self.abort_job(now);
+                    self.abort_job(now, ji, out);
                     return;
                 };
                 node = repl;
             }
             let id = self.tasks.len() as u32;
             self.tasks.push(Task {
+                job: job_id,
                 stage: stage_idx as u32,
                 kind: TaskKind::Store { producer: p },
                 state: TState::Pending,
@@ -2612,17 +2987,17 @@ impl SimWorld {
                 },
             );
         }
-        let job = self.job_mut();
+        let job = &mut self.jobs[ji];
         job.phase = RunPhase::Storing(stage_idx);
         job.remaining = created.len();
-        self.enqueue_pending(&created);
+        self.enqueue_pending(ji, &created);
         out.immediately(Ev::Dispatch);
     }
 
     /// Freeze serving-side state before the fetch stage starts: store
     /// read-link capacities (LocalStore), cached fractions (Lustre-local),
     /// and the mass revocation flush (Lustre-shared).
-    fn prepare_fetch_serving(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
+    fn prepare_fetch_serving(&mut self, now: SimTime, ji: usize, out: &mut Outbox<Ev>) {
         let workers = self.spec.workers as usize;
         match self.cfg.shuffle {
             ShuffleStore::Local(dev) => {
@@ -2641,8 +3016,7 @@ impl SimWorld {
                 self.arm_net(out);
             }
             ShuffleStore::LustreLocal => {
-                let files: Vec<Option<LustreFile>> = self
-                    .job()
+                let files: Vec<Option<LustreFile>> = self.jobs[ji]
                     .shuffle_out
                     .as_ref()
                     .unwrap() // lint:allow(panic): the LustreLocal flush runs while the producing stage's shuffle_out exists
@@ -2651,14 +3025,13 @@ impl SimWorld {
                 for (n, f) in files.iter().enumerate() {
                     let frac = f.map(|lf| self.lustre.cached_fraction(lf)).unwrap_or(0.0);
                     // lint:allow(panic): the LustreLocal flush runs while the producing stage's shuffle_out exists
-                    self.job_mut().shuffle_out.as_mut().unwrap().cached_frac[n] = frac;
+                    self.jobs[ji].shuffle_out.as_mut().unwrap().cached_frac[n] = frac;
                 }
             }
             ShuffleStore::LustreShared => {
                 // "Forcing all the intermediate data to be flushed to the
                 // OSSes around the same time" — revoke every node file now.
-                let files: Vec<(u32, LustreFile)> = self
-                    .job()
+                let files: Vec<(u32, LustreFile)> = self.jobs[ji]
                     .shuffle_out
                     .as_ref()
                     .unwrap() // lint:allow(panic): the LustreLocal flush runs while the producing stage's shuffle_out exists
@@ -2680,7 +3053,7 @@ impl SimWorld {
                         self.net.push_chunk(now, f, wire, NetTag::Flush);
                     }
                 }
-                let sh = self.job_mut().shuffle_out.as_mut().unwrap(); // lint:allow(panic): the LustreLocal flush runs while the producing stage's shuffle_out exists
+                let sh = self.jobs[ji].shuffle_out.as_mut().unwrap(); // lint:allow(panic): the LustreLocal flush runs while the producing stage's shuffle_out exists
                 sh.flush_pending = pending;
                 sh.flush_done = pending == 0;
                 self.arm_net(out);
@@ -2689,8 +3062,31 @@ impl SimWorld {
     }
 
     /// A Lustre-shared fetch task is transfer-eligible (its MDS ops are done
-    /// AND the mass flush finished): read from the OSSes.
+    /// AND the mass flush finished): schedule the OSS read one revocation
+    /// round trip out. The flow itself opens when [`Ev::LustreSharedRead`]
+    /// fires, so the flow network's clock never runs ahead of sim time
+    /// (other resident jobs keep mutating it inside the latency window).
     fn lustre_shared_transfer(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
+        let start = now + self.lustre.config().revoke_latency;
+        self.trace(
+            now,
+            TE::LockWaitFor {
+                task,
+                dur_ns: self.lustre.config().revoke_latency.0,
+            },
+        );
+        out.at(
+            start,
+            Ev::LustreSharedRead {
+                task,
+                attempt: self.tasks.attempt[task as usize],
+                job: self.tasks.job[task as usize],
+            },
+        );
+    }
+
+    /// The deferred OSS read of [`SimWorld::lustre_shared_transfer`].
+    fn lustre_shared_read(&mut self, now: SimTime, task: u32, out: &mut Outbox<Ev>) {
         let node = self.tasks.node[task as usize];
         let total = self.tasks.input_bytes[task as usize];
         let compress = if self.cfg.spark.shuffle_compress {
@@ -2703,32 +3099,28 @@ impl SimWorld {
             self.cfg.spark.reducer_max_bytes_in_flight,
             self.cfg.spark.per_request_overhead_bytes,
         );
-        // The revocation round trip delays the read start.
-        let start = now + self.lustre.config().revoke_latency;
-        self.trace(
-            now,
-            TE::LockWaitFor {
-                task,
-                dur_ns: self.lustre.config().revoke_latency.0,
-            },
-        );
         let path = self
             .fabric
             .path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
-        let f = self.net.open_flow(start, path, true);
+        let f = self.net.open_flow(now, path, true);
         let tag = self.net_tag(task);
-        self.net.push_chunk(start, f, wire, tag);
+        self.net.push_chunk(now, f, wire, tag);
         self.arm_net(out);
     }
 
     fn on_flush_progress(&mut self, now: SimTime, out: &mut Outbox<Ev>) {
-        let Some(job) = self.job.as_mut() else { return };
-        let Some(sh) = job.shuffle_in.as_mut().or(job.shuffle_out.as_mut()) else {
+        // Flush chunks carry no job identity; attribute the progress to the
+        // first resident job (admission order) still waiting on a flush —
+        // flush counts are per-job, so order within the set is immaterial.
+        let Some(sh) = self.jobs.iter_mut().find_map(|job| {
+            job.shuffle_in
+                .as_mut()
+                .or(job.shuffle_out.as_mut())
+                .filter(|sh| sh.flush_pending > 0)
+        }) else {
             return;
         };
-        if sh.flush_pending > 0 {
-            sh.flush_pending -= 1;
-        }
+        sh.flush_pending -= 1;
         if sh.flush_pending == 0 && !sh.flush_done {
             sh.flush_done = true;
             let waiting = std::mem::take(&mut sh.waiting_for_flush);
@@ -2764,8 +3156,7 @@ impl SimWorld {
         let wasted = now
             .since(self.tasks.launched_at[task as usize])
             .as_secs_f64();
-        {
-            let rec = &mut self.metrics.current.recovery;
+        if let Some(rec) = self.metrics.recovery(self.tasks.job[task as usize]) {
             rec.wasted_secs += wasted;
             rec.tasks_retried += 1;
         }
@@ -2786,9 +3177,9 @@ impl SimWorld {
             if matches!(self.tasks.kind[task as usize], TaskKind::Store { .. }) {
                 if let ShuffleStore::Local(dev) = self.cfg.shuffle {
                     let file = self
-                        .job
+                        .job_of(task)
+                        .shuffle_out
                         .as_ref()
-                        .and_then(|j| j.shuffle_out.as_ref())
                         .and_then(|sh| sh.local_files[node as usize]);
                     if let Some(file) = file {
                         let bytes = self.tasks.output_bytes[task as usize];
@@ -2815,7 +3206,8 @@ impl SimWorld {
             self.tasks.queued_at[i] = now;
         }
         if self.tasks.attempt[task as usize] >= self.cfg.recovery.max_task_attempts {
-            self.abort_job(now);
+            let ji = self.job_index_of(task);
+            self.abort_job(now, ji, out);
             return;
         }
         if attribute && self.node_up[node as usize] && !self.blacklisted[node as usize] {
@@ -2823,7 +3215,9 @@ impl SimWorld {
             if self.node_fail_counts[node as usize] >= self.cfg.recovery.blacklist_after {
                 self.blacklisted[node as usize] = true;
                 self.note_slot_change(node);
-                self.metrics.current.recovery.blacklisted_nodes += 1;
+                if let Some(rec) = self.metrics.recovery(self.tasks.job[task as usize]) {
+                    rec.blacklisted_nodes += 1;
+                }
                 self.trace(now, TE::Blacklisted { node });
                 self.repin_pinned_off(node);
             }
@@ -2837,7 +3231,8 @@ impl SimWorld {
             .collect();
         if self.tasks.pinned[task as usize] && keep.is_empty() {
             let Some(repl) = self.replacement_node() else {
-                self.abort_job(now);
+                let ji = self.job_index_of(task);
+                self.abort_job(now, ji, out);
                 return;
             };
             self.tasks.prefs[task as usize] = vec![repl];
@@ -2858,11 +3253,21 @@ impl SimWorld {
                 backoff,
                 Ev::Requeue {
                     task,
-                    job: self.job_seq,
+                    job: self.tasks.job[task as usize],
                 },
             );
+            // Bugfix (DESIGN.md §4.14): the backoff requeue is the only
+            // slot-freeing path that does not schedule a Dispatch. If the
+            // last dispatch pass starved (no available node, no retry wake),
+            // the freed slot must re-arm dispatch or pending work wedges
+            // until an unrelated event happens along.
+            if self.dispatch_starved && self.node_up[node as usize] {
+                self.dispatch_starved = false;
+                out.immediately(Ev::Dispatch);
+            }
         } else {
-            self.enqueue_pending(&[task]);
+            let ji = self.job_index_of(task);
+            self.enqueue_pending(ji, &[task]);
             out.immediately(Ev::Dispatch);
         }
     }
@@ -2885,35 +3290,78 @@ impl SimWorld {
             }
         }
         for id in moved {
-            self.prefs_q[repl as usize].push_back(id);
+            let ji = self.job_index_of(id);
+            self.jobs[ji].prefs_q[repl as usize].push_back(id);
         }
     }
 
-    /// Give up on the job: a task exhausted its attempt budget or no live
+    /// Give up on one job: a task exhausted its attempt budget or no live
     /// node remains. Mirrors Spark's job abort after repeated task failure.
-    fn abort_job(&mut self, now: SimTime) {
-        self.metrics.current.recovery.aborted_jobs += 1;
+    /// Other resident jobs keep running.
+    fn abort_job(&mut self, now: SimTime, ji: usize, out: &mut Outbox<Ev>) {
+        let id = self.jobs[ji].id;
+        if let Some(rec) = self.metrics.recovery(id) {
+            rec.aborted_jobs += 1;
+        }
         self.trace(
             now,
             TE::JobEnd {
-                job: self.job_seq,
+                job: id,
                 aborted: true,
             },
         );
-        self.job = None;
-        self.last_output = Some(JobOutput {
+        let job = self.jobs.remove(ji);
+        // Retire the aborted job's tasks. Running ones hand their slot back
+        // (the stale-completion filter drops their in-flight IO); queue
+        // entries die with the JobRun.
+        for i in 0..self.tasks.len() {
+            if self.tasks.job[i] != id {
+                continue;
+            }
+            match self.tasks.state[i] {
+                TState::Pending => self.tasks.set_state(i as u32, TState::Done),
+                TState::Running => {
+                    let node = self.tasks.node[i];
+                    self.tasks.set_state(i as u32, TState::Done);
+                    if node != u32::MAX && self.node_up[node as usize] {
+                        self.free_slots[node as usize] += 1;
+                        self.note_slot_change(node);
+                    }
+                }
+                TState::Done => {}
+            }
+        }
+        {
+            let tasks = &self.tasks;
+            self.pending_chains
+                .retain(|c| tasks.job[c.task as usize] != id);
+        }
+        let output = JobOutput {
             count: 0,
             records: None,
             reduced: None,
             aborted: true,
+        };
+        self.last_output = Some(output.clone());
+        let metrics = self.metrics.finish_job(id, now);
+        self.finished.push_back(FinishedJob {
+            id,
+            tenant: job.tenant,
+            arrived: job.arrived,
+            admitted: job.admitted,
+            finished: now,
+            output,
+            metrics,
         });
-        self.job_done = true;
-        self.tasks.clear();
-        self.prefs_q.iter_mut().for_each(|q| q.clear());
-        self.no_pref_q.clear();
-        self.waiting_q.clear();
-        self.pending_chains.clear();
-        let _ = now;
+        if self.jobs.is_empty() {
+            self.tasks.clear();
+        }
+        self.on_job_departure(now, job.tenant, out);
+        self.job_done = self.jobs.is_empty() && self.stream_drained();
+        if self.job_done {
+            // Tear the stream down so the driver can submit again later.
+            self.stream = None;
+        }
     }
 
     /// A node dies: its slots, running work, cached partitions and (for a
@@ -2932,11 +3380,12 @@ impl SimWorld {
         if !self.node_up[node as usize] {
             return;
         }
-        self.metrics.current.recovery.node_crashes += 1;
+        self.metrics.recovery_all(|r| r.node_crashes += 1);
         self.node_up[node as usize] = false;
         self.trace(now, TE::NodeDown { node });
         let lost = self.blockmgr.drop_node(node);
-        self.metrics.current.recovery.blocks_lost += lost.len() as u64;
+        let n_lost = lost.len() as u64;
+        self.metrics.recovery_all(|r| r.blocks_lost += n_lost);
         if !lost.is_empty() {
             self.trace(
                 now,
@@ -2956,18 +3405,23 @@ impl SimWorld {
             .map(|i| i as u32)
             .collect();
         for id in running {
-            if self.job.is_none() {
-                break;
+            // A failure can abort the owning job, retiring its siblings (and,
+            // when it was the last resident job, clearing the whole arena).
+            if id as usize >= self.tasks.len() || self.tasks.state[id as usize] != TState::Running {
+                continue;
             }
             self.fail_task(now, id, SimDuration::ZERO, false, out);
         }
         self.free_slots[node as usize] = 0;
         self.note_slot_change(node);
-        if self.job.is_none() {
+        if self.jobs.is_empty() {
             return;
         }
         let Some(repl) = self.replacement_node() else {
-            self.abort_job(now);
+            // No live node left: every resident job dies with the cluster.
+            while !self.jobs.is_empty() {
+                self.abort_job(now, 0, out);
+            }
             return;
         };
         self.repin_pinned_off(node);
@@ -2976,16 +3430,15 @@ impl SimWorld {
         // retry there beyond the reducers that died with the node).
         if !matches!(self.cfg.shuffle, ShuffleStore::LustreShared) {
             self.fail_fetches_from(now, node, out);
-            if self.job.is_none() {
+            if self.jobs.is_empty() {
                 return;
             }
         }
         let local_store = matches!(self.cfg.shuffle, ShuffleStore::Local(_));
-        {
-            let job = self.job.as_mut().expect("active job"); // lint:allow(panic): node crashes are handled only while a job is live; faults after completion are dropped
-                                                              // Rows of the shuffle being produced live in executor memory or
-                                                              // the node-local store: re-host them. Rows already consumed from
-                                                              // Lustre survive the crash on the OSSes.
+        for job in &mut self.jobs {
+            // Rows of the shuffle being produced live in executor memory or
+            // the node-local store: re-host them. Rows already consumed from
+            // Lustre survive the crash on the OSSes.
             if let Some(sh) = job.shuffle_out.as_mut() {
                 Self::move_shuffle_rows(sh, node as usize, repl as usize);
             }
@@ -2998,9 +3451,9 @@ impl SimWorld {
                     sh.cached_frac[node as usize] = 0.0;
                 }
             }
+            job.intermediate[repl as usize] += job.intermediate[node as usize];
+            job.intermediate[node as usize] = 0.0;
         }
-        self.intermediate[repl as usize] += self.intermediate[node as usize];
-        self.intermediate[node as usize] = 0.0;
         self.trace(
             now,
             TE::Rehost {
@@ -3008,29 +3461,33 @@ impl SimWorld {
                 to: repl,
             },
         );
-        self.spawn_crash_ghosts(now, node, repl, local_store);
+        for ji in 0..self.jobs.len() {
+            self.spawn_crash_ghosts(now, ji, node, repl, local_store);
+        }
         out.immediately(Ev::Dispatch);
     }
 
     /// Fail every running fetch task currently pulling rows from `src`.
     fn fail_fetches_from(&mut self, now: SimTime, src: u32, out: &mut Outbox<Ev>) {
-        let victims: Vec<u32> = {
-            let Some(job) = self.job.as_ref() else { return };
-            let Some(sh) = job.shuffle_in.as_ref() else {
-                return;
-            };
-            (0..self.tasks.len())
-                .filter(|&i| {
-                    self.tasks.state[i] == TState::Running
-                        && matches!(self.tasks.kind[i], TaskKind::Fetch { reducer }
-                            if sh.buckets.get(src as usize, reducer as usize) > 0.0)
-                })
-                .map(|i| i as u32)
-                .collect()
-        };
+        let victims: Vec<u32> = (0..self.tasks.len())
+            .filter(|&i| {
+                self.tasks.state[i] == TState::Running
+                    && matches!(self.tasks.kind[i], TaskKind::Fetch { reducer }
+                        if self
+                            .jobs
+                            .iter()
+                            .find(|j| j.id == self.tasks.job[i])
+                            .and_then(|j| j.shuffle_in.as_ref())
+                            .map(|sh| sh.buckets.get(src as usize, reducer as usize) > 0.0)
+                            .unwrap_or(false))
+            })
+            .map(|i| i as u32)
+            .collect();
         for id in victims {
-            if self.job.is_none() {
-                return;
+            // A prior failure may have aborted the owning job (or cleared
+            // the arena entirely) — skip stale victims.
+            if id as usize >= self.tasks.len() || self.tasks.state[id as usize] != TState::Running {
+                continue;
             }
             let att = self.tasks.attempt[id as usize].min(8);
             let backoff = self
@@ -3038,8 +3495,7 @@ impl SimWorld {
                 .recovery
                 .fetch_backoff
                 .mul_f64(2f64.powi(att as i32));
-            {
-                let rec = &mut self.metrics.current.recovery;
+            if let Some(rec) = self.metrics.recovery(self.tasks.job[id as usize]) {
                 rec.failed_fetches += 1;
                 rec.fetch_retries += 1;
             }
@@ -3067,9 +3523,17 @@ impl SimWorld {
     /// pinned to the replacement: recompute ghosts for its compute tasks of
     /// the stage feeding the live shuffle, and re-flush ghosts for its store
     /// tasks when the store died with the node.
-    fn spawn_crash_ghosts(&mut self, now: SimTime, node: u32, repl: u32, local_store: bool) {
+    fn spawn_crash_ghosts(
+        &mut self,
+        now: SimTime,
+        ji: usize,
+        node: u32,
+        repl: u32,
+        local_store: bool,
+    ) {
+        let job_id = self.jobs[ji].id;
         let (producing_stage, has_shuffle_out) = {
-            let job = self.job.as_ref().expect("active job"); // lint:allow(panic): crash ghosts are spawned from the crash handler, which requires a live job
+            let job = &self.jobs[ji];
             let producing = match job.phase {
                 RunPhase::Stage(idx) => {
                     if job.plan.stages[idx].has_shuffle_output() {
@@ -3089,7 +3553,10 @@ impl SimWorld {
         };
         let mut ghosts: Vec<(u32, TaskKind)> = Vec::new();
         for i in 0..self.tasks.len() {
-            if self.tasks.state[i] != TState::Done || self.tasks.node[i] != node {
+            if self.tasks.state[i] != TState::Done
+                || self.tasks.node[i] != node
+                || self.tasks.job[i] != job_id
+            {
                 continue;
             }
             match self.tasks.kind[i] {
@@ -3108,10 +3575,13 @@ impl SimWorld {
         let mut created = Vec::with_capacity(ghosts.len());
         for (stage, kind) in ghosts {
             if matches!(kind, TaskKind::Compute { .. }) {
-                self.metrics.current.recovery.recomputed_partitions += 1;
+                if let Some(rec) = self.metrics.recovery(job_id) {
+                    rec.recomputed_partitions += 1;
+                }
             }
             let id = self.tasks.len() as u32;
             self.tasks.push(Task {
+                job: job_id,
                 stage,
                 kind,
                 state: TState::Pending,
@@ -3155,8 +3625,8 @@ impl SimWorld {
                 },
             );
         }
-        self.job.as_mut().expect("active job").remaining += created.len(); // lint:allow(panic): recovery tasks are created mid-job by the crash handler
-        self.enqueue_pending(&created);
+        self.jobs[ji].remaining += created.len();
+        self.enqueue_pending(ji, &created);
     }
 
     /// Apply a scheduled fault-plan event.
@@ -3183,10 +3653,11 @@ impl SimWorld {
                 // Executor memory loss: cached partitions evaporate, the
                 // node itself keeps running. Lineage rebuilds them on demand.
                 let lost = self.blockmgr.drop_node(node);
-                self.metrics.current.recovery.blocks_lost += lost.len() as u64;
+                let n_lost = lost.len() as u64;
+                self.metrics.recovery_all(|r| r.blocks_lost += n_lost);
             }
             FaultKind::SsdDegrade { node, factor } => {
-                self.metrics.current.recovery.ssd_degradations += 1;
+                self.metrics.recovery_all(|r| r.ssd_degradations += 1);
                 self.ssd_fs[node as usize].degrade_device(now, factor);
                 self.arm_fs(node, true, out);
                 if let ShuffleStore::Local(StoreDevice::Ssd) = self.cfg.shuffle {
@@ -3202,15 +3673,15 @@ impl SimWorld {
         }
     }
 
-    fn finish_job(&mut self, now: SimTime) {
+    fn finish_job(&mut self, now: SimTime, ji: usize, out: &mut Outbox<Ev>) {
+        let job = self.jobs.remove(ji);
         self.trace(
             now,
             TE::JobEnd {
-                job: self.job_seq,
+                job: job.id,
                 aborted: false,
             },
         );
-        let job = self.job.take().expect("no job to finish"); // lint:allow(panic): finish_job fires exactly once, from the last completion of the final stage
         let mut count = 0u64;
         let mut records: Vec<Record> = Vec::new();
         let mut have_real = true;
@@ -3259,13 +3730,26 @@ impl SimWorld {
                 }
             }
         };
-        self.last_output = Some(output);
-        self.job_done = true;
-        self.tasks.clear();
-        self.prefs_q.iter_mut().for_each(|q| q.clear());
-        self.no_pref_q.clear();
-        self.waiting_q.clear();
-        let _ = now;
+        self.last_output = Some(output.clone());
+        let metrics = self.metrics.finish_job(job.id, now);
+        self.finished.push_back(FinishedJob {
+            id: job.id,
+            tenant: job.tenant,
+            arrived: job.arrived,
+            admitted: job.admitted,
+            finished: now,
+            output,
+            metrics,
+        });
+        if self.jobs.is_empty() {
+            self.tasks.clear();
+        }
+        self.on_job_departure(now, job.tenant, out);
+        self.job_done = self.jobs.is_empty() && self.stream_drained();
+        if self.job_done {
+            // Tear the stream down so the driver can submit again later.
+            self.stream = None;
+        }
     }
 }
 
@@ -3446,16 +3930,16 @@ impl Model for SimWorld {
                     self.task_io_done(now, task, attempt, job, out);
                     if is_shared_fetch {
                         let ready = self
-                            .job
+                            .job_of(task)
+                            .shuffle_in
                             .as_ref()
-                            .and_then(|j| j.shuffle_in.as_ref())
                             .map(|sh| sh.flush_done)
                             .unwrap_or(true);
                         if ready {
                             self.lustre_shared_transfer(now, task, out);
                         } else {
                             self.trace(now, TE::LockWaitStart { task });
-                            self.job_mut()
+                            self.job_of_mut(task)
                                 .shuffle_in
                                 .as_mut()
                                 .unwrap() // lint:allow(panic): flush gating runs only during a fetch stage, which has shuffle_in
@@ -3470,11 +3954,14 @@ impl Model for SimWorld {
                 self.on_task_finish(now, task, attempt, job, out)
             }
             Ev::Requeue { task, job } => {
-                if job == self.job_seq
-                    && (task as usize) < self.tasks.len()
+                // Job ids are never reused, so an id match proves the task
+                // still belongs to a resident job (abort marks tasks Done).
+                if (task as usize) < self.tasks.len()
+                    && self.tasks.job[task as usize] == job
                     && self.tasks.state[task as usize] == TState::Pending
                 {
-                    self.enqueue_pending(&[task]);
+                    let ji = self.job_index_of(task);
+                    self.enqueue_pending(ji, &[task]);
                     out.immediately(Ev::Dispatch);
                 }
             }
@@ -3485,9 +3972,30 @@ impl Model for SimWorld {
                     self.free_slots[node as usize] = self.spec.cores_per_node;
                     self.note_slot_change(node);
                     self.node_fail_counts[node as usize] = 0;
-                    self.metrics.current.recovery.node_restarts += 1;
+                    self.metrics.recovery_all(|r| r.node_restarts += 1);
                     self.trace(now, TE::NodeUp { node });
+                    self.dispatch_starved = false;
                     out.immediately(Ev::Dispatch);
+                } else if self.blacklisted[node as usize] {
+                    // Restarting a live-but-blacklisted executor clears the
+                    // blacklist (the fresh process starts with a clean fault
+                    // record); its slots become eligible again, so re-arm
+                    // dispatch — without this, a fully-blacklisted cluster
+                    // wedges even after every executor recovers.
+                    self.blacklisted[node as usize] = false;
+                    self.node_fail_counts[node as usize] = 0;
+                    self.note_slot_change(node);
+                    self.trace(now, TE::NodeUp { node });
+                    self.dispatch_starved = false;
+                    out.immediately(Ev::Dispatch);
+                }
+            }
+            Ev::JobArrival { tenant, k } => self.on_job_arrival(now, tenant, k, out),
+            Ev::LustreSharedRead { task, attempt, job } => {
+                // The task may have failed or its job departed during the
+                // revocation round trip; a stale read start is a no-op.
+                if !self.completion_is_stale(task, attempt, job) {
+                    self.lustre_shared_read(now, task, out);
                 }
             }
             Ev::Dispatch | Ev::DispatchNode { .. } => self.dispatch(now, out),
@@ -3572,8 +4080,6 @@ mod tests {
     #[test]
     fn elb_declines_only_over_threshold_nodes() {
         let mut w = SimWorld::new(tiny(4), EngineConfig::default().with_elb());
-        // No job/intermediate yet: never declines.
-        assert!(!w.elb_declines(0));
         // Fake a depositing stage with skewed intermediate data.
         let plan = crate::dag::build_plan(
             &crate::rdd::Rdd::source(crate::rdd::Dataset::generated(1e6, 1e5, 10.0))
@@ -3583,9 +4089,9 @@ mod tests {
         );
         let mut out = memres_des::Outbox::standalone(SimTime::ZERO);
         w.submit_job(SimTime::ZERO, plan, &mut out);
-        w.intermediate = vec![100.0, 10.0, 10.0, 10.0];
-        assert!(w.elb_declines(0), "node 0 holds >1.25x the average");
-        assert!(!w.elb_declines(1));
+        w.jobs[0].intermediate = vec![100.0, 10.0, 10.0, 10.0];
+        assert!(w.elb_declines(0, 0), "node 0 holds >1.25x the average");
+        assert!(!w.elb_declines(0, 1));
     }
 
     #[test]
@@ -3641,5 +4147,130 @@ mod tests {
         assert!(snaps.is_empty());
         // time = 1000/100 + 500/100 = 15s at speed 1.
         assert!((dur.as_secs_f64() - 15.0).abs() < 1e-9);
+    }
+
+    fn placed_plan(parts: usize) -> crate::dag::JobPlan {
+        let recs: Vec<crate::value::Record> = (0..256)
+            .map(|i| (crate::value::Value::I64(i), crate::value::Value::I64(i)))
+            .collect();
+        crate::dag::build_plan(
+            &crate::rdd::Rdd::source(crate::rdd::Dataset::from_records(recs, parts)),
+            crate::rdd::Action::Count,
+            &Default::default(),
+        )
+    }
+
+    #[test]
+    fn delay_clock_is_per_job_and_anchored_at_stage_start() {
+        // Regression (delay-scheduler bugfix): the "last local launch"
+        // instant that delay scheduling measures its wait from is per-JOB
+        // state. A stage boundary re-anchors it at the stage-start instant,
+        // and one tenant's local launches must not reset another's clock.
+        let wait = SimDuration::from_secs_f64(10.0);
+        let mut w = SimWorld::new(tiny(4), EngineConfig::default().with_delay_scheduling(wait));
+        let mut out = memres_des::Outbox::standalone(SimTime::ZERO);
+        w.admit_job(
+            SimTime::ZERO,
+            1,
+            0,
+            SimTime::ZERO,
+            Arc::new(placed_plan(8)),
+            &mut out,
+        );
+        assert_eq!(w.jobs[0].last_local_launch, SimTime::ZERO);
+        // A locality-preferred pick for job 0 at t=2 advances its clock.
+        let node = w.jobs[0]
+            .prefs_q
+            .iter()
+            .position(|q| !q.is_empty())
+            .expect("placed input yields locality prefs") as u32;
+        let t2 = SimTime::from_secs_f64(2.0);
+        assert!(matches!(w.pick(t2, 0, node, false), Ok(Some(_))));
+        assert_eq!(w.jobs[0].last_local_launch, t2);
+        // A second tenant admitted at t=5 anchors at ITS stage start.
+        let t5 = SimTime::from_secs_f64(5.0);
+        w.admit_job(t5, 2, 1, t5, Arc::new(placed_plan(8)), &mut out);
+        assert_eq!(w.jobs[1].last_local_launch, t5);
+        assert_eq!(
+            w.jobs[0].last_local_launch, t2,
+            "other job's clock untouched"
+        );
+        // Force both jobs onto the steal path: each reports its own expiry.
+        for ji in 0..2 {
+            w.jobs[ji].prefs_q.iter_mut().for_each(|q| q.clear());
+            w.jobs[ji].no_pref_q.clear();
+        }
+        let t6 = SimTime::from_secs_f64(6.0);
+        assert_eq!(w.pick(t6, 0, 0, true), Err(Some(t2 + wait)));
+        assert_eq!(w.pick(t6, 1, 0, true), Err(Some(t5 + wait)));
+    }
+
+    #[test]
+    fn starved_dispatch_rearms_when_backoff_frees_a_slot() {
+        // Regression (dispatch wedge bugfix): with every slot busy and no
+        // delay-retry wake, a dispatch pass records starvation; a failing
+        // task's freed slot must then re-arm dispatch — the backoff requeue
+        // path schedules no Dispatch of its own.
+        let mut w = world();
+        let mut out = memres_des::Outbox::standalone(SimTime::ZERO);
+        w.submit_job(SimTime::ZERO, placed_plan(64), &mut out);
+        w.dispatch(SimTime::ZERO, &mut out);
+        assert_eq!(w.free_slots.iter().sum::<u32>(), 0, "cluster saturated");
+        assert!(w.tasks.pending > 0, "more tasks than slots");
+        w.dispatch(SimTime::ZERO, &mut out);
+        assert!(
+            w.dispatch_starved,
+            "empty availability + no retry = starved"
+        );
+        let victim = (0..w.tasks.len())
+            .find(|&i| w.tasks.state[i] == TState::Running)
+            .expect("saturated cluster has running tasks") as u32;
+        let t1 = SimTime::from_secs_f64(1.0);
+        let mut out2 = memres_des::Outbox::standalone(t1);
+        w.fail_task(
+            t1,
+            victim,
+            SimDuration::from_secs_f64(2.0),
+            false,
+            &mut out2,
+        );
+        assert!(!w.dispatch_starved);
+        assert!(
+            out2.into_items()
+                .iter()
+                .any(|(_, e)| matches!(e, Ev::Dispatch)),
+            "freed slot must schedule a dispatch"
+        );
+    }
+
+    #[test]
+    fn blacklisted_node_restart_rejoins_and_redispatches() {
+        // Regression (dispatch wedge bugfix, recovery side): a fully
+        // blacklisted cluster starves dispatch; restarting a live-but-
+        // blacklisted executor clears the blacklist and re-arms it.
+        let mut w = world();
+        let mut out = memres_des::Outbox::standalone(SimTime::ZERO);
+        w.submit_job(SimTime::ZERO, placed_plan(8), &mut out);
+        for n in 0..w.spec.workers {
+            w.blacklisted[n as usize] = true;
+            w.note_slot_change(n);
+        }
+        w.dispatch(SimTime::ZERO, &mut out);
+        assert!(w.dispatch_starved, "fully blacklisted cluster starves");
+        let t1 = SimTime::from_secs_f64(1.0);
+        let mut out2 = memres_des::Outbox::standalone(t1);
+        Model::handle(&mut w, t1, Ev::NodeRestart { node: 2 }, &mut out2);
+        assert!(!w.blacklisted[2]);
+        assert!(!w.dispatch_starved);
+        assert!(
+            w.avail.contains(&2),
+            "node 2 re-entered the availability set"
+        );
+        assert!(
+            out2.into_items()
+                .iter()
+                .any(|(_, e)| matches!(e, Ev::Dispatch)),
+            "blacklist clear must schedule a dispatch"
+        );
     }
 }

@@ -222,19 +222,35 @@ impl<E> Calendar<E> {
     }
 }
 
+/// Fallback slot width when the buffered times carry no usable spread:
+/// fewer than four samples, or an inter-quartile span of ~0 (a same-instant
+/// event storm). Matches the width a fresh calendar starts with.
+const DEFAULT_WIDTH: u64 = 1 << 10;
+
 /// Slot width from the inter-quartile time spread: the central half of the
 /// events should occupy about half the buckets, leaving the rest of the year
 /// for the tails. Far-future sentinels (e.g. `SimTime::FAR_FUTURE` timers)
 /// sit outside the quartiles and fall to the overflow tier instead of
 /// stretching the width.
+///
+/// When the quartiles coincide (all times clustered in one instant — common
+/// right after a shrink rebuild from a near-empty queue), the spread carries
+/// no information; `span / k` would pin the width to 1 ns and every later
+/// push lands years ahead of the cursor, forcing worst-case bucket scans and
+/// overflow churn until the next rebuild. Fall back to the default width
+/// instead — the width only affects scan cost, never pop order, so the
+/// clamp is behavior-neutral (see the `calendar_matches_heap` proptest).
 fn estimate_width<E>(sorted: &[Entry<E>]) -> u64 {
     let n = sorted.len();
     if n < 4 {
-        return 1 << 10;
+        return DEFAULT_WIDTH;
     }
     let q1 = sorted[n / 4].time.0;
     let q3 = sorted[(3 * n) / 4].time.0;
     let span = q3.saturating_sub(q1);
+    if span == 0 {
+        return DEFAULT_WIDTH;
+    }
     (span / (n as u64 / 2).max(1)).max(1)
 }
 
@@ -389,6 +405,65 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 50_000);
+    }
+
+    #[test]
+    fn clustered_times_fall_back_to_default_width() {
+        // All samples in one instant: the inter-quartile span is 0 and the
+        // estimator must return the default width, not degenerate to 1 ns.
+        let entries: Vec<Entry<u32>> = (0..64)
+            .map(|i| Entry {
+                time: SimTime(5_000),
+                seq: i,
+                event: 0,
+            })
+            .collect();
+        assert_eq!(estimate_width(&entries), DEFAULT_WIDTH);
+        // A genuine spread still estimates from the quartiles.
+        let spread: Vec<Entry<u32>> = (0..64)
+            .map(|i| Entry {
+                time: SimTime(i * 1_000_000),
+                seq: i,
+                event: 0,
+            })
+            .collect();
+        let w = estimate_width(&spread);
+        assert!(w > 1, "spread times should not pin the width to 1");
+        assert_ne!(w, DEFAULT_WIDTH, "estimator should use the real spread");
+    }
+
+    #[test]
+    fn shrink_on_clustered_survivors_then_grow_stays_ordered() {
+        // Fill well past a grow rebuild, then drain until the shrink rebuild
+        // fires with only same-instant survivors — the case that used to
+        // re-estimate width = 1. Then grow again with spread times and check
+        // the queue still pops in exact (time, seq) order against the heap.
+        let mut cal = EventQueue::new();
+        let mut heap = EventQueue::heap();
+        for i in 0..4_096u64 {
+            // Most events early and spread; a cluster of late stragglers.
+            let t = if i % 16 == 0 { 9_999_999 } else { i * 631 };
+            cal.push(SimTime(t), i);
+            heap.push(SimTime(t), i);
+        }
+        // Drain down to the same-instant cluster: forces shrink rebuilds
+        // whose survivors all share t = 9_999_999.
+        for _ in 0..3_840 {
+            assert_eq!(cal.pop(), heap.pop());
+        }
+        // Grow again from the degenerate state with spread times.
+        for i in 0..4_096u64 {
+            let t = 10_000_000 + i * 977;
+            cal.push(SimTime(t), 100_000 + i);
+            heap.push(SimTime(t), 100_000 + i);
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if b.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,9 @@ fn us(ns: u64) -> String {
 /// The event's payload as JSON object members (no braces), fixed key order.
 fn payload(ev: &TraceEvent) -> String {
     match *ev {
+        TraceEvent::JobArrived { job, tenant } | TraceEvent::JobAdmitted { job, tenant } => {
+            format!("\"job\":{job},\"tenant\":{tenant}")
+        }
         TraceEvent::JobStart { job } => format!("\"job\":{job}"),
         TraceEvent::JobEnd { job, aborted } => format!("\"job\":{job},\"aborted\":{aborted}"),
         TraceEvent::StageStart { stage, tasks } => format!("\"stage\":{stage},\"tasks\":{tasks}"),

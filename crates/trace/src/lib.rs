@@ -88,6 +88,16 @@ impl TaskClass {
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceEvent {
     // ---- job / stage lifecycle ----
+    /// A job entered the multi-tenant arrival stream (before admission).
+    JobArrived {
+        job: u32,
+        tenant: u32,
+    },
+    /// The admission controller let a queued job into the cluster.
+    JobAdmitted {
+        job: u32,
+        tenant: u32,
+    },
     JobStart {
         job: u32,
     },
@@ -222,6 +232,8 @@ impl TraceEvent {
     /// Stable machine name of the variant (events.jsonl `type` field).
     pub fn kind(&self) -> &'static str {
         match self {
+            TraceEvent::JobArrived { .. } => "job_arrived",
+            TraceEvent::JobAdmitted { .. } => "job_admitted",
             TraceEvent::JobStart { .. } => "job_start",
             TraceEvent::JobEnd { .. } => "job_end",
             TraceEvent::StageStart { .. } => "stage_start",

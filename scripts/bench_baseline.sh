@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_7.json: before/after engine-throughput evidence for the
+# Regenerate BENCH_8.json: before/after engine-throughput evidence for the
 # scale-out work (calendar queue + rack aggregation + SoA arenas), re-baselined
-# after the differential-fuzz PR (audited run paths, validation hardening).
+# after the multi-tenancy PR (job arena, stream admission path, deferred
+# Lustre-shared reads).
 #
 #   scripts/bench_baseline.sh [OUT_JSON]
 #
@@ -21,7 +22,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -53,7 +54,7 @@ smoke_before = load("smoke/scale_baseline.json")
 before = load("scale_baseline.json")
 
 doc = {
-    "issue": 7,
+    "issue": 8,
     "note": "engine throughput before/after the scale-out work; "
             "'before' = legacy binary-heap event queue + per-node fetch "
             "flows (rack aggregation off). Missing 'before' rows are "
