@@ -2,7 +2,7 @@
 //! sharing, max-min fair allocation, SSD fluid model.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use memres_des::{EventQueue, PsResource, SimTime};
+use memres_des::{Bytes, EventQueue, PsResource, SimTime};
 use memres_net::FlowNet;
 use memres_storage::{Device, Op, Ssd, SsdConfig};
 
@@ -68,7 +68,7 @@ fn bench_flownet(c: &mut Criterion) {
             for i in 0..200u32 {
                 let path = vec![links[(i as usize) % 50], links[(i as usize + 7) % 50]];
                 let f = net.open_flow(SimTime::ZERO, path, true);
-                net.push_chunk(SimTime::ZERO, f, 1e6, i);
+                net.push_chunk(SimTime::ZERO, f, Bytes(1e6), i);
             }
             let mut n = 0;
             while let Some(t) = net.next_event() {

@@ -997,11 +997,11 @@ pub fn faults(setup: Setup) -> Table {
         ("clean", FaultPlan::new()),
         (
             "task-failure",
-            FaultPlan::new().at(SimDuration::ZERO, FaultKind::TaskFail { nth_launch: 5 }),
+            FaultPlan::new().after(SimDuration::ZERO, FaultKind::TaskFail { nth_launch: 5 }),
         ),
         (
             "node-crash+restart",
-            FaultPlan::new().at(
+            FaultPlan::new().after(
                 SimDuration::from_secs_f64(horizon * 0.4),
                 FaultKind::NodeCrash {
                     node: 1,
@@ -1011,7 +1011,7 @@ pub fn faults(setup: Setup) -> Table {
         ),
         (
             "fetch-failure",
-            FaultPlan::new().at(
+            FaultPlan::new().after(
                 SimDuration::from_secs_f64(shuffle_mid),
                 FaultKind::FetchFail { src: 0 },
             ),
@@ -1080,7 +1080,7 @@ pub fn faults_abort(setup: Setup) -> Table {
     // the job deterministically.
     let mut plan = FaultPlan::new();
     for nth in 1..=10_000u64 {
-        plan = plan.at(SimDuration::ZERO, FaultKind::TaskFail { nth_launch: nth });
+        plan = plan.after(SimDuration::ZERO, FaultKind::TaskFail { nth_launch: nth });
     }
     let mut d = Driver::new(spec, setup.hdfs_cfg_replicated().with_faults(plan));
     let (out, m) = d.run(&rdd, gb.action());

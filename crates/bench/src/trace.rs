@@ -10,6 +10,7 @@
 use crate::experiments::Setup;
 use crate::perf;
 use memres_core::prelude::*;
+use memres_des::time::SimDuration;
 use memres_trace::analyze::{attribute, stragglers, Attribution};
 use memres_trace::{export, TimedEvent};
 use std::fmt::Write as _;
@@ -47,8 +48,8 @@ pub fn run_cell(setup: Setup, cell: &str) -> Option<TraceRun> {
     let attribution = attribute(&events);
     // The analyzer's contract: buckets partition the job window exactly.
     assert_eq!(
-        attribution.sum_ns(),
-        attribution.job_ns,
+        attribution.sum(),
+        attribution.job,
         "attribution buckets must sum to the job time"
     );
     Some(TraceRun {
@@ -68,13 +69,13 @@ pub fn report(run: &TraceRun, k: usize) -> String {
     let _ = writeln!(
         out,
         "job time {:.3}s  ({} trace events)",
-        att.job_ns as f64 / 1e9,
+        att.job.as_secs_f64(),
         run.events.len()
     );
     let _ = writeln!(out, "{:>12} {:>12} {:>8}", "bucket", "seconds", "share");
-    for (name, ns) in att.buckets() {
-        let share = if att.job_ns > 0 {
-            ns as f64 / att.job_ns as f64 * 100.0
+    for (name, dur) in att.buckets() {
+        let share = if att.job > SimDuration::ZERO {
+            dur.as_nanos() as f64 / att.job.as_nanos() as f64 * 100.0
         } else {
             0.0
         };
@@ -82,7 +83,7 @@ pub fn report(run: &TraceRun, k: usize) -> String {
             out,
             "{:>12} {:>12.3} {:>7.1}%",
             name,
-            ns as f64 / 1e9,
+            dur.as_secs_f64(),
             share
         );
     }
@@ -90,8 +91,12 @@ pub fn report(run: &TraceRun, k: usize) -> String {
         out,
         "{:>12} {:>12.3} {:>7.1}%  (buckets partition the job window exactly)",
         "sum",
-        att.sum_ns() as f64 / 1e9,
-        if att.job_ns > 0 { 100.0 } else { 0.0 }
+        att.sum().as_secs_f64(),
+        if att.job > SimDuration::ZERO {
+            100.0
+        } else {
+            0.0
+        }
     );
     let top = stragglers(&run.events, k);
     if !top.is_empty() {
@@ -104,8 +109,8 @@ pub fn report(run: &TraceRun, k: usize) -> String {
                 a.attempt,
                 a.class.name(),
                 a.node,
-                a.dur_ns() as f64 / 1e9,
-                a.start_ns as f64 / 1e9
+                a.dur().as_secs_f64(),
+                a.start.as_secs_f64()
             );
         }
     }
@@ -129,7 +134,10 @@ mod tests {
         // this drives it through all five cells at smoke scale.
         for name in perf::CELL_NAMES {
             let run = run_cell(Setup::smoke(), name).expect("suite cell");
-            assert!(run.attribution.job_ns > 0, "{name} job window empty");
+            assert!(
+                run.attribution.job > SimDuration::ZERO,
+                "{name} job window empty"
+            );
             assert!(!run.events.is_empty(), "{name} produced no events");
         }
     }
@@ -139,10 +147,10 @@ mod tests {
         let run = run_cell(Setup::smoke(), "fig7a_400gb_ramdisk").expect("known cell");
         assert!(!run.events.is_empty(), "tracing must record events");
         let att = &run.attribution;
-        assert_eq!(att.sum_ns(), att.job_ns);
-        assert!(att.job_ns > 0);
+        assert_eq!(att.sum(), att.job);
+        assert!(att.job > SimDuration::ZERO);
         // Metrics job time and trace job window agree (both simulated ns).
-        assert!((att.job_ns as f64 / 1e9 - run.job_s).abs() < 1e-6);
+        assert!((att.job.as_secs_f64() - run.job_s).abs() < 1e-6);
         let text = report(&run, 5);
         assert!(text.contains("== explain fig7a_400gb_ramdisk =="));
         assert!(text.contains("compute"));

@@ -12,7 +12,7 @@
 
 use crate::rdd::RddId;
 use crate::value::Record;
-use memres_des::{DetMap, DetSet};
+use memres_des::{Bytes, DetMap, DetSet};
 use std::sync::Arc;
 
 /// (bytes, records, data, home node) of one cached partition.
@@ -50,10 +50,11 @@ impl BlockMgr {
         rdd: RddId,
         part: u32,
         node: u32,
-        bytes: f64,
+        bytes: Bytes,
         records: u64,
         data: Option<Arc<[Record]>>,
     ) {
+        let bytes = bytes.get();
         let parts = self.entries.entry(rdd).or_default();
         if parts.len() <= part as usize {
             parts.resize(part as usize + 1, None);
@@ -162,10 +163,10 @@ mod tests {
         let mut bm = BlockMgr::default();
         let rdd = RddId(7);
         bm.declare(rdd, 2);
-        bm.insert(rdd, 0, 3, 100.0, 10, None);
+        bm.insert(rdd, 0, 3, Bytes(100.0), 10, None);
         assert!(!bm.materialized().contains(&rdd), "partition 1 missing");
         assert_eq!(bm.partition_count(rdd), 2);
-        bm.insert(rdd, 1, 4, 50.0, 5, None);
+        bm.insert(rdd, 1, 4, Bytes(50.0), 5, None);
         assert!(bm.materialized().contains(&rdd));
         assert_eq!(bm.location(rdd, 1), Some(4));
         let (b, r, d, n) = bm.partition(rdd, 0);
@@ -176,11 +177,11 @@ mod tests {
     #[test]
     fn accounting_and_eviction() {
         let mut bm = BlockMgr::default();
-        bm.insert(RddId(1), 0, 0, 100.0, 1, None);
-        bm.insert(RddId(1), 1, 0, 50.0, 1, None);
+        bm.insert(RddId(1), 0, 0, Bytes(100.0), 1, None);
+        bm.insert(RddId(1), 1, 0, Bytes(50.0), 1, None);
         assert_eq!(bm.bytes_on(0), 150.0);
         // Re-insert replaces and re-accounts.
-        bm.insert(RddId(1), 0, 1, 80.0, 1, None);
+        bm.insert(RddId(1), 0, 1, Bytes(80.0), 1, None);
         assert_eq!(bm.bytes_on(0), 50.0);
         assert_eq!(bm.bytes_on(1), 80.0);
         bm.evict(RddId(1));
@@ -192,9 +193,9 @@ mod tests {
     fn real_data_flag() {
         let mut bm = BlockMgr::default();
         let data: Arc<[Record]> = vec![(Value::I64(1), Value::I64(2))].into();
-        bm.insert(RddId(2), 0, 0, 10.0, 1, Some(data));
+        bm.insert(RddId(2), 0, 0, Bytes(10.0), 1, Some(data));
         assert!(bm.is_real(RddId(2)));
-        bm.insert(RddId(2), 1, 0, 10.0, 1, None);
+        bm.insert(RddId(2), 1, 0, Bytes(10.0), 1, None);
         assert!(!bm.is_real(RddId(2)));
     }
 
@@ -210,9 +211,9 @@ mod tests {
         let mut bm = BlockMgr::default();
         let rdd = RddId(3);
         bm.declare(rdd, 3);
-        bm.insert(rdd, 0, 0, 10.0, 1, None);
-        bm.insert(rdd, 1, 1, 20.0, 2, None);
-        bm.insert(rdd, 2, 1, 30.0, 3, None);
+        bm.insert(rdd, 0, 0, Bytes(10.0), 1, None);
+        bm.insert(rdd, 1, 1, Bytes(20.0), 2, None);
+        bm.insert(rdd, 2, 1, Bytes(30.0), 3, None);
         assert!(bm.materialized().contains(&rdd));
         let lost = bm.drop_node(1);
         assert_eq!(lost, vec![(rdd, 1), (rdd, 2)]);

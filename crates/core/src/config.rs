@@ -497,7 +497,7 @@ mod tests {
         let cfg = EngineConfig::default().with_recovery(rec);
         assert!(err(cfg, 4).contains("max_task_attempts"));
         // Fault plans are validated against the cluster size too.
-        let plan = FaultPlan::new().at(
+        let plan = FaultPlan::new().after(
             SimDuration::from_secs(1),
             crate::faults::FaultKind::BlockLoss { node: 9 },
         );

@@ -41,13 +41,21 @@ impl Driver {
         sim.max_steps = 500_000_000;
         if sim.model.cfg.speed_sigma > 0.0 {
             let period = sim.model.cfg.speed_resample;
-            sim.schedule(SimTime::ZERO + period, Ev::SpeedResample);
+            sim.schedule_after(period, Ev::SpeedResample);
         }
         Ok(Driver { sim })
     }
 
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Enable or disable the strict event-discipline check: when on, any
+    /// event scheduled before the current simulation time panics instead of
+    /// being clamped (the dynamic counterpart of the `event-past` lint,
+    /// DESIGN.md §4.15). Defaults to on in debug builds.
+    pub fn set_strict_schedule(&mut self, strict: bool) {
+        self.sim.set_strict_schedule(strict);
     }
 
     pub fn world(&self) -> &SimWorld {
@@ -76,9 +84,7 @@ impl Driver {
         // Submit via a synthetic event turn.
         let mut out = memres_des::Outbox::standalone(start);
         self.sim.model.submit_job(start, plan, &mut out);
-        for (t, e) in out.into_items() {
-            self.sim.schedule(t, e);
-        }
+        self.sim.drain_outbox(out);
         while !self.sim.model.job_done {
             assert!(
                 self.sim.step(),
@@ -102,9 +108,7 @@ impl Driver {
         let start = self.sim.now();
         let mut out = memres_des::Outbox::standalone(start);
         self.sim.model.start_stream(start, spec, &mut out);
-        for (t, e) in out.into_items() {
-            self.sim.schedule(t, e);
-        }
+        self.sim.drain_outbox(out);
         while !self.sim.model.job_done {
             assert!(
                 self.sim.step(),
@@ -133,9 +137,7 @@ impl Driver {
         let start = self.sim.now();
         let mut out = memres_des::Outbox::standalone(start);
         self.sim.model.start_stream(start, spec, &mut out);
-        for (t, e) in out.into_items() {
-            self.sim.schedule(t, e);
-        }
+        self.sim.drain_outbox(out);
         let mut since_audit = 0u64;
         while !self.sim.model.job_done {
             match self.sim.try_step() {
@@ -183,9 +185,7 @@ impl Driver {
         let start = self.sim.now();
         let mut out = memres_des::Outbox::standalone(start);
         self.sim.model.submit_job(start, plan, &mut out);
-        for (t, e) in out.into_items() {
-            self.sim.schedule(t, e);
-        }
+        self.sim.drain_outbox(out);
         let mut since_audit = 0u64;
         while !self.sim.model.job_done {
             match self.sim.try_step() {

@@ -95,7 +95,7 @@ impl FaultPlan {
     }
 
     /// Builder-style: add a fault `after` the first job submission.
-    pub fn at(mut self, after: SimDuration, kind: FaultKind) -> Self {
+    pub fn after(mut self, after: SimDuration, kind: FaultKind) -> Self {
         self.events.push(FaultEvent { after, kind });
         self
     }
@@ -211,8 +211,8 @@ mod tests {
     #[test]
     fn builder_appends_in_order() {
         let p = FaultPlan::new()
-            .at(SimDuration::from_secs(1), FaultKind::BlockLoss { node: 0 })
-            .at(SimDuration::from_secs(2), FaultKind::FetchFail { src: 1 });
+            .after(SimDuration::from_secs(1), FaultKind::BlockLoss { node: 0 })
+            .after(SimDuration::from_secs(2), FaultKind::FetchFail { src: 1 });
         assert_eq!(p.events.len(), 2);
         assert_eq!(p.events[0].kind, FaultKind::BlockLoss { node: 0 });
         assert_eq!(p.events[1].after, SimDuration::from_secs(2));
@@ -220,7 +220,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_out_of_range_node() {
-        let p = FaultPlan::new().at(
+        let p = FaultPlan::new().after(
             SimDuration::from_secs(1),
             FaultKind::NodeCrash {
                 node: 4,
@@ -234,7 +234,7 @@ mod tests {
     #[test]
     fn validate_rejects_bad_degrade_factor() {
         for factor in [0.0, -0.5, 1.5] {
-            let p = FaultPlan::new().at(
+            let p = FaultPlan::new().after(
                 SimDuration::from_secs(1),
                 FaultKind::SsdDegrade { node: 0, factor },
             );
@@ -244,7 +244,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_nth_launch() {
-        let p = FaultPlan::new().at(
+        let p = FaultPlan::new().after(
             SimDuration::from_secs(1),
             FaultKind::TaskFail { nth_launch: 0 },
         );

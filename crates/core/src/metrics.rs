@@ -37,9 +37,9 @@ pub struct TaskMetric {
     pub phase: Phase,
     pub index: u32,
     pub node: u32,
-    pub queued_at: f64,
-    pub launched_at: f64,
-    pub finished_at: f64,
+    pub queued_at: f64, // lint:allow(time-units): metrics report in f64 seconds at the JSON boundary, not simulation state
+    pub launched_at: f64, // lint:allow(time-units): metrics report in f64 seconds at the JSON boundary, not simulation state
+    pub finished_at: f64, // lint:allow(time-units): metrics report in f64 seconds at the JSON boundary, not simulation state
     pub input_bytes: f64,
     pub output_bytes: f64,
     pub locality: TaskLocality,
@@ -104,8 +104,8 @@ impl RecoveryCounters {
 #[derive(Clone, Debug, Default)]
 pub struct JobMetrics {
     pub job: u32,
-    pub started_at: f64,
-    pub finished_at: f64,
+    pub started_at: f64, // lint:allow(time-units): metrics report in f64 seconds at the JSON boundary, not simulation state
+    pub finished_at: f64, // lint:allow(time-units): metrics report in f64 seconds at the JSON boundary, not simulation state
     pub tasks: Vec<TaskMetric>,
     /// Fault-recovery activity during this job.
     pub recovery: RecoveryCounters,

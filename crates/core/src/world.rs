@@ -39,7 +39,7 @@ use crate::value::{record_bytes, Record, Value};
 use memres_cluster::{ClusterSpec, NodeId, SpeedModel, SpeedSampler};
 use memres_des::sim::{Gen, Model, Outbox};
 use memres_des::time::{SimDuration, SimTime};
-use memres_des::DetMap;
+use memres_des::{Bytes, DetMap};
 use memres_hdfs::{BlockId, Hdfs, HdfsConfig, HdfsFile, Locality};
 use memres_lustre::{Lustre, LustreConfig, LustreFile};
 use memres_net::{inflate_for_requests, Endpoint, Fabric, FlowId, FlowNet, LinkId};
@@ -911,6 +911,7 @@ impl SimWorld {
 
     fn arm_net(&mut self, out: &mut Outbox<Ev>) {
         if let Some(t) = self.net.next_event() {
+            // lint:allow(event-past): FlowNet::next_event returns completions at/after the subsystem clock, which trails now
             out.at(t, Ev::NetWake(self.net.gen()));
         }
     }
@@ -922,6 +923,7 @@ impl SimWorld {
             &self.ram_fs[node as usize]
         };
         if let Some(t) = fs.next_event() {
+            // lint:allow(event-past): LocalFs::next_event returns device completions at/after the subsystem clock, which trails now
             out.at(
                 t,
                 Ev::FsWake {
@@ -935,6 +937,7 @@ impl SimWorld {
 
     fn arm_lustre(&self, out: &mut Outbox<Ev>) {
         if let Some(t) = self.lustre.next_event() {
+            // lint:allow(event-past): Lustre::next_event returns MDS/OSS completions at/after the subsystem clock, which trails now
             out.at(t, Ev::LustreWake(self.lustre.gen()));
         }
     }
@@ -1250,11 +1253,12 @@ impl SimWorld {
                     locs.dedup();
                     let b = self.hdfs.place_block_at(
                         hdfs_file.expect("hdfs file"), // lint:allow(panic): the HdfsRamDisk arm above created this file before placing blocks
-                        p.bytes,
+                        Bytes(p.bytes),
                         locs.clone(),
                     );
                     for n in locs {
-                        self.ram_fs[n.index()].preload(FileId(HDFS_BLOCK_BASE + b.0), p.bytes);
+                        self.ram_fs[n.index()]
+                            .preload(FileId(HDFS_BLOCK_BASE + b.0), Bytes(p.bytes));
                     }
                     placed.hdfs_block = Some(b);
                 }
@@ -1672,7 +1676,7 @@ impl SimWorld {
                                         now,
                                         TE::CadGate {
                                             node,
-                                            until_ns: allowed.0,
+                                            until: allowed,
                                         },
                                     );
                                     out.at(allowed, Ev::DispatchNode { node });
@@ -1705,13 +1709,7 @@ impl SimWorld {
                             }
                             Err(retry) => {
                                 if let Some(r) = retry {
-                                    self.trace(
-                                        now,
-                                        TE::DelayWait {
-                                            node,
-                                            until_ns: r.0,
-                                        },
-                                    );
+                                    self.trace(now, TE::DelayWait { node, until: r });
                                     earliest_retry =
                                         Some(earliest_retry.map_or(r, |e: SimTime| e.min(r)));
                                 }
@@ -1733,6 +1731,7 @@ impl SimWorld {
         }
         self.flush_pending_chains(now, out);
         if let Some(r) = earliest_retry {
+            // lint:allow(event-past): delay-scheduling retry times are queued_at + wait, in the future of the dispatch that set them
             out.at(r, Ev::Dispatch);
         }
         // Bugfix (DESIGN.md §4.14): with pending work, an empty availability
@@ -1875,7 +1874,7 @@ impl SimWorld {
                     node,
                     class: Self::trace_class(self.tasks.kind[i]),
                     attempt: self.tasks.attempt[i],
-                    queue_delay_ns: now.since(self.tasks.queued_at[i]).0,
+                    queue_delay: now.since(self.tasks.queued_at[i]),
                     speculative: self.tasks.is_speculative[i],
                 },
             );
@@ -1958,7 +1957,7 @@ impl SimWorld {
             }
             for (rdd, bytes, records, snapshot) in snaps {
                 self.blockmgr
-                    .insert(rdd, part, node, bytes, records, snapshot);
+                    .insert(rdd, part, node, Bytes(bytes), records, snapshot);
             }
         }
 
@@ -2047,7 +2046,7 @@ impl SimWorld {
                 if src.0 == node {
                     let tag = self.io_tag(task);
                     self.tasks.pending_io[task as usize] += 1;
-                    self.ram_fs[node as usize].read(now, file, in_bytes, tag);
+                    self.ram_fs[node as usize].read(now, file, Bytes(in_bytes), tag);
                     self.arm_fs(node, false, out);
                 } else {
                     let tag = self.net_tag(task);
@@ -2056,13 +2055,13 @@ impl SimWorld {
                         .fabric
                         .path(Endpoint::Node(src), Endpoint::Node(NodeId(node)));
                     let f = self.net.open_flow(now, path, true);
-                    self.net.push_chunk(now, f, in_bytes, tag);
+                    self.net.push_chunk(now, f, Bytes(in_bytes), tag);
                     self.arm_net(out);
                 }
             }
             IoPlan::LustreRead { file } => {
                 let tag = self.io_tag(task);
-                let rplan = self.lustre.read(now, NodeId(node), file, in_bytes);
+                let rplan = self.lustre.read(now, NodeId(node), file, Bytes(in_bytes));
                 self.tasks.pending_io[task as usize] += 1;
                 self.lustre.submit_mds(now, rplan.mds_ops, tag);
                 self.arm_lustre(out);
@@ -2074,7 +2073,7 @@ impl SimWorld {
                         .path(Endpoint::Lustre, Endpoint::Node(NodeId(node)));
                     let f = self.net.open_flow(now, path, true);
                     let wire = rplan.oss_bytes + self.lustre.config().read_overhead_bytes;
-                    self.net.push_chunk(now, f, wire, tag);
+                    self.net.push_chunk(now, f, Bytes(wire), tag);
                     self.arm_net(out);
                 }
             }
@@ -2085,7 +2084,7 @@ impl SimWorld {
                     .fabric
                     .path(Endpoint::Node(NodeId(src)), Endpoint::Node(NodeId(node)));
                 let f = self.net.open_flow(now, path, true);
-                self.net.push_chunk(now, f, bytes, tag);
+                self.net.push_chunk(now, f, Bytes(bytes), tag);
                 self.arm_net(out);
             }
         }
@@ -2175,7 +2174,7 @@ impl SimWorld {
             }
             for (r, bytes, records, snapshot) in snaps {
                 self.blockmgr
-                    .insert(r, part, node, bytes, records, snapshot);
+                    .insert(r, part, node, Bytes(bytes), records, snapshot);
             }
         }
         self.issue_io_plan(now, task, node, in_bytes, io_plan, out);
@@ -2247,7 +2246,7 @@ impl SimWorld {
             }
             for (rdd, bytes, records, snapshot) in snaps {
                 self.blockmgr
-                    .insert(rdd, j.part, j.node, bytes, records, snapshot);
+                    .insert(rdd, j.part, j.node, Bytes(bytes), records, snapshot);
             }
             self.maybe_schedule_finish(now, j.task, out);
         }
@@ -2289,14 +2288,14 @@ impl SimWorld {
                          RAMDisk-backed store tops out at ~1.2 TB aggregate"
                     );
                     self.tasks.pending_io[task as usize] += 1;
-                    fs.write(now, file, bytes, tag);
+                    fs.write(now, file, Bytes(bytes), tag);
                     self.arm_fs(node, ssd, out);
                 }
             }
             ShuffleStore::LustreLocal | ShuffleStore::LustreShared => {
                 let file = self.node_lustre_file(task, node);
                 let tag = self.io_tag(task);
-                let wplan = self.lustre.append(now, NodeId(node), file, bytes);
+                let wplan = self.lustre.append(now, NodeId(node), file, Bytes(bytes));
                 self.tasks.pending_io[task as usize] += 1;
                 self.lustre.submit_mds(now, wplan.mds_ops, tag);
                 self.arm_lustre(out);
@@ -2308,7 +2307,7 @@ impl SimWorld {
                         .path(Endpoint::Node(NodeId(node)), Endpoint::Lustre);
                     let f = self.net.open_flow(now, path, true);
                     let wire = wplan.oss_bytes / self.lustre.config().write_efficiency;
-                    self.net.push_chunk(now, f, wire, tag);
+                    self.net.push_chunk(now, f, Bytes(wire), tag);
                     self.arm_net(out);
                 }
             }
@@ -2433,7 +2432,7 @@ impl SimWorld {
                     let tag = self.net_tag(task);
                     match self.cfg.shuffle {
                         ShuffleStore::Local(_) => {
-                            let wire = inflate_for_requests(b * compress, req, oh);
+                            let wire = inflate_for_requests(Bytes(b * compress), req, oh);
                             self.tasks.pending_io[task as usize] += 1;
                             let f = self.rack_fetch_flow(now, task, src_rack as u32, dst_rack, 0);
                             self.net.push_chunk(now, f, wire, tag);
@@ -2450,15 +2449,17 @@ impl SimWorld {
                                     })
                                     .sum::<f64>()
                             };
-                            let cached = inflate_for_requests(cached_raw * compress, req, oh);
-                            let oss = inflate_for_requests((b - cached_raw) * compress, req, oh);
-                            if cached > 0.0 {
+                            let cached =
+                                inflate_for_requests(Bytes(cached_raw * compress), req, oh);
+                            let oss =
+                                inflate_for_requests(Bytes((b - cached_raw) * compress), req, oh);
+                            if cached.is_positive() {
                                 self.tasks.pending_io[task as usize] += 1;
                                 let f =
                                     self.rack_fetch_flow(now, task, src_rack as u32, dst_rack, 0);
                                 self.net.push_chunk(now, f, cached, tag);
                             }
-                            if oss > 0.0 {
+                            if oss.is_positive() {
                                 self.tasks.pending_io[task as usize] += 1;
                                 let f =
                                     self.rack_fetch_flow(now, task, src_rack as u32, dst_rack, 1);
@@ -2477,7 +2478,7 @@ impl SimWorld {
                     if b <= 0.0 {
                         continue;
                     }
-                    let wire = inflate_for_requests(b * compress, req, oh);
+                    let wire = inflate_for_requests(Bytes(b * compress), req, oh);
                     let tag = self.net_tag(task);
                     match self.cfg.shuffle {
                         ShuffleStore::Local(_) => {
@@ -2490,12 +2491,12 @@ impl SimWorld {
                                 self.job_of(task).shuffle_in.as_ref().unwrap().cached_frac[i]; // lint:allow(panic): fetch completions only arrive for stages whose input is that shuffle
                             let cached = wire * frac;
                             let oss = wire - cached;
-                            if cached > 0.0 {
+                            if cached.is_positive() {
                                 self.tasks.pending_io[task as usize] += 1;
                                 let f = self.fetch_flow(now, task, i as u32, node, 0);
                                 self.net.push_chunk(now, f, cached, tag);
                             }
-                            if oss > 0.0 {
+                            if oss.is_positive() {
                                 self.tasks.pending_io[task as usize] += 1;
                                 let f = self.fetch_flow(now, task, i as u32, node, 1);
                                 self.net.push_chunk(now, f, oss, tag);
@@ -3050,7 +3051,7 @@ impl SimWorld {
                             .path(Endpoint::Node(NodeId(n)), Endpoint::Lustre);
                         let f = self.net.open_flow(now, path, true);
                         let wire = dirty / self.lustre.config().write_efficiency;
-                        self.net.push_chunk(now, f, wire, NetTag::Flush);
+                        self.net.push_chunk(now, f, Bytes(wire), NetTag::Flush);
                     }
                 }
                 let sh = self.jobs[ji].shuffle_out.as_mut().unwrap(); // lint:allow(panic): the LustreLocal flush runs while the producing stage's shuffle_out exists
@@ -3072,7 +3073,7 @@ impl SimWorld {
             now,
             TE::LockWaitFor {
                 task,
-                dur_ns: self.lustre.config().revoke_latency.0,
+                dur: self.lustre.config().revoke_latency,
             },
         );
         out.at(
@@ -3095,7 +3096,7 @@ impl SimWorld {
             1.0
         };
         let wire = inflate_for_requests(
-            total * compress,
+            Bytes(total * compress),
             self.cfg.spark.reducer_max_bytes_in_flight,
             self.cfg.spark.per_request_overhead_bytes,
         );
@@ -3166,8 +3167,8 @@ impl SimWorld {
                 task,
                 node,
                 attempt: self.tasks.attempt[task as usize],
-                wasted_ns: now.since(self.tasks.launched_at[task as usize]).0,
-                backoff_ns: backoff.0,
+                wasted: now.since(self.tasks.launched_at[task as usize]),
+                backoff,
             },
         );
         if self.node_up[node as usize] {
@@ -3188,7 +3189,7 @@ impl SimWorld {
                         } else {
                             &mut self.ram_fs[node as usize]
                         };
-                        fs.truncate(file, bytes);
+                        fs.truncate(file, Bytes(bytes));
                     }
                 }
             }
@@ -4067,11 +4068,11 @@ mod tests {
             1e12,
             Some(CacheConfig::hyperion()),
         );
-        ssd_fs.preload(FileId(1), 1e9); // 1 GB stored, fully cacheable
+        ssd_fs.preload(FileId(1), Bytes(1e9)); // 1 GB stored, fully cacheable
         let hot = effective_read_bw(&ssd_fs, StoreDevice::Ssd);
         assert!(hot > 2.0e9, "mostly cached: {hot}");
         // With far more data than cache: near device read speed.
-        ssd_fs.preload(FileId(2), 500e9);
+        ssd_fs.preload(FileId(2), Bytes(500e9));
         let cold = effective_read_bw(&ssd_fs, StoreDevice::Ssd);
         assert!(cold < 700e6, "mostly device: {cold}");
         assert!(cold >= 500e6, "never below device rate: {cold}");

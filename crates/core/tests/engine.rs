@@ -448,7 +448,7 @@ fn try_new_rejects_degenerate_spec_and_config() {
     assert!(err.contains("nic_bandwidth"), "unexpected error: {err}");
 
     // Fault targets beyond the node count are caught by the same gate.
-    let plan = FaultPlan::new().at(
+    let plan = FaultPlan::new().after(
         SimDuration::from_secs(1),
         FaultKind::NodeCrash {
             node: 99,

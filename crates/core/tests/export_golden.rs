@@ -8,7 +8,7 @@
 use memres_core::export;
 use memres_core::metrics::{JobMetrics, RecoveryCounters, TaskLocality, TaskMetric};
 use memres_core::prelude::*;
-use memres_des::time::SimTime;
+use memres_des::time::{SimDuration, SimTime};
 use memres_trace::analyze::attribute;
 use memres_trace::{export as texport, TimedEvent, TraceEvent};
 
@@ -100,7 +100,7 @@ fn sample_trace() -> Vec<TimedEvent> {
                 node: 2,
                 class: TaskClass::Compute,
                 attempt: 0,
-                queue_delay_ns: 250,
+                queue_delay: SimDuration::from_nanos(250),
                 speculative: false,
             },
         },
@@ -183,10 +183,10 @@ fn real_run_trace_exports_and_attribution() {
     // Attribution: exact partition of the job window, and the window agrees
     // with the metrics' job time.
     let att = attribute(&events);
-    assert_eq!(att.sum_ns(), att.job_ns, "buckets must partition job time");
-    assert!((att.job_ns as f64 / 1e9 - metrics.job_time()).abs() < 1e-6);
+    assert_eq!(att.sum(), att.job, "buckets must partition job time");
+    assert!((att.job.as_secs_f64() - metrics.job_time()).abs() < 1e-6);
     assert!(
-        att.compute_ns > 0,
+        att.compute > SimDuration::ZERO,
         "a compute-heavy job must show compute time"
     );
 }

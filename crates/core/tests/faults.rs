@@ -101,7 +101,7 @@ fn any_single_fault_preserves_output() {
     ];
 
     for (kind, frac) in cases {
-        let plan = FaultPlan::new().at(SimDuration::from_secs_f64(horizon * frac), kind);
+        let plan = FaultPlan::new().after(SimDuration::from_secs_f64(horizon * frac), kind);
         let (out, m) = run_with(base_cfg().with_faults(plan));
         assert!(!out.aborted, "{kind:?} at {frac}: job aborted");
         assert_eq!(
@@ -137,8 +137,8 @@ fn faulted_runs_are_byte_identical_across_executor_threads() {
     let (_, cm) = run_with(base_cfg());
     let horizon = cm.job_time();
     let plan = FaultPlan::new()
-        .at(SimDuration::ZERO, FaultKind::TaskFail { nth_launch: 5 })
-        .at(
+        .after(SimDuration::ZERO, FaultKind::TaskFail { nth_launch: 5 })
+        .after(
             SimDuration::from_secs_f64(horizon * 0.3),
             FaultKind::NodeCrash {
                 node: 1,
@@ -188,7 +188,7 @@ fn crash_recomputes_lost_cached_partitions_from_lineage() {
     // Faulted pass: crash a cache-holding node midway through job 2. Its
     // pinned tasks re-home and find their partition gone, forcing a lineage
     // recompute from the dataset.
-    let plan = FaultPlan::new().at(
+    let plan = FaultPlan::new().after(
         SimDuration::from_secs_f64(mid),
         FaultKind::NodeCrash {
             node: 1,
@@ -215,7 +215,7 @@ fn crash_recomputes_lost_cached_partitions_from_lineage() {
 
 #[test]
 fn attempt_limit_exhaustion_aborts_the_job() {
-    let plan = FaultPlan::new().at(SimDuration::ZERO, FaultKind::TaskFail { nth_launch: 1 });
+    let plan = FaultPlan::new().after(SimDuration::ZERO, FaultKind::TaskFail { nth_launch: 1 });
     let cfg = base_cfg().with_faults(plan).with_recovery(RecoveryConfig {
         max_task_attempts: 1,
         ..RecoveryConfig::default()
@@ -229,7 +229,7 @@ fn attempt_limit_exhaustion_aborts_the_job() {
 
 #[test]
 fn try_new_rejects_invalid_configs() {
-    let bad_plan = FaultPlan::new().at(
+    let bad_plan = FaultPlan::new().after(
         SimDuration::ZERO,
         FaultKind::NodeCrash {
             node: 99,

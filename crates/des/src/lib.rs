@@ -14,6 +14,7 @@
 //!   insertion-ordered containers whose iteration order is a pure function
 //!   of the operation sequence, never of hash salts (DESIGN.md §4.10 R1).
 
+pub mod bytes;
 pub mod det;
 pub mod ps;
 pub mod queue;
@@ -21,6 +22,7 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use bytes::Bytes;
 pub use det::{DetMap, DetSet};
 pub use ps::{JobKey, PsResource};
 pub use queue::EventQueue;

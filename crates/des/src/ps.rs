@@ -63,6 +63,7 @@ impl<T> PsResource<T> {
 
     /// Outstanding (unfinished) work across all jobs.
     pub fn backlog(&self) -> f64 {
+        // lint:allow(float-order): DetMap::values() iterates in insertion order (R1), so the accumulation order is deterministic
         self.jobs.values().map(|j| j.remaining).sum()
     }
 
@@ -93,6 +94,7 @@ impl<T> PsResource<T> {
         while cur < now && !self.jobs.is_empty() && self.capacity > 0.0 {
             let n = self.jobs.len() as f64;
             let per_job_rate = self.capacity / n;
+            // lint:allow(float-order): f64::min is commutative/associative, so the fold order cannot matter
             let min_rem = self
                 .jobs
                 .values()
@@ -192,6 +194,7 @@ impl<T> PsResource<T> {
             return None;
         }
         let n = self.jobs.len() as f64;
+        // lint:allow(float-order): f64::min is commutative/associative, so the fold order cannot matter
         let min_rem = self
             .jobs
             .values()
@@ -203,10 +206,10 @@ impl<T> PsResource<T> {
 
 fn add_secs(t: SimTime, secs: f64) -> SimTime {
     let ns = secs * NANOS_PER_SEC as f64;
-    if !ns.is_finite() || ns >= (u64::MAX - t.0) as f64 {
+    if !ns.is_finite() || ns >= (u64::MAX - t.as_nanos()) as f64 {
         SimTime::FAR_FUTURE
     } else {
-        SimTime(t.0 + ns.ceil() as u64)
+        SimTime::from_nanos(t.as_nanos() + ns.ceil() as u64)
     }
 }
 

@@ -87,7 +87,7 @@ impl<E> Calendar<E> {
 
     #[inline]
     fn slot_of(&self, t: SimTime) -> u64 {
-        t.0 / self.width
+        t.as_nanos() / self.width
     }
 
     fn push(&mut self, entry: Entry<E>) {
@@ -245,8 +245,8 @@ fn estimate_width<E>(sorted: &[Entry<E>]) -> u64 {
     if n < 4 {
         return DEFAULT_WIDTH;
     }
-    let q1 = sorted[n / 4].time.0;
-    let q3 = sorted[(3 * n) / 4].time.0;
+    let q1 = sorted[n / 4].time.as_nanos();
+    let q3 = sorted[(3 * n) / 4].time.as_nanos();
     let span = q3.saturating_sub(q1);
     if span == 0 {
         return DEFAULT_WIDTH;

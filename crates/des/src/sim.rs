@@ -19,9 +19,17 @@ pub trait Model {
     fn handle(&mut self, now: SimTime, event: Self::Event, out: &mut Outbox<Self::Event>);
 }
 
+/// Whether past-time scheduling is rejected by default: on in debug builds
+/// (tests, `cargo run` without `--release`), off in release builds unless a
+/// harness opts in (`repro fuzz` does — DESIGN.md §4.15).
+fn strict_default() -> bool {
+    cfg!(debug_assertions)
+}
+
 /// Collector for events scheduled while handling the current event.
 pub struct Outbox<E> {
     now: SimTime,
+    strict: bool,
     items: Vec<(SimTime, E)>,
 }
 
@@ -31,6 +39,7 @@ impl<E> Outbox<E> {
     pub fn standalone(now: SimTime) -> Self {
         Outbox {
             now,
+            strict: strict_default(),
             items: Vec::new(),
         }
     }
@@ -44,9 +53,28 @@ impl<E> Outbox<E> {
         self.now
     }
 
+    /// Opt in or out of the past-time scheduling assertion (see
+    /// [`Simulation::set_strict_schedule`]).
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
     /// Schedule an event at an absolute instant (clamped to `now`: models may
     /// compute "due" times in the past by float rounding; those fire now).
+    ///
+    /// In strict mode (debug builds and fuzz runs) a genuinely past target is
+    /// rejected outright — the dynamic counterpart of the `event-past` lint
+    /// (R5, DESIGN.md §4.15). The PR 8 `lustre_shared_transfer` bug class
+    /// (flows opened at future timestamps, events landed in the past) fails
+    /// here immediately instead of corrupting a later export.
     pub fn at(&mut self, time: SimTime, event: E) {
+        if self.strict {
+            assert!(
+                time >= self.now,
+                "event scheduled in the past: target {time:?} precedes now {:?}",
+                self.now
+            );
+        }
         self.items.push((time.max(self.now), event));
     }
 
@@ -68,6 +96,7 @@ pub struct Simulation<M: Model> {
     queue: EventQueue<M::Event>,
     now: SimTime,
     steps: u64,
+    strict: bool,
     /// Hard cap on processed events; guards against runaway event storms.
     pub max_steps: u64,
 }
@@ -79,8 +108,17 @@ impl<M: Model> Simulation<M> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             steps: 0,
+            strict: strict_default(),
             max_steps: u64::MAX,
         }
+    }
+
+    /// Toggle the past-time scheduling assertion for this simulation and the
+    /// outboxes it hands to the model. Defaults to on in debug builds; the
+    /// fuzz harness turns it on explicitly in release runs, and the one
+    /// lenient-clamp regression test turns it off.
+    pub fn set_strict_schedule(&mut self, strict: bool) {
+        self.strict = strict;
     }
 
     /// Swap in the legacy `BinaryHeap` event calendar (baseline mode for
@@ -102,11 +140,28 @@ impl<M: Model> Simulation<M> {
     }
 
     pub fn schedule(&mut self, time: SimTime, event: M::Event) {
+        if self.strict {
+            assert!(
+                time >= self.now,
+                "event scheduled in the past: target {time:?} precedes now {:?}",
+                self.now
+            );
+        }
         self.queue.push(time.max(self.now), event);
     }
 
     pub fn schedule_after(&mut self, delay: SimDuration, event: M::Event) {
         self.queue.push(self.now + delay, event);
+    }
+
+    /// Move every event collected in a standalone [`Outbox`] onto the
+    /// calendar. The outbox already enforced the past-time discipline at
+    /// insertion; the clamp here is belt-and-braces for outboxes built
+    /// against an older clock.
+    pub fn drain_outbox(&mut self, out: Outbox<M::Event>) {
+        for (t, e) in out.into_items() {
+            self.queue.push(t.max(self.now), e);
+        }
     }
 
     /// Process a single event. Returns `false` when the calendar is empty.
@@ -139,10 +194,12 @@ impl<M: Model> Simulation<M> {
         }
         let mut out = Outbox {
             now: self.now,
+            strict: self.strict,
             items: Vec::new(),
         };
         self.model.handle(self.now, event, &mut out);
         for (t, e) in out.items {
+            // lint:allow(event-past): Outbox::at already asserted/clamped every item against the turn's now
             self.queue.push(t, e);
         }
         Ok(true)
@@ -237,25 +294,48 @@ mod tests {
         assert_eq!(sim.model.fired.len(), 4);
     }
 
-    #[test]
-    fn outbox_clamps_past_times() {
-        struct M {
-            got: Vec<SimTime>,
-        }
-        impl Model for M {
-            type Event = bool;
-            fn handle(&mut self, now: SimTime, first: bool, out: &mut Outbox<bool>) {
-                self.got.push(now);
-                if first {
-                    // "Past" target gets clamped to now.
-                    out.at(SimTime::ZERO, false);
-                }
+    /// A model that schedules one deliberately past-time event.
+    struct PastScheduler {
+        got: Vec<SimTime>,
+    }
+    impl Model for PastScheduler {
+        type Event = bool;
+        fn handle(&mut self, now: SimTime, first: bool, out: &mut Outbox<bool>) {
+            self.got.push(now);
+            if first {
+                out.at(SimTime::ZERO, false);
             }
         }
-        let mut sim = Simulation::new(M { got: vec![] });
+    }
+
+    #[test]
+    fn outbox_clamps_past_times_when_lenient() {
+        let mut sim = Simulation::new(PastScheduler { got: vec![] });
+        sim.set_strict_schedule(false);
         sim.schedule(SimTime::from_secs_f64(5.0), true);
         sim.run();
+        // "Past" target gets clamped to now.
         assert_eq!(sim.model.got, vec![SimTime::from_secs_f64(5.0); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn strict_mode_rejects_past_outbox_times() {
+        let mut sim = Simulation::new(PastScheduler { got: vec![] });
+        sim.set_strict_schedule(true);
+        sim.schedule(SimTime::from_secs_f64(5.0), true);
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn strict_mode_rejects_past_schedule() {
+        let mut sim = Simulation::new(PastScheduler { got: vec![] });
+        sim.set_strict_schedule(true);
+        sim.schedule(SimTime::from_secs_f64(5.0), true);
+        assert!(sim.step());
+        // The clock now sits at t=5s; direct past-time scheduling trips too.
+        sim.schedule(SimTime::from_secs_f64(1.0), false);
     }
 
     #[test]

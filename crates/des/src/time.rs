@@ -37,6 +37,18 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// The raw nanosecond count. This is the sanctioned escape hatch the
+    /// `time-units` lint (R6, DESIGN.md §4.15) steers `.0` accesses toward:
+    /// every place the integer leaves the newtype is greppable by name.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Wrap a raw nanosecond count (inverse of [`SimTime::as_nanos`]).
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
     pub fn saturating_add(self, d: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(d.0))
     }
@@ -81,6 +93,16 @@ impl SimDuration {
     pub fn mul_f64(self, k: f64) -> Self {
         assert!(k >= 0.0);
         SimDuration((self.0 as f64 * k).round() as u64)
+    }
+
+    /// The raw nanosecond count (see [`SimTime::as_nanos`]).
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Wrap a raw nanosecond count (inverse of [`SimDuration::as_nanos`]).
+    pub fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
     }
 }
 

@@ -12,7 +12,7 @@
 //! answers returned here.
 
 use memres_cluster::{split_bytes, ClusterSpec, NodeId};
-use memres_des::DetMap;
+use memres_des::{Bytes, DetMap};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -213,9 +213,10 @@ impl Hdfs {
     pub fn place_block_at(
         &mut self,
         file: HdfsFile,
-        bytes: f64,
+        bytes: Bytes,
         locations: Vec<NodeId>,
     ) -> BlockId {
+        let bytes = bytes.get();
         assert!(!locations.is_empty());
         for &n in &locations {
             assert!(n.0 < self.cluster.workers, "unknown node {n:?}");

@@ -1,0 +1,294 @@
+//! Tokenizer for the lint engine: identifiers, numbers and punctuation with
+//! positions; comments, strings and char literals skipped; `lint:allow`
+//! annotations collected as they fly past.
+//!
+//! Hand-rolled and zero-dependency, like the rest of the crate. Numbers
+//! became real tokens in lint v2: the `time-units` rule (R6) must see the
+//! `0` in `now.0` to flag raw newtype escapes, which the v1 lexer swallowed.
+
+/// Canonical rule names (used by [`parse_allow`] to validate annotations).
+pub use crate::ALL_RULES;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident(String),
+    /// A numeric literal, verbatim (suffixes and underscores included,
+    /// `..` ranges excluded).
+    Num(String),
+    Punct(char),
+}
+
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A parsed `lint:allow` annotation.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    pub line: u32,
+    pub rule: String,
+    /// Set when some violation consumed it (same line, line below, or the
+    /// statement the annotated line belongs to).
+    pub used: bool,
+}
+
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub allows: Vec<Allow>,
+    /// Lines holding a comment that contains `lint:allow` but does not parse
+    /// under the grammar (reported as `bad-allow`).
+    pub bad_allows: Vec<(u32, String)>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parse the comment body of one line for the allow grammar
+/// `lint:allow(<rule>): <reason>`. Returns `Ok(None)` when the marker is
+/// absent, `Err(why)` when present but malformed.
+pub fn parse_allow(comment: &str) -> Result<Option<(String, String)>, String> {
+    let Some(pos) = comment.find("lint:allow") else {
+        return Ok(None);
+    };
+    let rest = &comment[pos + "lint:allow".len()..];
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `lint:allow(<rule>): <reason>`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed rule name in lint:allow".to_string());
+    };
+    let rule = rest[..close].trim().to_string();
+    if !ALL_RULES.contains(&rule.as_str()) {
+        return Err(format!(
+            "unknown rule `{rule}` in lint:allow (known: {})",
+            ALL_RULES.join(", ")
+        ));
+    }
+    let after = &rest[close + 1..];
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err("lint:allow must carry a reason: `lint:allow(<rule>): <reason>`".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("empty reason in lint:allow".to_string());
+    }
+    Ok(Some((rule, reason.to_string())))
+}
+
+/// Tokenize `src`. See the module doc for what is kept and what is skipped.
+pub fn lex(src: &str) -> Lexed {
+    let mut tokens = Vec::new();
+    let mut allows = Vec::new();
+    let mut bad_allows = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Line comment (plain, doc, inner-doc) — scan for the allow marker.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            let at_line = line;
+            while i < n && chars[i] != '\n' {
+                bump!();
+            }
+            let body: String = chars[start..i].iter().collect();
+            match parse_allow(&body) {
+                Ok(Some((rule, _reason))) => allows.push(Allow {
+                    line: at_line,
+                    rule,
+                    used: false,
+                }),
+                Ok(None) => {}
+                Err(why) => bad_allows.push((at_line, why)),
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            bump!();
+            bump!();
+            let mut depth = 1u32;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (raw_at, is_raw) = if c == 'r' {
+                (i + 1, true)
+            } else if chars[i + 1] == 'r' {
+                (i + 2, i + 2 < n)
+            } else {
+                (0, false)
+            };
+            if is_raw {
+                let mut j = raw_at;
+                let mut hashes = 0usize;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    // Consume up to and including the opening quote.
+                    while i <= j {
+                        bump!();
+                    }
+                    // Scan for `"` followed by `hashes` hashes.
+                    'raw: while i < n {
+                        if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                for _ in 0..=hashes {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        bump!();
+                    }
+                    continue;
+                }
+            }
+        }
+        // Regular string (or byte string — the `b` lexes as an ident first,
+        // which is harmless for our rules).
+        if c == '"' {
+            bump!();
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    bump!();
+                    bump!();
+                } else if chars[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: `'x'` / `'\n'` are literals, `'a` is a
+        // lifetime (no closing quote).
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                bump!();
+                bump!();
+                bump!();
+                while i < n && chars[i] != '\'' {
+                    bump!();
+                }
+                if i < n {
+                    bump!();
+                }
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                bump!();
+                bump!();
+                bump!();
+                continue;
+            }
+            // Lifetime: skip the quote, the ident lexes next.
+            bump!();
+            continue;
+        }
+        if is_ident_start(c) {
+            let (l, co) = (line, col);
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                bump!();
+            }
+            tokens.push(Tok {
+                kind: TokKind::Ident(chars[start..i].iter().collect()),
+                line: l,
+                col: co,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (l, co) = (line, col);
+            let start = i;
+            while i < n && (is_ident_continue(chars[i]) || chars[i] == '.') {
+                // Stop before `..` ranges; a trailing `.` before a method
+                // call (`1.max(2)`) also terminates the literal.
+                if chars[i] == '.' {
+                    let next = chars.get(i + 1);
+                    if matches!(next, Some(c2) if *c2 == '.' || is_ident_start(*c2)) {
+                        break;
+                    }
+                }
+                bump!();
+            }
+            tokens.push(Tok {
+                kind: TokKind::Num(chars[start..i].iter().collect()),
+                line: l,
+                col: co,
+            });
+            continue;
+        }
+        if !c.is_whitespace() {
+            tokens.push(Tok {
+                kind: TokKind::Punct(c),
+                line,
+                col,
+            });
+        }
+        bump!();
+    }
+
+    Lexed {
+        tokens,
+        allows,
+        bad_allows,
+    }
+}
+
+pub fn ident_is(t: &Tok, s: &str) -> bool {
+    matches!(&t.kind, TokKind::Ident(id) if id == s)
+}
+
+pub fn punct_is(t: &Tok, c: char) -> bool {
+    matches!(&t.kind, TokKind::Punct(p) if *p == c)
+}
+
+pub fn num_is(t: &Tok, s: &str) -> bool {
+    matches!(&t.kind, TokKind::Num(n) if n == s)
+}

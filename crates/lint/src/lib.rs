@@ -1,40 +1,69 @@
-//! # memres-lint — the workspace determinism linter
+//! # memres-lint — the workspace determinism & discipline linter
 //!
 //! The engine promises byte-identical results across executor thread counts
 //! and under seeded fault plans. That promise dies the moment someone
 //! iterates a salted hash map into an event order, reads the host clock
-//! inside the simulation, or lets a recovery path panic without a recorded
-//! reason. `memres-lint` turns those conventions into machine-checked rules
-//! (DESIGN.md §4.10):
+//! inside the simulation, schedules an event into the past, or leaks a raw
+//! nanosecond count across a crate boundary. `memres-lint` turns those
+//! conventions into machine-checked rules (DESIGN.md §4.10, §4.15):
 //!
 //! * **R1 `hash-order`** — no `HashMap`/`HashSet` in simulation-visible
-//!   crates (`core`, `des`, `net`, `storage`, `hdfs`, `lustre`, `cluster`,
-//!   `workloads`): hash order is salted per instance and leaks into event
-//!   order and float-accumulation order. Use `memres_des::{DetMap, DetSet}`.
+//!   crates: hash order is salted per instance and leaks into event order
+//!   and float-accumulation order. Use `memres_des::{DetMap, DetSet}`.
 //! * **R2 `wall-clock`** — no wall-clock or host entropy (`Instant`,
 //!   `SystemTime`, `std::time`, `thread_rng`, …) outside the `bench`
 //!   measurement layer. Simulated time is `SimTime`; randomness is seeded.
 //! * **R3 `io`** — no filesystem or network access (`std::fs`, `std::net`)
 //!   outside the designated `bench` and `scripts` layers.
 //! * **R4 `panic`** — `unwrap()`/`expect()`/`panic!` in the recovery/fault
-//!   paths (`core`: `world.rs`, `faults.rs`, `dag.rs`) and the fuzz-driven
-//!   substrate hot paths (`net/flow.rs`, `storage/device.rs`,
-//!   `lustre/lib.rs`) must justify why the invariant holds via a
-//!   `lint:allow` annotation.
+//!   paths and fuzz-driven substrate hot paths must justify why the
+//!   invariant holds via a `lint:allow` annotation.
+//! * **R5 `event-past`** (v2) — every event-scheduling callsite
+//!   (`Outbox::at`, `Simulation::schedule`, `queue.push`, flow opens,
+//!   `push_chunk`) must derive its timestamp from `now` *syntactically*:
+//!   the first argument starts with `now`/`self.now`, clamps with
+//!   `.max(now)`, or is a local provably bound from / guarded against
+//!   `now` earlier in the same function. Anything else needs a justified
+//!   `lint:allow(event-past)`. The dynamic counterpart is the strict-mode
+//!   assert in `memres_des::sim` (on by default in debug builds).
+//! * **R6 `time-units`** (v2) — no raw `.0` escapes of the `SimTime` /
+//!   `SimDuration` newtypes (use `as_nanos()`), no time-named fields or
+//!   bindings declared as bare primitives (`deadline_ns: u64`), and no
+//!   `bytes: f64`/`bytes: u64` parameters on `pub fn` boundaries in
+//!   sim-visible crates (use `memres_des::Bytes`).
+//! * **R7 `float-order`** — order-sensitive `f64` accumulation (`.sum()`,
+//!   `.product()`, `.fold()`, `+=` loops) over map iteration
+//!   (`values()`/`keys()`) must be annotated: slice/Vec iteration is
+//!   insertion-ordered by construction, map iteration is only deterministic
+//!   because R1 forces `DetMap` — say so at the accumulation site.
 //!
 //! Escapes use the annotation grammar
-//! `// lint:allow(<rule>): <reason>` — trailing on the offending line or on
-//! the line directly above it. Every allow must name a known rule and carry
-//! a non-empty reason; a malformed or unused allow is itself a violation,
-//! so escapes cannot rot silently.
+//! `// lint:allow(<rule>): <reason>` — trailing on the offending line, on
+//! the line directly above it, trailing any line of the (possibly
+//! multi-line) statement, or on the line directly above the statement.
+//! Every allow must name a known rule and carry a non-empty reason; a
+//! malformed or unused allow is itself a violation, so escapes cannot rot
+//! silently.
 //!
-//! The scanner is a hand-rolled Rust tokenizer (in the spirit of the
-//! vendored `rand`/`proptest` stubs: offline, zero dependencies). It skips
-//! comments, strings and char literals — so prose mentioning `HashMap`
-//! never fires — and skips `#[cfg(test)]` items, `tests/` and `benches/`
-//! trees entirely: test assertions may hash-index fixture data freely.
+//! Cross-file exhaustiveness checks live in [`xfile`]: every `Ev` variant
+//! handled in the engine dispatch, every `TraceEvent` variant carried by
+//! both trace exporters, and every repro cell family smoke-covered by
+//! `scripts/check.sh`.
+//!
+//! The scanner is a hand-rolled Rust tokenizer (offline, zero
+//! dependencies) feeding a statement/brace-structure pass ([`stmt`]). It
+//! skips comments, strings and char literals — so prose mentioning
+//! `HashMap` never fires — and skips `#[cfg(test)]` items, `tests/` and
+//! `benches/` trees entirely.
 
 use std::fmt::Write as _;
+
+pub mod lex;
+pub mod stmt;
+pub mod xfile;
+
+use lex::{ident_is, num_is, punct_is, Allow, Lexed, Tok, TokKind};
+use stmt::Structure;
 
 // ---------------------------------------------------------------- rules
 
@@ -43,8 +72,19 @@ pub const RULE_HASH: &str = "hash-order";
 pub const RULE_CLOCK: &str = "wall-clock";
 pub const RULE_IO: &str = "io";
 pub const RULE_PANIC: &str = "panic";
+pub const RULE_EVENT_PAST: &str = "event-past";
+pub const RULE_TIME_UNITS: &str = "time-units";
+pub const RULE_FLOAT_ORDER: &str = "float-order";
 
-pub const ALL_RULES: [&str; 4] = [RULE_HASH, RULE_CLOCK, RULE_IO, RULE_PANIC];
+pub const ALL_RULES: [&str; 7] = [
+    RULE_HASH,
+    RULE_CLOCK,
+    RULE_IO,
+    RULE_PANIC,
+    RULE_EVENT_PAST,
+    RULE_TIME_UNITS,
+    RULE_FLOAT_ORDER,
+];
 
 /// Which rules apply to one file (decided from its workspace-relative path).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -53,11 +93,27 @@ pub struct RuleSet {
     pub clock: bool,
     pub io: bool,
     pub panic: bool,
+    pub event_past: bool,
+    pub time_units: bool,
+    pub float_order: bool,
 }
 
 impl RuleSet {
     pub fn none() -> RuleSet {
         RuleSet::default()
+    }
+
+    /// Every per-file rule, as applied to sim-crate sources.
+    pub fn sim() -> RuleSet {
+        RuleSet {
+            hash: true,
+            clock: true,
+            io: true,
+            panic: false,
+            event_past: true,
+            time_units: true,
+            float_order: true,
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -93,6 +149,10 @@ pub const PANIC_GUARDED_FILES: [(&str, &str); 6] = [
     ("lustre", "lib.rs"),
 ];
 
+/// Files that *define* the time/bytes newtypes: the `.0` accesses inside
+/// them are the implementation, not escapes (rule R6 exemption).
+pub const UNIT_DEFINING_FILES: [&str; 2] = ["crates/des/src/time.rs", "crates/des/src/bytes.rs"];
+
 /// Decide which rules govern `rel` (a `/`-separated path relative to the
 /// workspace root). The layer map:
 ///
@@ -100,8 +160,8 @@ pub const PANIC_GUARDED_FILES: [(&str, &str); 6] = [
 ///   the measurement layer that *must* read the host clock and write JSON,
 ///   and this tool itself).
 /// * `tests/`, `benches/` anywhere — exempt (test code may index fixtures).
-/// * `crates/<sim>/src/` — R1 + R2 + R3; plus R4 for the recovery-path
-///   files in `memres-core`.
+/// * `crates/<sim>/src/` — R1 + R2 + R3 + R5 + R6 + R7; plus R4 for the
+///   recovery-path files; minus R6 for the newtype-defining files.
 /// * umbrella `src/` and `examples/` — R2 + R3 (not simulation-visible,
 ///   but still deterministic-by-default).
 pub fn rules_for(rel: &str) -> RuleSet {
@@ -128,21 +188,18 @@ pub fn rules_for(rel: &str) -> RuleSet {
         }
         if SIM_CRATES.contains(&krate) {
             let file = rel.rsplit('/').next().unwrap_or("");
-            return RuleSet {
-                hash: true,
-                clock: true,
-                io: true,
-                panic: PANIC_GUARDED_FILES.contains(&(krate, file)),
-            };
+            let mut r = RuleSet::sim();
+            r.panic = PANIC_GUARDED_FILES.contains(&(krate, file));
+            r.time_units = !UNIT_DEFINING_FILES.contains(&rel);
+            return r;
         }
         return RuleSet::none();
     }
     if rel.starts_with("src/") || rel.starts_with("examples/") {
         return RuleSet {
-            hash: false,
             clock: true,
             io: true,
-            panic: false,
+            ..RuleSet::none()
         };
     }
     RuleSet::none()
@@ -155,7 +212,8 @@ pub struct Diagnostic {
     pub file: String,
     pub line: u32,
     pub col: u32,
-    /// Rule name (one of [`ALL_RULES`]) or the meta-rules `bad-allow` /
+    /// Rule name (one of [`ALL_RULES`]), a cross-file rule
+    /// ([`xfile::XFILE_RULES`]), or the meta-rules `bad-allow` /
     /// `unused-allow`.
     pub rule: String,
     pub message: String,
@@ -165,6 +223,15 @@ impl Diagnostic {
     pub fn render(&self) -> String {
         format!(
             "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    /// GitHub Actions workflow-command form: annotates the offending line
+    /// in the PR diff view when emitted from CI.
+    pub fn render_github(&self) -> String {
+        format!(
+            "::error file={},line={},col={},title=memres-lint {}::{}",
             self.file, self.line, self.col, self.rule, self.message
         )
     }
@@ -213,342 +280,6 @@ pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
     out
 }
 
-// ------------------------------------------------------------ tokenizer
-
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum TokKind {
-    Ident(String),
-    Punct(char),
-}
-
-#[derive(Clone, Debug)]
-struct Tok {
-    kind: TokKind,
-    line: u32,
-    col: u32,
-}
-
-/// A parsed `lint:allow` annotation.
-#[derive(Clone, Debug)]
-struct Allow {
-    line: u32,
-    rule: String,
-    /// Set when some violation on `line` or `line + 1` consumed it.
-    used: bool,
-}
-
-struct Lexed {
-    tokens: Vec<Tok>,
-    allows: Vec<Allow>,
-    /// Lines holding a comment that contains `lint:allow` but does not parse
-    /// under the grammar (reported as `bad-allow`).
-    bad_allows: Vec<(u32, String)>,
-}
-
-fn is_ident_start(c: char) -> bool {
-    c.is_alphabetic() || c == '_'
-}
-
-fn is_ident_continue(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Parse the comment body of one line for the allow grammar
-/// `lint:allow(<rule>): <reason>`. Returns `Ok(None)` when the marker is
-/// absent, `Err(why)` when present but malformed.
-fn parse_allow(comment: &str) -> Result<Option<(String, String)>, String> {
-    let Some(pos) = comment.find("lint:allow") else {
-        return Ok(None);
-    };
-    let rest = &comment[pos + "lint:allow".len()..];
-    let Some(rest) = rest.strip_prefix('(') else {
-        return Err("expected `lint:allow(<rule>): <reason>`".to_string());
-    };
-    let Some(close) = rest.find(')') else {
-        return Err("unclosed rule name in lint:allow".to_string());
-    };
-    let rule = rest[..close].trim().to_string();
-    if !ALL_RULES.contains(&rule.as_str()) {
-        return Err(format!(
-            "unknown rule `{rule}` in lint:allow (known: {})",
-            ALL_RULES.join(", ")
-        ));
-    }
-    let after = &rest[close + 1..];
-    let Some(reason) = after.strip_prefix(':') else {
-        return Err("lint:allow must carry a reason: `lint:allow(<rule>): <reason>`".to_string());
-    };
-    let reason = reason.trim();
-    if reason.is_empty() {
-        return Err("empty reason in lint:allow".to_string());
-    }
-    Ok(Some((rule, reason.to_string())))
-}
-
-/// Tokenize `src`: identifiers and punctuation with positions, comments and
-/// string/char literals skipped, `lint:allow` annotations collected.
-fn lex(src: &str) -> Lexed {
-    let mut tokens = Vec::new();
-    let mut allows = Vec::new();
-    let mut bad_allows = Vec::new();
-    let chars: Vec<char> = src.chars().collect();
-    let n = chars.len();
-    let mut i = 0usize;
-    let mut line: u32 = 1;
-    let mut col: u32 = 1;
-
-    macro_rules! bump {
-        () => {{
-            if chars[i] == '\n' {
-                line += 1;
-                col = 1;
-            } else {
-                col += 1;
-            }
-            i += 1;
-        }};
-    }
-
-    while i < n {
-        let c = chars[i];
-        // Line comment (plain, doc, inner-doc) — scan for the allow marker.
-        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
-            let start = i;
-            let at_line = line;
-            while i < n && chars[i] != '\n' {
-                bump!();
-            }
-            let body: String = chars[start..i].iter().collect();
-            match parse_allow(&body) {
-                Ok(Some((rule, _reason))) => allows.push(Allow {
-                    line: at_line,
-                    rule,
-                    used: false,
-                }),
-                Ok(None) => {}
-                Err(why) => bad_allows.push((at_line, why)),
-            }
-            continue;
-        }
-        // Block comment, possibly nested.
-        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
-            bump!();
-            bump!();
-            let mut depth = 1u32;
-            while i < n && depth > 0 {
-                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
-                    depth += 1;
-                    bump!();
-                    bump!();
-                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
-                    depth -= 1;
-                    bump!();
-                    bump!();
-                } else {
-                    bump!();
-                }
-            }
-            continue;
-        }
-        // Raw strings: r"..." / r#"..."# / br#"..."#.
-        if (c == 'r' || c == 'b') && i + 1 < n {
-            let (raw_at, is_raw) = if c == 'r' {
-                (i + 1, true)
-            } else if chars[i + 1] == 'r' {
-                (i + 2, i + 2 < n)
-            } else {
-                (0, false)
-            };
-            if is_raw {
-                let mut j = raw_at;
-                let mut hashes = 0usize;
-                while j < n && chars[j] == '#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < n && chars[j] == '"' {
-                    // Consume up to and including the opening quote.
-                    while i <= j {
-                        bump!();
-                    }
-                    // Scan for `"` followed by `hashes` hashes.
-                    'raw: while i < n {
-                        if chars[i] == '"' {
-                            let mut k = 0usize;
-                            while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                for _ in 0..=hashes {
-                                    bump!();
-                                }
-                                break 'raw;
-                            }
-                        }
-                        bump!();
-                    }
-                    continue;
-                }
-            }
-        }
-        // Regular string (or byte string — the `b` lexes as an ident first,
-        // which is harmless for our rules).
-        if c == '"' {
-            bump!();
-            while i < n {
-                if chars[i] == '\\' && i + 1 < n {
-                    bump!();
-                    bump!();
-                } else if chars[i] == '"' {
-                    bump!();
-                    break;
-                } else {
-                    bump!();
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime: `'x'` / `'\n'` are literals, `'a` is a
-        // lifetime (no closing quote).
-        if c == '\'' {
-            if i + 1 < n && chars[i + 1] == '\\' {
-                bump!();
-                bump!();
-                bump!();
-                while i < n && chars[i] != '\'' {
-                    bump!();
-                }
-                if i < n {
-                    bump!();
-                }
-                continue;
-            }
-            if i + 2 < n && chars[i + 2] == '\'' {
-                bump!();
-                bump!();
-                bump!();
-                continue;
-            }
-            // Lifetime: skip the quote, the ident lexes next.
-            bump!();
-            continue;
-        }
-        if is_ident_start(c) {
-            let (l, co) = (line, col);
-            let start = i;
-            while i < n && is_ident_continue(chars[i]) {
-                bump!();
-            }
-            tokens.push(Tok {
-                kind: TokKind::Ident(chars[start..i].iter().collect()),
-                line: l,
-                col: co,
-            });
-            continue;
-        }
-        if c.is_ascii_digit() {
-            // Numbers (with suffixes/underscores) carry no rule signal.
-            while i < n && (is_ident_continue(chars[i]) || chars[i] == '.') {
-                // Stop before a method call on a literal: `1.0.sqrt()` is
-                // rare; `..` ranges must not be swallowed.
-                if chars[i] == '.' && i + 1 < n && chars[i + 1] == '.' {
-                    break;
-                }
-                bump!();
-            }
-            continue;
-        }
-        if !c.is_whitespace() {
-            tokens.push(Tok {
-                kind: TokKind::Punct(c),
-                line,
-                col,
-            });
-        }
-        bump!();
-    }
-
-    Lexed {
-        tokens,
-        allows,
-        bad_allows,
-    }
-}
-
-// ------------------------------------------------------ test-region mask
-
-fn ident_is(t: &Tok, s: &str) -> bool {
-    matches!(&t.kind, TokKind::Ident(id) if id == s)
-}
-
-fn punct_is(t: &Tok, c: char) -> bool {
-    matches!(&t.kind, TokKind::Punct(p) if *p == c)
-}
-
-/// Mark every token covered by a `#[cfg(test)]` item (the attribute, any
-/// stacked attributes after it, and the item body through its matching
-/// close brace or terminating semicolon).
-fn test_mask(tokens: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    let mut i = 0usize;
-    while i < tokens.len() {
-        // Match `# [ cfg ( test ) ]`.
-        let is_cfg_test = i + 6 < tokens.len()
-            && punct_is(&tokens[i], '#')
-            && punct_is(&tokens[i + 1], '[')
-            && ident_is(&tokens[i + 2], "cfg")
-            && punct_is(&tokens[i + 3], '(')
-            && ident_is(&tokens[i + 4], "test")
-            && punct_is(&tokens[i + 5], ')')
-            && punct_is(&tokens[i + 6], ']');
-        if !is_cfg_test {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        i += 7;
-        // Skip any further attributes on the same item.
-        while i + 1 < tokens.len() && punct_is(&tokens[i], '#') && punct_is(&tokens[i + 1], '[') {
-            let mut depth = 0i32;
-            i += 1;
-            while i < tokens.len() {
-                if punct_is(&tokens[i], '[') {
-                    depth += 1;
-                } else if punct_is(&tokens[i], ']') {
-                    depth -= 1;
-                    if depth == 0 {
-                        i += 1;
-                        break;
-                    }
-                }
-                i += 1;
-            }
-        }
-        // Consume the item: to the matching `}` of its first brace block, or
-        // to a `;` if none opens first.
-        let mut depth = 0i32;
-        while i < tokens.len() {
-            if punct_is(&tokens[i], '{') {
-                depth += 1;
-            } else if punct_is(&tokens[i], '}') {
-                depth -= 1;
-                if depth == 0 {
-                    i += 1;
-                    break;
-                }
-            } else if punct_is(&tokens[i], ';') && depth == 0 {
-                i += 1;
-                break;
-            }
-            i += 1;
-        }
-        for m in mask.iter_mut().take(i).skip(start) {
-            *m = true;
-        }
-    }
-    mask
-}
-
 // --------------------------------------------------------------- scanner
 
 /// Wall-clock / host-entropy identifiers (rule R2).
@@ -565,6 +296,148 @@ const CLOCK_IDENTS: [&str; 6] = [
 /// matched structurally).
 const NET_IDENTS: [&str; 3] = ["TcpStream", "TcpListener", "UdpSocket"];
 
+/// Identifiers that denote a simulated instant when they escape via `.0`
+/// (rule R6a). Exact names or suffix match — see [`timeish_ident`].
+const TIMEISH_EXACT: [&str; 7] = ["now", "time", "at", "until", "deadline", "when", "last"];
+const TIMEISH_SUFFIX: [&str; 6] = ["_time", "_at", "_until", "_deadline", "_ns", "_since"];
+
+fn timeish_ident(id: &str) -> bool {
+    TIMEISH_EXACT.contains(&id) || TIMEISH_SUFFIX.iter().any(|s| id.ends_with(s))
+}
+
+/// Does the first argument of a scheduling call syntactically derive from
+/// `now`? Accepts `now ...`, `self.now ...`, and anything containing
+/// `.max(now)` / `.max(self.now)`.
+fn arg_derives_from_now(arg: &[Tok]) -> bool {
+    starts_with_now(arg) || contains_max_now(arg)
+}
+
+fn starts_with_now(toks: &[Tok]) -> bool {
+    if toks.is_empty() {
+        return false;
+    }
+    if ident_is(&toks[0], "now") {
+        return true;
+    }
+    toks.len() >= 3
+        && ident_is(&toks[0], "self")
+        && punct_is(&toks[1], '.')
+        && ident_is(&toks[2], "now")
+}
+
+fn contains_max_now(toks: &[Tok]) -> bool {
+    for j in 0..toks.len() {
+        if punct_is(&toks[j], '.')
+            && j + 3 < toks.len()
+            && ident_is(&toks[j + 1], "max")
+            && punct_is(&toks[j + 2], '(')
+            && starts_with_now(&toks[j + 3..])
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Backward dataflow for rule R5: is the single identifier `name`, used as
+/// a scheduling timestamp at token index `call`, provably at-or-after
+/// `now`? True when the enclosing function earlier contains either
+///
+/// * a binding `let [mut] name = <expr>` whose expression derives from
+///   `now` ([`arg_derives_from_now`]), or
+/// * a guard comparing it against `now` (`now < name`, `now <= name`,
+///   `name > now`, `name >= now`, with `self.now` variants).
+fn local_derives_from_now(toks: &[Tok], structure: &Structure, call: usize, name: &str) -> bool {
+    let lo = structure.fn_start[call].unwrap_or(0);
+    let region = &toks[lo..call];
+    // Binding scan (take the last matching binding before the call).
+    for j in (0..region.len()).rev() {
+        if !ident_is(&region[j], "let") {
+            continue;
+        }
+        let mut k = j + 1;
+        if k < region.len() && ident_is(&region[k], "mut") {
+            k += 1;
+        }
+        if k + 1 < region.len() && ident_is(&region[k], name) && punct_is(&region[k + 1], '=') {
+            let expr_start = k + 2;
+            let mut expr_end = expr_start;
+            while expr_end < region.len() && !punct_is(&region[expr_end], ';') {
+                expr_end += 1;
+            }
+            if arg_derives_from_now(&region[expr_start..expr_end]) {
+                return true;
+            }
+        }
+    }
+    // Guard scan: `now <[=] name` or `name >[=] now`.
+    for j in 0..region.len() {
+        // `now` (or `self.now`) then `<` [`=`] then `name`.
+        if ident_is(&region[j], "now") {
+            let mut k = j + 1;
+            if k < region.len() && punct_is(&region[k], '<') {
+                k += 1;
+                if k < region.len() && punct_is(&region[k], '=') {
+                    k += 1;
+                }
+                if k < region.len() && ident_is(&region[k], name) {
+                    return true;
+                }
+            }
+        }
+        // `name` then `>` [`=`] then `now` / `self.now`.
+        if ident_is(&region[j], name) {
+            let mut k = j + 1;
+            if k < region.len() && punct_is(&region[k], '>') {
+                k += 1;
+                if k < region.len() && punct_is(&region[k], '=') {
+                    k += 1;
+                }
+                if k < region.len() && starts_with_now(&region[k..]) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Method names that schedule events (rule R5). `push` additionally
+/// requires the receiver ident `queue` (`self.queue.push(t, e)`): plain
+/// `Vec::push` is not a scheduling call.
+const SCHEDULING_CALLEES: [&str; 5] = [
+    "at",
+    "schedule",
+    "open_flow",
+    "open_shared_flow",
+    "push_chunk",
+];
+
+/// Collect the first argument of the call whose `(` is at token `open`.
+/// Returns the token slice up to the first depth-0 `,` (or the closing
+/// `)`).
+fn first_arg(toks: &[Tok], open: usize) -> &[Tok] {
+    let mut depth = 0i32;
+    let mut j = open + 1;
+    while j < toks.len() {
+        if let TokKind::Punct(c) = &toks[j].kind {
+            match c {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    &toks[open + 1..j]
+}
+
 /// Scan one file's source under `rules`. `file` is the diagnostic label
 /// (workspace-relative path).
 pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
@@ -572,8 +445,9 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
         tokens: toks,
         mut allows,
         bad_allows,
-    } = lex(src);
-    let mask = test_mask(&toks);
+    } = lex::lex(src);
+    let structure = stmt::analyze(&toks);
+    let mask = &structure.test_mask;
     let mut diags: Vec<Diagnostic> = Vec::new();
 
     for (line, why) in &bad_allows {
@@ -586,15 +460,32 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
         });
     }
 
-    let fire = |allows: &mut [Allow], rule: &str, tok: &Tok, message: String| {
-        // Consume a matching allow: trailing on the same line, or standalone
-        // on the line directly above.
-        // Same-line allows win over line-above allows, so consecutive
-        // annotated lines each consume their own escape.
-        for probe in [0u32, 1] {
+    // Consume a matching allow for a violation at token `i`: trailing on the
+    // same line, standalone on the line directly above, trailing any line of
+    // the enclosing statement, or on the line directly above the statement
+    // start — so one allow on a multi-line statement covers all of it.
+    let fire = |allows: &mut [Allow],
+                structure: &Structure,
+                toks: &[Tok],
+                rule: &str,
+                i: usize,
+                message: String|
+     -> Option<Diagnostic> {
+        let tok = &toks[i];
+        let stmt_start = structure.stmt_start_line(toks, i);
+        let stmt_end = structure.stmt_end_line(toks, i);
+        let hit = |a: &Allow| {
+            a.line == tok.line
+                || a.line + 1 == tok.line
+                || (a.line >= stmt_start && a.line <= stmt_end)
+                || a.line + 1 == stmt_start
+        };
+        // Same-line allows win over wider scopes, so consecutive annotated
+        // lines each consume their own escape.
+        for exact in [true, false] {
             if let Some(a) = allows
                 .iter_mut()
-                .find(|a| a.rule == rule && a.line + probe == tok.line)
+                .find(|a| a.rule == rule && if exact { a.line == tok.line } else { hit(a) })
             {
                 a.used = true;
                 return None;
@@ -615,14 +506,15 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
         }
         let tok = &toks[i];
         let TokKind::Ident(id) = &tok.kind else {
-            // R4: `panic!` (ident handled below); bare punct carries nothing.
             continue;
         };
         if rules.hash && (id == "HashMap" || id == "HashSet") {
             let d = fire(
                 &mut allows,
+                &structure,
+                &toks,
                 RULE_HASH,
-                tok,
+                i,
                 format!(
                     "`{id}` in simulation-visible code: hash order is salted per instance \
                      and leaks into event order; use memres_des::{}",
@@ -635,8 +527,10 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
             if CLOCK_IDENTS.contains(&id.as_str()) {
                 let d = fire(
                     &mut allows,
+                    &structure,
+                    &toks,
                     RULE_CLOCK,
-                    tok,
+                    i,
                     format!(
                         "`{id}` reads the host clock/entropy inside deterministic code; \
                          use SimTime / seeded rngs (measurement belongs in crates/bench)"
@@ -653,8 +547,10 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
             {
                 let d = fire(
                     &mut allows,
+                    &structure,
+                    &toks,
                     RULE_CLOCK,
-                    tok,
+                    i,
                     "`std::time` in deterministic code; simulated time is memres_des::SimTime"
                         .to_string(),
                 );
@@ -665,8 +561,10 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
             if NET_IDENTS.contains(&id.as_str()) {
                 let d = fire(
                     &mut allows,
+                    &structure,
+                    &toks,
                     RULE_IO,
-                    tok,
+                    i,
                     format!("`{id}`: network access outside the bench/scripts layers"),
                 );
                 diags.extend(d);
@@ -679,12 +577,14 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
             {
                 let what = match &toks[i + 3].kind {
                     TokKind::Ident(w) => w.clone(),
-                    TokKind::Punct(_) => unreachable!("guarded by ident_is"),
+                    _ => unreachable!("guarded by ident_is"),
                 };
                 let d = fire(
                     &mut allows,
+                    &structure,
+                    &toks,
                     RULE_IO,
-                    tok,
+                    i,
                     format!(
                         "`std::{what}` outside the bench/scripts layers: simulation code \
                          must not touch the host filesystem or network"
@@ -703,8 +603,10 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
             {
                 let d = fire(
                     &mut allows,
+                    &structure,
+                    &toks,
                     RULE_PANIC,
-                    tok,
+                    i,
                     format!(
                         "`.{id}()` on a recovery/fault path: justify the invariant with \
                          `// lint:allow(panic): <reason>` or handle the None/Err case"
@@ -716,13 +618,248 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
             if id == "panic" && i + 1 < toks.len() && punct_is(&toks[i + 1], '!') {
                 let d = fire(
                     &mut allows,
+                    &structure,
+                    &toks,
                     RULE_PANIC,
-                    tok,
+                    i,
                     "`panic!` on a recovery/fault path: justify the invariant with \
                      `// lint:allow(panic): <reason>`"
                         .to_string(),
                 );
                 diags.extend(d);
+            }
+        }
+        // ---- R5: event scheduling must derive its timestamp from `now`.
+        if rules.event_past
+            && i > 0
+            && punct_is(&toks[i - 1], '.')
+            && i + 1 < toks.len()
+            && punct_is(&toks[i + 1], '(')
+            && (SCHEDULING_CALLEES.contains(&id.as_str())
+                || (id == "push" && i >= 2 && ident_is(&toks[i - 2], "queue")))
+        {
+            let arg = first_arg(&toks, i + 1);
+            // `foo.at()` with no argument is not our callsite shape; a
+            // single-ident argument gets the backward dataflow scan; a
+            // literal constant (a bare number is a raw timestamp) is not
+            // `now`-derived.
+            let ok = arg.is_empty()
+                || arg_derives_from_now(arg)
+                || (arg.len() == 1
+                    && match &arg[0].kind {
+                        TokKind::Ident(name) => local_derives_from_now(&toks, &structure, i, name),
+                        _ => false,
+                    });
+            if !ok {
+                let d = fire(
+                    &mut allows,
+                    &structure,
+                    &toks,
+                    RULE_EVENT_PAST,
+                    i,
+                    format!(
+                        "`.{id}(..)` schedules an event whose timestamp is not visibly \
+                         derived from `now` (start it with `now`, clamp with `.max(now)`, \
+                         or bind/guard the local against `now` in this function); if the \
+                         value is provably in the future, say why with \
+                         `// lint:allow(event-past): <reason>`"
+                    ),
+                );
+                diags.extend(d);
+            }
+        }
+        // ---- R6: time/byte unit discipline.
+        if rules.time_units {
+            // (a) raw `.0` escape of a time-ish binding: `deadline.0`,
+            // `now.0`, `last_seen_at.0`, and `now.since(start).0`.
+            if timeish_ident(id)
+                && i + 2 < toks.len()
+                && punct_is(&toks[i + 1], '.')
+                && num_is(&toks[i + 2], "0")
+            {
+                let d = fire(
+                    &mut allows,
+                    &structure,
+                    &toks,
+                    RULE_TIME_UNITS,
+                    i,
+                    format!(
+                        "raw `.0` escape of `{id}`: use `.as_nanos()` (the greppable \
+                         escape hatch) so unit boundaries stay searchable"
+                    ),
+                );
+                diags.extend(d);
+            }
+            if id == "since"
+                && i > 0
+                && punct_is(&toks[i - 1], '.')
+                && i + 1 < toks.len()
+                && punct_is(&toks[i + 1], '(')
+            {
+                // `now.since(start).0` — the `.0` lands after the closing
+                // paren of this very call.
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                while j < toks.len() {
+                    if punct_is(&toks[j], '(') {
+                        depth += 1;
+                    } else if punct_is(&toks[j], ')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                if j + 2 < toks.len() && punct_is(&toks[j + 1], '.') && num_is(&toks[j + 2], "0") {
+                    let d = fire(
+                        &mut allows,
+                        &structure,
+                        &toks,
+                        RULE_TIME_UNITS,
+                        i,
+                        "raw `.0` escape of a `.since(..)` duration: use `.as_nanos()`".to_string(),
+                    );
+                    diags.extend(d);
+                }
+            }
+            // (b) time-named declaration with a bare primitive type:
+            // `deadline_ns: u64` in a struct field or binding.
+            if timeish_ident(id)
+                && i + 2 < toks.len()
+                && punct_is(&toks[i + 1], ':')
+                && !punct_is(&toks[i + 2], ':')
+                && matches!(&toks[i + 2].kind,
+                    TokKind::Ident(ty) if ty == "u64" || ty == "u32" || ty == "i64" || ty == "f64")
+                && (i == 0 || !punct_is(&toks[i - 1], ':'))
+            {
+                let ty = match &toks[i + 2].kind {
+                    TokKind::Ident(t) => t.clone(),
+                    _ => unreachable!("guarded by matches! above"),
+                };
+                let d = fire(
+                    &mut allows,
+                    &structure,
+                    &toks,
+                    RULE_TIME_UNITS,
+                    i,
+                    format!(
+                        "`{id}: {ty}` declares a simulated time as a bare primitive; \
+                         use SimTime / SimDuration so units survive crate boundaries"
+                    ),
+                );
+                diags.extend(d);
+            }
+            // (c) `pub fn …(…, bytes: f64/u64, …)` boundary parameter.
+            if id == "pub" && i + 1 < toks.len() && ident_is(&toks[i + 1], "fn") {
+                // Scan the parameter list of this fn.
+                let mut j = i + 2;
+                while j < toks.len() && !punct_is(&toks[j], '(') {
+                    j += 1;
+                }
+                if j < toks.len() {
+                    let params = first_arg_span(&toks, j);
+                    for k in params.0..params.1 {
+                        if ident_is(&toks[k], "bytes")
+                            && k + 2 < toks.len()
+                            && punct_is(&toks[k + 1], ':')
+                            && matches!(&toks[k + 2].kind,
+                                TokKind::Ident(ty) if ty == "f64" || ty == "u64")
+                        {
+                            let d = fire(
+                                &mut allows,
+                                &structure,
+                                &toks,
+                                RULE_TIME_UNITS,
+                                k,
+                                "`bytes: f64` on a pub fn boundary is indistinguishable \
+                                 from a rate or a fraction at the callsite; take \
+                                 `memres_des::Bytes` and unwrap with `.get()` inside"
+                                    .to_string(),
+                            );
+                            diags.extend(d);
+                        }
+                    }
+                }
+            }
+        }
+        // ---- R7: float accumulation over map iteration.
+        if rules.float_order {
+            let is_acc = (id == "sum" || id == "product" || id == "fold")
+                && i > 0
+                && punct_is(&toks[i - 1], '.')
+                && i + 1 < toks.len()
+                && punct_is(&toks[i + 1], '(');
+            if is_acc {
+                let (s, e) = structure.stmt_span[i];
+                let stmt_toks = &toks[s..=e];
+                let over_map = stmt_toks.windows(2).any(|w| {
+                    (ident_is(&w[0], "values") || ident_is(&w[0], "keys")) && punct_is(&w[1], '(')
+                });
+                if over_map {
+                    let d = fire(
+                        &mut allows,
+                        &structure,
+                        &toks,
+                        RULE_FLOAT_ORDER,
+                        i,
+                        format!(
+                            "`.{id}()` over map iteration: accumulation order is only \
+                             deterministic because R1 forces DetMap/DetSet — state that \
+                             with `// lint:allow(float-order): <why the order is fixed>`"
+                        ),
+                    );
+                    diags.extend(d);
+                }
+            }
+            // `+=` inside a `for … in …values()/keys()` loop body.
+            if id == "for" {
+                // Loop header: tokens up to the opening `{`.
+                let mut j = i + 1;
+                let mut saw_map_iter = false;
+                while j + 1 < toks.len() && !punct_is(&toks[j], '{') {
+                    if (ident_is(&toks[j], "values") || ident_is(&toks[j], "keys"))
+                        && punct_is(&toks[j + 1], '(')
+                    {
+                        saw_map_iter = true;
+                    }
+                    j += 1;
+                }
+                if saw_map_iter && j < toks.len() {
+                    // Body: to the matching `}`.
+                    let mut depth = 0i32;
+                    let mut k = j;
+                    while k < toks.len() {
+                        if punct_is(&toks[k], '{') {
+                            depth += 1;
+                        } else if punct_is(&toks[k], '}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else if punct_is(&toks[k], '+')
+                            && k + 1 < toks.len()
+                            && punct_is(&toks[k + 1], '=')
+                            && toks[k].line == toks[k + 1].line
+                            && toks[k].col + 1 == toks[k + 1].col
+                        {
+                            let d = fire(
+                                &mut allows,
+                                &structure,
+                                &toks,
+                                RULE_FLOAT_ORDER,
+                                k,
+                                "`+=` accumulation inside a loop over map values/keys: \
+                                 the order is only deterministic because R1 forces \
+                                 DetMap — state that with \
+                                 `// lint:allow(float-order): <why the order is fixed>`"
+                                    .to_string(),
+                            );
+                            diags.extend(d);
+                        }
+                        k += 1;
+                    }
+                }
             }
         }
     }
@@ -757,7 +894,8 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
                 col: 1,
                 rule: "unused-allow".to_string(),
                 message: format!(
-                    "lint:allow({}) matches no violation on this or the next line; remove it",
+                    "lint:allow({}) matches no violation on this line, the next line, \
+                     or its statement; remove it",
                     a.rule
                 ),
             });
@@ -768,25 +906,64 @@ pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Diagnostic> {
     diags
 }
 
+/// Token index span `(start, end)` (exclusive end) of the parenthesized
+/// region opening at `open`.
+fn first_arg_span(toks: &[Tok], open: usize) -> (usize, usize) {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if punct_is(&toks[j], '(') {
+            depth += 1;
+        } else if punct_is(&toks[j], ')') {
+            depth -= 1;
+            if depth == 0 {
+                return (open + 1, j);
+            }
+        }
+        j += 1;
+    }
+    (open + 1, toks.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// v1 rule set (R1–R3) — keeps the v1 fixture expectations exact.
     fn sim_rules() -> RuleSet {
         RuleSet {
             hash: true,
             clock: true,
             io: true,
-            panic: false,
+            ..RuleSet::none()
         }
     }
 
     fn panic_rules() -> RuleSet {
         RuleSet {
-            hash: true,
-            clock: true,
-            io: true,
             panic: true,
+            ..sim_rules()
+        }
+    }
+
+    fn only_event_past() -> RuleSet {
+        RuleSet {
+            event_past: true,
+            ..RuleSet::none()
+        }
+    }
+
+    fn only_time_units() -> RuleSet {
+        RuleSet {
+            time_units: true,
+            ..RuleSet::none()
+        }
+    }
+
+    fn only_float_order() -> RuleSet {
+        RuleSet {
+            float_order: true,
+            ..RuleSet::none()
         }
     }
 
@@ -814,8 +991,6 @@ mod tests {
         let src = "fn f() { let t = std::time::Instant::now(); }\n";
         let d = scan_source("x.rs", src, sim_rules());
         assert!(d.iter().any(|d| d.rule == RULE_CLOCK));
-        let names: Vec<&str> = d.iter().map(|d| d.rule.as_str()).collect();
-        assert!(names.contains(&RULE_CLOCK), "{names:?}");
     }
 
     #[test]
@@ -874,11 +1049,318 @@ mod tests {
     }
 
     #[test]
+    fn bad_allow_knows_v2_rule_names() {
+        // The v2 rules are legal allow targets; the grammar error message
+        // enumerates all seven.
+        for rule in ALL_RULES {
+            let src = format!("// lint:allow({rule}): reason\nfn f() {{}}\n");
+            let d = scan_source("x.rs", &src, RuleSet::none());
+            assert!(d.iter().all(|d| d.rule == "unused-allow"), "{rule}: {d:?}");
+        }
+    }
+
+    #[test]
     fn unused_allow_fires() {
         let src = "// lint:allow(hash-order): stale escape\nfn f() {}\n";
         let d = scan_source("x.rs", src, sim_rules());
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "unused-allow");
+    }
+
+    // --------------------------------------------- R5 event-past fixtures
+
+    #[test]
+    fn bad_raw_timestamp_schedule_fires() {
+        let src = "fn f(&mut self, out: &mut Outbox, t: SimTime) {\n\
+                   \x20   out.at(t, Ev::Wake);\n\
+                   }\n";
+        let d = scan_source("x.rs", src, only_event_past());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_EVENT_PAST);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn bad_queue_push_raw_fires_but_vec_push_does_not() {
+        let src = "fn f(&mut self, t: SimTime, e: Ev) { self.queue.push(t, e); }\n";
+        let d = scan_source("x.rs", src, only_event_past());
+        assert_eq!(d.len(), 1, "{d:?}");
+        let src = "fn f(v: &mut Vec<u8>, t: u8) { v.push(t); }\n";
+        assert!(scan_source("x.rs", src, only_event_past()).is_empty());
+    }
+
+    #[test]
+    fn good_now_derived_schedules_are_clean() {
+        for call in [
+            "out.at(now, Ev::Wake)",
+            "out.at(now + d, Ev::Wake)",
+            "out.at(self.now + d, Ev::Wake)",
+            "out.at(t.max(now), Ev::Wake)",
+            "out.at(t.max(self.now), Ev::Wake)",
+        ] {
+            let src = format!(
+                "fn f(&mut self, out: &mut Outbox, now: SimTime, d: SimDuration, t: SimTime) {{\n\
+                 \x20   {call};\n\
+                 }}\n"
+            );
+            let d = scan_source("x.rs", &src, only_event_past());
+            assert!(d.is_empty(), "{call}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn good_let_bound_local_derived_from_now_is_clean() {
+        let src = "fn f(&mut self, out: &mut Outbox, now: SimTime, d: SimDuration) {\n\
+                   \x20   let finish = now + d;\n\
+                   \x20   out.at(finish, Ev::Wake);\n\
+                   }\n";
+        let d = scan_source("x.rs", src, only_event_past());
+        assert!(d.is_empty(), "{d:?}");
+        // A clamp inside the binding also counts.
+        let src = "fn f(&mut self, out: &mut Outbox, now: SimTime, t0: SimTime) {\n\
+                   \x20   let mut when = t0.max(now);\n\
+                   \x20   out.at(when, Ev::Wake);\n\
+                   }\n";
+        assert!(scan_source("x.rs", src, only_event_past()).is_empty());
+    }
+
+    #[test]
+    fn good_guarded_local_is_clean() {
+        // `now < t` on the path to the schedule proves t is in the future.
+        let src = "fn f(&mut self, out: &mut Outbox, now: SimTime, t: SimTime) {\n\
+                   \x20   if now < t {\n\
+                   \x20       out.at(t, Ev::Wake);\n\
+                   \x20   }\n\
+                   }\n";
+        assert!(scan_source("x.rs", src, only_event_past()).is_empty());
+        let src = "fn f(&mut self, out: &mut Outbox, now: SimTime, t: SimTime) {\n\
+                   \x20   if t >= now {\n\
+                   \x20       out.at(t, Ev::Wake);\n\
+                   \x20   }\n\
+                   }\n";
+        assert!(scan_source("x.rs", src, only_event_past()).is_empty());
+    }
+
+    #[test]
+    fn bad_binding_not_from_now_still_fires() {
+        // The binding exists but derives from something other than `now`.
+        let src = "fn f(&mut self, out: &mut Outbox, base: SimTime, d: SimDuration) {\n\
+                   \x20   let t = base + d;\n\
+                   \x20   out.at(t, Ev::Wake);\n\
+                   }\n";
+        let d = scan_source("x.rs", src, only_event_past());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_EVENT_PAST);
+    }
+
+    #[test]
+    fn good_binding_in_other_fn_does_not_leak() {
+        // A `now`-derived binding of the same name in a *different* function
+        // must not vouch for this one.
+        let src = "fn g(now: SimTime, d: SimDuration) -> SimTime { let t = now + d; t }\n\
+                   fn f(&mut self, out: &mut Outbox, t: SimTime) {\n\
+                   \x20   out.at(t, Ev::Wake);\n\
+                   }\n";
+        let d = scan_source("x.rs", src, only_event_past());
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn good_allowed_event_past_is_clean() {
+        let src = "fn f(&mut self, out: &mut Outbox, t: SimTime) {\n\
+                   \x20   // lint:allow(event-past): t is the subsystem clock, which trails now\n\
+                   \x20   out.at(t, Ev::Wake);\n\
+                   }\n";
+        assert!(scan_source("x.rs", src, only_event_past()).is_empty());
+    }
+
+    #[test]
+    fn good_flow_open_calls_are_checked() {
+        let src = "fn f(&mut self, net: &mut FlowNet, t: SimTime) {\n\
+                   \x20   net.open_flow(t, 0, 1, 100.0, 7);\n\
+                   }\n";
+        let d = scan_source("x.rs", src, only_event_past());
+        assert_eq!(d.len(), 1, "{d:?}");
+        let src = "fn f(&mut self, net: &mut FlowNet, now: SimTime) {\n\
+                   \x20   net.open_flow(now, 0, 1, 100.0, 7);\n\
+                   }\n";
+        assert!(scan_source("x.rs", src, only_event_past()).is_empty());
+    }
+
+    // -------------------------------------------- R6 time-units fixtures
+
+    #[test]
+    fn bad_raw_newtype_escape_fires() {
+        for expr in ["now.0", "deadline.0", "queued_at.0", "last_seen_at.0"] {
+            let src = format!("fn f() -> u64 {{ {expr} }}\n");
+            let d = scan_source("x.rs", &src, only_time_units());
+            assert_eq!(d.len(), 1, "{expr}: {d:?}");
+            assert_eq!(d[0].rule, RULE_TIME_UNITS);
+            assert!(d[0].message.contains("as_nanos"), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn bad_since_escape_fires() {
+        let src = "fn f(now: SimTime, start: SimTime) -> u64 { now.since(start).0 }\n";
+        let d = scan_source("x.rs", src, only_time_units());
+        // `now.since(...)` itself is not `now.0`, but the trailing `.0` is.
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("since"), "{d:?}");
+    }
+
+    #[test]
+    fn good_as_nanos_is_clean() {
+        let src = "fn f(now: SimTime, start: SimTime) -> u64 { now.since(start).as_nanos() }\n";
+        assert!(scan_source("x.rs", src, only_time_units()).is_empty());
+        // Non-time-ish tuple access is fine.
+        let src = "fn f(pair: (f64, f64)) -> f64 { pair.0 }\n";
+        assert!(scan_source("x.rs", src, only_time_units()).is_empty());
+    }
+
+    #[test]
+    fn bad_primitive_time_declaration_fires() {
+        for decl in [
+            "struct S { deadline_ns: u64 }",
+            "struct S { queued_at: f64 }",
+            "fn f(retry_until: u64) {}",
+        ] {
+            let src = format!("{decl}\n");
+            let d = scan_source("x.rs", &src, only_time_units());
+            assert_eq!(d.len(), 1, "{decl}: {d:?}");
+            assert_eq!(d[0].rule, RULE_TIME_UNITS);
+        }
+    }
+
+    #[test]
+    fn good_newtype_time_declaration_is_clean() {
+        let src = "struct S { deadline: SimTime, queued_at: SimTime, wait: SimDuration }\n";
+        assert!(scan_source("x.rs", src, only_time_units()).is_empty());
+        // A path segment named like a variant (`Ev::at`) is not a declaration.
+        let src = "fn f() -> u32 { Foo::at::<u32>() }\n";
+        assert!(scan_source("x.rs", src, only_time_units()).is_empty());
+    }
+
+    #[test]
+    fn bad_pub_fn_bytes_param_fires() {
+        let src = "pub fn write(&mut self, file: FileId, bytes: f64) {}\n";
+        let d = scan_source("x.rs", src, only_time_units());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("memres_des::Bytes"), "{d:?}");
+        let src = "pub fn write(&mut self, file: FileId, bytes: u64) {}\n";
+        assert_eq!(scan_source("x.rs", src, only_time_units()).len(), 1);
+    }
+
+    #[test]
+    fn good_bytes_newtype_param_is_clean() {
+        let src = "pub fn write(&mut self, file: FileId, bytes: Bytes) {}\n";
+        assert!(scan_source("x.rs", src, only_time_units()).is_empty());
+        // Private helpers may unwrap to f64 internally.
+        let src = "fn write_inner(&mut self, bytes: f64) {}\n";
+        assert!(scan_source("x.rs", src, only_time_units()).is_empty());
+    }
+
+    // -------------------------------------------- R7 float-order fixtures
+
+    #[test]
+    fn bad_sum_over_map_values_fires() {
+        let src = "fn f(m: &DetMap<u32, f64>) -> f64 { m.values().sum() }\n";
+        let d = scan_source("x.rs", src, only_float_order());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_FLOAT_ORDER);
+    }
+
+    #[test]
+    fn bad_fold_over_map_values_fires() {
+        let src = "fn f(m: &DetMap<u32, f64>) -> f64 {\n\
+                   \x20   m.values().fold(0.0, |a, b| a + b)\n\
+                   }\n";
+        assert_eq!(scan_source("x.rs", src, only_float_order()).len(), 1);
+    }
+
+    #[test]
+    fn bad_accumulate_loop_over_map_fires() {
+        let src = "fn f(m: &DetMap<u32, f64>) -> f64 {\n\
+                   \x20   let mut total = 0.0;\n\
+                   \x20   for v in m.values() {\n\
+                   \x20       total += v;\n\
+                   \x20   }\n\
+                   \x20   total\n\
+                   }\n";
+        let d = scan_source("x.rs", src, only_float_order());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn good_slice_sum_is_clean() {
+        let src = "fn f(v: &[f64]) -> f64 { v.iter().sum() }\n";
+        assert!(scan_source("x.rs", src, only_float_order()).is_empty());
+        let src = "fn f(v: &Vec<f64>) -> f64 { let mut t = 0.0; for x in v { t += x; } t }\n";
+        assert!(scan_source("x.rs", src, only_float_order()).is_empty());
+    }
+
+    #[test]
+    fn good_allowed_map_sum_is_clean() {
+        let src = "fn f(m: &DetMap<u32, f64>) -> f64 {\n\
+                   \x20   // lint:allow(float-order): DetMap iterates in insertion order\n\
+                   \x20   m.values().sum()\n\
+                   }\n";
+        assert!(scan_source("x.rs", src, only_float_order()).is_empty());
+    }
+
+    // --------------------------------------------- allow-scope fixtures
+
+    #[test]
+    fn good_allow_covers_whole_multiline_statement() {
+        // The allow trails a *different* line of the statement than the
+        // violating token: the statement span must connect them.
+        let src = "fn f(&mut self, out: &mut Outbox, t: SimTime) {\n\
+                   \x20   out.at(\n\
+                   \x20       t, // lint:allow(event-past): clamped by the caller\n\
+                   \x20       Ev::Wake,\n\
+                   \x20   );\n\
+                   }\n";
+        let d = scan_source("x.rs", src, only_event_past());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn good_allow_above_multiline_statement_covers_it() {
+        // Allow on the line directly above the statement start; the
+        // violating token sits two lines below the annotation.
+        let src = "fn f(&mut self, t: SimTime, e: Ev) {\n\
+                   \x20   // lint:allow(event-past): heap rebuild replays an already-validated schedule\n\
+                   \x20   self.queue\n\
+                   \x20       .push(t, e);\n\
+                   }\n";
+        let d = scan_source("x.rs", src, only_event_past());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unused_allow_on_multiline_statement_fires() {
+        // Same shape, but the allow names a rule that never fires in the
+        // statement: it must be reported stale, not silently absorbed.
+        let src = "fn f(&mut self, out: &mut Outbox, now: SimTime) {\n\
+                   \x20   out.at(\n\
+                   \x20       now, // lint:allow(hash-order): wrong rule for this statement\n\
+                   \x20       Ev::Wake,\n\
+                   \x20   );\n\
+                   }\n";
+        let d = scan_source("x.rs", src, sim_rules());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn good_stacked_allows_each_consume_their_own() {
+        let src = "fn f(a: Option<u8>, b: Option<u8>) {\n\
+                   \x20   a.unwrap(); // lint:allow(panic): a is checked by the caller\n\
+                   \x20   b.unwrap(); // lint:allow(panic): b is checked by the caller\n\
+                   }\n";
+        let d = scan_source("w.rs", src, panic_rules());
+        assert!(d.is_empty(), "{d:?}");
     }
 
     // ----------------------------------------------- known-good fixtures
@@ -906,18 +1388,6 @@ mod tests {
         let src = "// lint:allow(panic): completions are pre-filtered, job must exist\n\
                    fn f(x: Option<u8>) { x.unwrap(); }\n";
         assert!(scan_source("w.rs", src, panic_rules()).is_empty());
-    }
-
-    #[test]
-    fn good_stacked_allows_each_consume_their_own() {
-        // Two violating lines in a row, each with its own trailing allow:
-        // neither may steal the other's escape (same-line wins).
-        let src = "fn f(a: Option<u8>, b: Option<u8>) {\n\
-                   \x20   a.unwrap(); // lint:allow(panic): a is checked by the caller\n\
-                   \x20   b.unwrap(); // lint:allow(panic): b is checked by the caller\n\
-                   }\n";
-        let d = scan_source("w.rs", src, panic_rules());
-        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
@@ -955,14 +1425,23 @@ mod tests {
         assert!(d.is_empty(), "unwrap_or is not unwrap: {d:?}");
     }
 
+    #[test]
+    fn good_numeric_method_calls_lex() {
+        // `1.max(2)` must lex as Num(1) . max ( Num(2) ) — not swallow the
+        // dot into the literal; `0..n` must not glue into one number.
+        let src = "fn f(n: u64) -> u64 { let m = 1.max(2); (0..n).sum::<u64>() + m }\n";
+        assert!(scan_source("x.rs", src, sim_rules()).is_empty());
+    }
+
     // --------------------------------------------------- layer map tests
 
     #[test]
     fn rules_scope_by_layer() {
         let r = rules_for("crates/core/src/world.rs");
         assert!(r.hash && r.clock && r.io && r.panic);
+        assert!(r.event_past && r.time_units && r.float_order);
         let r = rules_for("crates/core/src/metrics.rs");
-        assert!(r.hash && !r.panic);
+        assert!(r.hash && !r.panic && r.time_units);
         let r = rules_for("crates/net/src/flow.rs");
         assert!(r.hash && r.panic);
         let r = rules_for("crates/storage/src/device.rs");
@@ -975,17 +1454,25 @@ mod tests {
         assert!(r.hash && !r.panic);
         let r = rules_for("crates/trace/src/analyze.rs");
         assert!(r.hash && r.clock && r.io && !r.panic);
+        // The newtype-defining files keep every rule except R6: their `.0`
+        // accesses *are* the implementation.
+        let r = rules_for("crates/des/src/time.rs");
+        assert!(r.hash && r.event_past && !r.time_units);
+        let r = rules_for("crates/des/src/bytes.rs");
+        assert!(!r.time_units);
         assert!(rules_for("crates/bench/src/perf.rs").is_empty());
         assert!(rules_for("crates/lint/src/lib.rs").is_empty());
         assert!(rules_for("vendor/rand/src/lib.rs").is_empty());
         assert!(rules_for("crates/core/tests/engine.rs").is_empty());
         assert!(rules_for("tests/correctness.rs").is_empty());
         let r = rules_for("examples/quickstart.rs");
-        assert!(!r.hash && r.clock && r.io);
+        assert!(!r.hash && r.clock && r.io && !r.event_past);
         let r = rules_for("src/lib.rs");
         assert!(!r.hash && r.clock && r.io);
         assert!(rules_for("README.md").is_empty());
     }
+
+    // ------------------------------------------------------ output shapes
 
     #[test]
     fn json_output_shape() {
@@ -1001,5 +1488,20 @@ mod tests {
         assert!(j.contains("\"line\": 3"));
         assert!(j.contains("\\\"no\\\""));
         assert_eq!(diagnostics_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn github_annotation_shape() {
+        let d = Diagnostic {
+            file: "crates/core/src/world.rs".to_string(),
+            line: 12,
+            col: 5,
+            rule: RULE_EVENT_PAST.to_string(),
+            message: "raw timestamp".to_string(),
+        };
+        let g = d.render_github();
+        assert!(g.starts_with("::error file=crates/core/src/world.rs,line=12,col=5"));
+        assert!(g.contains("title=memres-lint event-past"));
+        assert!(g.ends_with("::raw timestamp"));
     }
 }

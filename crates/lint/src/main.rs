@@ -1,22 +1,29 @@
 //! `memres-lint` — scan the workspace for determinism-rule violations.
 //!
 //! Usage:
-//!   memres-lint [--json] [--root DIR] [FILE...]
+//!   memres-lint [--json] [--github] [--root DIR] [FILE...]
 //!
 //! With no `FILE` operands the whole workspace is scanned (every `.rs` file
 //! under `crates/`, `src/`, and `examples/`; the layer map in
-//! `memres_lint::rules_for` decides which rules govern which file). With
-//! operands, only those files are scanned — still classified by their
-//! workspace-relative path, so `memres-lint crates/core/src/world.rs` checks
-//! the same rules the full run would.
+//! `memres_lint::rules_for` decides which rules govern which file), plus
+//! the cross-file exhaustiveness checks (`memres_lint::xfile`: event
+//! dispatch, trace exporters, cell smokes). With operands, only those
+//! files are scanned — still classified by their workspace-relative path,
+//! so `memres-lint crates/core/src/world.rs` checks the same per-file
+//! rules the full run would; cross-file checks are skipped in that mode
+//! (their subjects are fixed paths, not the operand list).
+//!
+//! `--json` renders findings as a JSON array (CI artifact); `--github`
+//! additionally emits GitHub Actions `::error` workflow commands so
+//! findings annotate the offending lines in a PR diff.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
-use memres_lint::{diagnostics_json, rules_for, scan_source, Diagnostic};
+use memres_lint::{diagnostics_json, rules_for, scan_source, xfile, Diagnostic};
 use std::path::{Path, PathBuf};
 
 fn usage() -> &'static str {
-    "usage: memres-lint [--json] [--root DIR] [FILE...]"
+    "usage: memres-lint [--json] [--github] [--root DIR] [FILE...]"
 }
 
 /// Find the workspace root: `--root` wins, else walk up from the current
@@ -77,6 +84,7 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
 
 fn main() {
     let mut json = false;
+    let mut github = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut files: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +92,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
+            "--github" => github = true,
             "--root" => {
                 i += 1;
                 match args.get(i) {
@@ -114,7 +123,8 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if files.is_empty() {
+    let whole_workspace = files.is_empty();
+    if whole_workspace {
         files = workspace_files(&root);
     }
 
@@ -135,12 +145,21 @@ fn main() {
         scanned += 1;
         diags.extend(scan_source(rel, &src, rules));
     }
+    if whole_workspace {
+        let mut load = |rel: &str| std::fs::read_to_string(root.join(rel)).ok();
+        diags.extend(xfile::check_all(&mut load));
+    }
 
     if json {
         print!("{}", diagnostics_json(&diags));
     } else {
         for d in &diags {
             println!("{}", d.render());
+        }
+    }
+    if github {
+        for d in &diags {
+            println!("{}", d.render_github());
         }
     }
     eprintln!(

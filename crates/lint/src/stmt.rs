@@ -1,0 +1,158 @@
+//! Statement/brace structure over the token stream.
+//!
+//! Lint v2 rules reason about more than single tokens: the `event-past`
+//! rule (R5) walks backward through the *enclosing function* looking for
+//! the binding of a timestamp, the `float-order` rule (R7) asks what else
+//! the *enclosing statement* contains, and the allow-scope fix lets one
+//! `lint:allow` on a multi-line statement cover every line of it. This
+//! module computes that structure in one pass: per-token statement spans
+//! and the token index of the innermost enclosing `fn`.
+//!
+//! "Statement" here is the lexical approximation that serves the rules:
+//! a maximal token run at a fixed brace nesting, broken at `;`, `{` and
+//! `}`. That treats an `if` condition and a match arm head as their own
+//! statements — exactly the granularity the rules want.
+
+use crate::lex::{ident_is, punct_is, Tok};
+
+/// Structural facts per token, parallel to the token vector.
+pub struct Structure {
+    /// Index range `[start, end]` (inclusive) of the statement holding each
+    /// token.
+    pub stmt_span: Vec<(usize, usize)>,
+    /// Token index of the `fn` keyword of the innermost enclosing function,
+    /// if any.
+    pub fn_start: Vec<Option<usize>>,
+    /// Tokens covered by a `#[cfg(test)]` item.
+    pub test_mask: Vec<bool>,
+}
+
+impl Structure {
+    /// First line of the statement containing token `i`.
+    pub fn stmt_start_line(&self, toks: &[Tok], i: usize) -> u32 {
+        toks[self.stmt_span[i].0].line
+    }
+
+    /// Last line of the statement containing token `i`.
+    pub fn stmt_end_line(&self, toks: &[Tok], i: usize) -> u32 {
+        toks[self.stmt_span[i].1].line
+    }
+}
+
+pub fn analyze(toks: &[Tok]) -> Structure {
+    let n = toks.len();
+    let mut stmt_span = vec![(0usize, 0usize); n];
+    let mut fn_start = vec![None; n];
+    // ---- statement spans: break at `;`, `{`, `}` (the breaker closes the
+    // statement it ends; a fresh one starts after it).
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        let breaker = punct_is(&toks[i], ';') || punct_is(&toks[i], '{') || punct_is(&toks[i], '}');
+        if breaker {
+            for s in stmt_span.iter_mut().take(i + 1).skip(start) {
+                *s = (start, i);
+            }
+            start = i + 1;
+        }
+        i += 1;
+    }
+    for s in stmt_span.iter_mut().take(n).skip(start.min(n)) {
+        *s = (start, n - 1);
+    }
+
+    // ---- enclosing fn: a `{` opening after a `fn` keyword (since the last
+    // brace event) starts that function's body; inner blocks inherit it.
+    let mut stack: Vec<Option<usize>> = Vec::new();
+    let mut pending_fn: Option<usize> = None;
+    for (i, t) in toks.iter().enumerate() {
+        fn_start[i] = if let Some(p) = pending_fn {
+            Some(p)
+        } else {
+            stack.last().copied().flatten()
+        };
+        if ident_is(t, "fn") {
+            pending_fn = Some(i);
+        } else if punct_is(t, '{') {
+            let scope = pending_fn
+                .take()
+                .or_else(|| stack.last().copied().flatten());
+            stack.push(scope);
+        } else if punct_is(t, '}') {
+            stack.pop();
+        } else if punct_is(t, ';') {
+            // `fn f();` in a trait: the pending fn never opened a body.
+            pending_fn = None;
+        }
+    }
+
+    Structure {
+        stmt_span,
+        fn_start,
+        test_mask: test_mask(toks),
+    }
+}
+
+/// Mark every token covered by a `#[cfg(test)]` item (the attribute, any
+/// stacked attributes after it, and the item body through its matching
+/// close brace or terminating semicolon).
+fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = i + 6 < tokens.len()
+            && punct_is(&tokens[i], '#')
+            && punct_is(&tokens[i + 1], '[')
+            && ident_is(&tokens[i + 2], "cfg")
+            && punct_is(&tokens[i + 3], '(')
+            && ident_is(&tokens[i + 4], "test")
+            && punct_is(&tokens[i + 5], ')')
+            && punct_is(&tokens[i + 6], ']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        i += 7;
+        // Skip any further attributes on the same item.
+        while i + 1 < tokens.len() && punct_is(&tokens[i], '#') && punct_is(&tokens[i + 1], '[') {
+            let mut depth = 0i32;
+            i += 1;
+            while i < tokens.len() {
+                if punct_is(&tokens[i], '[') {
+                    depth += 1;
+                } else if punct_is(&tokens[i], ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        // Consume the item: to the matching `}` of its first brace block, or
+        // to a `;` if none opens first.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if punct_is(&tokens[i], '{') {
+                depth += 1;
+            } else if punct_is(&tokens[i], '}') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            } else if punct_is(&tokens[i], ';') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        for m in mask.iter_mut().take(i).skip(start) {
+            *m = true;
+        }
+    }
+    mask
+}

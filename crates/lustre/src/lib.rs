@@ -24,6 +24,7 @@ use memres_des::det::DetMap;
 use memres_des::ps::PsResource;
 use memres_des::sim::Gen;
 use memres_des::time::{SimDuration, SimTime};
+use memres_des::Bytes;
 
 /// A file stored in Lustre.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -222,8 +223,9 @@ impl Lustre {
         now: SimTime,
         writer: NodeId,
         file: LustreFile,
-        bytes: f64,
+        bytes: Bytes,
     ) -> WritePlan {
+        let bytes = bytes.get();
         assert!(bytes >= 0.0);
         assert!(
             !self.files.contains_key(&file),
@@ -265,11 +267,12 @@ impl Lustre {
         now: SimTime,
         writer: NodeId,
         file: LustreFile,
-        bytes: f64,
+        bytes: Bytes,
     ) -> WritePlan {
+        let bytes = bytes.get();
         assert!(bytes >= 0.0);
         if !self.files.contains_key(&file) {
-            return self.write(now, writer, file, bytes);
+            return self.write(now, writer, file, Bytes(bytes));
         }
         let free = (self.cfg.client_cache_bytes - self.cache_used(writer)).max(0.0);
         // lint:allow(panic): contains_key checked at the top of append.
@@ -318,7 +321,14 @@ impl Lustre {
     /// * Reader != writer (`Lustre-shared`): the DLM must revoke the writer's
     ///   write locks; all dirty bytes are flushed to the OSSes before the
     ///   read can be served, and the writer's cached copy is invalidated.
-    pub fn read(&mut self, now: SimTime, reader: NodeId, file: LustreFile, bytes: f64) -> ReadPlan {
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        reader: NodeId,
+        file: LustreFile,
+        bytes: Bytes,
+    ) -> ReadPlan {
+        let bytes = bytes.get();
         let ops_lock = self.cfg.ops_lock;
         let ops_revoke = self.cfg.ops_revoke;
         let revoke_latency = self.cfg.revoke_latency;
@@ -388,7 +398,7 @@ impl Lustre {
                 now,
                 memres_trace::TraceEvent::LockRevoke {
                     file: file.0,
-                    dirty_bytes: flush,
+                    dirty_bytes: Bytes(flush),
                 },
             );
         }
@@ -428,7 +438,7 @@ impl Lustre {
                 now,
                 memres_trace::TraceEvent::LockRevoke {
                     file: file.0,
-                    dirty_bytes: dirty,
+                    dirty_bytes: Bytes(dirty),
                 },
             );
             self.trace(now, memres_trace::TraceEvent::LockRelease { file: file.0 });
@@ -480,6 +490,7 @@ impl Lustre {
 
     /// Dirty bytes a client currently has pinned (diagnostic/test hook).
     pub fn client_dirty(&self, client: NodeId) -> f64 {
+        // lint:allow(float-order): DetMap::values() iterates in insertion order (R1), so this sum is deterministic
         self.files
             .values()
             .filter(|f| f.writer == Some(client))
@@ -499,7 +510,7 @@ mod tests {
     #[test]
     fn write_fitting_cache_stays_dirty_locally() {
         let mut l = lustre();
-        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 500.0);
+        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(1), Bytes(500.0));
         assert_eq!(plan.cached_bytes, 500.0);
         assert_eq!(plan.oss_bytes, 0.0);
         assert!(plan.mds_ops >= 2.0);
@@ -509,8 +520,8 @@ mod tests {
     #[test]
     fn write_overflowing_cache_streams_to_oss() {
         let mut l = lustre();
-        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 800.0);
-        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(2), 500.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), Bytes(800.0));
+        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(2), Bytes(500.0));
         // 1000-byte grant: only 200 left.
         assert_eq!(plan.cached_bytes, 200.0);
         assert_eq!(plan.oss_bytes, 300.0);
@@ -519,8 +530,8 @@ mod tests {
     #[test]
     fn local_read_hits_writer_cache() {
         let mut l = lustre();
-        l.write(SimTime::ZERO, NodeId(3), LustreFile(1), 400.0);
-        let plan = l.read(SimTime::ZERO, NodeId(3), LustreFile(1), 400.0);
+        l.write(SimTime::ZERO, NodeId(3), LustreFile(1), Bytes(400.0));
+        let plan = l.read(SimTime::ZERO, NodeId(3), LustreFile(1), Bytes(400.0));
         assert_eq!(plan.cache_hit_bytes, 400.0);
         assert_eq!(plan.oss_bytes, 0.0);
         assert!(plan.revocations.is_empty());
@@ -529,14 +540,14 @@ mod tests {
     #[test]
     fn shared_read_forces_revocation_and_flush() {
         let mut l = lustre();
-        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 400.0);
-        let plan = l.read(SimTime::ZERO, NodeId(7), LustreFile(1), 400.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), Bytes(400.0));
+        let plan = l.read(SimTime::ZERO, NodeId(7), LustreFile(1), Bytes(400.0));
         assert_eq!(plan.cache_hit_bytes, 0.0);
         assert_eq!(plan.oss_bytes, 400.0);
         assert_eq!(plan.revocations, vec![(NodeId(0), 400.0)]);
         assert!(plan.revoke_latency > SimDuration::ZERO);
         // Writer cache invalidated: a second shared read needs no revocation.
-        let plan2 = l.read(SimTime::ZERO, NodeId(8), LustreFile(1), 400.0);
+        let plan2 = l.read(SimTime::ZERO, NodeId(8), LustreFile(1), Bytes(400.0));
         assert!(plan2.revocations.is_empty());
         assert_eq!(plan2.oss_bytes, 400.0);
         assert_eq!(l.client_dirty(NodeId(0)), 0.0);
@@ -545,10 +556,10 @@ mod tests {
     #[test]
     fn revocation_releases_cache_grant() {
         let mut l = lustre();
-        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 1000.0); // grant exhausted
-        l.read(SimTime::ZERO, NodeId(5), LustreFile(1), 1000.0); // revoke
-                                                                 // Grant is free again: a new write caches fully.
-        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(2), 900.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), Bytes(1000.0)); // grant exhausted
+        l.read(SimTime::ZERO, NodeId(5), LustreFile(1), Bytes(1000.0)); // revoke
+                                                                        // Grant is free again: a new write caches fully.
+        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(2), Bytes(900.0));
         assert_eq!(plan.cached_bytes, 900.0);
     }
 
@@ -557,7 +568,7 @@ mod tests {
         let mut l = lustre();
         l.create_external(LustreFile(9), 1234.0);
         assert_eq!(l.file_size(LustreFile(9)), Some(1234.0));
-        let plan = l.read(SimTime::ZERO, NodeId(2), LustreFile(9), 1000.0);
+        let plan = l.read(SimTime::ZERO, NodeId(2), LustreFile(9), Bytes(1000.0));
         assert_eq!(plan.oss_bytes, 1000.0);
         assert!(plan.revocations.is_empty());
         assert_eq!(plan.revoke_latency, SimDuration::ZERO);
@@ -579,9 +590,9 @@ mod tests {
     #[test]
     fn delete_releases_cache() {
         let mut l = lustre();
-        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 600.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), Bytes(600.0));
         l.delete(LustreFile(1));
-        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(2), 1000.0);
+        let plan = l.write(SimTime::ZERO, NodeId(0), LustreFile(2), Bytes(1000.0));
         assert_eq!(plan.cached_bytes, 1000.0);
         assert_eq!(l.file_size(LustreFile(1)), None);
     }
@@ -599,7 +610,7 @@ mod tests {
     #[should_panic(expected = "write-once")]
     fn rewrite_rejected() {
         let mut l = lustre();
-        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 10.0);
-        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), 10.0);
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), Bytes(10.0));
+        l.write(SimTime::ZERO, NodeId(0), LustreFile(1), Bytes(10.0));
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::flow::{FlowNet, LinkId};
 use memres_cluster::{ClusterSpec, NodeId};
+use memres_des::Bytes;
 
 /// A communication endpoint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -142,13 +143,14 @@ impl Fabric {
 /// "the network bandwidth is consequently narrowed". We model a fixed
 /// per-request byte-equivalent cost; a transfer of `bytes` split into
 /// `ceil(bytes/request_size)` requests is inflated accordingly.
-pub fn inflate_for_requests(bytes: f64, request_size: f64, per_request_overhead: f64) -> f64 {
+pub fn inflate_for_requests(bytes: Bytes, request_size: f64, per_request_overhead: f64) -> Bytes {
     assert!(request_size > 0.0);
+    let bytes = bytes.get();
     if bytes <= 0.0 {
-        return 0.0;
+        return Bytes::ZERO;
     }
     let requests = (bytes / request_size).ceil();
-    bytes + requests * per_request_overhead
+    Bytes(bytes + requests * per_request_overhead)
 }
 
 #[cfg(test)]
@@ -213,7 +215,7 @@ mod tests {
                 fab.path(Endpoint::Lustre, Endpoint::Node(NodeId(n))),
                 true,
             );
-            net.push_chunk(SimTime::ZERO, f, 1e9, n);
+            net.push_chunk(SimTime::ZERO, f, Bytes(1e9), n);
             flows.push(f);
         }
         let pipe = spec.lustre_bandwidth; // 2 GB/s in tiny
@@ -227,12 +229,12 @@ mod tests {
     fn request_inflation() {
         // 1 GB in 128 KB requests with 4 KB overhead each: 8192 requests.
         let bytes = 1024.0 * MB;
-        let inflated = inflate_for_requests(bytes, 0.125 * MB, 4096.0);
+        let inflated = inflate_for_requests(Bytes(bytes), 0.125 * MB, 4096.0);
         let requests = 8192.0;
-        assert!((inflated - (bytes + requests * 4096.0)).abs() < 1.0);
+        assert!((inflated.get() - (bytes + requests * 4096.0)).abs() < 1.0);
         // Large requests: negligible overhead.
-        let big = inflate_for_requests(bytes, 1024.0 * MB, 4096.0);
-        assert!((big - bytes - 4096.0).abs() < 1.0);
-        assert_eq!(inflate_for_requests(0.0, 1.0, 1.0), 0.0);
+        let big = inflate_for_requests(Bytes(bytes), 1024.0 * MB, 4096.0);
+        assert!((big.get() - bytes - 4096.0).abs() < 1.0);
+        assert_eq!(inflate_for_requests(Bytes::ZERO, 1.0, 1.0), Bytes::ZERO);
     }
 }

@@ -16,6 +16,7 @@
 
 use memres_des::sim::Gen;
 use memres_des::time::{SimTime, NANOS_PER_SEC};
+use memres_des::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -269,7 +270,8 @@ impl<T> FlowNet<T> {
 
     /// Enqueue `bytes` on a flow; the `tag` comes back via [`FlowNet::poll`] when the
     /// chunk has been fully delivered.
-    pub fn push_chunk(&mut self, now: SimTime, flow: FlowId, bytes: f64, tag: T) {
+    pub fn push_chunk(&mut self, now: SimTime, flow: FlowId, bytes: Bytes, tag: T) {
+        let bytes = bytes.get();
         assert!(bytes >= 0.0 && bytes.is_finite());
         self.advance(now);
         let f = self
@@ -422,8 +424,8 @@ impl<T> FlowNet<T> {
                     self.last,
                     memres_trace::TraceEvent::FlowEnd {
                         flow: id,
-                        bytes: f.period_bytes,
-                        dur_ns: self.last.since(f.active_since).0,
+                        bytes: Bytes(f.period_bytes),
+                        dur: self.last.since(f.active_since),
                     },
                 );
             }
@@ -521,10 +523,10 @@ impl<T> FlowNet<T> {
         }
         best.map(|dt| {
             let ns = dt * NANOS_PER_SEC as f64;
-            if ns >= (u64::MAX - self.last.0) as f64 {
+            if ns >= (u64::MAX - self.last.as_nanos()) as f64 {
                 SimTime::FAR_FUTURE
             } else {
-                SimTime(self.last.0 + ns.ceil() as u64)
+                SimTime::from_nanos(self.last.as_nanos() + ns.ceil() as u64)
             }
         })
     }
@@ -622,7 +624,7 @@ mod tests {
         let mut net = FlowNet::new();
         let l = net.add_link(100.0);
         let f = net.open_flow(SimTime::ZERO, vec![l], true);
-        net.push_chunk(SimTime::ZERO, f, 50.0, 1u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(50.0), 1u32);
         let done = drain(&mut net);
         assert_eq!(done.len(), 1);
         assert!((done[0].0.as_secs_f64() - 0.5).abs() < 1e-6);
@@ -634,8 +636,8 @@ mod tests {
         let l = net.add_link(100.0);
         let f1 = net.open_flow(SimTime::ZERO, vec![l], true);
         let f2 = net.open_flow(SimTime::ZERO, vec![l], true);
-        net.push_chunk(SimTime::ZERO, f1, 50.0, 1u32);
-        net.push_chunk(SimTime::ZERO, f2, 50.0, 2u32);
+        net.push_chunk(SimTime::ZERO, f1, Bytes(50.0), 1u32);
+        net.push_chunk(SimTime::ZERO, f2, Bytes(50.0), 2u32);
         assert!((net.flow_rate(f1).unwrap() - 50.0).abs() < 1e-9);
         let done = drain(&mut net);
         assert_eq!(done.len(), 2);
@@ -653,8 +655,8 @@ mod tests {
         let b = net.add_link(10.0);
         let f1 = net.open_flow(SimTime::ZERO, vec![a], true);
         let f2 = net.open_flow(SimTime::ZERO, vec![a, b], true);
-        net.push_chunk(SimTime::ZERO, f1, 90.0, 1u32);
-        net.push_chunk(SimTime::ZERO, f2, 10.0, 2u32);
+        net.push_chunk(SimTime::ZERO, f1, Bytes(90.0), 1u32);
+        net.push_chunk(SimTime::ZERO, f2, Bytes(10.0), 2u32);
         assert!((net.flow_rate(f2).unwrap() - 10.0).abs() < 1e-9);
         assert!((net.flow_rate(f1).unwrap() - 90.0).abs() < 1e-9);
         let done = drain(&mut net);
@@ -670,8 +672,8 @@ mod tests {
         let l = net.add_link(100.0);
         let f1 = net.open_flow(SimTime::ZERO, vec![l], true);
         let f2 = net.open_flow(SimTime::ZERO, vec![l], true);
-        net.push_chunk(SimTime::ZERO, f1, 25.0, 1u32); // done at t=0.5 at rate 50
-        net.push_chunk(SimTime::ZERO, f2, 75.0, 2u32); // 25 by 0.5, then 50 @ 100/s -> t=1.0
+        net.push_chunk(SimTime::ZERO, f1, Bytes(25.0), 1u32); // done at t=0.5 at rate 50
+        net.push_chunk(SimTime::ZERO, f2, Bytes(75.0), 2u32); // 25 by 0.5, then 50 @ 100/s -> t=1.0
         let done = drain(&mut net);
         assert_eq!(done[0].1, 1);
         assert!((done[0].0.as_secs_f64() - 0.5).abs() < 1e-6);
@@ -684,9 +686,9 @@ mod tests {
         let mut net = FlowNet::new();
         let l = net.add_link(10.0);
         let f = net.open_flow(SimTime::ZERO, vec![l], false);
-        net.push_chunk(SimTime::ZERO, f, 10.0, 1u32);
-        net.push_chunk(SimTime::ZERO, f, 10.0, 2u32);
-        net.push_chunk(SimTime::ZERO, f, 10.0, 3u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(10.0), 1u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(10.0), 2u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(10.0), 3u32);
         let done = drain(&mut net);
         assert_eq!(done.iter().map(|d| d.1).collect::<Vec<_>>(), vec![1, 2, 3]);
         assert!((done[2].0.as_secs_f64() - 3.0).abs() < 1e-6);
@@ -701,7 +703,7 @@ mod tests {
         let l = net.add_link(100.0);
         let _idle = net.open_flow(SimTime::ZERO, vec![l], false);
         let f = net.open_flow(SimTime::ZERO, vec![l], true);
-        net.push_chunk(SimTime::ZERO, f, 100.0, 1u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(100.0), 1u32);
         assert!((net.flow_rate(f).unwrap() - 100.0).abs() < 1e-9);
     }
 
@@ -710,7 +712,7 @@ mod tests {
         let mut net = FlowNet::new();
         let l = net.add_link(100.0);
         let f = net.open_flow(SimTime::ZERO, vec![l], true);
-        net.push_chunk(SimTime::ZERO, f, 100.0, 1u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(100.0), 1u32);
         net.set_link_capacity(SimTime::from_secs_f64(0.5), l, 25.0);
         let done = drain(&mut net);
         // 50 left at t=0.5, rate 25 -> +2.0s.
@@ -722,8 +724,8 @@ mod tests {
         let mut net = FlowNet::new();
         let l = net.add_link(10.0);
         let f = net.open_flow(SimTime::ZERO, vec![l], false);
-        net.push_chunk(SimTime::ZERO, f, 100.0, 1u32);
-        net.push_chunk(SimTime::ZERO, f, 100.0, 2u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(100.0), 1u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(100.0), 2u32);
         let pending = net.close_flow(SimTime::from_secs_f64(0.1), f);
         assert_eq!(pending, vec![1, 2]);
     }
@@ -733,7 +735,7 @@ mod tests {
         let mut net = FlowNet::new();
         let l = net.add_link(10.0);
         let f = net.open_flow(SimTime::ZERO, vec![l], false);
-        net.push_chunk(SimTime::ZERO, f, 0.0, 9u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(0.0), 9u32);
         let got = net.poll(SimTime::ZERO);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].tag, 9);
@@ -746,10 +748,10 @@ mod tests {
         let mut net: FlowNet<u32> = FlowNet::new();
         let l = net.add_link(100.0);
         let f = net.open_flow(SimTime::ZERO, vec![l], false);
-        net.push_chunk(SimTime::ZERO, f, 50.0, 1);
+        net.push_chunk(SimTime::ZERO, f, Bytes(50.0), 1);
         assert_eq!(net.flow_rate(f), Some(100.0)); // settles
         let before = net.recomputes;
-        net.push_chunk(SimTime::ZERO, f, 50.0, 2);
+        net.push_chunk(SimTime::ZERO, f, Bytes(50.0), 2);
         assert_eq!(net.flow_rate(f), Some(100.0));
         assert_eq!(net.recomputes, before, "no-op mutation must not recompute");
     }
@@ -761,7 +763,7 @@ mod tests {
         let base = net.recomputes;
         for i in 0..10u32 {
             let f = net.open_flow(SimTime::ZERO, vec![l], true);
-            net.push_chunk(SimTime::ZERO, f, 10.0, i);
+            net.push_chunk(SimTime::ZERO, f, Bytes(10.0), i);
         }
         let _ = net.next_event(); // settles once for the whole burst
         assert_eq!(
@@ -778,9 +780,9 @@ mod tests {
         let mut net = FlowNet::new();
         let l = net.add_link(90.0);
         let f = net.open_shared_flow(SimTime::ZERO, vec![l], false);
-        net.push_chunk(SimTime::ZERO, f, 10.0, 1u32);
-        net.push_chunk(SimTime::ZERO, f, 20.0, 2u32);
-        net.push_chunk(SimTime::ZERO, f, 30.0, 3u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(10.0), 1u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(20.0), 2u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(30.0), 3u32);
         let done = drain(&mut net);
         assert_eq!(done.iter().map(|d| d.1).collect::<Vec<_>>(), vec![1, 2, 3]);
         assert!((done[0].0.as_secs_f64() - 1.0 / 3.0).abs() < 1e-6);
@@ -794,10 +796,10 @@ mod tests {
         let mut net = FlowNet::new();
         let l = net.add_link(100.0);
         let f = net.open_shared_flow(SimTime::ZERO, vec![l], false);
-        net.push_chunk(SimTime::ZERO, f, 1000.0, 1u32);
+        net.push_chunk(SimTime::ZERO, f, Bytes(1000.0), 1u32);
         // Joins at t=0.5 with 1 byte: at 50 B/s each it finishes long before
         // the big member despite arriving later.
-        net.push_chunk(SimTime::from_secs_f64(0.5), f, 1.0, 2u32);
+        net.push_chunk(SimTime::from_secs_f64(0.5), f, Bytes(1.0), 2u32);
         let done = drain(&mut net);
         assert_eq!(done[0].1, 2);
         assert!(done[0].0 < done[1].0);
@@ -813,10 +815,10 @@ mod tests {
         let l = net.add_link(100.0);
         let agg = net.open_shared_flow(SimTime::ZERO, vec![l], false);
         for i in 0..10u32 {
-            net.push_chunk(SimTime::ZERO, agg, 50.0, i);
+            net.push_chunk(SimTime::ZERO, agg, Bytes(50.0), i);
         }
         let plain = net.open_flow(SimTime::ZERO, vec![l], true);
-        net.push_chunk(SimTime::ZERO, plain, 50.0, 99u32);
+        net.push_chunk(SimTime::ZERO, plain, Bytes(50.0), 99u32);
         assert!((net.flow_rate(agg).unwrap() - 50.0).abs() < 1e-9);
         assert!((net.flow_rate(plain).unwrap() - 50.0).abs() < 1e-9);
     }
@@ -827,7 +829,7 @@ mod tests {
         let l = net.add_link(30.0);
         let f = net.open_shared_flow(SimTime::ZERO, vec![l], false);
         for i in 0..3u32 {
-            net.push_chunk(SimTime::ZERO, f, 10.0, i);
+            net.push_chunk(SimTime::ZERO, f, Bytes(10.0), i);
         }
         let done = drain(&mut net);
         // Same byte count -> same completion instant, insertion order kept.
@@ -836,7 +838,7 @@ mod tests {
             assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
         }
         // Idle afterwards; a new active period restarts the virtual clock.
-        net.push_chunk(SimTime::from_secs_f64(2.0), f, 30.0, 7u32);
+        net.push_chunk(SimTime::from_secs_f64(2.0), f, Bytes(30.0), 7u32);
         let done = drain(&mut net);
         assert!((done[0].0.as_secs_f64() - 3.0).abs() < 1e-6);
     }
@@ -846,9 +848,9 @@ mod tests {
         let mut net = FlowNet::new();
         let l = net.add_link(100.0);
         let f1 = net.open_flow(SimTime::ZERO, vec![l], true);
-        net.push_chunk(SimTime::ZERO, f1, 100.0, 1u32);
+        net.push_chunk(SimTime::ZERO, f1, Bytes(100.0), 1u32);
         let f2 = net.open_flow(SimTime::from_secs_f64(0.5), vec![l], true);
-        net.push_chunk(SimTime::from_secs_f64(0.5), f2, 50.0, 2u32);
+        net.push_chunk(SimTime::from_secs_f64(0.5), f2, Bytes(50.0), 2u32);
         let done = drain(&mut net);
         // Both have 50 at t=0.5 sharing 100 -> both done at 1.5.
         assert_eq!(done.len(), 2);
@@ -937,7 +939,7 @@ mod proptests {
                 path.sort_unstable();
                 path.dedup();
                 let f = net.open_flow(now, path.iter().map(|&i| links[i]).collect(), true);
-                net.push_chunk(now, f, *bytes, f.0 as u32);
+                net.push_chunk(now, f, Bytes(*bytes), f.0 as u32);
                 shadow.push((f, path, 1));
             }
             // Extra chunk behind a random active flow (active set unchanged).
@@ -945,7 +947,7 @@ mod proptests {
                 if !shadow.is_empty() {
                     let i = a.index(shadow.len());
                     let e = &mut shadow[i];
-                    net.push_chunk(now, e.0, *bytes, e.0 .0 as u32);
+                    net.push_chunk(now, e.0, Bytes(*bytes), e.0 .0 as u32);
                     e.2 += 1;
                 }
             }
@@ -1059,7 +1061,7 @@ mod proptests {
             let l = net.add_link(100.0);
             let f = net.open_shared_flow(SimTime::ZERO, vec![l], false);
             for (i, &b) in bytes.iter().enumerate() {
-                net.push_chunk(SimTime::ZERO, f, b, i as u32);
+                net.push_chunk(SimTime::ZERO, f, Bytes(b), i as u32);
             }
             let mut seen = vec![false; bytes.len()];
             let mut last = SimTime::ZERO;
@@ -1102,7 +1104,7 @@ mod proptests {
                 path.sort();
                 path.dedup();
                 let f = net.open_flow(SimTime::ZERO, path, true);
-                net.push_chunk(SimTime::ZERO, f, *bytes, i as u32);
+                net.push_chunk(SimTime::ZERO, f, Bytes(*bytes), i as u32);
                 ids.push(f);
             }
             // Feasibility: sum of rates on each link <= capacity (+eps).

@@ -8,6 +8,7 @@
 use memres_des::ps::PsResource;
 use memres_des::sim::Gen;
 use memres_des::time::SimTime;
+use memres_des::Bytes;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Op {
@@ -70,7 +71,8 @@ impl DualChannel {
         }
     }
 
-    pub fn submit(&mut self, now: SimTime, op: Op, bytes: f64, tag: u64) {
+    pub fn submit(&mut self, now: SimTime, op: Op, bytes: Bytes, tag: u64) {
+        let bytes = bytes.get();
         match op {
             Op::Read => self.read.add(now, bytes, tag),
             Op::Write => self.write.add(now, bytes, tag),
@@ -140,7 +142,7 @@ impl RamDisk {
 
 impl Device for RamDisk {
     fn submit(&mut self, now: SimTime, op: Op, bytes: f64, tag: u64) {
-        self.ch.submit(now, op, bytes, tag);
+        self.ch.submit(now, op, Bytes(bytes), tag);
     }
     fn poll(&mut self, now: SimTime) -> Vec<IoDone> {
         self.ch.poll(now)

@@ -18,7 +18,7 @@ use crate::device::{Device, IoDone, Op};
 use memres_des::ps::PsResource;
 use memres_des::sim::Gen;
 use memres_des::time::SimTime;
-use memres_des::DetMap;
+use memres_des::{Bytes, DetMap};
 use std::collections::VecDeque;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -225,7 +225,8 @@ impl LocalFs {
     /// (HDFS placement, shuffle store) are expected to check `free()` first —
     /// matching the paper's observation that RAMDisk-backed HDFS simply
     /// cannot host more than ~1.2 TB of intermediate data.
-    pub fn write(&mut self, now: SimTime, file: FileId, bytes: f64, tag: u64) {
+    pub fn write(&mut self, now: SimTime, file: FileId, bytes: Bytes, tag: u64) {
+        let bytes = bytes.get();
         assert!(bytes >= 0.0);
         assert!(
             self.used + bytes <= self.capacity * (1.0 + 1e-9),
@@ -258,7 +259,8 @@ impl LocalFs {
     }
 
     /// Read `bytes` of `file` (must exist with at least that many bytes).
-    pub fn read(&mut self, now: SimTime, file: FileId, bytes: f64, tag: u64) {
+    pub fn read(&mut self, now: SimTime, file: FileId, bytes: Bytes, tag: u64) {
+        let bytes = bytes.get();
         assert!(bytes >= 0.0);
         let size = self.files.get(&file).copied().unwrap_or(0.0);
         assert!(
@@ -290,7 +292,8 @@ impl LocalFs {
 
     /// Register a pre-existing file instantly (no simulated I/O): used to
     /// lay out input datasets before a run. Not cache-resident.
-    pub fn preload(&mut self, file: FileId, bytes: f64) {
+    pub fn preload(&mut self, file: FileId, bytes: Bytes) {
+        let bytes = bytes.get();
         assert!(bytes >= 0.0);
         assert!(
             self.used + bytes <= self.capacity * (1.0 + 1e-9),
@@ -315,7 +318,8 @@ impl LocalFs {
     /// writer. Frees capacity; any cache residency beyond the new size is a
     /// small, harmless overstatement (pages of the dropped tail linger until
     /// evicted).
-    pub fn truncate(&mut self, file: FileId, bytes: f64) {
+    pub fn truncate(&mut self, file: FileId, bytes: Bytes) {
+        let bytes = bytes.get();
         if let Some(size) = self.files.get_mut(&file) {
             let take = bytes.min(*size);
             *size -= take;
@@ -472,7 +476,7 @@ mod tests {
     #[test]
     fn cached_write_is_memory_speed() {
         let mut fs = ssd_fs(Some(small_cache()));
-        fs.write(SimTime::ZERO, FileId(1), 50.0, 1);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(50.0), 1);
         let t = run_until_tag(&mut fs, 1);
         // 50 bytes at mem_bw 10_000/s: ~5ms, far faster than device 100/s.
         assert!(t.as_secs_f64() < 0.05, "took {t}");
@@ -483,8 +487,8 @@ mod tests {
     fn overflow_write_hits_device() {
         let mut fs = ssd_fs(Some(small_cache()));
         // Fill the cache with dirty data (cannot be evicted until flushed).
-        fs.write(SimTime::ZERO, FileId(1), 100.0, 1);
-        fs.write(SimTime::ZERO, FileId(2), 100.0, 2);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(100.0), 1);
+        fs.write(SimTime::ZERO, FileId(2), Bytes(100.0), 2);
         let t = run_until_tag(&mut fs, 2);
         // The second write must go through the device (100 bytes competing
         // with the flusher at ~100-400/s): decidedly slower than memory speed.
@@ -494,9 +498,9 @@ mod tests {
     #[test]
     fn read_of_cached_file_is_fast() {
         let mut fs = ssd_fs(Some(small_cache()));
-        fs.write(SimTime::ZERO, FileId(1), 50.0, 1);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(50.0), 1);
         let t1 = run_until_tag(&mut fs, 1);
-        fs.read(t1, FileId(1), 50.0, 2);
+        fs.read(t1, FileId(1), Bytes(50.0), 2);
         let t2 = run_until_tag(&mut fs, 2);
         assert!(
             t2.since(t1).as_secs_f64() < 0.05,
@@ -512,7 +516,7 @@ mod tests {
             1e9,
             Some(small_cache()),
         );
-        fs.write(SimTime::ZERO, FileId(1), 80.0, 1);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(80.0), 1);
         let t1 = run_until_tag(&mut fs, 1);
         // Let the flusher clean file 1, then write file 2 to evict it.
         let mut now = t1;
@@ -521,13 +525,13 @@ mod tests {
             fs.poll(t);
             now = t;
         }
-        fs.write(now, FileId(2), 90.0, 2);
+        fs.write(now, FileId(2), Bytes(90.0), 2);
         let t2 = run_until_tag(&mut fs, 2);
         assert!(
             fs.cached_bytes(FileId(1)) < 80.0,
             "file1 should be (partly) evicted"
         );
-        fs.read(t2, FileId(1), 80.0, 3);
+        fs.read(t2, FileId(1), Bytes(80.0), 3);
         let t3 = run_until_tag(&mut fs, 3);
         // Mostly device speed (100 B/s): takes ~0.7s+.
         assert!(
@@ -540,7 +544,7 @@ mod tests {
     #[test]
     fn no_cache_means_device_speed_writes() {
         let mut fs = LocalFs::new(Box::new(RamDisk::new(100.0, 100.0)), 1e9, None);
-        fs.write(SimTime::ZERO, FileId(1), 100.0, 7);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(100.0), 7);
         let t = run_until_tag(&mut fs, 7);
         assert!((t.as_secs_f64() - 1.0).abs() < 0.01);
     }
@@ -548,7 +552,7 @@ mod tests {
     #[test]
     fn delete_frees_space() {
         let mut fs = LocalFs::new(Box::new(RamDisk::new(100.0, 100.0)), 150.0, None);
-        fs.write(SimTime::ZERO, FileId(1), 100.0, 1);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(100.0), 1);
         run_until_tag(&mut fs, 1);
         assert_eq!(fs.free(), 50.0);
         fs.delete(FileId(1));
@@ -560,13 +564,13 @@ mod tests {
     #[should_panic(expected = "over capacity")]
     fn capacity_is_enforced() {
         let mut fs = LocalFs::new(Box::new(RamDisk::new(100.0, 100.0)), 10.0, None);
-        fs.write(SimTime::ZERO, FileId(1), 11.0, 1);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(11.0), 1);
     }
 
     #[test]
     fn flusher_drains_dirty_data() {
         let mut fs = ssd_fs(Some(small_cache()));
-        fs.write(SimTime::ZERO, FileId(1), 100.0, 1);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(100.0), 1);
         run_until_tag(&mut fs, 1);
         assert!(fs.dirty_bytes() > 0.0);
         while let Some(t) = fs.next_event() {
@@ -581,17 +585,17 @@ mod tests {
     #[test]
     fn truncate_frees_partial_capacity() {
         let mut fs = LocalFs::new(Box::new(RamDisk::new(100.0, 100.0)), 150.0, None);
-        fs.write(SimTime::ZERO, FileId(1), 100.0, 1);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(100.0), 1);
         run_until_tag(&mut fs, 1);
-        fs.truncate(FileId(1), 30.0);
+        fs.truncate(FileId(1), Bytes(30.0));
         assert_eq!(fs.free(), 80.0);
         assert_eq!(fs.file_size(FileId(1)), Some(70.0));
         // Truncating everything removes the file.
-        fs.truncate(FileId(1), 1e9);
+        fs.truncate(FileId(1), Bytes(1e9));
         assert_eq!(fs.free(), 150.0);
         assert_eq!(fs.file_size(FileId(1)), None);
         // Truncating a missing file is a no-op.
-        fs.truncate(FileId(9), 10.0);
+        fs.truncate(FileId(9), Bytes(10.0));
         assert_eq!(fs.free(), 150.0);
     }
 
@@ -600,7 +604,7 @@ mod tests {
         let mut fs = LocalFs::new(Box::new(Ssd::new(SsdConfig::test_small())), 1e9, None);
         fs.degrade_device(SimTime::ZERO, 0.25);
         // 40 bytes at a quarter of the 400/s accept rate: ~0.4 s.
-        fs.write(SimTime::ZERO, FileId(1), 40.0, 1);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(40.0), 1);
         let t = run_until_tag(&mut fs, 1);
         assert!(t.as_secs_f64() > 0.3, "took {t}");
     }
@@ -608,9 +612,9 @@ mod tests {
     #[test]
     fn zero_byte_read_completes() {
         let mut fs = LocalFs::new(Box::new(RamDisk::new(100.0, 100.0)), 1e9, None);
-        fs.write(SimTime::ZERO, FileId(1), 10.0, 1);
+        fs.write(SimTime::ZERO, FileId(1), Bytes(10.0), 1);
         run_until_tag(&mut fs, 1);
-        fs.read(SimTime::from_secs_f64(1.0), FileId(1), 0.0, 2);
+        fs.read(SimTime::from_secs_f64(1.0), FileId(1), Bytes(0.0), 2);
         run_until_tag(&mut fs, 2);
     }
 }

@@ -17,6 +17,7 @@
 use crate::device::{Device, DualChannel, IoDone, Op};
 use memres_des::sim::Gen;
 use memres_des::time::{SimDuration, SimTime};
+use memres_des::Bytes;
 
 #[derive(Clone, Debug)]
 pub struct SsdConfig {
@@ -259,7 +260,7 @@ impl Device for Ssd {
             // (Re)arm the tick train when waking from idle.
             self.next_tick = now + self.cfg.tick;
         }
-        self.ch.submit(now, op, bytes, tag);
+        self.ch.submit(now, op, Bytes(bytes), tag);
         self.gen.bump();
     }
 

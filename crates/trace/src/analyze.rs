@@ -11,6 +11,7 @@
 //! accumulation) — the acceptance bar for `repro explain`.
 
 use crate::{TaskClass, TimedEvent, TraceEvent};
+use memres_des::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// One task attempt reconstructed from launch/finish/retry events.
@@ -20,8 +21,8 @@ pub struct Attempt {
     pub class: TaskClass,
     pub node: u32,
     pub attempt: u32,
-    pub start_ns: u64,
-    pub end_ns: u64,
+    pub start: SimTime,
+    pub end: SimTime,
     pub outcome: Outcome,
 }
 
@@ -36,19 +37,19 @@ pub enum Outcome {
 }
 
 impl Attempt {
-    pub fn dur_ns(&self) -> u64 {
-        self.end_ns.saturating_sub(self.start_ns)
+    pub fn dur(&self) -> SimDuration {
+        self.end.since(self.start)
     }
 }
 
 /// Reconstruct every task attempt interval from the event log. Attempts
 /// still open at the end of the log are closed at the last event time.
 pub fn attempts(events: &[TimedEvent]) -> Vec<Attempt> {
-    let mut open: BTreeMap<(u32, u32), (u64, u32, TaskClass, bool)> = BTreeMap::new();
+    let mut open: BTreeMap<(u32, u32), (SimTime, u32, TaskClass, bool)> = BTreeMap::new();
     let mut done: Vec<Attempt> = Vec::new();
-    let mut last = 0u64;
+    let mut last = SimTime::ZERO;
     for e in events {
-        last = last.max(e.at.0);
+        last = last.max(e.at);
         match e.ev {
             TraceEvent::TaskLaunched {
                 task,
@@ -58,7 +59,7 @@ pub fn attempts(events: &[TimedEvent]) -> Vec<Attempt> {
                 speculative,
                 ..
             } => {
-                open.insert((task, attempt), (e.at.0, node, class, speculative));
+                open.insert((task, attempt), (e.at, node, class, speculative));
             }
             TraceEvent::TaskFinished {
                 task,
@@ -72,8 +73,8 @@ pub fn attempts(events: &[TimedEvent]) -> Vec<Attempt> {
                         class,
                         node,
                         attempt,
-                        start_ns: start,
-                        end_ns: e.at.0,
+                        start,
+                        end: e.at,
                         outcome: if ghost {
                             Outcome::Ghost
                         } else {
@@ -89,8 +90,8 @@ pub fn attempts(events: &[TimedEvent]) -> Vec<Attempt> {
                         class,
                         node,
                         attempt,
-                        start_ns: start,
-                        end_ns: e.at.0,
+                        start,
+                        end: e.at,
                         outcome: Outcome::Failed,
                     });
                 }
@@ -104,45 +105,48 @@ pub fn attempts(events: &[TimedEvent]) -> Vec<Attempt> {
             class,
             node,
             attempt,
-            start_ns: start,
-            end_ns: last.max(start),
+            start,
+            end: last.max(start),
             outcome: Outcome::Completed,
         });
     }
-    done.sort_by_key(|a| (a.start_ns, a.task, a.attempt));
+    done.sort_by_key(|a| (a.start, a.task, a.attempt));
     done
 }
 
-/// End-to-end job-time attribution. All values are integer nanoseconds; the
-/// buckets partition `job_ns` exactly.
+/// End-to-end job-time attribution. All values are integer-nanosecond
+/// [`SimDuration`]s; the buckets partition `job` exactly.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Attribution {
-    pub job_ns: u64,
-    pub compute_ns: u64,
-    pub store_ns: u64,
-    pub fetch_ns: u64,
-    pub lock_wait_ns: u64,
-    pub gc_stall_ns: u64,
-    pub retry_waste_ns: u64,
-    pub other_ns: u64,
+    pub job: SimDuration,
+    pub compute: SimDuration,
+    pub store: SimDuration,
+    pub fetch: SimDuration,
+    pub lock_wait: SimDuration,
+    pub gc_stall: SimDuration,
+    pub retry_waste: SimDuration,
+    pub other: SimDuration,
 }
 
 impl Attribution {
-    pub fn buckets(&self) -> [(&'static str, u64); 7] {
+    pub fn buckets(&self) -> [(&'static str, SimDuration); 7] {
         [
-            ("compute", self.compute_ns),
-            ("store", self.store_ns),
-            ("fetch", self.fetch_ns),
-            ("lock-wait", self.lock_wait_ns),
-            ("gc-stall", self.gc_stall_ns),
-            ("retry-waste", self.retry_waste_ns),
-            ("other", self.other_ns),
+            ("compute", self.compute),
+            ("store", self.store),
+            ("fetch", self.fetch),
+            ("lock-wait", self.lock_wait),
+            ("gc-stall", self.gc_stall),
+            ("retry-waste", self.retry_waste),
+            ("other", self.other),
         ]
     }
 
-    /// Sum of all buckets — equals `job_ns` by construction.
-    pub fn sum_ns(&self) -> u64 {
-        self.buckets().iter().map(|(_, v)| v).sum()
+    /// Sum of all buckets — equals `job` by construction (exact integer
+    /// addition over a fixed-size array, so order is immaterial).
+    pub fn sum(&self) -> SimDuration {
+        self.buckets()
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(_, v)| acc + v)
     }
 }
 
@@ -181,7 +185,7 @@ pub fn attribute(events: &[TimedEvent]) -> Attribution {
             },
             Outcome::Failed | Outcome::Ghost => Cat::Waste,
         };
-        span(a.start_ns, a.end_ns, cat);
+        span(a.start.as_nanos(), a.end.as_nanos(), cat);
     }
 
     // Lock waits, retry backoffs, and SSD device stalls.
@@ -189,10 +193,10 @@ pub fn attribute(events: &[TimedEvent]) -> Attribution {
     let mut gc_open: BTreeMap<u32, u64> = BTreeMap::new();
     let mut buf_open: BTreeMap<u32, u64> = BTreeMap::new();
     for e in events {
-        let t = e.at.0;
+        let t = e.at.as_nanos();
         match e.ev {
-            TraceEvent::TaskRetried { backoff_ns, .. } if backoff_ns > 0 => {
-                span(t, t.saturating_add(backoff_ns), Cat::Waste);
+            TraceEvent::TaskRetried { backoff, .. } if backoff > SimDuration::ZERO => {
+                span(t, t.saturating_add(backoff.as_nanos()), Cat::Waste);
             }
             TraceEvent::LockWaitStart { task } => {
                 lock_open.insert(task, t);
@@ -202,8 +206,8 @@ pub fn attribute(events: &[TimedEvent]) -> Attribution {
                     span(s, t, Cat::Lock);
                 }
             }
-            TraceEvent::LockWaitFor { dur_ns, .. } => {
-                span(t, t.saturating_add(dur_ns), Cat::Lock);
+            TraceEvent::LockWaitFor { dur, .. } => {
+                span(t, t.saturating_add(dur.as_nanos()), Cat::Lock);
             }
             TraceEvent::GcStart { node } => {
                 gc_open.entry(node).or_insert(t);
@@ -242,10 +246,9 @@ pub fn attribute(events: &[TimedEvent]) -> Attribution {
     bounds.dedup();
     deltas.sort_by_key(|&(t, cat, d)| (t, cat, d));
 
-    let mut att = Attribution {
-        job_ns: job_end - job_start,
-        ..Attribution::default()
-    };
+    // Per-bucket integer accumulators (lock, gc-stall, fetch, store,
+    // compute, waste, other); wrapped into `SimDuration`s at the end.
+    let mut acc = [0u64; 7];
     let mut counts = [0i64; 6]; // indexed by Cat order
     let mut di = 0usize;
     for w in bounds.windows(2) {
@@ -258,23 +261,32 @@ pub fn attribute(events: &[TimedEvent]) -> Attribution {
         let len = b - a;
         let active = |c: Cat| counts[c as usize] > 0;
         let bucket = if active(Cat::Lock) {
-            &mut att.lock_wait_ns
+            0
         } else if active(Cat::GcDevice) && active(Cat::Store) {
-            &mut att.gc_stall_ns
+            1
         } else if active(Cat::Fetch) {
-            &mut att.fetch_ns
+            2
         } else if active(Cat::Store) {
-            &mut att.store_ns
+            3
         } else if active(Cat::Compute) {
-            &mut att.compute_ns
+            4
         } else if active(Cat::Waste) {
-            &mut att.retry_waste_ns
+            5
         } else {
-            &mut att.other_ns
+            6
         };
-        *bucket += len;
+        acc[bucket] += len;
     }
-    att
+    Attribution {
+        job: SimDuration::from_nanos(job_end - job_start),
+        lock_wait: SimDuration::from_nanos(acc[0]),
+        gc_stall: SimDuration::from_nanos(acc[1]),
+        fetch: SimDuration::from_nanos(acc[2]),
+        store: SimDuration::from_nanos(acc[3]),
+        compute: SimDuration::from_nanos(acc[4]),
+        retry_waste: SimDuration::from_nanos(acc[5]),
+        other: SimDuration::from_nanos(acc[6]),
+    }
 }
 
 /// `[first JobStart, last JobEnd]`, falling back to the full event span.
@@ -286,13 +298,13 @@ fn job_window(events: &[TimedEvent]) -> Option<(u64, u64)> {
     let mut end = None;
     for e in events {
         match e.ev {
-            TraceEvent::JobStart { .. } if start.is_none() => start = Some(e.at.0),
-            TraceEvent::JobEnd { .. } => end = Some(e.at.0),
+            TraceEvent::JobStart { .. } if start.is_none() => start = Some(e.at.as_nanos()),
+            TraceEvent::JobEnd { .. } => end = Some(e.at.as_nanos()),
             _ => {}
         }
     }
-    let lo = start.unwrap_or_else(|| events.iter().map(|e| e.at.0).min().unwrap_or(0));
-    let hi = end.unwrap_or_else(|| events.iter().map(|e| e.at.0).max().unwrap_or(0));
+    let lo = start.unwrap_or_else(|| events.iter().map(|e| e.at.as_nanos()).min().unwrap_or(0));
+    let hi = end.unwrap_or_else(|| events.iter().map(|e| e.at.as_nanos()).max().unwrap_or(0));
     (hi >= lo).then_some((lo, hi))
 }
 
@@ -304,8 +316,8 @@ pub fn stragglers(events: &[TimedEvent], k: usize) -> Vec<Attempt> {
         .filter(|a| a.outcome == Outcome::Completed)
         .collect();
     good.sort_by(|x, y| {
-        y.dur_ns()
-            .cmp(&x.dur_ns())
+        y.dur()
+            .cmp(&x.dur())
             .then(x.task.cmp(&y.task))
             .then(x.attempt.cmp(&y.attempt))
     });
@@ -316,11 +328,10 @@ pub fn stragglers(events: &[TimedEvent], k: usize) -> Vec<Attempt> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use memres_des::time::SimTime;
 
     fn ev(at_ns: u64, seq: u64, ev: TraceEvent) -> TimedEvent {
         TimedEvent {
-            at: SimTime(at_ns),
+            at: SimTime::from_nanos(at_ns),
             seq,
             ev,
         }
@@ -335,7 +346,7 @@ mod tests {
                 node: 0,
                 class,
                 attempt,
-                queue_delay_ns: 0,
+                queue_delay: SimDuration::ZERO,
                 speculative: false,
             },
         )
@@ -381,15 +392,16 @@ mod tests {
             ),
         ];
         let att = attribute(&evs);
-        assert_eq!(att.job_ns, 100);
-        assert_eq!(att.sum_ns(), att.job_ns, "buckets must partition the job");
-        assert_eq!(att.compute_ns, 30);
-        assert_eq!(att.store_ns, 10); // 40..50 (GC takes 50..60)
-        assert_eq!(att.gc_stall_ns, 10); // GC active while store runs
-        assert_eq!(att.fetch_ns, 25); // 60..85 (lock wait takes 85..90)
-        assert_eq!(att.lock_wait_ns, 10); // 85..95
-        assert_eq!(att.retry_waste_ns, 0);
-        assert_eq!(att.other_ns, 15); // 0..10 and 95..100
+        let ns = SimDuration::from_nanos;
+        assert_eq!(att.job, ns(100));
+        assert_eq!(att.sum(), att.job, "buckets must partition the job");
+        assert_eq!(att.compute, ns(30));
+        assert_eq!(att.store, ns(10)); // 40..50 (GC takes 50..60)
+        assert_eq!(att.gc_stall, ns(10)); // GC active while store runs
+        assert_eq!(att.fetch, ns(25)); // 60..85 (lock wait takes 85..90)
+        assert_eq!(att.lock_wait, ns(10)); // 85..95
+        assert_eq!(att.retry_waste, SimDuration::ZERO);
+        assert_eq!(att.other, ns(15)); // 0..10 and 95..100
     }
 
     #[test]
@@ -404,8 +416,8 @@ mod tests {
                     task: 1,
                     node: 0,
                     attempt: 0,
-                    wasted_ns: 20,
-                    backoff_ns: 10,
+                    wasted: SimDuration::from_nanos(20),
+                    backoff: SimDuration::from_nanos(10),
                 },
             ),
             launch(30, 3, 1, TaskClass::Fetch, 1),
@@ -420,10 +432,10 @@ mod tests {
             ),
         ];
         let att = attribute(&evs);
-        assert_eq!(att.sum_ns(), att.job_ns);
-        assert_eq!(att.retry_waste_ns, 30); // failed attempt + backoff
-        assert_eq!(att.fetch_ns, 20);
-        assert_eq!(att.other_ns, 0);
+        assert_eq!(att.sum(), att.job);
+        assert_eq!(att.retry_waste, SimDuration::from_nanos(30)); // failed attempt + backoff
+        assert_eq!(att.fetch, SimDuration::from_nanos(20));
+        assert_eq!(att.other, SimDuration::ZERO);
     }
 
     #[test]
@@ -445,7 +457,7 @@ mod tests {
     #[test]
     fn empty_trace_attributes_nothing() {
         let att = attribute(&[]);
-        assert_eq!(att.job_ns, 0);
-        assert_eq!(att.sum_ns(), 0);
+        assert_eq!(att.job, SimDuration::ZERO);
+        assert_eq!(att.sum(), SimDuration::ZERO);
     }
 }

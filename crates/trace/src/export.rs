@@ -46,11 +46,12 @@ fn payload(ev: &TraceEvent) -> String {
             node,
             class,
             attempt,
-            queue_delay_ns,
+            queue_delay,
             speculative,
         } => format!(
-            "\"task\":{task},\"node\":{node},\"class\":\"{}\",\"attempt\":{attempt},\"queue_delay_ns\":{queue_delay_ns},\"speculative\":{speculative}",
-            class.name()
+            "\"task\":{task},\"node\":{node},\"class\":\"{}\",\"attempt\":{attempt},\"queue_delay_ns\":{},\"speculative\":{speculative}",
+            class.name(),
+            queue_delay.as_nanos()
         ),
         TraceEvent::TaskFinished {
             task,
@@ -66,23 +67,26 @@ fn payload(ev: &TraceEvent) -> String {
             task,
             node,
             attempt,
-            wasted_ns,
-            backoff_ns,
+            wasted,
+            backoff,
         } => format!(
-            "\"task\":{task},\"node\":{node},\"attempt\":{attempt},\"wasted_ns\":{wasted_ns},\"backoff_ns\":{backoff_ns}"
+            "\"task\":{task},\"node\":{node},\"attempt\":{attempt},\"wasted_ns\":{},\"backoff_ns\":{}",
+            wasted.as_nanos(),
+            backoff.as_nanos()
         ),
-        TraceEvent::DelayWait { node, until_ns } => {
-            format!("\"node\":{node},\"until_ns\":{until_ns}")
+        TraceEvent::DelayWait { node, until } => {
+            format!("\"node\":{node},\"until_ns\":{}", until.as_nanos())
         }
         TraceEvent::ElbDecline { node } => format!("\"node\":{node}"),
-        TraceEvent::CadGate { node, until_ns } => {
-            format!("\"node\":{node},\"until_ns\":{until_ns}")
+        TraceEvent::CadGate { node, until } => {
+            format!("\"node\":{node},\"until_ns\":{}", until.as_nanos())
         }
         TraceEvent::Speculate { task, twin } => format!("\"task\":{task},\"twin\":{twin}"),
         TraceEvent::FlowStart { flow } => format!("\"flow\":{flow}"),
-        TraceEvent::FlowEnd { flow, bytes, dur_ns } => format!(
-            "\"flow\":{flow},\"bytes\":{},\"dur_ns\":{dur_ns}",
-            num_f64(bytes)
+        TraceEvent::FlowEnd { flow, bytes, dur } => format!(
+            "\"flow\":{flow},\"bytes\":{},\"dur_ns\":{}",
+            num_f64(bytes.get()),
+            dur.as_nanos()
         ),
         TraceEvent::LockAcquire { file, client } => {
             format!("\"file\":{file},\"client\":{client}")
@@ -90,12 +94,12 @@ fn payload(ev: &TraceEvent) -> String {
         TraceEvent::LockRelease { file } => format!("\"file\":{file}"),
         TraceEvent::LockRevoke { file, dirty_bytes } => format!(
             "\"file\":{file},\"dirty_bytes\":{}",
-            num_f64(dirty_bytes)
+            num_f64(dirty_bytes.get())
         ),
         TraceEvent::LockWaitStart { task } => format!("\"task\":{task}"),
         TraceEvent::LockWaitEnd { task } => format!("\"task\":{task}"),
-        TraceEvent::LockWaitFor { task, dur_ns } => {
-            format!("\"task\":{task},\"dur_ns\":{dur_ns}")
+        TraceEvent::LockWaitFor { task, dur } => {
+            format!("\"task\":{task},\"dur_ns\":{}", dur.as_nanos())
         }
         TraceEvent::GcStart { node }
         | TraceEvent::GcEnd { node }
@@ -147,7 +151,7 @@ pub fn events_jsonl(events: &[TimedEvent]) -> String {
     for e in events {
         out.push_str(&format!(
             "{{\"at_ns\":{},\"seq\":{},\"type\":\"{}\",{}}}\n",
-            e.at.0,
+            e.at.as_nanos(),
             e.seq,
             e.ev.kind(),
             payload(&e.ev)
@@ -169,8 +173,8 @@ pub fn chrome_trace_json(events: &[TimedEvent]) -> String {
         };
         rows.push(format!(
             "{{\"name\":\"{name}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"task\":{},\"attempt\":{}}}}}",
-            us(a.start_ns),
-            us(a.dur_ns()),
+            us(a.start.as_nanos()),
+            us(a.dur().as_nanos()),
             a.node,
             a.task,
             a.attempt
@@ -186,7 +190,7 @@ pub fn chrome_trace_json(events: &[TimedEvent]) -> String {
         rows.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{{}}}}}",
             e.ev.kind(),
-            us(e.at.0),
+            us(e.at.as_nanos()),
             lane(&e.ev),
             payload(&e.ev)
         ));
@@ -201,7 +205,8 @@ pub fn chrome_trace_json(events: &[TimedEvent]) -> String {
 mod tests {
     use super::*;
     use crate::TaskClass;
-    use memres_des::time::SimTime;
+    use memres_des::time::{SimDuration, SimTime};
+    use memres_des::Bytes;
 
     fn sample() -> Vec<TimedEvent> {
         vec![
@@ -218,7 +223,7 @@ mod tests {
                     node: 2,
                     class: TaskClass::Compute,
                     attempt: 0,
-                    queue_delay_ns: 1_500,
+                    queue_delay: SimDuration::from_nanos(1_500),
                     speculative: false,
                 },
             },
@@ -238,8 +243,8 @@ mod tests {
                 seq: 3,
                 ev: TraceEvent::FlowEnd {
                     flow: 7,
-                    bytes: 1024.0,
-                    dur_ns: 500,
+                    bytes: Bytes(1024.0),
+                    dur: SimDuration::from_nanos(500),
                 },
             },
         ]

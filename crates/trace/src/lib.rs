@@ -20,7 +20,8 @@
 pub mod analyze;
 pub mod export;
 
-use memres_des::time::SimTime;
+use memres_des::time::{SimDuration, SimTime};
+use memres_des::Bytes;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -83,8 +84,11 @@ impl TaskClass {
     }
 }
 
-/// The event taxonomy. Payloads are plain integers/floats chosen so the
-/// whole record serializes without any host-dependent state.
+/// The event taxonomy. Payloads are plain integers plus the unit newtypes
+/// ([`SimTime`]/[`SimDuration`]/[`Bytes`], per the `time-units` rule R6 in
+/// DESIGN.md §4.15), chosen so the whole record serializes without any
+/// host-dependent state. The exporters unwrap to raw nanoseconds at the
+/// serialization boundary, so the JSON schema (`*_ns` keys) is unchanged.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceEvent {
     // ---- job / stage lifecycle ----
@@ -121,7 +125,7 @@ pub enum TraceEvent {
         node: u32,
         class: TaskClass,
         attempt: u32,
-        queue_delay_ns: u64,
+        queue_delay: SimDuration,
         speculative: bool,
     },
     TaskFinished {
@@ -135,20 +139,20 @@ pub enum TraceEvent {
         task: u32,
         node: u32,
         attempt: u32,
-        wasted_ns: u64,
-        backoff_ns: u64,
+        wasted: SimDuration,
+        backoff: SimDuration,
     },
     // ---- scheduler decisions ----
     DelayWait {
         node: u32,
-        until_ns: u64,
+        until: SimTime,
     },
     ElbDecline {
         node: u32,
     },
     CadGate {
         node: u32,
-        until_ns: u64,
+        until: SimTime,
     },
     Speculate {
         task: u32,
@@ -160,8 +164,8 @@ pub enum TraceEvent {
     },
     FlowEnd {
         flow: u64,
-        bytes: f64,
-        dur_ns: u64,
+        bytes: Bytes,
+        dur: SimDuration,
     },
     // ---- Lustre DLM ----
     LockAcquire {
@@ -173,7 +177,7 @@ pub enum TraceEvent {
     },
     LockRevoke {
         file: u64,
-        dirty_bytes: f64,
+        dirty_bytes: Bytes,
     },
     LockWaitStart {
         task: u32,
@@ -182,10 +186,10 @@ pub enum TraceEvent {
         task: u32,
     },
     /// A fixed-latency lock wait known at emission time (revocation round
-    /// trip): covers `[at, at + dur_ns]`.
+    /// trip): covers `[at, at + dur]`.
     LockWaitFor {
         task: u32,
-        dur_ns: u64,
+        dur: SimDuration,
     },
     // ---- SSD write buffer / GC ----
     GcStart {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_8.json: before/after engine-throughput evidence for the
+# Regenerate BENCH_9.json: before/after engine-throughput evidence for the
 # scale-out work (calendar queue + rack aggregation + SoA arenas), re-baselined
-# after the multi-tenancy PR (job arena, stream admission path, deferred
-# Lustre-shared reads).
+# after the lint-v2 PR (SimTime/Bytes newtype boundaries, strict-scheduling
+# asserts in debug builds — release-build throughput must be unchanged).
 #
 #   scripts/bench_baseline.sh [OUT_JSON]
 #
@@ -22,7 +22,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -54,7 +54,7 @@ smoke_before = load("smoke/scale_baseline.json")
 before = load("scale_baseline.json")
 
 doc = {
-    "issue": 8,
+    "issue": 9,
     "note": "engine throughput before/after the scale-out work; "
             "'before' = legacy binary-heap event queue + per-node fetch "
             "flows (rack aggregation off). Missing 'before' rows are "
