@@ -28,6 +28,19 @@
 //! `explain <cell>` prints the critical-path attribution table and the
 //! top straggler attempts instead (see DESIGN.md §4.11).
 //!
+//! `report <cell>` re-runs one bench cell with the sim-time periodic
+//! sampler on (DESIGN.md §4.16) and, with `--json DIR`, writes
+//! `DIR/<cell>.openmetrics`, `DIR/<cell>.timeseries.csv`,
+//! `DIR/<cell>.dashboard.html` and `DIR/<cell>.attrib.csv`. All four are
+//! byte-deterministic. `--slow-ssd F` injects an SSD degradation (speed
+//! factor F) one simulated second in — the known-regression fixture.
+//!
+//! `diff <a> <b> [--threshold X]` joins two runs into a ranked regression
+//! report: either two `report` output directories (time-series join +
+//! critical-path attribution of what moved) or two `BENCH_*.json` baseline
+//! files (per-record `sim_job_s`). Exit 1 when run B regressed past the
+//! threshold (default 5%).
+//!
 //! `fuzz` is the differential fuzzer (DESIGN.md §4.13):
 //!   repro fuzz --seed-range A..B [--budget N] [--json DIR] [--inject-defect]
 //!   repro fuzz --replay '<spec>'
@@ -36,7 +49,7 @@
 //! reproducer and printed as a `--replay` line. Exit 1 on any failure.
 
 use memres_bench::experiments as ex;
-use memres_bench::{fuzz, perf, scale, tenants, trace, Table};
+use memres_bench::{fuzz, perf, report, scale, tenants, trace, Table};
 use std::io::Write;
 
 /// Every runnable target, in `all` order (`bench` is opt-in, not in `all`).
@@ -79,7 +92,9 @@ fn usage() -> String {
     format!(
         "usage: repro [--smoke] [--scale X] [--seed N] [--json DIR] <target>...\n\
          targets: {} fig14a fig14b faults-abort bench scale all\n\
-         \u{20}        trace <cell> | explain <cell>, cell one of: {}\n\
+         \u{20}        trace <cell> | explain <cell> | report <cell> [--slow-ssd F],\n\
+         \u{20}        cell one of: {}\n\
+         \u{20}      repro diff <a> <b> [--threshold X]   (two report dirs or two BENCH_*.json)\n\
          \u{20}      repro fuzz --seed-range A..B [--budget N] [--json DIR] [--inject-defect]\n\
          \u{20}      repro fuzz --replay '<spec>'",
         ALL_TARGETS.join(" "),
@@ -189,6 +204,86 @@ fn fuzz_main(args: &[String]) -> i32 {
     }
 }
 
+/// `repro diff <a> <b> [--threshold X]` — regression diff of two runs.
+/// `<a>`/`<b>` are either two `repro report --json` output directories or
+/// two benchmark baseline JSON files (`.json` suffix on both). Returns the
+/// process exit code: 1 when run B regressed past the threshold.
+fn diff_main(args: &[String]) -> i32 {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 0.05f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = operand(args, i, "--threshold", "a float")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--threshold", "a float"));
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [a, b] = paths.as_slice() else {
+        eprintln!("error: diff takes exactly two runs (report dirs or BENCH_*.json files)");
+        eprintln!("{}", usage());
+        return 2;
+    };
+    if !(0.0..=10.0).contains(&threshold) {
+        usage_error("--threshold", "a float in [0, 10]");
+    }
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    if a.ends_with(".json") && b.ends_with(".json") {
+        let d = report::diff_bench_json(a, &read(a), b, &read(b), threshold);
+        if d.rows.is_empty() {
+            eprintln!("error: no shared sim_job_s records between {a} and {b}");
+            return 2;
+        }
+        print!("{}", d.render());
+        return i32::from(d.regressed());
+    }
+
+    // Report-directory mode: every `<cell>.timeseries.csv` present in A is
+    // diffed against the same cell in B (sorted, so output order is stable).
+    let mut cells: Vec<String> = match std::fs::read_dir(a) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter_map(|f| Some(f.strip_suffix(".timeseries.csv")?.to_string()))
+            .collect(),
+        Err(e) => {
+            eprintln!("error: cannot read directory {a}: {e}");
+            return 2;
+        }
+    };
+    cells.sort();
+    if cells.is_empty() {
+        eprintln!("error: {a} contains no *.timeseries.csv (run `repro report <cell> --json {a}`)");
+        return 2;
+    }
+    let mut regressed = false;
+    for cell in &cells {
+        let d = report::diff_reports(
+            &format!("{a}/{cell}"),
+            &read(&format!("{a}/{cell}.timeseries.csv")),
+            &read(&format!("{a}/{cell}.attrib.csv")),
+            &format!("{b}/{cell}"),
+            &read(&format!("{b}/{cell}.timeseries.csv")),
+            &read(&format!("{b}/{cell}.attrib.csv")),
+            threshold,
+        );
+        print!("{}", d.render());
+        regressed |= d.regressed();
+    }
+    i32::from(regressed)
+}
+
 fn operand<'a>(args: &'a [String], i: usize, flag: &str, what: &str) -> &'a str {
     args.get(i)
         .map(String::as_str)
@@ -205,17 +300,21 @@ fn main() {
     if args.first().map(String::as_str) == Some("fuzz") {
         std::process::exit(fuzz_main(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("diff") {
+        std::process::exit(diff_main(&args[1..]));
+    }
     let mut setup = ex::Setup::paper();
     let mut smoke = false;
     let mut baseline = false;
     let mut json_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
-    // `(subcommand, cell)` pairs for `trace <cell>` / `explain <cell>`.
+    // `(subcommand, cell)` pairs for `trace`/`explain`/`report <cell>`.
     let mut cell_cmds: Vec<(String, String)> = Vec::new();
+    let mut slow_ssd: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            cmd @ ("trace" | "explain") => {
+            cmd @ ("trace" | "explain" | "report") => {
                 let cmd = cmd.to_string();
                 i += 1;
                 let cell = operand(&args, i, &cmd, "a cell name").to_string();
@@ -231,6 +330,16 @@ fn main() {
                 smoke = true;
             }
             "--baseline" => baseline = true,
+            "--slow-ssd" => {
+                i += 1;
+                let f: f64 = operand(&args, i, "--slow-ssd", "a speed factor in (0, 1]")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--slow-ssd", "a speed factor in (0, 1]"));
+                if !(f > 0.0 && f <= 1.0) {
+                    usage_error("--slow-ssd", "a speed factor in (0, 1]");
+                }
+                slow_ssd = Some(f);
+            }
             "--scale" => {
                 i += 1;
                 setup.scale = operand(&args, i, "--scale", "a float")
@@ -375,6 +484,33 @@ fn main() {
 
     for (cmd, cell) in &cell_cmds {
         let start = std::time::Instant::now();
+        if cmd == "report" {
+            let run = report::run_cell(setup, cell, slow_ssd).expect("cell validated above");
+            println!(
+                "report {}: {} sampler ticks over {:.3}s simulated job time",
+                run.cell, run.ticks, run.job_s
+            );
+            if let Some(dir) = &json_dir {
+                std::fs::create_dir_all(dir).expect("create json dir");
+                for (suffix, bytes) in [
+                    ("openmetrics", &run.openmetrics),
+                    ("timeseries.csv", &run.timeseries_csv),
+                    ("dashboard.html", &run.dashboard_html),
+                    ("attrib.csv", &run.attrib_csv),
+                ] {
+                    let path = format!("{dir}/{cell}.{suffix}");
+                    std::fs::write(&path, bytes).expect("write report artifact");
+                    eprintln!("wrote {path}");
+                }
+            } else {
+                eprintln!(
+                    "hint: pass --json DIR to write {cell}.openmetrics, \
+                     {cell}.timeseries.csv, {cell}.dashboard.html, {cell}.attrib.csv"
+                );
+            }
+            eprintln!("[{cmd} {cell} took {:.1}s]", start.elapsed().as_secs_f64());
+            continue;
+        }
         let run = trace::run_cell(setup, cell).expect("cell validated above");
         println!("{}", trace::report(&run, 5));
         if cmd == "trace" {

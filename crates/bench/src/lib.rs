@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod fuzz;
 pub mod json;
 pub mod perf;
+pub mod report;
 pub mod scale;
 pub mod tenants;
 pub mod trace;

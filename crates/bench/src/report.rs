@@ -1,0 +1,367 @@
+//! `repro report <cell>` / `repro diff <a> <b>`: run one benchmark cell
+//! with the time-series metrics plane on, and export the sampled telemetry
+//! as OpenMetrics text, a long-format `timeseries.csv`, a self-contained
+//! HTML dashboard, and a `bucket,seconds` attribution CSV; then join two
+//! such exports (or two BENCH_*.json baseline files) into a ranked
+//! regression report with per-layer attribution (DESIGN.md §4.16).
+//!
+//! All report bytes are built here as strings; writing them to disk is the
+//! `repro` binary's job — the workspace's designated I/O seam.
+
+use crate::experiments::Setup;
+use crate::perf;
+use memres_core::prelude::*;
+use memres_des::time::SimDuration;
+use memres_metrics::{diff, export};
+use memres_trace::analyze::attribute;
+use std::fmt::Write as _;
+
+/// One metered run of a benchmark cell: the four export artifacts plus the
+/// cross-check scalars.
+pub struct ReportRun {
+    pub cell: String,
+    /// OpenMetrics text exposition (ends in `# EOF`).
+    pub openmetrics: String,
+    /// Long-format `series,instance,t_s,value` CSV.
+    pub timeseries_csv: String,
+    /// Self-contained dashboard with inline SVG sparklines.
+    pub dashboard_html: String,
+    /// `bucket,seconds` critical-path attribution (includes a `job` row).
+    pub attrib_csv: String,
+    /// Simulated job time in seconds (from metrics, for cross-checking).
+    pub job_s: f64,
+    /// Sampler ticks taken over the run.
+    pub ticks: u64,
+}
+
+/// Run `cell` with the periodic sampler and full tracing; `None` when the
+/// name is not a known cell. `slow_ssd` injects an [`FaultKind::SsdDegrade`]
+/// on every worker one simulated second in — the known-regression fixture
+/// the `repro diff` acceptance check flags (storage-layer attribution).
+pub fn run_cell(setup: Setup, cell: &str, slow_ssd: Option<f64>) -> Option<ReportRun> {
+    let (spec, cfg, gb) = perf::cell(setup, cell)?;
+    let mut cfg = cfg.with_metrics().with_trace();
+    if let Some(factor) = slow_ssd {
+        let mut plan = FaultPlan::new();
+        for node in 0..spec.workers {
+            plan = plan.after(
+                SimDuration::from_secs(1),
+                FaultKind::SsdDegrade { node, factor },
+            );
+        }
+        cfg = cfg.with_faults(plan);
+    }
+    let mut d = Driver::new(spec, cfg);
+    let m = d.run_for_metrics(&gb.build(), gb.action());
+    let events = d.take_trace();
+    let attribution = attribute(&events);
+    let rec = d.recorder().expect("with_metrics() was set above"); // lint:allow(panic): enabled two lines up
+    let attrib_pairs: Vec<(String, f64)> = attribution
+        .buckets()
+        .iter()
+        .map(|(name, dur)| (name.to_string(), dur.as_secs_f64()))
+        .collect();
+    let mut attrib_csv = String::from("bucket,seconds\n");
+    let _ = writeln!(attrib_csv, "job,{}", attribution.job.as_secs_f64());
+    for (name, secs) in &attrib_pairs {
+        let _ = writeln!(attrib_csv, "{name},{secs}");
+    }
+    let title = format!("memres report: {cell}");
+    Some(ReportRun {
+        cell: cell.to_string(),
+        openmetrics: export::openmetrics(rec),
+        timeseries_csv: export::timeseries_csv(rec),
+        dashboard_html: export::dashboard_html(&title, rec, &attrib_pairs),
+        attrib_csv,
+        job_s: m.job_time(),
+        ticks: rec.ticks(),
+    })
+}
+
+/// Diff two report exports (timeseries + attribution CSVs) into the ranked
+/// regression report. Thin naming wrapper over [`diff::diff_runs`] so the
+/// binary and the shell gate share one code path.
+pub fn diff_reports(
+    name_a: &str,
+    ts_a: &str,
+    attrib_a: &str,
+    name_b: &str,
+    ts_b: &str,
+    attrib_b: &str,
+    threshold: f64,
+) -> diff::DiffReport {
+    diff::diff_runs(name_a, ts_a, attrib_a, name_b, ts_b, attrib_b, threshold)
+}
+
+/// Extract `(path, sim_job_s)` rows from a `BENCH_*.json` / `bench.json`
+/// baseline file. The path is the brace/bracket key stack joined with `/`
+/// plus the record's `"name"` field (e.g. `paper_cells/after/fig8a_600gb_ssd`),
+/// so the same cell appearing under `before` and `after` stays distinct.
+/// Hand-rolled line scanner over our own pretty-printed emitter's output —
+/// unknown lines are skipped, never a parse error.
+pub fn parse_bench_sim_times(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut stack: Vec<String> = Vec::new();
+    let mut pending_name: Option<String> = None;
+    for line in json.lines() {
+        let t = line.trim().trim_end_matches(',');
+        // Closers first: `}` / `]` (possibly `},`) pop the key stack.
+        if t == "}" || t == "]" {
+            stack.pop();
+            continue;
+        }
+        let Some((key, val)) = t.split_once(':') else {
+            // `{` / `[` openers without a key (top level, array elements).
+            if t == "{" || t == "[" {
+                stack.push(String::new());
+            }
+            continue;
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let val = val.trim();
+        if val == "{" || val == "[" {
+            stack.push(key);
+            pending_name = None;
+        } else if key == "name" {
+            pending_name = Some(val.trim_matches('"').to_string());
+        } else if key == "sim_job_s" {
+            if let (Some(name), Ok(v)) = (&pending_name, val.parse::<f64>()) {
+                let path: Vec<&str> = stack
+                    .iter()
+                    .filter(|s| !s.is_empty())
+                    .map(String::as_str)
+                    .collect();
+                out.push((format!("{}/{}", path.join("/"), name), v));
+            }
+        }
+    }
+    out
+}
+
+/// Regression diff between two benchmark baseline JSON files, keyed on the
+/// deterministic `sim_job_s` of every named record present in both.
+pub struct BenchDiff {
+    pub name_a: String,
+    pub name_b: String,
+    pub threshold: f64,
+    /// `(path, sim_a, sim_b)` for records present in both files, ranked by
+    /// relative slowdown, worst first.
+    pub rows: Vec<(String, f64, f64)>,
+    /// Record paths present in only one of the two files (informational).
+    pub only_a: Vec<String>,
+    pub only_b: Vec<String>,
+}
+
+impl BenchDiff {
+    /// Relative change of one row's simulated job time.
+    fn rel(a: f64, b: f64) -> f64 {
+        (b - a) / f64::max(a.abs(), 1e-12)
+    }
+
+    /// Did any shared record slow down past the threshold?
+    pub fn regressed(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|&(_, a, b)| a > 0.0 && b > a * (1.0 + self.threshold))
+    }
+
+    /// Human-readable ranked report (same shape as `DiffReport::render`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "bench diff: {} -> {}", self.name_a, self.name_b);
+        let _ = writeln!(
+            out,
+            "sim_job_s per record (threshold {:.2}%):",
+            self.threshold * 100.0
+        );
+        for (path, a, b) in &self.rows {
+            let mark = if *a > 0.0 && *b > *a * (1.0 + self.threshold) {
+                "  REGRESSED"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>12.6} -> {:>12.6}  ({:+.2}%){mark}",
+                path,
+                a,
+                b,
+                Self::rel(*a, *b) * 100.0
+            );
+        }
+        for p in &self.only_a {
+            let _ = writeln!(out, "  {p:<44} only in {}", self.name_a);
+        }
+        for p in &self.only_b {
+            let _ = writeln!(out, "  {p:<44} only in {}", self.name_b);
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.regressed() { "REGRESSED" } else { "ok" }
+        );
+        out
+    }
+}
+
+/// Diff two benchmark baseline JSON files (`BENCH_*.json` / `bench.json`).
+pub fn diff_bench_json(
+    name_a: &str,
+    json_a: &str,
+    name_b: &str,
+    json_b: &str,
+    threshold: f64,
+) -> BenchDiff {
+    let a = parse_bench_sim_times(json_a);
+    let b = parse_bench_sim_times(json_b);
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut only_a = Vec::new();
+    for (path, va) in &a {
+        match b.iter().find(|(p, _)| p == path) {
+            Some(&(_, vb)) => rows.push((path.clone(), *va, vb)),
+            None => only_a.push(path.clone()),
+        }
+    }
+    let only_b: Vec<String> = b
+        .iter()
+        .filter(|(p, _)| !a.iter().any(|(q, _)| q == p))
+        .map(|(p, _)| p.clone())
+        .collect();
+    rows.sort_by(|x, y| {
+        let rx = BenchDiff::rel(x.1, x.2);
+        let ry = BenchDiff::rel(y.1, y.2);
+        ry.partial_cmp(&rx)
+            // lint:allow(float-order): rel is finite by construction; ties broken by path
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.0.cmp(&y.0))
+    });
+    BenchDiff {
+        name_a: name_a.to_string(),
+        name_b: name_b.to_string(),
+        threshold,
+        rows,
+        only_a,
+        only_b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_cell_is_rejected() {
+        assert!(run_cell(Setup::smoke(), "not_a_cell", None).is_none());
+    }
+
+    #[test]
+    fn report_artifacts_are_structurally_sane() {
+        let run = run_cell(Setup::smoke(), "fig7a_400gb_ramdisk", None).expect("known cell");
+        assert!(run.ticks > 0, "sampler never fired");
+        assert!(run.openmetrics.ends_with("# EOF\n"));
+        assert!(run.openmetrics.contains("memres_core_busy_slots"));
+        assert!(run
+            .timeseries_csv
+            .starts_with("series,instance,t_s,value\n"));
+        assert!(run.dashboard_html.contains("fig7a_400gb_ramdisk"));
+        assert!(run.dashboard_html.contains("<svg"));
+        assert!(run.attrib_csv.starts_with("bucket,seconds\njob,"));
+        assert!(run.attrib_csv.contains("\ncompute,"));
+        assert!(run.job_s > 0.0);
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        // A run diffed against itself: zero regressions, zero moved series.
+        let run = run_cell(Setup::smoke(), "fig7a_400gb_ramdisk", None).expect("known cell");
+        let d = diff_reports(
+            "a",
+            &run.timeseries_csv,
+            &run.attrib_csv,
+            "b",
+            &run.timeseries_csv,
+            &run.attrib_csv,
+            0.05,
+        );
+        assert!(!d.regressed());
+        assert!(d.series.iter().all(|s| s.first_divergence_s.is_none()));
+        assert!(d.render().contains("verdict: ok"));
+    }
+
+    #[test]
+    fn injected_ssd_degrade_is_flagged_with_storage_attribution() {
+        // The acceptance fixture: slow every SSD 4x mid-run; the diff must
+        // exit REGRESSED and the dominant attribution mover must land on
+        // the storage layer (store or gc-stall bucket).
+        let base = run_cell(Setup::smoke(), "fig8a_600gb_ssd", None).expect("known cell");
+        let slow = run_cell(Setup::smoke(), "fig8a_600gb_ssd", Some(0.25)).expect("known cell");
+        assert!(
+            slow.job_s > base.job_s * 1.05,
+            "degraded run must be measurably slower ({} vs {})",
+            slow.job_s,
+            base.job_s
+        );
+        let d = diff_reports(
+            "base",
+            &base.timeseries_csv,
+            &base.attrib_csv,
+            "slow-ssd",
+            &slow.timeseries_csv,
+            &slow.attrib_csv,
+            0.05,
+        );
+        assert!(d.regressed(), "injected slowdown must be flagged");
+        let dom = d.dominant_bucket().expect("some bucket must have grown");
+        assert_eq!(dom.layer, "storage", "dominant mover: {}", dom.bucket);
+        let text = d.render();
+        assert!(text.contains("verdict: REGRESSED"));
+        assert!(text.contains("layer storage"));
+    }
+
+    #[test]
+    fn bench_json_parser_reads_nested_records() {
+        let json = r#"{
+  "issue": 9,
+  "paper_cells": {
+    "before": [
+      {
+        "name": "cell_x",
+        "wall_s": 1.5,
+        "sim_job_s": 4.25,
+        "events": 10
+      }
+    ],
+    "after": [
+      {
+        "name": "cell_x",
+        "sim_job_s": 4.5
+      }
+    ]
+  }
+}"#;
+        let rows = parse_bench_sim_times(json);
+        assert_eq!(
+            rows,
+            vec![
+                ("paper_cells/before/cell_x".to_string(), 4.25),
+                ("paper_cells/after/cell_x".to_string(), 4.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn bench_json_diff_flags_slowdown() {
+        let a = "{\n  \"cells\": [\n    {\n      \"name\": \"c\",\n      \"sim_job_s\": 10.0\n    }\n  ]\n}";
+        let b = "{\n  \"cells\": [\n    {\n      \"name\": \"c\",\n      \"sim_job_s\": 12.0\n    }\n  ]\n}";
+        let d = diff_bench_json("a.json", a, "b.json", b, 0.05);
+        assert!(d.regressed());
+        assert!(d.render().contains("REGRESSED"));
+        // Within threshold: ok.
+        let d2 = diff_bench_json("a.json", a, "b.json", b, 0.5);
+        assert!(!d2.regressed());
+        // Self-diff: ok and byte-stable.
+        let d3 = diff_bench_json("a.json", a, "a.json", a, 0.05);
+        assert!(!d3.regressed());
+        assert_eq!(d3.rows, vec![("cells/c".to_string(), 10.0, 10.0)]);
+    }
+}

@@ -221,6 +221,10 @@ pub struct EngineConfig {
     /// Deliberate defect injection for fuzz-oracle demonstrations
     /// (DESIGN.md §4.13). `None` — always, outside fuzz harnesses.
     pub defect: Option<Defect>,
+    /// Periodic sim-time metrics sampling (DESIGN.md §4.16). Off by
+    /// default: the world then holds no recorder and the sampler event is
+    /// never scheduled.
+    pub metrics: Option<memres_metrics::MetricsConfig>,
 }
 
 impl Default for EngineConfig {
@@ -245,6 +249,7 @@ impl Default for EngineConfig {
             legacy_event_queue: false,
             rack_agg_threshold: 4096,
             defect: None,
+            metrics: None,
         }
     }
 }
@@ -324,6 +329,22 @@ impl EngineConfig {
         self
     }
 
+    /// Enable periodic sim-time metrics sampling at the default interval
+    /// (DESIGN.md §4.16).
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = Some(memres_metrics::MetricsConfig::default());
+        self
+    }
+
+    /// Enable metrics sampling at an explicit interval.
+    pub fn with_metrics_interval(mut self, interval: SimDuration) -> Self {
+        self.metrics = Some(memres_metrics::MetricsConfig {
+            interval,
+            ..memres_metrics::MetricsConfig::default()
+        });
+        self
+    }
+
     /// Validate the configuration against a cluster of `workers` nodes.
     /// Returns a descriptive error instead of letting a bad knob panic (or
     /// silently misbehave) deep inside the simulation.
@@ -389,6 +410,9 @@ impl EngineConfig {
         }
         if let Some(plan) = &self.faults {
             plan.validate(workers)?;
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.validate()?;
         }
         Ok(())
     }
@@ -503,5 +527,17 @@ mod tests {
         );
         let cfg = EngineConfig::default().with_faults(plan);
         assert!(err(cfg, 4).contains("out of range"));
+        let cfg = EngineConfig::default().with_metrics_interval(SimDuration::ZERO);
+        assert!(err(cfg, 4).contains("metrics.interval"));
+    }
+
+    #[test]
+    fn metrics_builders_enable_the_sampler() {
+        assert!(EngineConfig::default().metrics.is_none());
+        let cfg = EngineConfig::default().with_metrics();
+        assert!(cfg.metrics.is_some());
+        cfg.validate(4).expect("default metrics config is valid");
+        let cfg = EngineConfig::default().with_metrics_interval(SimDuration::from_millis(100));
+        assert_eq!(cfg.metrics.unwrap().interval, SimDuration::from_millis(100));
     }
 }

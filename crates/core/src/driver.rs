@@ -248,6 +248,12 @@ impl Driver {
         self.sim.model.trace_len()
     }
 
+    /// The time-series recorder accumulated so far (`None` when
+    /// `cfg.metrics` is off). See DESIGN.md §4.16.
+    pub fn recorder(&self) -> Option<&memres_metrics::Recorder> {
+        self.sim.model.recorder()
+    }
+
     /// Rough peak-heap estimate for engine self-profiling (arena capacities
     /// plus trace log plus shuffle accounting; not an allocator hook).
     pub fn heap_estimate_bytes(&self) -> u64 {

@@ -91,8 +91,9 @@ pub fn job_json(metrics: &JobMetrics) -> String {
             "\n      \"job\": {},\n      \"stage\": {},\n      \"phase\": {:?},\
              \n      \"index\": {},\n      \"node\": {},\n      \"queued_at\": {},\
              \n      \"launched_at\": {},\n      \"finished_at\": {},\
-             \n      \"input_bytes\": {},\n      \"output_bytes\": {},\
-             \n      \"locality\": {:?}\n    }}",
+             \n      \"duration\": {},\n      \"input_bytes\": {},\
+             \n      \"output_bytes\": {},\n      \"locality\": {:?},\
+             \n      \"queue_delay\": {}\n    }}",
             t.job,
             t.stage,
             format!("{:?}", t.phase),
@@ -101,9 +102,11 @@ pub fn job_json(metrics: &JobMetrics) -> String {
             json_f64(t.queued_at),
             json_f64(t.launched_at),
             json_f64(t.finished_at),
+            json_f64(t.duration()),
             json_f64(t.input_bytes),
             json_f64(t.output_bytes),
             format!("{:?}", t.locality),
+            json_f64(t.queue_delay()),
         );
     }
     if !metrics.tasks.is_empty() {
@@ -131,12 +134,38 @@ pub fn job_json(metrics: &JobMetrics) -> String {
     out
 }
 
-/// Write tasks.csv, phases.csv and job.json under `dir`.
+/// Recovery counters as long-format CSV (`counter,value`) — the CSV twin of
+/// the `"recovery"` object in [`job_json`]; the two carry the same fields in
+/// the same order.
+pub fn recovery_csv(metrics: &JobMetrics) -> String {
+    let r = &metrics.recovery;
+    let mut out = String::from("counter,value\n");
+    let rows: [(&str, String); 11] = [
+        ("node_crashes", r.node_crashes.to_string()),
+        ("node_restarts", r.node_restarts.to_string()),
+        ("tasks_retried", r.tasks_retried.to_string()),
+        ("failed_fetches", r.failed_fetches.to_string()),
+        ("fetch_retries", r.fetch_retries.to_string()),
+        ("recomputed_partitions", r.recomputed_partitions.to_string()),
+        ("blocks_lost", r.blocks_lost.to_string()),
+        ("blacklisted_nodes", r.blacklisted_nodes.to_string()),
+        ("ssd_degradations", r.ssd_degradations.to_string()),
+        ("wasted_secs", format!("{:.6}", r.wasted_secs)),
+        ("aborted_jobs", r.aborted_jobs.to_string()),
+    ];
+    for (k, v) in rows {
+        let _ = writeln!(out, "{k},{v}");
+    }
+    out
+}
+
+/// Write tasks.csv, phases.csv, recovery.csv and job.json under `dir`.
 pub fn write_all(metrics: &JobMetrics, dir: impl AsRef<Path>) -> io::Result<()> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?; // lint:allow(io): designated export seam — only the bench layer and user tooling call it
     std::fs::write(dir.join("tasks.csv"), tasks_csv(metrics))?; // lint:allow(io): designated export seam
     std::fs::write(dir.join("phases.csv"), phases_csv(metrics))?; // lint:allow(io): designated export seam
+    std::fs::write(dir.join("recovery.csv"), recovery_csv(metrics))?; // lint:allow(io): designated export seam
     std::fs::write(dir.join("job.json"), job_json(metrics))?; // lint:allow(io): designated export seam
     Ok(())
 }
@@ -404,9 +433,55 @@ mod tests {
         let dir = std::env::temp_dir().join("memres-export-test");
         let _ = std::fs::remove_dir_all(&dir);
         write_all(&sample(), &dir).unwrap();
-        for f in ["tasks.csv", "phases.csv", "job.json"] {
+        for f in ["tasks.csv", "phases.csv", "recovery.csv", "job.json"] {
             assert!(dir.join(f).exists(), "{f} missing");
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// JSON/CSV parity: the per-task CSV columns and the per-task JSON keys
+    /// must carry the same fields, and every recovery counter in the JSON
+    /// must appear in recovery.csv (and vice versa). A field added to one
+    /// exporter but not the other fails here, not in a user's join script.
+    #[test]
+    fn json_and_csv_task_fields_align() {
+        let m = sample();
+        let csv = tasks_csv(&m);
+        let csv_cols: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        let json = job_json(&m);
+        let task_obj = json
+            .split("\"tasks\": [")
+            .nth(1)
+            .unwrap()
+            .split("],")
+            .next()
+            .unwrap();
+        for col in &csv_cols {
+            assert!(
+                task_obj.contains(&format!("\"{col}\":")),
+                "CSV column {col} missing from task JSON"
+            );
+        }
+        let json_keys = task_obj.matches("\": ").count() / m.tasks.len();
+        assert_eq!(
+            json_keys,
+            csv_cols.len(),
+            "task JSON carries a field the CSV lacks"
+        );
+
+        let rec_csv = recovery_csv(&m);
+        let rec_json = json.split("\"recovery\": {").nth(1).unwrap();
+        for line in rec_csv.lines().skip(1) {
+            let key = line.split(',').next().unwrap();
+            assert!(
+                rec_json.contains(&format!("\"{key}\":")),
+                "recovery.csv counter {key} missing from JSON"
+            );
+        }
+        assert_eq!(
+            rec_json.matches("\": ").count(),
+            rec_csv.lines().count() - 1,
+            "recovery JSON carries a counter the CSV lacks"
+        );
     }
 }

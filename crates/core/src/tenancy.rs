@@ -205,16 +205,6 @@ impl FinishedJob {
     }
 }
 
-/// Nearest-rank percentile of an unsorted sample (0.0 for an empty one).
-fn percentile(values: &mut [f64], p: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((p / 100.0) * values.len() as f64).ceil() as usize;
-    *values.get(rank.clamp(1, values.len()) - 1).unwrap_or(&0.0) // unreachable: the index is clamped into 0..len
-}
-
 /// Per-tenant SLO rollup over a finished stream (DESIGN.md §4.14): admission
 /// queueing delay and end-to-end job-latency percentiles. Slowdown vs the
 /// isolated single-job run is computed by callers that also ran the isolated
@@ -249,10 +239,14 @@ impl TenantSlo {
             }
             t.mean_queue_delay =
                 mine.iter().map(|j| j.queue_delay()).sum::<f64>() / mine.len() as f64;
-            let mut lats: Vec<f64> = mine.iter().map(|j| j.latency()).collect();
+            let lats: Vec<f64> = mine.iter().map(|j| j.latency()).collect();
             t.mean_latency = lats.iter().sum::<f64>() / lats.len() as f64;
-            t.p50_latency = percentile(&mut lats, 50.0);
-            t.p99_latency = percentile(&mut lats, 99.0);
+            // Shared log-bucketed nearest-rank quantiles (DESIGN.md §4.16):
+            // within 1/32 relative error of the exact order statistic, which
+            // is far inside the run-to-run spread SLO rollups feed into.
+            let hist = memres_des::stats::LogHistogram::from_values(&lats);
+            t.p50_latency = hist.quantile(0.50);
+            t.p99_latency = hist.quantile(0.99);
         }
         out
     }
@@ -300,14 +294,6 @@ mod tests {
     }
 
     #[test]
-    fn percentile_nearest_rank() {
-        let mut v = vec![4.0, 1.0, 3.0, 2.0];
-        assert_eq!(percentile(&mut v, 50.0), 2.0);
-        assert_eq!(percentile(&mut v, 99.0), 4.0);
-        assert_eq!(percentile(&mut [], 50.0), 0.0);
-    }
-
-    #[test]
     fn slo_rollup_groups_by_tenant() {
         use crate::metrics::JobMetrics;
         let fj = |tenant: u32, arrived: f64, admitted: f64, finished: f64| FinishedJob {
@@ -337,8 +323,10 @@ mod tests {
         };
         assert_eq!(t0.jobs, 2);
         assert!((t0.mean_queue_delay - 0.5).abs() < 1e-9);
-        assert!((t0.p50_latency - 5.0).abs() < 1e-9);
-        assert!((t0.p99_latency - 10.0).abs() < 1e-9);
+        // Quantiles come from the shared log-bucketed histogram: nearest
+        // rank within 1/16 relative error (bucket width) of exact.
+        assert!((t0.p50_latency - 5.0).abs() / 5.0 < 1.0 / 16.0);
+        assert!((t0.p99_latency - 10.0).abs() / 10.0 < 1.0 / 16.0);
         assert_eq!(t1.jobs, 1);
         assert!((t1.mean_latency - 3.0).abs() < 1e-9);
     }

@@ -62,9 +62,11 @@ fn job_json_golden() {
       "queued_at": 0.25,
       "launched_at": 0.5,
       "finished_at": 2.0,
+      "duration": 1.5,
       "input_bytes": 1024.0,
       "output_bytes": 512.0,
-      "locality": "NodeLocal"
+      "locality": "NodeLocal",
+      "queue_delay": 0.25
     }
   ],
   "recovery": {

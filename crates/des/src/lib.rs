@@ -25,9 +25,9 @@ pub mod time;
 pub use bytes::Bytes;
 pub use det::{DetMap, DetSet};
 pub use ps::{JobKey, PsResource};
-pub use queue::EventQueue;
-pub use sim::{Gen, Model, Outbox, Simulation};
-pub use stats::{median, percentile, Cdf, OnlineStats};
+pub use queue::{EventQueue, QueueStats};
+pub use sim::{EngineStats, Gen, Model, Outbox, Simulation};
+pub use stats::{Cdf, LogHistogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
 
 /// Bytes-per-unit helpers so model parameters read like the paper's units.

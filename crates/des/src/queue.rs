@@ -328,6 +328,35 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Calendar health for engine self-stats (DESIGN.md §4.16). The legacy
+    /// heap reports zero buckets and everything in the overflow tier.
+    pub fn stats(&self) -> QueueStats {
+        match &self.imp {
+            Imp::Calendar(c) => QueueStats {
+                buckets: c.buckets.len(),
+                width_nanos: c.width,
+                in_year: c.in_year,
+                overflow: c.overflow.len(),
+            },
+            Imp::Heap(h) => QueueStats {
+                buckets: 0,
+                width_nanos: 0,
+                in_year: 0,
+                overflow: h.len(),
+            },
+        }
+    }
+}
+
+/// Calendar-queue health snapshot: bucket count, slot width, and how the
+/// buffered events split between the in-year buckets and the overflow heap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    pub buckets: usize,
+    pub width_nanos: u64,
+    pub in_year: usize,
+    pub overflow: usize,
 }
 
 #[cfg(test)]

@@ -11,12 +11,37 @@
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
+/// Engine self-observation snapshot handed to models that opt in via
+/// [`Model::wants_engine_stats`]: processed-event count and calendar health
+/// (DESIGN.md §4.16). Taken after the current event's outbox has been
+/// drained onto the calendar, so `queue` reflects the post-event state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events processed so far (monotone).
+    pub steps: u64,
+    /// Events buffered on the calendar.
+    pub queue_len: usize,
+    /// Calendar-queue health, when the calendar implementation is in use.
+    pub queue: crate::queue::QueueStats,
+}
+
 /// World state driven by the event loop.
 pub trait Model {
     type Event;
 
     /// Process one event at instant `now`, scheduling follow-ups via `out`.
     fn handle(&mut self, now: SimTime, event: Self::Event, out: &mut Outbox<Self::Event>);
+
+    /// Opt in to per-event [`EngineStats`] observation. Checked (one bool
+    /// test) after every `handle`; the default keeps the hot loop free of
+    /// any self-observation cost.
+    fn wants_engine_stats(&self) -> bool {
+        false
+    }
+
+    /// Receive the engine snapshot taken after the event just handled. Only
+    /// called when [`Model::wants_engine_stats`] returns true.
+    fn observe_engine(&mut self, _stats: EngineStats) {}
 }
 
 /// Whether past-time scheduling is rejected by default: on in debug builds
@@ -201,6 +226,14 @@ impl<M: Model> Simulation<M> {
         for (t, e) in out.items {
             // lint:allow(event-past): Outbox::at already asserted/clamped every item against the turn's now
             self.queue.push(t, e);
+        }
+        if self.model.wants_engine_stats() {
+            let stats = EngineStats {
+                steps: self.steps,
+                queue_len: self.queue.len(),
+                queue: self.queue.stats(),
+            };
+            self.model.observe_engine(stats);
         }
         Ok(true)
     }

@@ -16,9 +16,15 @@
 //!   `crates/trace/src/export.rs` (the argument body both the Perfetto and
 //!   the events.jsonl exporter embed).
 //! * **`cell-smoke`** — every repro cell family with a checked-in baseline
-//!   (`bench`, `scale`, `faults`, `tenants`, `trace`, `fuzz`) is invoked by
-//!   `scripts/check.sh`, and the trace cell the gate pins is still a member
-//!   of `CELL_NAMES` in `crates/bench/src/perf.rs`.
+//!   (`bench`, `scale`, `faults`, `tenants`, `trace`, `fuzz`, `report`,
+//!   `diff`) is invoked by `scripts/check.sh`, and the trace cell the gate
+//!   pins is still a member of `CELL_NAMES` in `crates/bench/src/perf.rs`.
+//! * **`exhaustive-metrics`** — every series name in the metrics catalog
+//!   (`ALL_NAMES` in `crates/metrics/src/catalog.rs`) appears in both
+//!   exporter series lists (`OPENMETRICS_SERIES` and `CSV_SERIES` in
+//!   `crates/metrics/src/export.rs`), and vice versa: a gauge the sampler
+//!   records but an exporter silently drops (or an exporter entry with no
+//!   catalog definition behind it) fails the gate.
 //!
 //! Input is a loader callback (`&mut dyn FnMut(&str) -> Option<String>`)
 //! mapping a workspace-relative path to file contents, so the checks run
@@ -31,18 +37,23 @@ use crate::Diagnostic;
 pub const RULE_DISPATCH: &str = "exhaustive-dispatch";
 pub const RULE_TRACE: &str = "exhaustive-trace";
 pub const RULE_CELL_SMOKE: &str = "cell-smoke";
+pub const RULE_METRICS: &str = "exhaustive-metrics";
 
-pub const XFILE_RULES: [&str; 3] = [RULE_DISPATCH, RULE_TRACE, RULE_CELL_SMOKE];
+pub const XFILE_RULES: [&str; 4] = [RULE_DISPATCH, RULE_TRACE, RULE_CELL_SMOKE, RULE_METRICS];
 
 const WORLD: &str = "crates/core/src/world.rs";
 const TRACE_LIB: &str = "crates/trace/src/lib.rs";
 const TRACE_EXPORT: &str = "crates/trace/src/export.rs";
 const PERF: &str = "crates/bench/src/perf.rs";
 const CHECK_SH: &str = "scripts/check.sh";
+const METRICS_CATALOG: &str = "crates/metrics/src/catalog.rs";
+const METRICS_EXPORT: &str = "crates/metrics/src/export.rs";
 
 /// The repro cell families `scripts/check.sh` must smoke (each has a
 /// checked-in baseline or golden artifact the gate compares against).
-pub const SMOKED_FAMILIES: [&str; 6] = ["bench", "scale", "faults", "tenants", "trace", "fuzz"];
+pub const SMOKED_FAMILIES: [&str; 8] = [
+    "bench", "scale", "faults", "tenants", "trace", "fuzz", "report", "diff",
+];
 
 /// Run every cross-file check, loading file contents through `load`.
 /// A file the loader cannot produce is itself a finding — the checks must
@@ -52,6 +63,7 @@ pub fn check_all(load: &mut dyn FnMut(&str) -> Option<String>) -> Vec<Diagnostic
     check_dispatch(load, &mut diags);
     check_trace(load, &mut diags);
     check_cell_smoke(load, &mut diags);
+    check_metrics(load, &mut diags);
     diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
     diags
 }
@@ -351,19 +363,21 @@ fn check_trace(load: &mut dyn FnMut(&str) -> Option<String>, diags: &mut Vec<Dia
     }
 }
 
-/// Extract the string literals of the `CELL_NAMES` array from perf.rs.
-/// (The lexer deliberately drops strings, so this is a tiny dedicated
-/// scan: find the declaration, then collect `"…"` up to the closing `]`.)
-fn cell_names(src: &str) -> Vec<String> {
-    let Some(decl) = src.find("CELL_NAMES") else {
-        return Vec::new();
+/// Extract the string literals of a `const <decl>: [&str; N] = [ … ]`
+/// array. (The lexer deliberately drops strings, so this is a tiny
+/// dedicated scan: find the declaration, then collect `"…"` up to the
+/// closing `]`.) Returns the literals plus the declaration's 1-based line.
+fn literal_str_list(src: &str, decl_name: &str) -> (Vec<String>, u32) {
+    let Some(decl) = src.find(decl_name) else {
+        return (Vec::new(), 1);
     };
+    let line = src[..decl].lines().count() as u32;
     // Skip past the `=` so the type's `[&str; N]` brackets don't match.
     let Some(eq_rel) = src[decl..].find('=') else {
-        return Vec::new();
+        return (Vec::new(), line);
     };
     let Some(open_rel) = src[decl + eq_rel..].find('[') else {
-        return Vec::new();
+        return (Vec::new(), line);
     };
     let tail = &src[decl + eq_rel + open_rel..];
     let end = tail.find(']').unwrap_or(tail.len());
@@ -376,7 +390,70 @@ fn cell_names(src: &str) -> Vec<String> {
         out.push(after[..close].to_string());
         rest = &after[close + 1..];
     }
-    out
+    (out, line)
+}
+
+fn cell_names(src: &str) -> Vec<String> {
+    literal_str_list(src, "CELL_NAMES").0
+}
+
+fn check_metrics(load: &mut dyn FnMut(&str) -> Option<String>, diags: &mut Vec<Diagnostic>) {
+    let Some(catalog_src) = load(METRICS_CATALOG) else {
+        diags.push(missing_file(METRICS_CATALOG, RULE_METRICS));
+        return;
+    };
+    let Some(export_src) = load(METRICS_EXPORT) else {
+        diags.push(missing_file(METRICS_EXPORT, RULE_METRICS));
+        return;
+    };
+    let (catalog, catalog_line) = literal_str_list(&catalog_src, "ALL_NAMES");
+    if catalog.is_empty() {
+        diags.push(diag(
+            METRICS_CATALOG,
+            1,
+            RULE_METRICS,
+            "`ALL_NAMES` not found (or empty) in metrics/catalog.rs".to_string(),
+        ));
+        return;
+    }
+    for list_name in ["OPENMETRICS_SERIES", "CSV_SERIES"] {
+        let (exported, export_line) = literal_str_list(&export_src, list_name);
+        if exported.is_empty() {
+            diags.push(diag(
+                METRICS_EXPORT,
+                1,
+                RULE_METRICS,
+                format!("`{list_name}` not found (or empty) in metrics/export.rs"),
+            ));
+            continue;
+        }
+        for name in &catalog {
+            if !exported.contains(name) {
+                diags.push(diag(
+                    METRICS_EXPORT,
+                    export_line,
+                    RULE_METRICS,
+                    format!(
+                        "catalog series `{name}` is missing from `{list_name}`: the \
+                         sampler records it but this exporter silently drops it"
+                    ),
+                ));
+            }
+        }
+        for name in &exported {
+            if !catalog.contains(name) {
+                diags.push(diag(
+                    METRICS_CATALOG,
+                    catalog_line,
+                    RULE_METRICS,
+                    format!(
+                        "`{list_name}` exports `{name}`, which is not in the catalog's \
+                         `ALL_NAMES` — exporter entry with no series behind it"
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 fn check_cell_smoke(load: &mut dyn FnMut(&str) -> Option<String>, diags: &mut Vec<Diagnostic>) {

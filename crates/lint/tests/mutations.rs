@@ -201,6 +201,85 @@ fn stale_pinned_cell_fires_cell_smoke() {
     );
 }
 
+// -------------------------------------------------- exhaustive-metrics
+
+/// Dropping a catalog series from one exporter list must fire
+/// `exhaustive-metrics` naming the dropped series and the blind exporter —
+/// the sampler would keep recording a gauge that silently never ships.
+#[test]
+fn dropped_exporter_series_fires_exhaustive_metrics() {
+    let export = read("crates/metrics/src/export.rs");
+    let csv_at = export.find("CSV_SERIES").expect("CSV_SERIES in export.rs");
+    let (head, body) = export.split_at(csv_at);
+    assert!(
+        body.contains("\"storage_ssd_gc_nodes\""),
+        "mutation target lost; pick another series"
+    );
+    let mutated = format!(
+        "{head}{}",
+        body.replacen("\"storage_ssd_gc_nodes\",", "", 1)
+    );
+    let mut overrides = HashMap::new();
+    overrides.insert("crates/metrics/src/export.rs", mutated);
+    let d = xfile_with(&overrides);
+    assert!(
+        d.iter().any(|d| d.rule == xfile::RULE_METRICS
+            && d.message.contains("storage_ssd_gc_nodes")
+            && d.message.contains("CSV_SERIES")),
+        "{d:?}"
+    );
+}
+
+/// A series added to the catalog but taught to neither exporter must be
+/// reported against both lists.
+#[test]
+fn new_catalog_series_fires_in_both_exporters() {
+    let catalog = read("crates/metrics/src/catalog.rs");
+    let decl = catalog.find("ALL_NAMES").expect("ALL_NAMES in catalog.rs");
+    // Skip past the `=` so the `[&str; N]` type brackets don't match.
+    let eq = catalog[decl..].find('=').expect("array assignment") + decl;
+    let open = catalog[eq..].find('[').expect("array open") + eq + 1;
+    let mutated = format!(
+        "{}\n    \"phantom_never_gauge\",{}",
+        &catalog[..open],
+        &catalog[open..]
+    );
+    let mut overrides = HashMap::new();
+    overrides.insert("crates/metrics/src/catalog.rs", mutated);
+    let d = xfile_with(&overrides);
+    let hits: Vec<_> = d
+        .iter()
+        .filter(|d| d.rule == xfile::RULE_METRICS && d.message.contains("phantom_never_gauge"))
+        .collect();
+    assert_eq!(hits.len(), 2, "OPENMETRICS_SERIES + CSV_SERIES: {d:?}");
+}
+
+/// The reverse drift — an exporter entry with no catalog series behind it —
+/// must fire against the catalog.
+#[test]
+fn orphan_exporter_entry_fires_exhaustive_metrics() {
+    let export = read("crates/metrics/src/export.rs");
+    let decl = export
+        .find("OPENMETRICS_SERIES")
+        .expect("OPENMETRICS_SERIES in export.rs");
+    let eq = export[decl..].find('=').expect("array assignment") + decl;
+    let open = export[eq..].find('[').expect("array open") + eq + 1;
+    let mutated = format!(
+        "{}\n    \"ghost_series\",{}",
+        &export[..open],
+        &export[open..]
+    );
+    let mut overrides = HashMap::new();
+    overrides.insert("crates/metrics/src/export.rs", mutated);
+    let d = xfile_with(&overrides);
+    assert!(
+        d.iter().any(|d| d.rule == xfile::RULE_METRICS
+            && d.message.contains("ghost_series")
+            && d.message.contains("ALL_NAMES")),
+        "{d:?}"
+    );
+}
+
 // ---------------------------------------------------------- event-past
 
 /// Stripping the `.max(now)` clamp from a real scheduling site in the

@@ -103,6 +103,21 @@ impl Fabric {
         self.lustre_pipe
     }
 
+    /// Rack `r`'s uplink into the core (metrics sampling).
+    pub fn rack_uplink(&self, r: usize) -> LinkId {
+        self.rack_up[r]
+    }
+
+    /// Rack `r`'s downlink from the core (metrics sampling).
+    pub fn rack_downlink(&self, r: usize) -> LinkId {
+        self.rack_down[r]
+    }
+
+    /// The core fabric link (metrics sampling).
+    pub fn core_link(&self) -> LinkId {
+        self.core
+    }
+
     /// Links traversed by a transfer from `src` to `dst`.
     ///
     /// * node → node, same rack: src egress + dst ingress

@@ -546,6 +546,23 @@ impl<T> FlowNet<T> {
         self.flows.get(&flow.0).map(|f| f.rate)
     }
 
+    /// Aggregate allocated rate crossing `link` right now, bytes/sec — the
+    /// sum of the active flows' fair-share rates on it (settles first). The
+    /// metrics sampler divides this by [`FlowNet::link_capacity`] to report
+    /// per-link utilization (DESIGN.md §4.16); O(active flows on the link).
+    pub fn link_rate(&mut self, link: LinkId) -> f64 {
+        self.settle();
+        self.flows_on_link
+            .get(link.0 as usize)
+            .map(|ids| {
+                ids.iter()
+                    .filter_map(|id| self.flows.get(id))
+                    .map(|f| f.rate)
+                    .sum()
+            })
+            .unwrap_or(0.0)
+    }
+
     /// Differential audit: recompute the whole allocation by textbook
     /// progressive filling — no per-link index, no scratch reuse, no
     /// incremental state — and compare against the incremental solver's

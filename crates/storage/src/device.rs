@@ -45,6 +45,16 @@ pub trait Device {
     fn current_read_bandwidth(&self) -> f64 {
         self.read_bandwidth()
     }
+    /// True while internal housekeeping (e.g. SSD garbage collection) is
+    /// degrading the device. Devices without such a mode report false.
+    fn gc_active(&self) -> bool {
+        false
+    }
+    /// Fill fraction of the device's internal write buffer in [0, 1]
+    /// (metrics sampling); 0.0 for devices without one.
+    fn buffer_fill(&self) -> f64 {
+        0.0
+    }
     /// Permanently scale the device's bandwidth by `factor` in `(0, 1]` —
     /// a fault-injection hook (worn flash, failing channel). Devices without
     /// a degradation model ignore it.

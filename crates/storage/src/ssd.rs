@@ -306,6 +306,14 @@ impl Device for Ssd {
         }
     }
 
+    fn gc_active(&self) -> bool {
+        Ssd::gc_active(self)
+    }
+
+    fn buffer_fill(&self) -> f64 {
+        Ssd::buffer_fill(self)
+    }
+
     /// Degradation fault: scale every bandwidth parameter by `factor`. The
     /// new rates apply immediately (channel capacities are reset here, not
     /// just at the next model tick); buffer/pool *capacities* are unchanged.

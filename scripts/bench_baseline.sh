@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_9.json: before/after engine-throughput evidence for the
+# Regenerate BENCH_10.json: before/after engine-throughput evidence for the
 # scale-out work (calendar queue + rack aggregation + SoA arenas), re-baselined
-# after the lint-v2 PR (SimTime/Bytes newtype boundaries, strict-scheduling
-# asserts in debug builds — release-build throughput must be unchanged).
+# after the metrics-plane PR (sampler is off by default in bench runs, so
+# release-build throughput and sim_job_s must be unchanged — `repro diff
+# BENCH_9.json BENCH_10.json` in scripts/check.sh holds that line).
 #
 #   scripts/bench_baseline.sh [OUT_JSON]
 #
@@ -22,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_9.json}"
+OUT="${1:-BENCH_10.json}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -54,7 +55,7 @@ smoke_before = load("smoke/scale_baseline.json")
 before = load("scale_baseline.json")
 
 doc = {
-    "issue": 9,
+    "issue": 10,
     "note": "engine throughput before/after the scale-out work; "
             "'before' = legacy binary-heap event queue + per-node fetch "
             "flows (rack aggregation off). Missing 'before' rows are "
